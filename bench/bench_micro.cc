@@ -1,0 +1,153 @@
+// Micro-benchmarks (google-benchmark) for the substrate primitives: term
+// interning, triple-store scans, the text stack, summary construction,
+// augmentation, and end-to-end exploration on the running example.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/exploration.h"
+#include "datagen/dblp_gen.h"
+#include "keyword/keyword_index.h"
+#include "rdf/data_graph.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "summary/augmented_graph.h"
+#include "summary/summary_graph.h"
+#include "text/inverted_index.h"
+#include "text/levenshtein.h"
+#include "text/porter_stemmer.h"
+#include "common/string_util.h"
+
+namespace {
+
+struct DblpFixture {
+  DblpFixture() {
+    grasp::datagen::DblpOptions options;
+    options.num_authors = 500;
+    options.num_publications = 1500;
+    grasp::datagen::GenerateDblp(options, &dictionary, &store);
+    store.Finalize();
+    graph = std::make_unique<grasp::rdf::DataGraph>(
+        grasp::rdf::DataGraph::Build(store, dictionary));
+    summary = std::make_unique<grasp::summary::SummaryGraph>(
+        grasp::summary::SummaryGraph::Build(*graph));
+    index = std::make_unique<grasp::keyword::KeywordIndex>(
+        grasp::keyword::KeywordIndex::Build(*graph));
+  }
+  grasp::rdf::Dictionary dictionary;
+  grasp::rdf::TripleStore store;
+  std::unique_ptr<grasp::rdf::DataGraph> graph;
+  std::unique_ptr<grasp::summary::SummaryGraph> summary;
+  std::unique_ptr<grasp::keyword::KeywordIndex> index;
+};
+
+DblpFixture& Fixture() {
+  static DblpFixture* fixture = new DblpFixture();
+  return *fixture;
+}
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  std::size_t i = 0;
+  grasp::rdf::Dictionary dict;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dict.InternIri(grasp::StrFormat("http://x/e%zu", i++ % 10000)));
+  }
+}
+BENCHMARK(BM_DictionaryIntern);
+
+void BM_TripleStoreScanByPredicate(benchmark::State& state) {
+  DblpFixture& f = Fixture();
+  const grasp::rdf::TermId author = f.dictionary.Find(
+      grasp::rdf::TermKind::kIri,
+      std::string(grasp::datagen::kDblpNs) + "author");
+  for (auto _ : state) {
+    std::size_t count = 0;
+    f.store.Scan({grasp::rdf::kInvalidTermId, author,
+                  grasp::rdf::kInvalidTermId},
+                 [&](const grasp::rdf::Triple&) {
+                   ++count;
+                   return true;
+                 });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_TripleStoreScanByPredicate);
+
+void BM_PorterStem(benchmark::State& state) {
+  const char* words[] = {"publications", "relational", "optimization",
+                         "troubling",    "databases",  "formalize"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grasp::text::PorterStem(words[i++ % 6]));
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_BoundedLevenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grasp::text::BoundedLevenshtein("cimiano", "cimano", 2));
+  }
+}
+BENCHMARK(BM_BoundedLevenshtein);
+
+void BM_KeywordLookup(benchmark::State& state) {
+  DblpFixture& f = Fixture();
+  grasp::text::InvertedIndex::SearchOptions options;
+  options.max_results = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.index->Lookup("cimiano", options));
+  }
+}
+BENCHMARK(BM_KeywordLookup);
+
+void BM_SummaryBuild(benchmark::State& state) {
+  DblpFixture& f = Fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grasp::summary::SummaryGraph::Build(*f.graph));
+  }
+}
+BENCHMARK(BM_SummaryBuild);
+
+void BM_Augmentation(benchmark::State& state) {
+  DblpFixture& f = Fixture();
+  grasp::text::InvertedIndex::SearchOptions options;
+  options.max_results = 16;
+  std::vector<std::vector<grasp::keyword::KeywordMatch>> matches;
+  matches.push_back(f.index->Lookup("2006", options));
+  matches.push_back(f.index->Lookup("cimiano", options));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grasp::summary::AugmentedGraph::Build(*f.summary, matches));
+  }
+}
+BENCHMARK(BM_Augmentation);
+
+void BM_TopKExploration(benchmark::State& state) {
+  DblpFixture& f = Fixture();
+  grasp::text::InvertedIndex::SearchOptions options;
+  options.max_results = 16;
+  std::vector<std::vector<grasp::keyword::KeywordMatch>> matches;
+  matches.push_back(f.index->Lookup("2006", options));
+  matches.push_back(f.index->Lookup("cimiano", options));
+  matches.push_back(f.index->Lookup("aifb", options));
+  grasp::summary::AugmentedGraph augmented =
+      grasp::summary::AugmentedGraph::Build(*f.summary, matches);
+  for (auto _ : state) {
+    grasp::core::ExplorationOptions explore;
+    explore.k = static_cast<std::size_t>(state.range(0));
+    grasp::core::SubgraphExplorer explorer(augmented, explore);
+    benchmark::DoNotOptimize(explorer.FindTopK());
+  }
+}
+BENCHMARK(BM_TopKExploration)->Arg(1)->Arg(10)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

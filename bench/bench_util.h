@@ -1,0 +1,82 @@
+#ifndef GRASP_BENCH_BENCH_UTIL_H_
+#define GRASP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datagen/dblp_gen.h"
+#include "datagen/lubm_gen.h"
+#include "datagen/tap_gen.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace grasp::bench {
+
+/// Owning bundle of one generated dataset.
+struct Dataset {
+  std::string name;
+  rdf::Dictionary dictionary;
+  rdf::TripleStore store;
+};
+
+/// Scale factor for the generated datasets; set GRASP_BENCH_SCALE to run
+/// the harness at a different size (1.0 keeps the defaults, which finish in
+/// seconds on a laptop-class machine).
+inline double BenchScale() {
+  const char* env = std::getenv("GRASP_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+inline Dataset MakeDblp() {
+  Dataset d;
+  d.name = "DBLP";
+  datagen::DblpOptions options;
+  const double s = BenchScale();
+  options.num_authors = static_cast<std::size_t>(1500 * s);
+  options.num_publications = static_cast<std::size_t>(5000 * s);
+  datagen::GenerateDblp(options, &d.dictionary, &d.store);
+  d.store.Finalize();
+  return d;
+}
+
+inline Dataset MakeLubm() {
+  Dataset d;
+  d.name = "LUBM";
+  datagen::LubmOptions options;
+  options.num_universities =
+      std::max<std::size_t>(1, static_cast<std::size_t>(5 * BenchScale()));
+  datagen::GenerateLubm(options, &d.dictionary, &d.store);
+  d.store.Finalize();
+  return d;
+}
+
+inline Dataset MakeTap() {
+  Dataset d;
+  d.name = "TAP";
+  datagen::TapOptions options;
+  options.num_classes =
+      std::max<std::size_t>(24, static_cast<std::size_t>(240 * BenchScale()));
+  datagen::GenerateTap(options, &d.dictionary, &d.store);
+  d.store.Finalize();
+  return d;
+}
+
+/// Prints a horizontal rule sized to `width`.
+inline void Rule(int width) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+inline void Header(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  Rule(static_cast<int>(title.size()));
+}
+
+}  // namespace grasp::bench
+
+#endif  // GRASP_BENCH_BENCH_UTIL_H_

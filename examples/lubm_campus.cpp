@@ -1,0 +1,112 @@
+// University-campus search on a LUBM-shaped dataset, demonstrating the two
+// capabilities that set the paper's algorithm apart from answer-tree systems
+// (Sec. VI-A): keywords that match *edges* (predicates), and matching
+// subgraphs that are general graphs — including cycles — rather than trees.
+//
+// Usage:
+//   ./build/examples/lubm_campus
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/exploration.h"
+#include "datagen/lubm_gen.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace {
+
+void ShowTopQueries(const grasp::core::KeywordSearchEngine& engine,
+                    const grasp::rdf::Dictionary& dictionary,
+                    const std::vector<std::string>& keywords,
+                    std::size_t k) {
+  std::printf("keywords:");
+  for (const auto& kw : keywords) std::printf(" %s", kw.c_str());
+  std::printf("\n");
+  auto result = engine.Search(keywords, k);
+  if (result.queries.empty()) {
+    std::printf("  (no interpretation)\n\n");
+    return;
+  }
+  for (std::size_t i = 0; i < result.queries.size(); ++i) {
+    const auto& rq = result.queries[i];
+    std::printf("  #%zu cost=%.3f  [%zu nodes, %zu edges%s]  %s\n", i + 1,
+                rq.cost, rq.subgraph.nodes.size(), rq.subgraph.edges.size(),
+                rq.subgraph.edges.size() >= rq.subgraph.nodes.size()
+                    ? ", cyclic"
+                    : "",
+                rq.query.ToString(dictionary).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  grasp::rdf::Dictionary dictionary;
+  grasp::rdf::TripleStore store;
+  grasp::datagen::LubmOptions options;
+  options.num_universities = 3;
+  std::printf("Generating LUBM-shaped campus dataset...\n");
+  grasp::datagen::GenerateLubm(options, &dictionary, &store);
+  store.Finalize();
+  std::printf("  %zu triples\n\n", store.size());
+
+  grasp::core::KeywordSearchEngine engine(store, dictionary);
+  std::printf("Summary graph: %zu class nodes, %zu relation edges\n\n",
+              engine.index_stats().summary_nodes,
+              engine.index_stats().summary_edges);
+
+  // 1. Plain entity search: who is called "fullprofessor0"?
+  std::printf("--- 1. class + value keywords ---------------------------\n");
+  ShowTopQueries(engine, dictionary, {"professor", "course"}, 3);
+
+  // 2. A keyword matching an *edge*: "advisor" names a relation, not an
+  // entity. Tree-based systems cannot represent this interpretation.
+  std::printf("--- 2. keyword on an edge (relation) --------------------\n");
+  ShowTopQueries(engine, dictionary, {"advisor", "professor"}, 3);
+
+  // 3. Two relation keywords between the same classes: the minimal
+  // connecting structure is a cycle (teacherOf + takesCourse both link
+  // faculty/students and courses).
+  std::printf("--- 3. cyclic matching subgraph -------------------------\n");
+  ShowTopQueries(engine, dictionary, {"teacherof", "takescourse"}, 3);
+
+  // 4. The effect of d_max: a tight exploration radius prunes the farther
+  // interpretations (Sec. VI-B, termination condition b).
+  std::printf("--- 4. d_max sweep --------------------------------------\n");
+  for (std::uint32_t dmax : {2u, 4u, 8u, 12u}) {
+    grasp::core::ExplorationOptions exploration = engine.options().exploration;
+    exploration.dmax = dmax;
+    auto result =
+        engine.Search({"publication", "university"}, 5, exploration);
+    std::printf("  dmax=%2u -> %zu interpretations (%zu cursor pops)\n", dmax,
+                result.queries.size(),
+                result.exploration_stats.cursors_popped);
+  }
+  std::printf("\n");
+
+  // 5. Answer a concrete need: publications of professors who teach.
+  std::printf("--- 5. end-to-end ---------------------------------------\n");
+  auto result =
+      engine.Search({"publicationauthor", "fullprofessor", "course"}, 1);
+  if (!result.queries.empty()) {
+    std::printf("query: %s\n",
+                result.queries[0].query.ToSparql(dictionary).c_str());
+    auto answers = engine.Answers(result.queries[0].query, 5);
+    if (answers.ok()) {
+      std::printf("first %zu answers:\n", answers->rows.size());
+      for (const auto& row : answers->rows) {
+        std::printf(" ");
+        for (grasp::rdf::TermId t : row) {
+          std::printf(" %s", std::string(grasp::rdf::IriLocalName(
+                                 dictionary.text(t))).c_str());
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}

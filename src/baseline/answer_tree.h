@@ -1,0 +1,39 @@
+#ifndef GRASP_BASELINE_ANSWER_TREE_H_
+#define GRASP_BASELINE_ANSWER_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rdf/data_graph.h"
+
+namespace grasp::baseline {
+
+/// Answer under the distinct-root assumption the baseline systems share: a
+/// root vertex that reaches one matching vertex per keyword; the score is
+/// the total path length (lower is better).
+struct AnswerTree {
+  rdf::VertexId root = rdf::kInvalidVertexId;
+  double score = 0.0;
+  /// One matched vertex per keyword, parallel to the query's keywords.
+  std::vector<rdf::VertexId> keyword_vertices;
+  /// Per-keyword distance from the root.
+  std::vector<double> distances;
+};
+
+/// Common result envelope of the baseline searches.
+struct BaselineResult {
+  std::vector<AnswerTree> answers;  ///< sorted by ascending score
+  std::size_t nodes_visited = 0;    ///< pops from the search frontier
+  double millis = 0.0;
+};
+
+/// Common knobs of the baseline searches.
+struct BaselineOptions {
+  std::size_t k = 10;
+  /// Stop after visiting this many nodes (0 = unlimited).
+  std::size_t max_visits = 0;
+};
+
+}  // namespace grasp::baseline
+
+#endif  // GRASP_BASELINE_ANSWER_TREE_H_

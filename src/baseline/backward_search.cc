@@ -1,0 +1,138 @@
+#include "baseline/backward_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "common/timer.h"
+
+namespace grasp::baseline {
+namespace {
+
+struct Frontier {
+  double dist;
+  rdf::VertexId vertex;
+  std::uint32_t group;
+  friend bool operator>(const Frontier& a, const Frontier& b) {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    if (a.vertex != b.vertex) return a.vertex > b.vertex;
+    return a.group > b.group;
+  }
+};
+
+struct GroupState {
+  std::unordered_map<rdf::VertexId, double> dist;      // finalized distances
+  std::unordered_map<rdf::VertexId, rdf::VertexId> origin;
+};
+
+}  // namespace
+
+BaselineResult BackwardSearch::Search(const std::vector<std::string>& keywords,
+                                      const BaselineOptions& options) const {
+  WallTimer timer;
+  BaselineResult result;
+  const std::size_t m = keywords.size();
+  if (m == 0) return result;
+
+  std::vector<std::vector<rdf::VertexId>> origins;
+  for (const std::string& kw : keywords) {
+    origins.push_back(keyword_map_->Lookup(kw));
+    if (origins.back().empty()) {
+      result.millis = timer.ElapsedMillis();
+      return result;  // keyword not matchable: no answers
+    }
+  }
+
+  std::vector<GroupState> groups(m);
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<Frontier>>
+      frontier;
+  // Tentative distances to avoid duplicate pushes dominating memory.
+  std::vector<std::unordered_map<rdf::VertexId, double>> tentative(m);
+  for (std::uint32_t g = 0; g < m; ++g) {
+    for (rdf::VertexId v : origins[g]) {
+      tentative[g][v] = 0.0;
+      groups[g].origin[v] = v;
+      frontier.push(Frontier{0.0, v, g});
+    }
+  }
+
+  std::unordered_map<rdf::VertexId, AnswerTree> roots;
+  auto kth_score = [&]() {
+    if (roots.size() < options.k) {
+      return std::numeric_limits<double>::infinity();
+    }
+    std::vector<double> scores;
+    scores.reserve(roots.size());
+    for (const auto& [v, a] : roots) scores.push_back(a.score);
+    std::nth_element(scores.begin(), scores.begin() + (options.k - 1),
+                     scores.end());
+    return scores[options.k - 1];
+  };
+
+  while (!frontier.empty()) {
+    const Frontier top = frontier.top();
+    frontier.pop();
+    GroupState& group = groups[top.group];
+    if (group.dist.count(top.vertex) > 0) continue;  // already finalized
+    group.dist.emplace(top.vertex, top.dist);
+    ++result.nodes_visited;
+    if (options.max_visits > 0 && result.nodes_visited > options.max_visits) {
+      break;
+    }
+
+    // Root check: finalized by all groups?
+    bool all = true;
+    for (const GroupState& gs : groups) {
+      if (gs.dist.count(top.vertex) == 0) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      AnswerTree answer;
+      answer.root = top.vertex;
+      for (std::uint32_t g = 0; g < m; ++g) {
+        const double d = groups[g].dist.at(top.vertex);
+        answer.score += d;
+        answer.distances.push_back(d);
+        answer.keyword_vertices.push_back(groups[g].origin.at(top.vertex));
+      }
+      roots.emplace(top.vertex, std::move(answer));
+    }
+
+    // TA-style stop: any unfinished root's score is at least the distance of
+    // the cheapest frontier entry (its last group is still pending).
+    if (roots.size() >= options.k && !frontier.empty() &&
+        kth_score() <= frontier.top().dist) {
+      break;
+    }
+
+    // Backward expansion: follow incoming edges to their sources.
+    for (rdf::EdgeId e : graph_->InEdges(top.vertex)) {
+      const rdf::VertexId u = graph_->edge(e).from;
+      const double nd = top.dist + 1.0;
+      auto it = tentative[top.group].find(u);
+      if (it != tentative[top.group].end() && it->second <= nd) continue;
+      tentative[top.group][u] = nd;
+      groups[top.group].origin[u] = groups[top.group].origin.at(top.vertex);
+      frontier.push(Frontier{nd, u, top.group});
+    }
+  }
+
+  result.answers.reserve(roots.size());
+  for (auto& [v, answer] : roots) {
+    (void)v;
+    result.answers.push_back(std::move(answer));
+  }
+  std::sort(result.answers.begin(), result.answers.end(),
+            [](const AnswerTree& a, const AnswerTree& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.root < b.root;
+            });
+  if (result.answers.size() > options.k) result.answers.resize(options.k);
+  result.millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace grasp::baseline

@@ -1,0 +1,36 @@
+#ifndef GRASP_BASELINE_BACKWARD_SEARCH_H_
+#define GRASP_BASELINE_BACKWARD_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/answer_tree.h"
+#include "baseline/keyword_map.h"
+#include "rdf/data_graph.h"
+
+namespace grasp::baseline {
+
+/// BANKS-style backward search (Bhalotia et al., ICDE 2002), the first
+/// baseline of Sec. VI-A: from every keyword vertex, expand along *incoming*
+/// edges in shortest-distance order; a vertex reached from all keyword
+/// groups is an answer root. Runs directly on the data graph (no summary).
+class BackwardSearch {
+ public:
+  /// `graph` and `keyword_map` must outlive the searcher.
+  BackwardSearch(const rdf::DataGraph& graph,
+                 const VertexKeywordMap& keyword_map)
+      : graph_(&graph), keyword_map_(&keyword_map) {}
+
+  /// Computes top-k answer trees. Termination is exact: the search stops
+  /// when the k-th best root provably beats every unfinished root.
+  BaselineResult Search(const std::vector<std::string>& keywords,
+                        const BaselineOptions& options) const;
+
+ private:
+  const rdf::DataGraph* graph_;
+  const VertexKeywordMap* keyword_map_;
+};
+
+}  // namespace grasp::baseline
+
+#endif  // GRASP_BASELINE_BACKWARD_SEARCH_H_

@@ -1,0 +1,146 @@
+#include "baseline/bidirectional_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "common/timer.h"
+
+namespace grasp::baseline {
+namespace {
+
+struct Frontier {
+  double priority;  // distance scaled down by activation: lower pops first
+  double dist;
+  rdf::VertexId vertex;
+  std::uint32_t group;
+  friend bool operator>(const Frontier& a, const Frontier& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.vertex != b.vertex) return a.vertex > b.vertex;
+    return a.group > b.group;
+  }
+};
+
+struct GroupState {
+  std::unordered_map<rdf::VertexId, double> dist;        // settled distance
+  std::unordered_map<rdf::VertexId, double> tentative;
+  std::unordered_map<rdf::VertexId, double> activation;
+  std::unordered_map<rdf::VertexId, rdf::VertexId> origin;
+};
+
+}  // namespace
+
+BaselineResult BidirectionalSearch::Search(
+    const std::vector<std::string>& keywords, const Options& options) const {
+  WallTimer timer;
+  BaselineResult result;
+  const std::size_t m = keywords.size();
+  if (m == 0) return result;
+
+  std::vector<std::vector<rdf::VertexId>> origins;
+  for (const std::string& kw : keywords) {
+    origins.push_back(keyword_map_->Lookup(kw));
+    if (origins.back().empty()) {
+      result.millis = timer.ElapsedMillis();
+      return result;
+    }
+  }
+
+  std::vector<GroupState> groups(m);
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<Frontier>>
+      frontier;
+  for (std::uint32_t g = 0; g < m; ++g) {
+    for (rdf::VertexId v : origins[g]) {
+      groups[g].tentative[v] = 0.0;
+      groups[g].activation[v] = 1.0;
+      groups[g].origin[v] = v;
+      frontier.push(Frontier{0.0, 0.0, v, g});
+    }
+  }
+
+  std::unordered_map<rdf::VertexId, AnswerTree> roots;
+  std::size_t pops_at_kth = 0;
+
+  while (!frontier.empty()) {
+    const Frontier top = frontier.top();
+    frontier.pop();
+    GroupState& group = groups[top.group];
+    if (group.dist.count(top.vertex) > 0) continue;
+    // Stale entry: a cheaper tentative distance was pushed later.
+    if (top.dist > group.tentative[top.vertex]) continue;
+    group.dist.emplace(top.vertex, top.dist);
+    ++result.nodes_visited;
+    if (options.max_visits > 0 && result.nodes_visited > options.max_visits) {
+      break;
+    }
+
+    bool all = true;
+    for (const GroupState& gs : groups) {
+      if (gs.dist.count(top.vertex) == 0) {
+        all = false;
+        break;
+      }
+    }
+    if (all && roots.count(top.vertex) == 0) {
+      AnswerTree answer;
+      answer.root = top.vertex;
+      for (std::uint32_t g = 0; g < m; ++g) {
+        const double d = groups[g].dist.at(top.vertex);
+        answer.score += d;
+        answer.distances.push_back(d);
+        answer.keyword_vertices.push_back(groups[g].origin.at(top.vertex));
+      }
+      roots.emplace(top.vertex, std::move(answer));
+      if (roots.size() == options.k) {
+        pops_at_kth = result.nodes_visited;
+      }
+    }
+
+    // Heuristic cut-off once enough answers exist (no TA guarantee here).
+    if (pops_at_kth > 0 &&
+        static_cast<double>(result.nodes_visited) >
+            static_cast<double>(pops_at_kth) *
+                (1.0 + options.extra_pop_fraction)) {
+      break;
+    }
+
+    // Bidirectional expansion: both edge directions.
+    const double parent_activation = group.activation[top.vertex];
+    auto relax = [&](rdf::VertexId u) {
+      const double nd = top.dist + 1.0;
+      const double act =
+          std::max(group.activation[u], parent_activation *
+                                            options.activation_decay);
+      group.activation[u] = act;
+      auto it = group.tentative.find(u);
+      if (it != group.tentative.end() && it->second <= nd) return;
+      group.tentative[u] = nd;
+      group.origin[u] = group.origin.at(top.vertex);
+      // Higher activation -> lower priority value -> expanded earlier.
+      frontier.push(Frontier{nd / std::max(1e-6, act), nd, u, top.group});
+    };
+    for (rdf::EdgeId e : graph_->InEdges(top.vertex)) {
+      relax(graph_->edge(e).from);
+    }
+    for (rdf::EdgeId e : graph_->OutEdges(top.vertex)) {
+      relax(graph_->edge(e).to);
+    }
+  }
+
+  result.answers.reserve(roots.size());
+  for (auto& [v, answer] : roots) {
+    (void)v;
+    result.answers.push_back(std::move(answer));
+  }
+  std::sort(result.answers.begin(), result.answers.end(),
+            [](const AnswerTree& a, const AnswerTree& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.root < b.root;
+            });
+  if (result.answers.size() > options.k) result.answers.resize(options.k);
+  result.millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace grasp::baseline

@@ -1,0 +1,42 @@
+#ifndef GRASP_BASELINE_BIDIRECTIONAL_SEARCH_H_
+#define GRASP_BASELINE_BIDIRECTIONAL_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/answer_tree.h"
+#include "baseline/keyword_map.h"
+#include "rdf/data_graph.h"
+
+namespace grasp::baseline {
+
+/// Bidirectional search (Kacholia et al., VLDB 2005), the second baseline of
+/// Sec. VI-A: expansion follows incoming *and* outgoing edges, prioritized
+/// by spreading-activation heuristics instead of pure distance. As the paper
+/// notes, this gives good average behaviour but "there is no worst-case
+/// performance guarantee" — top-k termination is heuristic.
+class BidirectionalSearch {
+ public:
+  struct Options : BaselineOptions {
+    /// Activation decay per hop (Kacholia et al. use mu in [0,1)).
+    double activation_decay = 0.5;
+    /// After the k-th answer is found, continue for this fraction of the
+    /// pops spent so far before stopping (the heuristic cut-off).
+    double extra_pop_fraction = 0.5;
+  };
+
+  BidirectionalSearch(const rdf::DataGraph& graph,
+                      const VertexKeywordMap& keyword_map)
+      : graph_(&graph), keyword_map_(&keyword_map) {}
+
+  BaselineResult Search(const std::vector<std::string>& keywords,
+                        const Options& options) const;
+
+ private:
+  const rdf::DataGraph* graph_;
+  const VertexKeywordMap* keyword_map_;
+};
+
+}  // namespace grasp::baseline
+
+#endif  // GRASP_BASELINE_BIDIRECTIONAL_SEARCH_H_

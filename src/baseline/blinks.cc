@@ -1,0 +1,243 @@
+#include "baseline/blinks.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "common/timer.h"
+
+namespace grasp::baseline {
+namespace {
+
+struct Frontier {
+  double dist;
+  rdf::VertexId vertex;
+  std::uint32_t group;
+  friend bool operator>(const Frontier& a, const Frontier& b) {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    if (a.vertex != b.vertex) return a.vertex > b.vertex;
+    return a.group > b.group;
+  }
+};
+
+}  // namespace
+
+std::unordered_map<rdf::VertexId, double> BlinksIndex::IntraBlockDistances(
+    rdf::VertexId source) const {
+  // Unit weights: BFS restricted to the source's block.
+  std::unordered_map<rdf::VertexId, double> dist;
+  const BlockId home = partition_.block_of[source];
+  std::deque<rdf::VertexId> queue{source};
+  dist[source] = 0.0;
+  while (!queue.empty()) {
+    const rdf::VertexId v = queue.front();
+    queue.pop_front();
+    const double d = dist[v];
+    auto visit = [&](rdf::VertexId u) {
+      if (partition_.block_of[u] != home) return;
+      if (dist.count(u) > 0) return;
+      dist[u] = d + 1.0;
+      queue.push_back(u);
+    };
+    for (rdf::EdgeId e : graph_->OutEdges(v)) visit(graph_->edge(e).to);
+    for (rdf::EdgeId e : graph_->InEdges(v)) visit(graph_->edge(e).from);
+  }
+  return dist;
+}
+
+BlinksIndex::BlinksIndex(const rdf::DataGraph& graph,
+                         const VertexKeywordMap& keyword_map,
+                         const BuildOptions& options)
+    : graph_(&graph), keyword_map_(&keyword_map) {
+  WallTimer timer;
+  partition_ = PartitionGraph(graph, options.num_blocks, options.method);
+  cut_size_ = partition_.CutSize(graph);
+
+  const std::size_t n = graph.NumVertices();
+  is_portal_.assign(n, false);
+  for (const rdf::Edge& e : graph.edges()) {
+    if (partition_.block_of[e.from] != partition_.block_of[e.to]) {
+      is_portal_[e.from] = true;
+      is_portal_[e.to] = true;
+    }
+  }
+  block_portals_.assign(partition_.num_blocks, {});
+  for (rdf::VertexId v = 0; v < n; ++v) {
+    if (is_portal_[v]) {
+      portal_ids_.push_back(v);
+      block_portals_[partition_.block_of[v]].push_back(v);
+    }
+  }
+
+  // Precompute the portal graph: intra-block portal-portal distances plus
+  // direct cross-block edges.
+  for (rdf::VertexId p : portal_ids_) {
+    auto dist = IntraBlockDistances(p);
+    auto& edges = portal_edges_[p];
+    for (rdf::VertexId q : block_portals_[partition_.block_of[p]]) {
+      if (q == p) continue;
+      auto it = dist.find(q);
+      if (it != dist.end()) edges.emplace_back(q, it->second);
+    }
+    auto add_cross = [&](rdf::VertexId u) {
+      if (partition_.block_of[u] != partition_.block_of[p]) {
+        edges.emplace_back(u, 1.0);
+      }
+    };
+    for (rdf::EdgeId e : graph.OutEdges(p)) add_cross(graph.edge(e).to);
+    for (rdf::EdgeId e : graph.InEdges(p)) add_cross(graph.edge(e).from);
+  }
+  build_millis_ = timer.ElapsedMillis();
+}
+
+BaselineResult BlinksIndex::Search(const std::vector<std::string>& keywords,
+                                   const BaselineOptions& options) const {
+  WallTimer timer;
+  BaselineResult result;
+  const std::size_t m = keywords.size();
+  if (m == 0) return result;
+
+  std::vector<std::vector<rdf::VertexId>> origins;
+  for (const std::string& kw : keywords) {
+    origins.push_back(keyword_map_->Lookup(kw));
+    if (origins.back().empty()) {
+      result.millis = timer.ElapsedMillis();
+      return result;
+    }
+  }
+
+  // Query-time virtual edges: origin <-> portals of its block, and
+  // origin <-> other origins within the same block.
+  std::unordered_map<rdf::VertexId,
+                     std::vector<std::pair<rdf::VertexId, double>>>
+      query_edges;
+  std::vector<rdf::VertexId> all_origins;
+  for (const auto& group : origins) {
+    for (rdf::VertexId o : group) all_origins.push_back(o);
+  }
+  std::sort(all_origins.begin(), all_origins.end());
+  all_origins.erase(std::unique(all_origins.begin(), all_origins.end()),
+                    all_origins.end());
+  for (rdf::VertexId o : all_origins) {
+    auto dist = IntraBlockDistances(o);
+    for (const auto& [v, d] : dist) {
+      if (v == o) continue;
+      const bool interesting =
+          is_portal_[v] ||
+          std::binary_search(all_origins.begin(), all_origins.end(), v);
+      if (!interesting) continue;
+      query_edges[o].emplace_back(v, d);
+      query_edges[v].emplace_back(o, d);
+    }
+  }
+
+  // Multi-group Dijkstra over the portal graph.
+  std::vector<std::unordered_map<rdf::VertexId, double>> settled(m),
+      tentative(m);
+  std::vector<std::unordered_map<rdf::VertexId, rdf::VertexId>> origin_of(m);
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<Frontier>>
+      frontier;
+  for (std::uint32_t g = 0; g < m; ++g) {
+    for (rdf::VertexId o : origins[g]) {
+      tentative[g][o] = 0.0;
+      origin_of[g][o] = o;
+      frontier.push(Frontier{0.0, o, g});
+    }
+  }
+
+  std::unordered_map<rdf::VertexId, AnswerTree> roots;
+  auto kth_score = [&]() {
+    if (roots.size() < options.k) {
+      return std::numeric_limits<double>::infinity();
+    }
+    std::vector<double> scores;
+    scores.reserve(roots.size());
+    for (const auto& [v, a] : roots) scores.push_back(a.score);
+    std::nth_element(scores.begin(), scores.begin() + (options.k - 1),
+                     scores.end());
+    return scores[options.k - 1];
+  };
+
+  while (!frontier.empty()) {
+    const Frontier top = frontier.top();
+    frontier.pop();
+    if (settled[top.group].count(top.vertex) > 0) continue;
+    settled[top.group].emplace(top.vertex, top.dist);
+    ++result.nodes_visited;
+    if (options.max_visits > 0 && result.nodes_visited > options.max_visits) {
+      break;
+    }
+
+    bool all = true;
+    for (std::uint32_t g = 0; g < m; ++g) {
+      if (settled[g].count(top.vertex) == 0) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      AnswerTree answer;
+      answer.root = top.vertex;
+      for (std::uint32_t g = 0; g < m; ++g) {
+        const double d = settled[g].at(top.vertex);
+        answer.score += d;
+        answer.distances.push_back(d);
+        answer.keyword_vertices.push_back(origin_of[g].at(top.vertex));
+      }
+      roots.emplace(top.vertex, std::move(answer));
+    }
+
+    if (roots.size() >= options.k && !frontier.empty() &&
+        kth_score() <= frontier.top().dist) {
+      break;
+    }
+
+    auto relax_all = [&](const std::vector<std::pair<rdf::VertexId, double>>&
+                             edges) {
+      for (const auto& [u, w] : edges) {
+        const double nd = top.dist + w;
+        auto it = tentative[top.group].find(u);
+        if (it != tentative[top.group].end() && it->second <= nd) continue;
+        tentative[top.group][u] = nd;
+        origin_of[top.group][u] = origin_of[top.group].at(top.vertex);
+        frontier.push(Frontier{nd, u, top.group});
+      }
+    };
+    auto pe = portal_edges_.find(top.vertex);
+    if (pe != portal_edges_.end()) relax_all(pe->second);
+    auto qe = query_edges.find(top.vertex);
+    if (qe != query_edges.end()) relax_all(qe->second);
+  }
+
+  result.answers.reserve(roots.size());
+  for (auto& [v, answer] : roots) {
+    (void)v;
+    result.answers.push_back(std::move(answer));
+  }
+  std::sort(result.answers.begin(), result.answers.end(),
+            [](const AnswerTree& a, const AnswerTree& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.root < b.root;
+            });
+  if (result.answers.size() > options.k) result.answers.resize(options.k);
+  result.millis = timer.ElapsedMillis();
+  return result;
+}
+
+std::size_t BlinksIndex::MemoryUsageBytes() const {
+  std::size_t bytes = partition_.block_of.capacity() * sizeof(BlockId) +
+                      portal_ids_.capacity() * sizeof(rdf::VertexId) +
+                      is_portal_.capacity() / 8;
+  for (const auto& portals : block_portals_) {
+    bytes += portals.capacity() * sizeof(rdf::VertexId);
+  }
+  for (const auto& [p, edges] : portal_edges_) {
+    (void)p;
+    bytes += sizeof(rdf::VertexId) + 2 * sizeof(void*) +
+             edges.capacity() * sizeof(std::pair<rdf::VertexId, double>);
+  }
+  return bytes;
+}
+
+}  // namespace grasp::baseline

@@ -1,0 +1,60 @@
+#include "baseline/keyword_map.h"
+
+#include <algorithm>
+
+#include "rdf/term.h"
+
+namespace grasp::baseline {
+
+VertexKeywordMap::VertexKeywordMap(const rdf::DataGraph& graph) {
+  const rdf::Dictionary& dict = graph.dictionary();
+  for (rdf::VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const rdf::Vertex& vertex = graph.vertex(v);
+    std::string_view label;
+    if (vertex.kind == rdf::VertexKind::kValue) {
+      label = dict.text(vertex.term);
+    } else if (vertex.kind == rdf::VertexKind::kClass) {
+      label = rdf::IriLocalName(dict.text(vertex.term));
+    } else {
+      continue;  // entity URIs are opaque, as in the baseline systems
+    }
+    for (std::string& term : text::Analyze(label, analyzer_)) {
+      auto& list = postings_[term];
+      if (list.empty() || list.back() != v) list.push_back(v);
+    }
+  }
+}
+
+std::vector<rdf::VertexId> VertexKeywordMap::Lookup(
+    std::string_view keyword) const {
+  std::vector<std::string> tokens = text::Analyze(keyword, analyzer_);
+  if (tokens.empty()) return {};
+  std::vector<rdf::VertexId> result;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    auto it = postings_.find(tokens[i]);
+    if (it == postings_.end()) return {};
+    std::vector<rdf::VertexId> sorted = it->second;
+    std::sort(sorted.begin(), sorted.end());
+    if (i == 0) {
+      result = std::move(sorted);
+    } else {
+      std::vector<rdf::VertexId> merged;
+      std::set_intersection(result.begin(), result.end(), sorted.begin(),
+                            sorted.end(), std::back_inserter(merged));
+      result = std::move(merged);
+    }
+    if (result.empty()) return {};
+  }
+  return result;
+}
+
+std::size_t VertexKeywordMap::MemoryUsageBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [term, list] : postings_) {
+    bytes += term.capacity() + list.capacity() * sizeof(rdf::VertexId) +
+             2 * sizeof(void*) + sizeof(std::vector<rdf::VertexId>);
+  }
+  return bytes;
+}
+
+}  // namespace grasp::baseline

@@ -1,0 +1,40 @@
+#ifndef GRASP_BASELINE_KEYWORD_MAP_H_
+#define GRASP_BASELINE_KEYWORD_MAP_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/data_graph.h"
+#include "text/tokenizer.h"
+
+namespace grasp::baseline {
+
+/// Keyword-to-vertex map used by the answer-tree baselines (BANKS,
+/// bidirectional search, BLINKS). Unlike the paper's keyword index, these
+/// systems map keywords to *data-graph vertices* only, with exact matching
+/// of analyzed terms ("an exact matching between keywords and labels of data
+/// elements is performed", Sec. I) — no fuzzy or semantic expansion.
+class VertexKeywordMap {
+ public:
+  /// Indexes V-vertex literals and C-vertex local names of `graph`.
+  /// The graph must outlive the map.
+  explicit VertexKeywordMap(const rdf::DataGraph& graph);
+
+  /// Vertices whose label contains every analyzed token of `keyword`.
+  std::vector<rdf::VertexId> Lookup(std::string_view keyword) const;
+
+  std::size_t vocabulary_size() const { return postings_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  std::size_t MemoryUsageBytes() const;
+
+ private:
+  text::AnalyzerOptions analyzer_;
+  std::unordered_map<std::string, std::vector<rdf::VertexId>> postings_;
+};
+
+}  // namespace grasp::baseline
+
+#endif  // GRASP_BASELINE_KEYWORD_MAP_H_

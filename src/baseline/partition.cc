@@ -1,0 +1,117 @@
+#include "baseline/partition.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace grasp::baseline {
+
+std::size_t Partition::CutSize(const rdf::DataGraph& graph) const {
+  std::size_t cut = 0;
+  for (const rdf::Edge& e : graph.edges()) {
+    if (block_of[e.from] != block_of[e.to]) ++cut;
+  }
+  return cut;
+}
+
+namespace {
+
+Partition BfsSeed(const rdf::DataGraph& graph, std::size_t num_blocks) {
+  const std::size_t n = graph.NumVertices();
+  Partition p;
+  p.block_of.assign(n, 0);
+  if (n == 0) return p;
+  const std::size_t target =
+      std::max<std::size_t>(1, (n + num_blocks - 1) / num_blocks);
+
+  std::vector<bool> assigned(n, false);
+  BlockId current = 0;
+  std::size_t current_size = 0;
+  std::queue<rdf::VertexId> frontier;
+  std::size_t scan = 0;
+
+  auto next_unassigned = [&]() -> rdf::VertexId {
+    while (scan < n && assigned[scan]) ++scan;
+    return scan < n ? static_cast<rdf::VertexId>(scan) : rdf::kInvalidVertexId;
+  };
+
+  for (rdf::VertexId seed = next_unassigned();
+       seed != rdf::kInvalidVertexId; seed = next_unassigned()) {
+    frontier.push(seed);
+    assigned[seed] = true;
+    while (!frontier.empty()) {
+      const rdf::VertexId v = frontier.front();
+      frontier.pop();
+      p.block_of[v] = current;
+      if (++current_size >= target) {
+        // Block full: flush the frontier into the next block's seed pool.
+        while (!frontier.empty()) {
+          assigned[frontier.front()] = false;
+          frontier.pop();
+        }
+        ++current;
+        current_size = 0;
+        break;
+      }
+      auto visit = [&](rdf::VertexId u) {
+        if (!assigned[u]) {
+          assigned[u] = true;
+          frontier.push(u);
+        }
+      };
+      for (rdf::EdgeId e : graph.OutEdges(v)) visit(graph.edge(e).to);
+      for (rdf::EdgeId e : graph.InEdges(v)) visit(graph.edge(e).from);
+    }
+  }
+  p.num_blocks = static_cast<std::size_t>(current) + (current_size > 0 ? 1 : 0);
+  if (p.num_blocks == 0) p.num_blocks = 1;
+  return p;
+}
+
+void RefineGreedy(const rdf::DataGraph& graph, Partition* p) {
+  const std::size_t n = graph.NumVertices();
+  if (p->num_blocks <= 1) return;
+  std::vector<std::size_t> block_size(p->num_blocks, 0);
+  for (BlockId b : p->block_of) ++block_size[b];
+  const std::size_t target = std::max<std::size_t>(1, n / p->num_blocks);
+  const std::size_t max_size = target + target / 5 + 2;  // +-20% balance
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (rdf::VertexId v = 0; v < n; ++v) {
+      // Count neighbor blocks.
+      std::unordered_map<BlockId, std::size_t> neighbor_blocks;
+      auto count = [&](rdf::VertexId u) { ++neighbor_blocks[p->block_of[u]]; };
+      for (rdf::EdgeId e : graph.OutEdges(v)) count(graph.edge(e).to);
+      for (rdf::EdgeId e : graph.InEdges(v)) count(graph.edge(e).from);
+      const BlockId home = p->block_of[v];
+      BlockId best = home;
+      std::size_t best_links = neighbor_blocks[home];
+      for (const auto& [b, links] : neighbor_blocks) {
+        if (b == home) continue;
+        if (links > best_links && block_size[b] < max_size) {
+          best = b;
+          best_links = links;
+        }
+      }
+      if (best != home && block_size[home] > 1) {
+        --block_size[home];
+        ++block_size[best];
+        p->block_of[v] = best;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Partition PartitionGraph(const rdf::DataGraph& graph, std::size_t num_blocks,
+                         PartitionMethod method) {
+  GRASP_CHECK_GT(num_blocks, 0u);
+  Partition p = BfsSeed(graph, num_blocks);
+  if (method == PartitionMethod::kGreedy) RefineGreedy(graph, &p);
+  return p;
+}
+
+}  // namespace grasp::baseline

@@ -1,0 +1,35 @@
+#ifndef GRASP_COMMON_HASH_H_
+#define GRASP_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace grasp {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline std::size_t HashCombine(std::size_t seed, std::size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Hashes an arbitrary pack of hashable values into one size_t.
+template <typename... Ts>
+std::size_t HashValues(const Ts&... values) {
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  ((seed = HashCombine(seed, std::hash<Ts>{}(values))), ...);
+  return seed;
+}
+
+/// std::hash specialization helper for pairs (used by unordered containers
+/// keyed on id pairs).
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    return HashValues(p.first, p.second);
+  }
+};
+
+}  // namespace grasp
+
+#endif  // GRASP_COMMON_HASH_H_

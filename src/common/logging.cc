@@ -1,0 +1,55 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace grasp {
+namespace {
+
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kWarning)};
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(
+      g_min_severity.load(std::memory_order_relaxed));
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  const bool fatal = severity_ == LogSeverity::kFatal;
+  if (fatal || static_cast<int>(severity_) >=
+                   g_min_severity.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_), file_,
+                 line_, stream_.str().c_str());
+  }
+  if (fatal) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace grasp

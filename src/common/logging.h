@@ -1,0 +1,80 @@
+#ifndef GRASP_COMMON_LOGGING_H_
+#define GRASP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace grasp {
+
+/// Severity levels for the lightweight logging facility.
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Process-wide minimum severity; messages below it are discarded.
+/// Defaults to kWarning so library users are not spammed.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+/// Stream-style message collector. Emits on destruction; kFatal aborts the
+/// process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a LogMessage stream when a log statement is compiled out.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace grasp
+
+#define GRASP_LOG_INTERNAL_(severity)                                        \
+  ::grasp::internal_logging::LogMessage(::grasp::LogSeverity::k##severity, \
+                                        __FILE__, __LINE__)                  \
+      .stream()
+
+/// Usage: GRASP_LOG(Info) << "message" << value;
+#define GRASP_LOG(severity) GRASP_LOG_INTERNAL_(severity)
+
+/// Aborts with a message when `condition` does not hold. Always on, in all
+/// build types: database-style internal invariant enforcement.
+#define GRASP_CHECK(condition)                                 \
+  (condition) ? (void)0                                        \
+              : ::grasp::internal_logging::LogMessageVoidify() & \
+                    GRASP_LOG_INTERNAL_(Fatal)                 \
+                        << "Check failed: " #condition " "
+
+#define GRASP_CHECK_OP_(a, b, op)                                     \
+  GRASP_CHECK((a)op(b)) << "(" << #a << " " << #op << " " << #b << ") "
+#define GRASP_CHECK_EQ(a, b) GRASP_CHECK_OP_(a, b, ==)
+#define GRASP_CHECK_NE(a, b) GRASP_CHECK_OP_(a, b, !=)
+#define GRASP_CHECK_LT(a, b) GRASP_CHECK_OP_(a, b, <)
+#define GRASP_CHECK_LE(a, b) GRASP_CHECK_OP_(a, b, <=)
+#define GRASP_CHECK_GT(a, b) GRASP_CHECK_OP_(a, b, >)
+#define GRASP_CHECK_GE(a, b) GRASP_CHECK_OP_(a, b, >=)
+
+/// Checks that a Status-returning expression is OK.
+#define GRASP_CHECK_OK(expr)                                      \
+  do {                                                            \
+    ::grasp::Status grasp_check_status_ = (expr);                 \
+    GRASP_CHECK(grasp_check_status_.ok())                         \
+        << grasp_check_status_.ToString();                        \
+  } while (false)
+
+#endif  // GRASP_COMMON_LOGGING_H_

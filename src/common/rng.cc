@@ -1,0 +1,87 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace grasp {
+namespace {
+
+// splitmix64; used only to expand the user seed into xoshiro state.
+std::uint64_t SplitMix64(std::uint64_t* x) {
+  std::uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(&s);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  GRASP_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  while (true) {
+    std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  GRASP_CHECK_LE(lo, hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? Next() : NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  GRASP_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+std::size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace grasp

@@ -1,0 +1,36 @@
+#ifndef GRASP_COMMON_TIMER_H_
+#define GRASP_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace grasp {
+
+/// Monotonic wall-clock stopwatch used by benchmarks and the engine's
+/// statistics. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  std::int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace grasp
+
+#endif  // GRASP_COMMON_TIMER_H_

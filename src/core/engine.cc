@@ -1,0 +1,214 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/filter_op.h"
+#include "common/timer.h"
+#include "summary/augmented_graph.h"
+
+namespace grasp::core {
+
+KeywordSearchEngine::Prebuilt KeywordSearchEngine::Preprocess(
+    const rdf::TripleStore& store, const rdf::Dictionary& dictionary,
+    const Options& options) {
+  WallTimer timer;
+  rdf::DataGraph graph = rdf::DataGraph::Build(store, dictionary);
+  summary::SummaryGraph summary = summary::SummaryGraph::Build(graph);
+  keyword::KeywordIndex index =
+      keyword::KeywordIndex::Build(graph, options.analyzer);
+  return Prebuilt{std::move(graph), std::move(summary), std::move(index),
+                  timer.ElapsedMillis()};
+}
+
+KeywordSearchEngine::KeywordSearchEngine(const rdf::TripleStore& store,
+                                         const rdf::Dictionary& dictionary,
+                                         Options options)
+    : KeywordSearchEngine(store, dictionary, options,
+                          Preprocess(store, dictionary, options)) {}
+
+KeywordSearchEngine::KeywordSearchEngine(const rdf::TripleStore& store,
+                                         const rdf::Dictionary& dictionary,
+                                         Options options, Prebuilt prebuilt)
+    : store_(&store),
+      dictionary_(&dictionary),
+      options_(options),
+      thesaurus_(text::Thesaurus::BuiltIn()),
+      data_graph_(std::move(prebuilt.graph)),
+      summary_(std::move(prebuilt.summary)),
+      keyword_index_(std::move(prebuilt.index)) {
+  index_stats_.keyword_index_bytes = keyword_index_.MemoryUsageBytes();
+  index_stats_.summary_graph_bytes = summary_.MemoryUsageBytes();
+  index_stats_.summary_nodes = summary_.nodes().size();
+  index_stats_.summary_edges = summary_.edges().size();
+  index_stats_.keyword_elements = keyword_index_.num_elements();
+  index_stats_.build_millis = prebuilt.millis;
+}
+
+KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
+    const std::vector<std::string>& keywords, std::size_t k,
+    const ExplorationOptions& exploration) const {
+  SearchResult result;
+  WallTimer total;
+
+  // Step 1: keyword-to-element mapping (keyword index lookup). Lookups run
+  // with headroom above max_matches_per_keyword; the final per-keyword
+  // truncation then prefers elements that several of the query's keywords
+  // hit. This keeps e.g. a long title matched by two keywords available to
+  // both, so the exploration can merge them into one element — truncating
+  // each keyword's list by score alone would drop the shared label in
+  // favour of shorter single-keyword labels.
+  WallTimer step;
+  text::InvertedIndex::SearchOptions search_options = options_.keyword_search;
+  search_options.thesaurus = options_.use_thesaurus ? &thesaurus_ : nullptr;
+  // Unbounded during lookup; the coverage-aware truncation below applies
+  // max_matches_per_keyword afterwards.
+  search_options.max_results = 0;
+  std::vector<std::vector<keyword::KeywordMatch>> matches;
+  matches.reserve(keywords.size());
+  for (const std::string& kw : keywords) {
+    // Operator keywords (">2000", "<=1995", ...) resolve through the
+    // filter extension instead of the inverted index (Sec. IX).
+    if (const auto filter = ParseFilterKeyword(kw)) {
+      auto match = keyword_index_.LookupFilter(*filter);
+      matches.push_back(match.has_value()
+                            ? std::vector<keyword::KeywordMatch>{*match}
+                            : std::vector<keyword::KeywordMatch>{});
+    } else {
+      matches.push_back(keyword_index_.Lookup(kw, search_options));
+    }
+  }
+  if (keywords.size() > 1) {
+    std::map<std::pair<int, rdf::TermId>, int> keyword_hits;
+    for (const auto& list : matches) {
+      for (const keyword::KeywordMatch& m : list) {
+        ++keyword_hits[{static_cast<int>(m.kind), m.term}];
+      }
+    }
+    // Query-coverage boost (the TF/IDF adoption Sec. V suggests for
+    // multi-term labels): an element hit by h of the query's keywords gets
+    // each of those match scores scaled by sqrt(h), so a title covering two
+    // keywords outranks two separate titles covering one keyword each.
+    for (auto& list : matches) {
+      for (keyword::KeywordMatch& m : list) {
+        const int hits = keyword_hits[{static_cast<int>(m.kind), m.term}];
+        if (hits > 1) {
+          m.score = std::min(
+              1.0, m.score * std::sqrt(static_cast<double>(hits)));
+        }
+      }
+      std::stable_sort(list.begin(), list.end(),
+                       [&keyword_hits](const keyword::KeywordMatch& a,
+                                       const keyword::KeywordMatch& b) {
+                         const int ha =
+                             keyword_hits[{static_cast<int>(a.kind), a.term}];
+                         const int hb =
+                             keyword_hits[{static_cast<int>(b.kind), b.term}];
+                         if (ha != hb) return ha > hb;
+                         return a.score > b.score;
+                       });
+    }
+  }
+  for (auto& list : matches) {
+    if (list.size() > options_.max_matches_per_keyword) {
+      list.resize(options_.max_matches_per_keyword);
+    }
+    result.matches_per_keyword.push_back(list.size());
+  }
+  result.keyword_millis = step.ElapsedMillis();
+
+  // Step 2: augmentation of the graph index (Def. 5).
+  step.Reset();
+  summary::AugmentedGraph augmented =
+      summary::AugmentedGraph::Build(summary_, matches);
+  result.augmentation_millis = step.ElapsedMillis();
+
+  // Step 3: top-k graph exploration (Alg. 1 + Alg. 2), with overfetch to
+  // absorb query-level deduplication.
+  step.Reset();
+  ExplorationOptions explore = exploration;
+  explore.k = std::max<std::size_t>(
+      k, static_cast<std::size_t>(
+             std::ceil(static_cast<double>(k) * options_.subgraph_overfetch)));
+  SubgraphExplorer explorer(augmented, explore);
+  std::vector<MatchingSubgraph> subgraphs = explorer.FindTopK();
+  result.exploration_stats = explorer.stats();
+  result.exploration_millis = step.ElapsedMillis();
+
+  // Step 4: element-to-query mapping + isomorphism-level deduplication.
+  step.Reset();
+  QueryMappingContext context;
+  context.type_term = data_graph_.type_term();
+  std::map<std::string, std::size_t> seen;  // canonical form -> queries index
+  for (MatchingSubgraph& subgraph : subgraphs) {
+    query::ConjunctiveQuery q = MapToQuery(augmented, subgraph, context);
+    if (q.empty()) continue;
+    const std::string canonical = q.CanonicalString();
+    auto it = seen.find(canonical);
+    if (it != seen.end()) {
+      // Keep the cheaper representative.
+      if (q.cost() < result.queries[it->second].cost) {
+        result.queries[it->second] =
+            RankedQuery{std::move(q), subgraph.cost, std::move(subgraph)};
+      }
+      continue;
+    }
+    seen.emplace(canonical, result.queries.size());
+    result.queries.push_back(
+        RankedQuery{std::move(q), subgraph.cost, std::move(subgraph)});
+  }
+  // Primary order: subgraph cost. Path costs ignore structure elements that
+  // no path visits (e.g. the class endpoint of a matched attribute edge), so
+  // interpretations differing only in such elements tie; the popularity of
+  // the whole structure breaks those ties in favour of the more common
+  // classes. The tie-break chain is part of the engine and identical for
+  // all cost models — the models differ only in the path costs themselves.
+  const CostFunction popularity(CostModel::kPopularity, augmented);
+  auto structure_cost = [&popularity](const MatchingSubgraph& sg) {
+    double cost = 0.0;
+    for (summary::NodeId n : sg.nodes) {
+      cost += popularity.ElementCost(summary::ElementId::Node(n));
+    }
+    for (summary::EdgeId e : sg.edges) {
+      cost += popularity.ElementCost(summary::ElementId::Edge(e));
+    }
+    return cost;
+  };
+  // On remaining exact ties, prefer the less committed interpretation (the
+  // one pinning fewer constants): name(x, ?v) should precede the otherwise
+  // identically-priced name(x, 'some value') guesses.
+  auto constant_count = [](const query::ConjunctiveQuery& q) {
+    int constants = 0;
+    for (const query::Atom& atom : q.atoms()) {
+      if (!atom.subject.is_variable) ++constants;
+      if (!atom.object.is_variable) ++constants;
+    }
+    return constants;
+  };
+  std::sort(result.queries.begin(), result.queries.end(),
+            [&](const RankedQuery& a, const RankedQuery& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              const double sa = structure_cost(a.subgraph);
+              const double sb = structure_cost(b.subgraph);
+              if (sa != sb) return sa < sb;
+              const int ca = constant_count(a.query);
+              const int cb = constant_count(b.query);
+              if (ca != cb) return ca < cb;
+              return a.query.CanonicalString() < b.query.CanonicalString();
+            });
+  if (result.queries.size() > k) result.queries.resize(k);
+  result.mapping_millis = step.ElapsedMillis();
+  result.total_millis = total.ElapsedMillis();
+  return result;
+}
+
+Result<query::EvalResult> KeywordSearchEngine::Answers(
+    const query::ConjunctiveQuery& query, std::size_t limit) const {
+  query::EvalOptions options;
+  options.limit = limit;
+  options.dictionary = dictionary_;  // FILTER conditions compare literal text
+  return query::Evaluate(*store_, query, options);
+}
+
+}  // namespace grasp::core

@@ -1,0 +1,140 @@
+#ifndef GRASP_CORE_ENGINE_H_
+#define GRASP_CORE_ENGINE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/exploration.h"
+#include "core/query_mapping.h"
+#include "core/subgraph.h"
+#include "keyword/keyword_index.h"
+#include "query/conjunctive_query.h"
+#include "query/evaluator.h"
+#include "rdf/data_graph.h"
+#include "rdf/triple_store.h"
+#include "summary/summary_graph.h"
+#include "text/thesaurus.h"
+
+namespace grasp::core {
+
+/// End-to-end facade implementing the pipeline of Fig. 2: off-line
+/// preprocessing (data graph, keyword index, summary graph) at construction,
+/// then per query: keyword-to-element mapping, summary-graph augmentation,
+/// top-k exploration, and element-to-query mapping.
+class KeywordSearchEngine {
+ public:
+  struct Options {
+    /// Lexical analysis configuration shared by indexing and querying.
+    text::AnalyzerOptions analyzer;
+    /// Keyword-to-element matching configuration. The thesaurus pointer is
+    /// managed by the engine (see use_thesaurus).
+    text::InvertedIndex::SearchOptions keyword_search;
+    /// Exploration / top-k parameters.
+    ExplorationOptions exploration;
+    /// Keep only the best-scoring graph elements per keyword; bounds the
+    /// number of root cursors (and the augmentation size).
+    std::size_t max_matches_per_keyword = 16;
+    /// Enables the built-in thesaurus for semantic matching.
+    bool use_thesaurus = true;
+    /// Explore k * overfetch subgraphs so that query-level deduplication
+    /// (distinct subgraphs can map to isomorphic queries) still leaves k
+    /// queries.
+    double subgraph_overfetch = 2.0;
+  };
+
+  /// One computed interpretation: a conjunctive query with its subgraph.
+  struct RankedQuery {
+    query::ConjunctiveQuery query;
+    double cost = 0.0;
+    MatchingSubgraph subgraph;
+  };
+
+  /// Search output plus step timings (the quantities Figs. 5/6a measure).
+  struct SearchResult {
+    std::vector<RankedQuery> queries;
+    ExplorationStats exploration_stats;
+    std::vector<std::size_t> matches_per_keyword;
+    double keyword_millis = 0.0;
+    double augmentation_millis = 0.0;
+    double exploration_millis = 0.0;
+    double mapping_millis = 0.0;
+    double total_millis = 0.0;
+  };
+
+  /// Index footprints and preprocessing time (Fig. 6b).
+  struct IndexStats {
+    std::size_t keyword_index_bytes = 0;
+    std::size_t summary_graph_bytes = 0;
+    std::size_t summary_nodes = 0;
+    std::size_t summary_edges = 0;
+    std::size_t keyword_elements = 0;
+    double build_millis = 0.0;
+  };
+
+  /// Preprocesses `store` (must be finalized and must outlive the engine).
+  KeywordSearchEngine(const rdf::TripleStore& store,
+                      const rdf::Dictionary& dictionary, Options options);
+  KeywordSearchEngine(const rdf::TripleStore& store,
+                      const rdf::Dictionary& dictionary)
+      : KeywordSearchEngine(store, dictionary, Options()) {}
+
+  KeywordSearchEngine(const KeywordSearchEngine&) = delete;
+  KeywordSearchEngine& operator=(const KeywordSearchEngine&) = delete;
+
+  /// Computes the top-k conjunctive queries for a keyword query. `k`
+  /// overrides options.exploration.k. Queries are sorted by ascending cost
+  /// and deduplicated up to isomorphism.
+  SearchResult Search(const std::vector<std::string>& keywords,
+                      std::size_t k) const {
+    return Search(keywords, k, options_.exploration);
+  }
+  SearchResult Search(const std::vector<std::string>& keywords) const {
+    return Search(keywords, options_.exploration.k);
+  }
+  /// Full-control variant: per-call exploration parameters (cost model,
+  /// dmax, pruning, ...) without rebuilding the engine's indexes. Used by
+  /// the benchmark harness to sweep configurations.
+  SearchResult Search(const std::vector<std::string>& keywords, std::size_t k,
+                      const ExplorationOptions& exploration) const;
+
+  /// Evaluates a computed query against the store ("query processing" in
+  /// Fig. 5): the step delegated to the underlying database engine.
+  Result<query::EvalResult> Answers(const query::ConjunctiveQuery& query,
+                                    std::size_t limit = 0) const;
+
+  const rdf::DataGraph& data_graph() const { return data_graph_; }
+  const summary::SummaryGraph& summary_graph() const { return summary_; }
+  const keyword::KeywordIndex& keyword_index() const { return keyword_index_; }
+  const rdf::Dictionary& dictionary() const { return *dictionary_; }
+  const Options& options() const { return options_; }
+  const IndexStats& index_stats() const { return index_stats_; }
+
+ private:
+  /// Result of the timed off-line preprocessing pass.
+  struct Prebuilt {
+    rdf::DataGraph graph;
+    summary::SummaryGraph summary;
+    keyword::KeywordIndex index;
+    double millis;
+  };
+  static Prebuilt Preprocess(const rdf::TripleStore& store,
+                             const rdf::Dictionary& dictionary,
+                             const Options& options);
+  KeywordSearchEngine(const rdf::TripleStore& store,
+                      const rdf::Dictionary& dictionary, Options options,
+                      Prebuilt prebuilt);
+
+  const rdf::TripleStore* store_;
+  const rdf::Dictionary* dictionary_;
+  Options options_;
+  text::Thesaurus thesaurus_;
+  rdf::DataGraph data_graph_;
+  summary::SummaryGraph summary_;
+  keyword::KeywordIndex keyword_index_;
+  IndexStats index_stats_;
+};
+
+}  // namespace grasp::core
+
+#endif  // GRASP_CORE_ENGINE_H_

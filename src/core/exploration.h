@@ -1,0 +1,144 @@
+#ifndef GRASP_CORE_EXPLORATION_H_
+#define GRASP_CORE_EXPLORATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <memory>
+
+#include "core/cost_model.h"
+#include "core/subgraph.h"
+#include "summary/augmented_graph.h"
+#include "summary/distance_index.h"
+
+namespace grasp::core {
+
+/// Parameters of Algorithms 1 and 2 (Sec. VI).
+struct ExplorationOptions {
+  /// Number of matching subgraphs to compute (the paper's k).
+  std::size_t k = 10;
+  /// Maximum path length d_max, counted in visited elements (a relation hop
+  /// crosses one edge and one node, i.e. distance 2).
+  std::uint32_t dmax = 12;
+  /// Scoring scheme (Sec. V).
+  CostModel cost_model = CostModel::kMatching;
+  /// Keep only the k cheapest paths per (element, keyword) pair — the space
+  /// bound k*|K|*|G| of Sec. VI-C. Disable for the ablation benchmark.
+  bool prune_paths_per_element = true;
+  /// Use the tightened TA bound (min cursor cost plus the cheapest possible
+  /// completion for the remaining keywords) instead of the paper's plain
+  /// min-cursor-cost bound. Both are sound; this one terminates earlier.
+  bool tightened_bound = false;
+  /// Guided exploration via per-keyword BFS distances on the augmented
+  /// graph (the paper's future-work connectivity indexing, Sec. IX):
+  /// cursors provably unable to take part in any matching subgraph of
+  /// radius dmax are never created. Sound — the top-k result is unchanged.
+  bool distance_pruning = false;
+  /// Safety valve: stop after this many cursor pops (0 = unlimited).
+  std::size_t max_cursor_pops = 0;
+  /// Safety valve: cap on path combinations generated per connecting-element
+  /// event, relevant only when prune_paths_per_element is off.
+  std::size_t max_combinations_per_event = 100000;
+};
+
+/// Counters exposed for benchmarks and tests.
+struct ExplorationStats {
+  std::size_t cursors_created = 0;
+  std::size_t cursors_popped = 0;
+  std::size_t cursors_distance_pruned = 0;  ///< skipped by distance_pruning
+  std::size_t paths_recorded = 0;
+  std::size_t subgraphs_generated = 0;   ///< candidate insertions attempted
+  std::size_t subgraphs_deduplicated = 0;
+  bool early_terminated = false;  ///< the top-k bound fired (Alg. 2 line 11)
+  bool exhausted = false;         ///< all queues drained
+  bool budget_exceeded = false;   ///< a safety valve fired
+};
+
+/// Cursor-based top-k exploration of the augmented summary graph: the
+/// paper's central contribution. Explores all distinct paths from every
+/// keyword element in non-decreasing cost order (Theorem 1), detects
+/// connecting elements, merges paths into candidate subgraphs, and stops as
+/// soon as the k best candidates are provably cheaper than anything still
+/// discoverable (Threshold Algorithm adaptation, Alg. 2).
+class SubgraphExplorer {
+ public:
+  /// `graph` must outlive the explorer.
+  SubgraphExplorer(const summary::AugmentedGraph& graph,
+                   const ExplorationOptions& options);
+
+  SubgraphExplorer(const SubgraphExplorer&) = delete;
+  SubgraphExplorer& operator=(const SubgraphExplorer&) = delete;
+
+  /// Runs the exploration to completion and returns the k minimal matching
+  /// subgraphs, sorted by ascending cost. Returns an empty vector when some
+  /// keyword has no elements (then no K-matching subgraph exists).
+  std::vector<MatchingSubgraph> FindTopK();
+
+  const ExplorationStats& stats() const { return stats_; }
+
+  /// Cost-ordered pop trace (element, cost) recorded during FindTopK; used
+  /// by the Theorem 1 property test.
+  const std::vector<double>& pop_cost_trace() const { return pop_cost_trace_; }
+
+ private:
+  struct Cursor {
+    summary::ElementId element;
+    std::int32_t parent = -1;  ///< arena index of the parent cursor, -1 = root
+    std::uint32_t keyword = 0;
+    std::uint32_t distance = 0;
+    double cost = 0.0;
+  };
+
+  std::size_t DenseIndex(summary::ElementId element) const;
+  std::vector<std::uint32_t>& PathsAt(summary::ElementId element,
+                                      std::uint32_t keyword);
+  bool InAncestors(std::uint32_t cursor, summary::ElementId element) const;
+  void CollectNeighbors(summary::ElementId element,
+                        std::vector<summary::ElementId>* out) const;
+  std::vector<summary::ElementId> ReconstructPath(std::uint32_t cursor) const;
+  void GenerateCandidates(summary::ElementId n, std::uint32_t new_cursor);
+  void InsertCandidate(MatchingSubgraph subgraph);
+  /// Capacity of the candidate list (k plus dedup slack).
+  std::size_t CandidateCap() const;
+  /// Cost above which a new combination cannot reach the top k distinct
+  /// structures (+inf while the candidate list is below capacity).
+  double CandidatePruneCost() const;
+  /// Smallest cost any not-yet-generated candidate could have.
+  double RemainingLowerBound() const;
+  /// Cost of the current k-th best candidate (+inf while fewer than k).
+  double KthCandidateCost() const;
+
+  const summary::AugmentedGraph* graph_;
+  ExplorationOptions options_;
+  CostFunction cost_fn_;
+  ExplorationStats stats_;
+
+  std::vector<Cursor> cursors_;
+  /// Per keyword: min-heap of (cost, cursor index).
+  std::vector<std::vector<std::pair<double, std::uint32_t>>> queues_;
+  /// paths_at_[dense_element * m + keyword] = cursor indices, in insertion
+  /// (hence cost) order.
+  std::vector<std::vector<std::uint32_t>> paths_at_;
+  std::size_t num_keywords_ = 0;
+
+  /// Candidate subgraphs: best cost per structure, capped to the k best.
+  /// candidate_keys_[i] caches candidates_[i].StructureKey().
+  std::vector<MatchingSubgraph> candidates_;
+  std::vector<std::string> candidate_keys_;
+  std::map<std::string, double> best_cost_by_key_;
+
+  /// Precomputed cheapest root cost per keyword (tightened bound).
+  std::vector<double> min_root_cost_;
+
+  /// Per-keyword BFS distances; built only when distance_pruning is on.
+  std::unique_ptr<summary::KeywordDistanceIndex> distance_index_;
+
+  std::vector<double> pop_cost_trace_;
+};
+
+}  // namespace grasp::core
+
+#endif  // GRASP_CORE_EXPLORATION_H_

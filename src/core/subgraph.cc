@@ -1,0 +1,16 @@
+#include "core/subgraph.h"
+
+#include "common/string_util.h"
+
+namespace grasp::core {
+
+std::string MatchingSubgraph::StructureKey() const {
+  std::string key;
+  key.reserve(8 * (nodes.size() + edges.size()) + 2);
+  for (summary::NodeId n : nodes) key += StrFormat("n%u,", n);
+  key.push_back('|');
+  for (summary::EdgeId e : edges) key += StrFormat("e%u,", e);
+  return key;
+}
+
+}  // namespace grasp::core

@@ -1,0 +1,39 @@
+#ifndef GRASP_CORE_SUBGRAPH_H_
+#define GRASP_CORE_SUBGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "summary/augmented_graph.h"
+
+namespace grasp::core {
+
+/// A K-matching subgraph (Definition 6) of the augmented summary graph: the
+/// merge of one path per keyword, all ending at a common connecting element.
+/// The structure may be a general graph — keyword elements can be edges and
+/// paths may close cycles.
+struct MatchingSubgraph {
+  /// Sorted, deduplicated node/edge sets of the merged paths.
+  std::vector<summary::NodeId> nodes;
+  std::vector<summary::EdgeId> edges;
+
+  /// Aggregated cost C_G = sum of path costs. Elements shared by several
+  /// paths are counted once per path (Sec. V: tighter connections win).
+  double cost = 0.0;
+
+  /// The element where the merged paths meet.
+  summary::ElementId connecting_element;
+
+  /// Per keyword, the path from its keyword element to the connecting
+  /// element, as the visited element sequence (origin first).
+  std::vector<std::vector<summary::ElementId>> paths;
+
+  /// Identity of the subgraph as a structure (independent of path
+  /// decomposition and cost): the sorted element sets. Used to deduplicate
+  /// candidates that different cursor combinations rediscover.
+  std::string StructureKey() const;
+};
+
+}  // namespace grasp::core
+
+#endif  // GRASP_CORE_SUBGRAPH_H_

@@ -1,0 +1,317 @@
+#include "datagen/dblp_gen.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/gen_util.h"
+
+namespace grasp::datagen {
+namespace {
+
+constexpr std::array<std::string_view, 20> kFirstNames = {
+    "james", "maria",  "wei",    "anna",   "peter", "laura", "raj",
+    "chen",  "ivan",   "sofia",  "david",  "emma",  "lucas", "nina",
+    "oscar", "tomas",  "yuki",   "carlos", "elena", "marco"};
+
+constexpr std::array<std::string_view, 28> kLastNames = {
+    "mueller", "smith",    "zhang", "kumar",  "rossi",  "novak", "tanaka",
+    "garcia",  "kim",      "singh", "petrov", "larsen", "silva", "dubois",
+    "moreau",  "andersen", "costa", "weber",  "fischer", "schmidt",
+    "johnson", "brown",    "lopez", "martin", "lee",    "chen",  "wang",
+    "davis"};
+
+// Vocabulary of the random bulk titles. Deliberately disjoint from the
+// distinctive words of the anchor titles below (keyword, search, stream,
+// join, xml, schema, ...): the Fig. 4 workload uses those words as keywords,
+// and reserving them for the anchors keeps the gold-standard interpretation
+// identifiable instead of drowning it in same-cost lookalike titles.
+constexpr std::array<std::string_view, 56> kTitleWords = {
+    "graph",       "query",       "database",   "federated",   "columnar",
+    "versioned",   "efficient",   "distributed", "parallel",   "materialized",
+    "processing",  "optimization", "concurrency", "storage",   "provenance",
+    "retrieval",   "ranking",     "analysis",   "mining",      "sharding",
+    "deduplication", "normalization", "rdf",    "encryption",  "auditing",
+    "telemetry",   "structure",   "cache",      "memory",      "visualization",
+    "aggregation", "clustering",  "classification", "scalable", "crowdsourcing",
+    "adaptive",    "incremental", "approximate", "exact",      "probabilistic",
+    "temporal",    "spatial",     "relational", "object",      "model",
+    "language",    "compiler",    "workload",   "benchmark",   "evaluation",
+    "recovery",    "replication", "partition",  "sampling",    "estimation",
+    "compression"};
+
+constexpr std::array<std::string_view, 16> kInstituteNames = {
+    "University of Karlsruhe",  "Shanghai Jiao Tong University",
+    "Stanford University",      "MIT",
+    "University of Wisconsin",  "Microsoft Research",
+    "Google Research",          "INRIA",
+    "TU Delft",                 "University of Washington",
+    "ETH Zurich",               "Max Planck Institute",
+    "IBM Research",             "Carnegie Mellon University",
+    "University of Toronto",    "National University of Singapore"};
+
+struct AnchorAuthor {
+  std::string_view name;
+  std::string_view institute;
+};
+
+constexpr std::array<AnchorAuthor, 12> kAnchorAuthors = {{
+    {"Philipp Cimiano", "AIFB"},
+    {"Thanh Tran", "AIFB"},
+    {"Sebastian Rudolph", "AIFB"},
+    {"Rudi Studer", "AIFB"},
+    {"Haofen Wang", "Shanghai Jiao Tong University"},
+    {"Jennifer Widom", "Stanford University"},
+    {"Hector Garcia Molina", "Stanford University"},
+    {"Alon Halevy", "Google Research"},
+    {"Michael Stonebraker", "MIT"},
+    {"Jim Gray", "Microsoft Research"},
+    {"Serge Abiteboul", "INRIA"},
+    {"David DeWitt", "University of Wisconsin"},
+}};
+
+struct AnchorVenue {
+  std::string_view name;
+  std::string_view kind;  // Conference or Journal
+};
+
+constexpr std::array<AnchorVenue, 8> kAnchorVenues = {{
+    {"ICDE", "Conference"},
+    {"VLDB", "Conference"},
+    {"SIGMOD", "Conference"},
+    {"WWW", "Conference"},
+    {"ISWC", "Conference"},
+    {"TKDE", "Journal"},
+    {"VLDB Journal", "Journal"},
+    {"TODS", "Journal"},
+}};
+
+struct AnchorPub {
+  std::string_view title;
+  int year;
+  std::string_view venue;
+  std::string_view kind;  // Article or InProceedings
+  std::array<int, 4> authors;  // indexes into kAnchorAuthors, -1 = unused
+};
+
+constexpr std::array<AnchorPub, 15> kAnchorPubs = {{
+    {"keyword search on graph shaped rdf data", 2008, "ICDE",
+     "InProceedings", {1, 4, 2, 0}},
+    {"efficient rdf storage and retrieval engines", 2006, "VLDB",
+     "InProceedings", {4, 3, -1, -1}},
+    {"algorithm analysis survey", 1999, "TKDE", "Article", {9, -1, -1, -1}},
+    {"semantic web services composition", 2004, "WWW", "InProceedings",
+     {3, 0, -1, -1}},
+    {"query optimization techniques overview", 1995, "SIGMOD",
+     "InProceedings", {5, -1, -1, -1}},
+    {"data integration systems architecture", 2003, "VLDB", "InProceedings",
+     {7, -1, -1, -1}},
+    {"stream processing engine design", 2005, "SIGMOD", "InProceedings",
+     {8, -1, -1, -1}},
+    {"xml indexing methods comparison", 2002, "VLDB", "InProceedings",
+     {6, -1, -1, -1}},
+    {"machine learning applications for data systems", 2007, "ICDE",
+     "InProceedings", {11, -1, -1, -1}},
+    {"distributed transaction management protocols", 2001, "TODS", "Article",
+     {10, -1, -1, -1}},
+    {"ontology learning from text collections", 2006, "ISWC",
+     "InProceedings", {0, -1, -1, -1}},
+    {"top k join query processing", 2008, "ICDE", "InProceedings",
+     {1, 2, -1, -1}},
+    {"information extraction pipelines", 2007, "WWW", "InProceedings",
+     {0, 3, -1, -1}},
+    {"schema matching automation", 2000, "VLDB", "InProceedings", {7, 5, -1, -1}},
+    {"sensor network data aggregation", 2004, "ICDE", "InProceedings",
+     {8, -1, -1, -1}},
+}};
+
+std::string Cap(std::string_view word) {
+  std::string out(word);
+  if (!out.empty() && out[0] >= 'a' && out[0] <= 'z') {
+    out[0] = static_cast<char>(out[0] - 'a' + 'A');
+  }
+  return out;
+}
+
+}  // namespace
+
+void GenerateDblp(const DblpOptions& options, rdf::Dictionary* dictionary,
+                  rdf::TripleStore* store) {
+  GraphBuilder b(kDblpNs, dictionary, store);
+  Rng rng(options.seed);
+
+  // Schema.
+  b.Subclass("Article", "Publication");
+  b.Subclass("InProceedings", "Publication");
+  b.Subclass("Conference", "Venue");
+  b.Subclass("Journal", "Venue");
+
+  // Institutes: anchor institutes (referenced by anchor authors) + bulk.
+  std::vector<rdf::TermId> institutes;
+  auto add_institute = [&](std::string_view name, std::size_t idx) {
+    const rdf::TermId inst = b.Iri(StrFormat("institute%zu", idx));
+    b.Type(inst, "Institute");
+    b.Attr(inst, "name", name);
+    institutes.push_back(inst);
+    return inst;
+  };
+  std::size_t institute_count = 0;
+  add_institute("AIFB", institute_count++);
+  for (const auto& name : kInstituteNames) {
+    add_institute(name, institute_count++);
+  }
+  while (institute_count < options.num_institutes) {
+    const auto& city = kLastNames[rng.NextBelow(kLastNames.size())];
+    add_institute(StrFormat("University of %s", Cap(city).c_str()),
+                  institute_count++);
+  }
+
+  auto institute_by_name = [&](std::string_view name) -> rdf::TermId {
+    if (name == "AIFB") return institutes[0];
+    for (std::size_t i = 0; i < kInstituteNames.size(); ++i) {
+      if (kInstituteNames[i] == name) return institutes[i + 1];
+    }
+    return institutes[0];
+  };
+
+  // Authors: anchors first, then bulk.
+  std::vector<rdf::TermId> authors;
+  for (std::size_t i = 0; i < kAnchorAuthors.size(); ++i) {
+    const rdf::TermId person = b.Iri(StrFormat("author%zu", i));
+    b.Type(person, "Person");
+    b.Attr(person, "name", kAnchorAuthors[i].name);
+    b.Rel(person, "worksAt", institute_by_name(kAnchorAuthors[i].institute));
+    authors.push_back(person);
+  }
+  while (authors.size() < options.num_authors) {
+    const std::size_t i = authors.size();
+    const rdf::TermId person = b.Iri(StrFormat("author%zu", i));
+    b.Type(person, "Person");
+    b.Attr(person, "name",
+           StrFormat("%s %s",
+                     Cap(kFirstNames[rng.NextBelow(kFirstNames.size())]).c_str(),
+                     Cap(kLastNames[rng.NextBelow(kLastNames.size())]).c_str()));
+    if (rng.NextBernoulli(0.7)) {
+      b.Rel(person, "worksAt",
+            institutes[rng.NextBelow(institutes.size())]);
+    }
+    authors.push_back(person);
+  }
+
+  // Venues: anchors + bulk.
+  std::vector<rdf::TermId> venues;
+  for (std::size_t i = 0; i < kAnchorVenues.size(); ++i) {
+    const rdf::TermId venue = b.Iri(StrFormat("venue%zu", i));
+    b.Type(venue, "Venue");
+    b.Type(venue, std::string(kAnchorVenues[i].kind));
+    b.Attr(venue, "name", kAnchorVenues[i].name);
+    venues.push_back(venue);
+  }
+  while (venues.size() < options.num_venues) {
+    const std::size_t i = venues.size();
+    const rdf::TermId venue = b.Iri(StrFormat("venue%zu", i));
+    const bool journal = rng.NextBernoulli(0.3);
+    b.Type(venue, "Venue");
+    b.Type(venue, journal ? "Journal" : "Conference");
+    b.Attr(venue, "name",
+           StrFormat("%s on %s %s", journal ? "Journal" : "Symposium",
+                     Cap(kTitleWords[rng.NextBelow(kTitleWords.size())]).c_str(),
+                     Cap(kTitleWords[rng.NextBelow(kTitleWords.size())]).c_str()));
+    venues.push_back(venue);
+  }
+
+  auto venue_by_name = [&](std::string_view name) -> rdf::TermId {
+    for (std::size_t i = 0; i < kAnchorVenues.size(); ++i) {
+      if (kAnchorVenues[i].name == name) return venues[i];
+    }
+    return venues[0];
+  };
+
+  // Publications: anchors first, then bulk with Zipfian author choice.
+  std::vector<rdf::TermId> publications;
+  auto add_publication = [&](std::string_view title, int year,
+                             rdf::TermId venue, std::string_view kind,
+                             const std::vector<rdf::TermId>& pub_authors) {
+    const std::size_t i = publications.size();
+    const rdf::TermId pub = b.Iri(StrFormat("pub%zu", i));
+    b.Type(pub, "Publication");
+    b.Type(pub, std::string(kind));
+    b.Attr(pub, "title", title);
+    b.Attr(pub, "year", StrFormat("%d", year));
+    b.Rel(pub, "publishedIn", venue);
+    for (rdf::TermId a : pub_authors) b.Rel(pub, "author", a);
+    publications.push_back(pub);
+    return pub;
+  };
+
+  for (const AnchorPub& anchor : kAnchorPubs) {
+    std::vector<rdf::TermId> pub_authors;
+    for (int idx : anchor.authors) {
+      if (idx >= 0) pub_authors.push_back(authors[static_cast<std::size_t>(idx)]);
+    }
+    add_publication(anchor.title, anchor.year, venue_by_name(anchor.venue),
+                    anchor.kind, pub_authors);
+  }
+
+  // Bulk publications draw authors from the non-anchor pool only, so the
+  // anchors' publication lists stay exactly as defined above and the Fig. 4
+  // gold-standard queries remain predictable.
+  const std::size_t bulk_author_base = kAnchorAuthors.size();
+  ZipfSampler author_zipf(
+      std::max<std::size_t>(1, authors.size() - bulk_author_base),
+      options.author_skew);
+  while (publications.size() < options.num_publications) {
+    std::string title;
+    const std::size_t words = 3 + rng.NextBelow(4);
+    for (std::size_t w = 0; w < words; ++w) {
+      if (w > 0) title += ' ';
+      title += kTitleWords[rng.NextBelow(kTitleWords.size())];
+    }
+    const int year = static_cast<int>(
+        rng.NextInRange(options.year_min, options.year_max));
+    std::vector<rdf::TermId> pub_authors;
+    const std::size_t num = 1 + rng.NextBelow(4);
+    for (std::size_t a = 0; a < num; ++a) {
+      const rdf::TermId candidate =
+          authors[std::min(authors.size() - 1,
+                           bulk_author_base + author_zipf.Sample(&rng))];
+      bool dup = false;
+      for (rdf::TermId existing : pub_authors) dup = dup || existing == candidate;
+      if (!dup) pub_authors.push_back(candidate);
+    }
+    add_publication(title, year, venues[rng.NextBelow(venues.size())],
+                    rng.NextBernoulli(0.3) ? "Article" : "InProceedings",
+                    pub_authors);
+  }
+
+  // Deterministic citations among the anchors, so the workload queries
+  // about what an anchor paper cites are realizable regardless of the seed
+  // (random citations below only ever cite *earlier* ids, and the anchors
+  // come first). Indexes refer to kAnchorPubs order.
+  constexpr std::pair<int, int> kAnchorCitations[] = {
+      {0, 1},   // keyword search paper cites the rdf storage engines paper
+      {0, 10},  // ... and the ontology learning paper
+      {11, 0},  // the top-k join paper cites the keyword search paper
+      {8, 2},   // machine learning systems cites algorithm analysis survey
+      {13, 5},  // schema matching cites data integration
+  };
+  for (const auto& [from, to] : kAnchorCitations) {
+    b.Rel(publications[static_cast<std::size_t>(from)], "cites",
+          publications[static_cast<std::size_t>(to)]);
+  }
+
+  // Random citations (to strictly earlier publication ids, acyclic).
+  const std::size_t total_citations = static_cast<std::size_t>(
+      options.citations_per_publication *
+      static_cast<double>(publications.size()));
+  for (std::size_t c = 0; c < total_citations; ++c) {
+    const std::size_t from = 1 + rng.NextBelow(publications.size() - 1);
+    const std::size_t to = rng.NextBelow(from);
+    b.Rel(publications[from], "cites", publications[to]);
+  }
+}
+
+}  // namespace grasp::datagen

@@ -1,0 +1,61 @@
+#ifndef GRASP_DATAGEN_GEN_UTIL_H_
+#define GRASP_DATAGEN_GEN_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "rdf/data_graph.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace grasp::datagen {
+
+/// Small helper shared by the dataset generators: namespaced IRI/literal
+/// interning and triple emission against one Dictionary/TripleStore pair.
+class GraphBuilder {
+ public:
+  GraphBuilder(std::string ns, rdf::Dictionary* dictionary,
+               rdf::TripleStore* store)
+      : ns_(std::move(ns)),
+        dictionary_(dictionary),
+        store_(store),
+        type_(dictionary->InternIri(rdf::Vocabulary().type_iri)),
+        subclass_(dictionary->InternIri(rdf::Vocabulary().subclass_iri)) {}
+
+  rdf::TermId Iri(std::string_view local) {
+    return dictionary_->InternIri(ns_ + std::string(local));
+  }
+  rdf::TermId Lit(std::string_view value) {
+    return dictionary_->InternLiteral(value);
+  }
+
+  void Add(rdf::TermId s, rdf::TermId p, rdf::TermId o) {
+    store_->Add(s, p, o);
+  }
+  void Rel(rdf::TermId s, std::string_view predicate, rdf::TermId o) {
+    store_->Add(s, Iri(predicate), o);
+  }
+  void Attr(rdf::TermId s, std::string_view predicate,
+            std::string_view value) {
+    store_->Add(s, Iri(predicate), Lit(value));
+  }
+  void Type(rdf::TermId entity, std::string_view class_local) {
+    store_->Add(entity, type_, Iri(class_local));
+  }
+  void Subclass(std::string_view narrow, std::string_view broad) {
+    store_->Add(Iri(narrow), subclass_, Iri(broad));
+  }
+
+  rdf::TermId type_term() const { return type_; }
+
+ private:
+  std::string ns_;
+  rdf::Dictionary* dictionary_;
+  rdf::TripleStore* store_;
+  rdf::TermId type_;
+  rdf::TermId subclass_;
+};
+
+}  // namespace grasp::datagen
+
+#endif  // GRASP_DATAGEN_GEN_UTIL_H_

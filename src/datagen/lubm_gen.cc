@@ -1,0 +1,140 @@
+#include "datagen/lubm_gen.h"
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/gen_util.h"
+
+namespace grasp::datagen {
+namespace {
+
+constexpr std::array<std::string_view, 12> kResearchAreas = {
+    "databases",        "artificial intelligence", "networks",
+    "graphics",         "theory",                  "systems",
+    "security",         "bioinformatics",          "compilers",
+    "machine learning", "robotics",                "visualization"};
+
+constexpr std::array<std::string_view, 3> kProfessorRanks = {
+    "FullProfessor", "AssociateProfessor", "AssistantProfessor"};
+
+}  // namespace
+
+void GenerateLubm(const LubmOptions& options, rdf::Dictionary* dictionary,
+                  rdf::TripleStore* store) {
+  GraphBuilder b(kLubmNs, dictionary, store);
+  Rng rng(options.seed);
+
+  // Class hierarchy (subset of the LUBM ontology).
+  b.Subclass("FullProfessor", "Professor");
+  b.Subclass("AssociateProfessor", "Professor");
+  b.Subclass("AssistantProfessor", "Professor");
+  b.Subclass("Professor", "Faculty");
+  b.Subclass("Lecturer", "Faculty");
+  b.Subclass("Faculty", "Person");
+  b.Subclass("UndergraduateStudent", "Student");
+  b.Subclass("GraduateStudent", "Student");
+  b.Subclass("Student", "Person");
+  b.Subclass("GraduateCourse", "Course");
+  b.Subclass("University", "Organization");
+  b.Subclass("Department", "Organization");
+  b.Subclass("ResearchGroup", "Organization");
+
+  std::size_t person_counter = 0, course_counter = 0, pub_counter = 0;
+
+  for (std::size_t u = 0; u < options.num_universities; ++u) {
+    const rdf::TermId university = b.Iri(StrFormat("university%zu", u));
+    b.Type(university, "University");
+    b.Attr(university, "name", StrFormat("University%zu", u));
+
+    for (std::size_t d = 0; d < options.departments_per_university; ++d) {
+      const rdf::TermId dept = b.Iri(StrFormat("dept%zu_%zu", u, d));
+      b.Type(dept, "Department");
+      b.Attr(dept, "name",
+             StrFormat("Department of %s",
+                       std::string(kResearchAreas[(u + d) %
+                                                  kResearchAreas.size()])
+                           .c_str()));
+      b.Rel(dept, "subOrganizationOf", university);
+
+      const rdf::TermId group = b.Iri(StrFormat("group%zu_%zu", u, d));
+      b.Type(group, "ResearchGroup");
+      b.Attr(group, "name", StrFormat("Research Group %zu %zu", u, d));
+      b.Rel(group, "subOrganizationOf", dept);
+
+      // Faculty.
+      std::vector<rdf::TermId> professors;
+      std::vector<rdf::TermId> courses;
+      for (std::size_t c = 0; c < options.courses_per_department; ++c) {
+        const rdf::TermId course = b.Iri(StrFormat("course%zu", course_counter));
+        const bool graduate = rng.NextBernoulli(0.4);
+        b.Type(course, graduate ? "GraduateCourse" : "Course");
+        b.Attr(course, "name",
+               StrFormat("Course%zu %s", course_counter,
+                         std::string(kResearchAreas[rng.NextBelow(
+                                         kResearchAreas.size())])
+                             .c_str()));
+        courses.push_back(course);
+        ++course_counter;
+      }
+
+      for (std::size_t p = 0; p < options.professors_per_department; ++p) {
+        const rdf::TermId prof = b.Iri(StrFormat("person%zu", person_counter));
+        const std::string_view rank =
+            kProfessorRanks[rng.NextBelow(kProfessorRanks.size())];
+        b.Type(prof, rank);
+        b.Attr(prof, "name", StrFormat("Professor%zu", person_counter));
+        b.Attr(prof, "emailAddress",
+               StrFormat("prof%zu@university%zu.edu", person_counter, u));
+        b.Attr(prof, "researchInterest",
+               kResearchAreas[rng.NextBelow(kResearchAreas.size())]);
+        b.Rel(prof, "worksFor", dept);
+        if (p == 0) b.Rel(prof, "headOf", dept);
+        b.Rel(prof, "degreeFrom",
+              b.Iri(StrFormat("university%llu",
+                              static_cast<unsigned long long>(
+                                  rng.NextBelow(options.num_universities)))));
+        for (int t = 0; t < 2 && !courses.empty(); ++t) {
+          b.Rel(prof, "teacherOf", courses[rng.NextBelow(courses.size())]);
+        }
+        for (std::size_t pub = 0; pub < options.publications_per_professor;
+             ++pub) {
+          const rdf::TermId publication =
+              b.Iri(StrFormat("lubmpub%zu", pub_counter));
+          b.Type(publication, "Publication");
+          b.Attr(publication, "name",
+                 StrFormat("Publication%zu about %s", pub_counter,
+                           std::string(kResearchAreas[rng.NextBelow(
+                                           kResearchAreas.size())])
+                               .c_str()));
+          b.Rel(publication, "publicationAuthor", prof);
+          ++pub_counter;
+        }
+        professors.push_back(prof);
+        ++person_counter;
+      }
+
+      // Students.
+      for (std::size_t s = 0; s < options.students_per_department; ++s) {
+        const rdf::TermId student =
+            b.Iri(StrFormat("person%zu", person_counter));
+        const bool graduate = rng.NextBernoulli(0.3);
+        b.Type(student, graduate ? "GraduateStudent" : "UndergraduateStudent");
+        b.Attr(student, "name", StrFormat("Student%zu", person_counter));
+        b.Rel(student, "memberOf", dept);
+        if (graduate && !professors.empty()) {
+          b.Rel(student, "advisor",
+                professors[rng.NextBelow(professors.size())]);
+        }
+        const std::size_t takes = 1 + rng.NextBelow(3);
+        for (std::size_t t = 0; t < takes && !courses.empty(); ++t) {
+          b.Rel(student, "takesCourse", courses[rng.NextBelow(courses.size())]);
+        }
+        ++person_counter;
+      }
+    }
+  }
+}
+
+}  // namespace grasp::datagen

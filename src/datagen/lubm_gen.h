@@ -1,0 +1,34 @@
+#ifndef GRASP_DATAGEN_LUBM_GEN_H_
+#define GRASP_DATAGEN_LUBM_GEN_H_
+
+#include <cstdint>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace grasp::datagen {
+
+inline constexpr char kLubmNs[] = "http://lubm.example.org/";
+
+/// Parameters of the LUBM-like generator (Lehigh University Benchmark;
+/// the paper uses LUBM(50,0) = 50 universities). The schema — universities,
+/// departments, faculty ranks, students, courses, publications and their
+/// relations — follows the public LUBM ontology; cardinality ratios follow
+/// the original generator's documented ranges, scaled down by default.
+struct LubmOptions {
+  std::uint64_t seed = 7;
+  std::size_t num_universities = 5;
+  std::size_t departments_per_university = 4;   // LUBM: 15-25
+  std::size_t professors_per_department = 10;   // LUBM: 14-34 across ranks
+  std::size_t students_per_department = 40;     // LUBM: ~100s
+  std::size_t courses_per_department = 12;
+  std::size_t publications_per_professor = 3;
+};
+
+/// Generates the dataset (store left unfinalized).
+void GenerateLubm(const LubmOptions& options, rdf::Dictionary* dictionary,
+                  rdf::TripleStore* store);
+
+}  // namespace grasp::datagen
+
+#endif  // GRASP_DATAGEN_LUBM_GEN_H_

@@ -1,0 +1,81 @@
+#include "datagen/tap_gen.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/gen_util.h"
+
+namespace grasp::datagen {
+namespace {
+
+/// Top-level domains, mirroring TAP's breadth.
+constexpr std::array<std::string_view, 12> kDomains = {
+    "Sports",   "Geography", "Music",    "Movies",  "Literature",
+    "Science",  "Politics",  "Business", "Food",    "Technology",
+    "History",  "Art"};
+
+/// Concept stems combined with domains to mint leaf classes
+/// ("SportsTeam", "MusicAlbum", ...).
+constexpr std::array<std::string_view, 20> kConcepts = {
+    "Team",    "Player",  "Event",   "Venue",   "Award",
+    "Album",   "Band",    "Song",    "City",    "Country",
+    "Mountain", "River",  "Company", "Product", "Person",
+    "Club",    "League",  "Festival", "Museum", "Organization"};
+
+constexpr std::array<std::string_view, 8> kRelations = {
+    "relatedTo", "locatedIn", "memberOf", "participatesIn",
+    "createdBy", "partOf",    "ownedBy",  "influencedBy"};
+
+}  // namespace
+
+void GenerateTap(const TapOptions& options, rdf::Dictionary* dictionary,
+                 rdf::TripleStore* store) {
+  GraphBuilder b(kTapNs, dictionary, store);
+  Rng rng(options.seed);
+
+  // Mint leaf classes Domain+Concept (+ numeric suffix beyond the cross
+  // product) under a shallow hierarchy: leaf -> domain class -> Resource.
+  std::vector<std::string> leaf_classes;
+  for (const auto& domain : kDomains) {
+    b.Subclass(std::string(domain) + "Thing", "Resource");
+  }
+  std::size_t minted = 0;
+  while (leaf_classes.size() < options.num_classes) {
+    const auto& domain = kDomains[minted % kDomains.size()];
+    const auto& stem = kConcepts[(minted / kDomains.size()) % kConcepts.size()];
+    std::string name = std::string(domain) + std::string(stem);
+    const std::size_t round = minted / (kDomains.size() * kConcepts.size());
+    if (round > 0) name += StrFormat("%zu", round);
+    b.Subclass(name, std::string(domain) + "Thing");
+    leaf_classes.push_back(std::move(name));
+    ++minted;
+  }
+
+  // Few instances per class, each named and lightly connected.
+  std::vector<rdf::TermId> instances;
+  for (std::size_t c = 0; c < leaf_classes.size(); ++c) {
+    for (std::size_t i = 0; i < options.instances_per_class; ++i) {
+      const rdf::TermId entity =
+          b.Iri(StrFormat("entity%zu_%zu", c, i));
+      b.Type(entity, leaf_classes[c]);
+      b.Attr(entity, "name",
+             StrFormat("%s %zu", leaf_classes[c].c_str(), i));
+      if (rng.NextBernoulli(0.5)) {
+        b.Attr(entity, "description",
+               StrFormat("a %s item number %zu", leaf_classes[c].c_str(), i));
+      }
+      instances.push_back(entity);
+    }
+  }
+  for (const rdf::TermId from : instances) {
+    for (std::size_t r = 0; r < options.relations_per_instance; ++r) {
+      b.Rel(from, kRelations[rng.NextBelow(kRelations.size())],
+            instances[rng.NextBelow(instances.size())]);
+    }
+  }
+}
+
+}  // namespace grasp::datagen

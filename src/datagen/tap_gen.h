@@ -1,0 +1,35 @@
+#ifndef GRASP_DATAGEN_TAP_GEN_H_
+#define GRASP_DATAGEN_TAP_GEN_H_
+
+#include <cstdint>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace grasp::datagen {
+
+inline constexpr char kTapNs[] = "http://tap.example.org/";
+
+/// Parameters of the TAP-like generator. TAP is Stanford's broad "shallow
+/// knowledge" ontology (sports, geography, music, movies, ...): *many
+/// classes, few instances each* — the opposite regime from DBLP. Fig. 6b
+/// uses TAP to show that the graph-index (summary) size is driven by the
+/// number of classes and edge labels, so the class count is the first-class
+/// knob here.
+struct TapOptions {
+  std::uint64_t seed = 11;
+  /// Number of leaf classes (TAP has hundreds).
+  std::size_t num_classes = 240;
+  /// Instances per leaf class (TAP is shallow: few instances per class).
+  std::size_t instances_per_class = 4;
+  /// Relation edges per instance.
+  std::size_t relations_per_instance = 2;
+};
+
+/// Generates the dataset (store left unfinalized).
+void GenerateTap(const TapOptions& options, rdf::Dictionary* dictionary,
+                 rdf::TripleStore* store);
+
+}  // namespace grasp::datagen
+
+#endif  // GRASP_DATAGEN_TAP_GEN_H_

@@ -1,0 +1,200 @@
+#include "keyword/keyword_index.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "rdf/term.h"
+
+namespace grasp::keyword {
+namespace {
+
+using rdf::TermId;
+
+/// Classes a subject vertex contributes to an attribute context: its `type`
+/// targets, `Thing` when untyped, or the class itself for schema-level
+/// attribute assertions (e.g. a label on a class).
+std::vector<TermId> SubjectClasses(const rdf::DataGraph& graph,
+                                   rdf::VertexId subject) {
+  const rdf::Vertex& v = graph.vertex(subject);
+  if (v.kind == rdf::VertexKind::kClass) return {v.term};
+  std::vector<TermId> classes;
+  for (rdf::VertexId c : graph.ClassesOf(subject)) {
+    classes.push_back(graph.vertex(c).term);
+  }
+  if (classes.empty()) classes.push_back(rdf::kThingTerm);
+  return classes;
+}
+
+}  // namespace
+
+KeywordIndex KeywordIndex::Build(const rdf::DataGraph& graph,
+                                 text::AnalyzerOptions analyzer_options) {
+  KeywordIndex ki;
+  ki.index_ = text::InvertedIndex(analyzer_options);
+  const rdf::Dictionary& dict = graph.dictionary();
+
+  // Gather contexts in ordered maps so index construction is deterministic.
+  // The per-class values count how many data A-edges each context
+  // aggregates; they become |e_agg| of the augmented edges.
+  std::map<TermId, std::set<TermId>> relation_labels;  // label -> (unused)
+  std::map<TermId, std::map<TermId, std::uint64_t>>
+      attribute_classes;  // label -> class -> edge count
+  // value vertex -> attribute label -> class -> edge count
+  std::map<rdf::VertexId, std::map<TermId, std::map<TermId, std::uint64_t>>>
+      value_contexts;
+
+  for (const rdf::Edge& e : graph.edges()) {
+    switch (e.kind) {
+      case rdf::EdgeKind::kRelation: {
+        relation_labels[e.label];
+        break;
+      }
+      case rdf::EdgeKind::kAttribute: {
+        std::vector<TermId> classes = SubjectClasses(graph, e.from);
+        auto& label_counts = attribute_classes[e.label];
+        auto& value_counts = value_contexts[e.to][e.label];
+        for (TermId cls : classes) {
+          ++label_counts[cls];
+          ++value_counts[cls];
+        }
+        break;
+      }
+      case rdf::EdgeKind::kType:
+      case rdf::EdgeKind::kSubclass:
+        break;  // structural; classes are indexed from the vertex list
+    }
+  }
+
+  auto add = [&ki](std::string_view label, Element element) {
+    const auto doc = ki.index_.AddDocument(label);
+    GRASP_CHECK_EQ(static_cast<std::size_t>(doc), ki.elements_.size());
+    ki.elements_.push_back(std::move(element));
+  };
+
+  // C-vertices, indexed by the local name of their IRI.
+  for (const rdf::Vertex& v : graph.vertices()) {
+    if (v.kind != rdf::VertexKind::kClass) continue;
+    add(rdf::IriLocalName(dict.text(v.term)),
+        Element{KeywordMatch::Kind::kClass, v.term, {}});
+  }
+
+  // R-edge labels.
+  for (const auto& [label, unused] : relation_labels) {
+    (void)unused;
+    add(rdf::IriLocalName(dict.text(label)),
+        Element{KeywordMatch::Kind::kRelationLabel, label, {}});
+  }
+
+  auto make_context = [](TermId attribute,
+                         const std::map<TermId, std::uint64_t>& class_counts) {
+    AttrContext ctx;
+    ctx.attribute = attribute;
+    ctx.classes.reserve(class_counts.size());
+    ctx.counts.reserve(class_counts.size());
+    for (const auto& [cls, count] : class_counts) {
+      ctx.classes.push_back(cls);
+      ctx.counts.push_back(count);
+    }
+    return ctx;
+  };
+
+  // A-edge labels, with the classes of their subjects attached
+  // ([A-edge, (C-vertex_1..n)]).
+  for (const auto& [label, class_counts] : attribute_classes) {
+    add(rdf::IriLocalName(dict.text(label)),
+        Element{KeywordMatch::Kind::kAttributeLabel, label,
+                {make_context(label, class_counts)}});
+  }
+
+  // V-vertices, indexed by literal text, with their
+  // [V-vertex, A-edge, (C-vertex_1..n)] contexts. Numeric values also enter
+  // the sorted range index behind the filter-operator extension.
+  for (const auto& [value_vertex, per_attr] : value_contexts) {
+    std::vector<AttrContext> contexts;
+    contexts.reserve(per_attr.size());
+    for (const auto& [attr, class_counts] : per_attr) {
+      contexts.push_back(make_context(attr, class_counts));
+    }
+    const TermId value_term = graph.vertex(value_vertex).term;
+    const std::uint32_t element_index =
+        static_cast<std::uint32_t>(ki.elements_.size());
+    add(dict.text(value_term), Element{KeywordMatch::Kind::kValue, value_term,
+                                       std::move(contexts)});
+    if (const auto numeric = ParseNumericLiteral(dict.text(value_term))) {
+      ki.numeric_values_.emplace_back(*numeric, element_index);
+    }
+  }
+  std::sort(ki.numeric_values_.begin(), ki.numeric_values_.end());
+
+  ki.index_.Finalize();
+  return ki;
+}
+
+std::optional<KeywordMatch> KeywordIndex::LookupFilter(
+    const FilterSpec& filter) const {
+  // Merge the contexts of every satisfying numeric value: count per
+  // (attribute, class) pair.
+  std::map<TermId, std::map<TermId, std::uint64_t>> merged;
+  bool any = false;
+  for (const auto& [value, element_index] : numeric_values_) {
+    if (!EvalFilterOp(filter.op, value, filter.value)) continue;
+    any = true;
+    const Element& element = elements_[element_index];
+    for (const AttrContext& ctx : element.contexts) {
+      auto& class_counts = merged[ctx.attribute];
+      for (std::size_t i = 0; i < ctx.classes.size(); ++i) {
+        class_counts[ctx.classes[i]] +=
+            i < ctx.counts.size() ? ctx.counts[i] : 1;
+      }
+    }
+  }
+  if (!any) return std::nullopt;
+
+  KeywordMatch match;
+  match.kind = KeywordMatch::Kind::kValue;
+  match.term = rdf::kInvalidTermId;
+  match.score = 1.0;  // the operator is an exact, unambiguous specification
+  match.is_filter = true;
+  match.filter = filter;
+  for (const auto& [attr, class_counts] : merged) {
+    AttrContext ctx;
+    ctx.attribute = attr;
+    for (const auto& [cls, count] : class_counts) {
+      ctx.classes.push_back(cls);
+      ctx.counts.push_back(count);
+    }
+    match.contexts.push_back(std::move(ctx));
+  }
+  return match;
+}
+
+std::vector<KeywordMatch> KeywordIndex::Lookup(
+    std::string_view keyword,
+    const text::InvertedIndex::SearchOptions& options) const {
+  std::vector<KeywordMatch> matches;
+  for (const text::InvertedIndex::Hit& hit : index_.Search(keyword, options)) {
+    const Element& element = elements_[hit.doc];
+    KeywordMatch match;
+    match.kind = element.kind;
+    match.term = element.term;
+    match.score = hit.score;
+    match.contexts = element.contexts;
+    matches.push_back(std::move(match));
+  }
+  return matches;
+}
+
+std::size_t KeywordIndex::MemoryUsageBytes() const {
+  std::size_t bytes = index_.MemoryUsageBytes();
+  for (const Element& e : elements_) {
+    bytes += sizeof(Element);
+    for (const AttrContext& ctx : e.contexts) {
+      bytes += sizeof(AttrContext) + ctx.classes.capacity() * sizeof(TermId);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace grasp::keyword

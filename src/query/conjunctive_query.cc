@@ -1,0 +1,204 @@
+#include "query/conjunctive_query.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+
+namespace grasp::query {
+namespace {
+
+std::string RenderTermSparql(const QueryTerm& t,
+                             const rdf::Dictionary& dictionary) {
+  if (t.is_variable) return StrFormat("?x%u", t.var);
+  if (dictionary.kind(t.term) == rdf::TermKind::kLiteral) {
+    return "\"" + rdf::EscapeLiteral(dictionary.text(t.term)) + "\"";
+  }
+  return "<" + dictionary.text(t.term) + ">";
+}
+
+std::string RenderTermShort(const QueryTerm& t,
+                            const rdf::Dictionary& dictionary) {
+  if (t.is_variable) return StrFormat("?x%u", t.var);
+  if (dictionary.kind(t.term) == rdf::TermKind::kLiteral) {
+    return "'" + dictionary.text(t.term) + "'";
+  }
+  return std::string(rdf::IriLocalName(dictionary.text(t.term)));
+}
+
+std::string RenderTermCanonical(const QueryTerm& t,
+                                const std::vector<VarId>& rank_of_var) {
+  if (t.is_variable) return StrFormat("v%u", rank_of_var[t.var]);
+  return StrFormat("c%u", t.term);
+}
+
+}  // namespace
+
+namespace {
+
+/// Renders the filter value without trailing zeros ("2000", "19.5").
+std::string RenderFilterValue(double value) {
+  std::string text = StrFormat("%g", value);
+  return text;
+}
+
+}  // namespace
+
+void ConjunctiveQuery::DeduplicateAtoms() {
+  std::vector<Atom> unique;
+  for (const Atom& a : atoms_) {
+    if (std::find(unique.begin(), unique.end(), a) == unique.end()) {
+      unique.push_back(a);
+    }
+  }
+  atoms_ = std::move(unique);
+  std::vector<FilterCondition> unique_filters;
+  for (const FilterCondition& f : filters_) {
+    if (std::find(unique_filters.begin(), unique_filters.end(), f) ==
+        unique_filters.end()) {
+      unique_filters.push_back(f);
+    }
+  }
+  filters_ = std::move(unique_filters);
+}
+
+std::string ConjunctiveQuery::ToSparql(
+    const rdf::Dictionary& dictionary) const {
+  std::set<VarId> vars;
+  for (const Atom& a : atoms_) {
+    if (a.subject.is_variable) vars.insert(a.subject.var);
+    if (a.object.is_variable) vars.insert(a.object.var);
+  }
+  std::string out = "SELECT";
+  if (vars.empty()) {
+    out += " *";
+  } else {
+    for (VarId v : vars) out += StrFormat(" ?x%u", v);
+  }
+  out += " WHERE {\n";
+  for (const Atom& a : atoms_) {
+    out += "  " + RenderTermSparql(a.subject, dictionary) + " <" +
+           dictionary.text(a.predicate) + "> " +
+           RenderTermSparql(a.object, dictionary) + " .\n";
+  }
+  for (const FilterCondition& f : filters_) {
+    out += StrFormat("  FILTER(?x%u %s %s)\n", f.var,
+                     std::string(FilterOpSymbol(f.op)).c_str(),
+                     RenderFilterValue(f.value).c_str());
+  }
+  out += "}";
+  return out;
+}
+
+std::string ConjunctiveQuery::ToString(
+    const rdf::Dictionary& dictionary) const {
+  std::vector<std::string> parts;
+  parts.reserve(atoms_.size());
+  for (const Atom& a : atoms_) {
+    parts.push_back(StrFormat(
+        "%s(%s, %s)",
+        std::string(rdf::IriLocalName(dictionary.text(a.predicate))).c_str(),
+        RenderTermShort(a.subject, dictionary).c_str(),
+        RenderTermShort(a.object, dictionary).c_str()));
+  }
+  for (const FilterCondition& f : filters_) {
+    parts.push_back(StrFormat("?x%u %s %s", f.var,
+                              std::string(FilterOpSymbol(f.op)).c_str(),
+                              RenderFilterValue(f.value).c_str()));
+  }
+  return Join(parts, " & ");
+}
+
+std::string ConjunctiveQuery::CanonicalString() const {
+  // Collect the variables that actually occur.
+  std::vector<VarId> used;
+  {
+    std::set<VarId> seen;
+    for (const Atom& a : atoms_) {
+      if (a.subject.is_variable) seen.insert(a.subject.var);
+      if (a.object.is_variable) seen.insert(a.object.var);
+    }
+    for (const FilterCondition& f : filters_) seen.insert(f.var);
+    used.assign(seen.begin(), seen.end());
+  }
+
+  std::vector<VarId> rank_of_var(num_variables_, 0);
+  auto serialize = [this, &rank_of_var]() {
+    std::vector<std::string> rendered;
+    rendered.reserve(atoms_.size() + filters_.size());
+    for (const Atom& a : atoms_) {
+      rendered.push_back(StrFormat(
+          "%u|%s|%s", a.predicate,
+          RenderTermCanonical(a.subject, rank_of_var).c_str(),
+          RenderTermCanonical(a.object, rank_of_var).c_str()));
+    }
+    for (const FilterCondition& f : filters_) {
+      rendered.push_back(StrFormat(
+          "F|v%u|%s|%s", rank_of_var[f.var],
+          std::string(FilterOpSymbol(f.op)).c_str(),
+          RenderFilterValue(f.value).c_str()));
+    }
+    std::sort(rendered.begin(), rendered.end());
+    rendered.erase(std::unique(rendered.begin(), rendered.end()),
+                   rendered.end());
+    return Join(rendered, ";");
+  };
+
+  if (used.size() <= kExactCanonicalVarLimit) {
+    // Exact: lexicographically smallest serialization over all labelings.
+    std::vector<VarId> perm(used.size());
+    for (VarId i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::string best;
+    do {
+      for (std::size_t i = 0; i < used.size(); ++i) {
+        rank_of_var[used[i]] = perm[i];
+      }
+      std::string candidate = serialize();
+      if (best.empty() || candidate < best) best = std::move(candidate);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return best;
+  }
+
+  // Greedy fallback: order variables by a deterministic structural
+  // signature (occurrence count, then sorted incident predicates), ties by
+  // variable id. Not a complete isomorphism test, but stable.
+  struct Signature {
+    std::size_t occurrences = 0;
+    std::vector<std::uint64_t> incident;
+    VarId var = 0;
+  };
+  std::vector<Signature> signatures;
+  for (VarId v : used) {
+    Signature sig;
+    sig.var = v;
+    for (const Atom& a : atoms_) {
+      if (a.subject.is_variable && a.subject.var == v) {
+        ++sig.occurrences;
+        sig.incident.push_back((static_cast<std::uint64_t>(a.predicate) << 1));
+      }
+      if (a.object.is_variable && a.object.var == v) {
+        ++sig.occurrences;
+        sig.incident.push_back((static_cast<std::uint64_t>(a.predicate) << 1) |
+                               1);
+      }
+    }
+    std::sort(sig.incident.begin(), sig.incident.end());
+    signatures.push_back(std::move(sig));
+  }
+  std::sort(signatures.begin(), signatures.end(),
+            [](const Signature& a, const Signature& b) {
+              if (a.occurrences != b.occurrences) {
+                return a.occurrences > b.occurrences;
+              }
+              if (a.incident != b.incident) return a.incident < b.incident;
+              return a.var < b.var;
+            });
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    rank_of_var[signatures[i].var] = static_cast<VarId>(i);
+  }
+  return serialize();
+}
+
+}  // namespace grasp::query

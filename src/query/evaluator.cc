@@ -1,0 +1,211 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace grasp::query {
+namespace {
+
+/// Execution state threaded through the backtracking join.
+struct EvalContext {
+  const rdf::TripleStore& store;
+  const ConjunctiveQuery* query;
+  const std::vector<Atom>& atoms;
+  const std::vector<std::size_t>& order;
+  const std::vector<VarId>& variables;
+  const EvalOptions& options;
+  std::vector<rdf::TermId>* binding;  // var -> bound term or kInvalidTermId
+  std::set<std::vector<rdf::TermId>>* rows;
+  std::size_t steps = 0;
+  bool truncated = false;
+};
+
+rdf::TermId ResolveTerm(const QueryTerm& t,
+                        const std::vector<rdf::TermId>& binding) {
+  if (!t.is_variable) return t.term;
+  return binding[t.var];
+}
+
+bool LimitsHit(EvalContext* ctx) {
+  if (ctx->options.limit > 0 && ctx->rows->size() >= ctx->options.limit) {
+    return true;
+  }
+  if (ctx->options.max_steps > 0 && ctx->steps >= ctx->options.max_steps) {
+    ctx->truncated = true;
+    return true;
+  }
+  return false;
+}
+
+/// True when every FILTER condition holds under the (complete) binding. A
+/// filter on a non-numeric or unbound value fails closed.
+bool FiltersSatisfied(const EvalContext& ctx) {
+  for (const FilterCondition& f : ctx.query->filters()) {
+    const rdf::TermId bound = (*ctx.binding)[f.var];
+    if (bound == rdf::kInvalidTermId) return false;
+    const auto numeric =
+        ParseNumericLiteral(ctx.options.dictionary->text(bound));
+    if (!numeric.has_value()) return false;
+    if (!EvalFilterOp(f.op, *numeric, f.value)) return false;
+  }
+  return true;
+}
+
+void Join(EvalContext* ctx, std::size_t depth) {
+  if (LimitsHit(ctx)) return;
+  if (depth == ctx->order.size()) {
+    if (!FiltersSatisfied(*ctx)) return;
+    std::vector<rdf::TermId> row;
+    row.reserve(ctx->variables.size());
+    for (VarId v : ctx->variables) row.push_back((*ctx->binding)[v]);
+    ctx->rows->insert(std::move(row));
+    return;
+  }
+  const Atom& atom = ctx->atoms[ctx->order[depth]];
+  const rdf::TermId s = ResolveTerm(atom.subject, *ctx->binding);
+  const rdf::TermId o = ResolveTerm(atom.object, *ctx->binding);
+  rdf::TripleStore::Pattern pattern{s, atom.predicate, o};
+
+  ++ctx->steps;
+  ctx->store.Scan(pattern, [&](const rdf::Triple& t) {
+    ++ctx->steps;
+    // Extend the binding with newly bound variables; handle the case where
+    // subject and object are the same (still unbound) variable.
+    std::vector<std::pair<VarId, rdf::TermId>> bound_now;
+    bool consistent = true;
+    auto bind = [&](const QueryTerm& qt, rdf::TermId value) {
+      if (!qt.is_variable) return;
+      rdf::TermId& slot = (*ctx->binding)[qt.var];
+      if (slot == rdf::kInvalidTermId) {
+        slot = value;
+        bound_now.emplace_back(qt.var, value);
+      } else if (slot != value) {
+        consistent = false;
+      }
+    };
+    bind(atom.subject, t.subject);
+    if (consistent) bind(atom.object, t.object);
+    if (consistent) Join(ctx, depth + 1);
+    for (const auto& [var, value] : bound_now) {
+      (void)value;
+      (*ctx->binding)[var] = rdf::kInvalidTermId;
+    }
+    return !LimitsHit(ctx);
+  });
+}
+
+/// Greedy join order: at each step, pick the unused atom with the smallest
+/// estimated result size under the simulated binding. The estimate starts
+/// from the store's count of the constant-only pattern and is divided by
+/// the predicate's average fan-out for each position occupied by an
+/// already-bound variable (a bound subject makes the scan behave like a
+/// subject-constant lookup). Atoms that share no bound variable with the
+/// prefix are deferred until nothing connected remains — they would start a
+/// cartesian product.
+std::vector<std::size_t> PlanOrder(const rdf::TripleStore& store,
+                                   const std::vector<Atom>& atoms,
+                                   std::size_t num_variables) {
+  std::vector<bool> used(atoms.size(), false);
+  std::vector<bool> var_bound(num_variables, false);
+  std::vector<std::size_t> order;
+  order.reserve(atoms.size());
+
+  auto estimate = [&](const Atom& a) {
+    rdf::TripleStore::Pattern p;
+    p.predicate = a.predicate;
+    if (!a.subject.is_variable) p.subject = a.subject.term;
+    if (!a.object.is_variable) p.object = a.object.term;
+    double est = static_cast<double>(store.Count(p));
+    if (a.subject.is_variable && var_bound[a.subject.var]) {
+      est = std::min(est, store.AvgTriplesPerSubject(a.predicate));
+    }
+    if (a.object.is_variable && var_bound[a.object.var]) {
+      est = std::min(est, store.AvgTriplesPerObject(a.predicate));
+    }
+    return est;
+  };
+
+  for (std::size_t step = 0; step < atoms.size(); ++step) {
+    std::size_t best = atoms.size();
+    double best_estimate = 0.0;
+    bool best_connected = false;
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      if (used[i]) continue;
+      const Atom& a = atoms[i];
+      // "Connected" means sharing a bound variable with the prefix (or
+      // being fully ground). An atom whose variables are all fresh starts a
+      // cartesian product and only runs when nothing else is left.
+      const bool connected =
+          step == 0 ||
+          (a.subject.is_variable && var_bound[a.subject.var]) ||
+          (a.object.is_variable && var_bound[a.object.var]) ||
+          ((!a.subject.is_variable) && (!a.object.is_variable));
+      const double est = estimate(a);
+      const bool better = best == atoms.size() ||
+                          (connected && !best_connected) ||
+                          (connected == best_connected && est < best_estimate);
+      if (better) {
+        best = i;
+        best_estimate = est;
+        best_connected = connected;
+      }
+    }
+    GRASP_CHECK_LT(best, atoms.size());
+    used[best] = true;
+    order.push_back(best);
+    if (atoms[best].subject.is_variable) {
+      var_bound[atoms[best].subject.var] = true;
+    }
+    if (atoms[best].object.is_variable) {
+      var_bound[atoms[best].object.var] = true;
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<EvalResult> Evaluate(const rdf::TripleStore& store,
+                            const ConjunctiveQuery& query,
+                            const EvalOptions& options) {
+  if (query.empty()) {
+    return Status::InvalidArgument("query has no atoms");
+  }
+  if (!query.filters().empty() && options.dictionary == nullptr) {
+    return Status::InvalidArgument(
+        "query has FILTER conditions but EvalOptions.dictionary is not set");
+  }
+  for (const FilterCondition& f : query.filters()) {
+    if (f.var >= query.num_variables()) {
+      return Status::InvalidArgument("FILTER references an unknown variable");
+    }
+  }
+  GRASP_CHECK(store.finalized());
+
+  std::set<VarId> var_set;
+  for (const Atom& a : query.atoms()) {
+    if (a.subject.is_variable) var_set.insert(a.subject.var);
+    if (a.object.is_variable) var_set.insert(a.object.var);
+  }
+  EvalResult result;
+  result.variables.assign(var_set.begin(), var_set.end());
+
+  const std::vector<std::size_t> order =
+      PlanOrder(store, query.atoms(), query.num_variables());
+  std::vector<rdf::TermId> binding(query.num_variables(), rdf::kInvalidTermId);
+  std::set<std::vector<rdf::TermId>> rows;
+  EvalContext ctx{store,   &query,    query.atoms(), order,
+                  result.variables, options, &binding, &rows};
+  Join(&ctx, 0);
+
+  result.rows.assign(rows.begin(), rows.end());
+  result.steps = ctx.steps;
+  result.truncated =
+      ctx.truncated ||
+      (options.limit > 0 && result.rows.size() >= options.limit);
+  return result;
+}
+
+}  // namespace grasp::query

@@ -1,0 +1,50 @@
+#ifndef GRASP_QUERY_EVALUATOR_H_
+#define GRASP_QUERY_EVALUATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "query/conjunctive_query.h"
+#include "rdf/triple_store.h"
+
+namespace grasp::query {
+
+struct EvalOptions {
+  /// Stop after this many distinct answer rows (0 = all). Fig. 5 measures
+  /// "time for processing queries until finding at least 10 answers", which
+  /// sets limit = 10.
+  std::size_t limit = 0;
+  /// Safety cap on visited triples across the whole evaluation (0 = none).
+  std::size_t max_steps = 0;
+  /// Required when the query carries FILTER conditions: resolves bound
+  /// terms to their literal text for the numeric comparison. Not owned.
+  const rdf::Dictionary* dictionary = nullptr;
+};
+
+/// Answers to a conjunctive query (Definition 3): each row maps the query's
+/// variables (in `variables` order) to graph vertices.
+struct EvalResult {
+  std::vector<VarId> variables;
+  std::vector<std::vector<rdf::TermId>> rows;
+  /// Number of index lookups + triples visited; a machine-independent cost
+  /// indicator reported by the benchmarks.
+  std::size_t steps = 0;
+  /// True if `limit` or `max_steps` stopped the evaluation early.
+  bool truncated = false;
+};
+
+/// Evaluates `query` over `store` with index-nested-loop joins and a greedy
+/// selectivity-based atom order. This is the "underlying database engine"
+/// the paper delegates chosen queries to; all variables are treated as
+/// distinguished.
+///
+/// Returns InvalidArgument for queries with no atoms. `store` must be
+/// finalized.
+Result<EvalResult> Evaluate(const rdf::TripleStore& store,
+                            const ConjunctiveQuery& query,
+                            const EvalOptions& options = EvalOptions());
+
+}  // namespace grasp::query
+
+#endif  // GRASP_QUERY_EVALUATOR_H_

@@ -1,0 +1,475 @@
+#include "query/sparql_parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/string_util.h"
+#include "rdf/data_graph.h"
+
+namespace grasp::query {
+namespace {
+
+/// Token kinds of the conjunctive SPARQL subset.
+enum class TokenKind {
+  kKeyword,   // SELECT / WHERE / FILTER (uppercased in `text`)
+  kVariable,  // ?name (text excludes the '?')
+  kIri,       // <...> (text excludes the brackets)
+  kLiteral,   // "..." (text is the unescaped value)
+  kStar,      // *
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kDot,
+  kComparison,  // < <= > >= != (text is the operator)
+  kNumber,      // bare numeric literal inside FILTER
+  kA,           // the `a` rdf:type abbreviation
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t position;  // byte offset, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Scans the next token; returns InvalidArgument on malformed input.
+  Result<Token> Next() {
+    SkipWhitespaceAndComments();
+    const std::size_t at = pos_;
+    if (pos_ >= input_.size()) return Token{TokenKind::kEnd, "", at};
+    const char c = input_[pos_];
+    switch (c) {
+      case '{':
+        ++pos_;
+        return Token{TokenKind::kLBrace, "{", at};
+      case '}':
+        ++pos_;
+        return Token{TokenKind::kRBrace, "}", at};
+      case '.':
+        ++pos_;
+        return Token{TokenKind::kDot, ".", at};
+      case '*':
+        ++pos_;
+        return Token{TokenKind::kStar, "*", at};
+      case '(':
+        ++pos_;
+        return Token{TokenKind::kLParen, "(", at};
+      case ')':
+        ++pos_;
+        return Token{TokenKind::kRParen, ")", at};
+      case '?':
+      case '$':
+        return Variable(at);
+      case '<':
+        // '<' opens an IRI; "<=" and a bare "< " compare inside FILTER.
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+          pos_ += 2;
+          return Token{TokenKind::kComparison, "<=", at};
+        }
+        if (pos_ + 1 >= input_.size() ||
+            std::isspace(static_cast<unsigned char>(input_[pos_ + 1])) ||
+            std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])) ||
+            input_[pos_ + 1] == '?' || input_[pos_ + 1] == '-' ||
+            input_[pos_ + 1] == '+') {
+          ++pos_;
+          return Token{TokenKind::kComparison, "<", at};
+        }
+        return Iri(at);
+      case '>':
+        ++pos_;
+        if (pos_ < input_.size() && input_[pos_] == '=') {
+          ++pos_;
+          return Token{TokenKind::kComparison, ">=", at};
+        }
+        return Token{TokenKind::kComparison, ">", at};
+      case '!':
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+          pos_ += 2;
+          return Token{TokenKind::kComparison, "!=", at};
+        }
+        ++pos_;
+        return Status::InvalidArgument(
+            StrFormat("unexpected '!' at offset %zu", at));
+      case '"':
+        return Literal(at);
+      default:
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '+') {
+          return Number(at);
+        }
+        return Word(at);
+    }
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Result<Token> Variable(std::size_t at) {
+    ++pos_;  // consume '?' or '$'
+    std::string name;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      name.push_back(input_[pos_++]);
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("empty variable name at offset %zu", at));
+    }
+    return Token{TokenKind::kVariable, std::move(name), at};
+  }
+
+  Result<Token> Iri(std::size_t at) {
+    ++pos_;  // consume '<'
+    std::string iri;
+    while (pos_ < input_.size() && input_[pos_] != '>') {
+      iri.push_back(input_[pos_++]);
+    }
+    if (pos_ >= input_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("unterminated IRI at offset %zu", at));
+    }
+    ++pos_;  // consume '>'
+    return Token{TokenKind::kIri, std::move(iri), at};
+  }
+
+  Result<Token> Literal(std::size_t at) {
+    ++pos_;  // consume '"'
+    std::string value;
+    while (pos_ < input_.size() && input_[pos_] != '"') {
+      char c = input_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= input_.size()) {
+          return Status::InvalidArgument(
+              StrFormat("dangling escape at offset %zu", pos_ - 1));
+        }
+        const char esc = input_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          default:
+            return Status::InvalidArgument(
+                StrFormat("unknown escape \\%c at offset %zu", esc, pos_ - 2));
+        }
+      }
+      value.push_back(c);
+    }
+    if (pos_ >= input_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("unterminated literal at offset %zu", at));
+    }
+    ++pos_;  // consume closing '"'
+    // Language tag / datatype: parsed and dropped (as in our N-Triples
+    // subset — the engine treats every literal as its plain text).
+    if (pos_ < input_.size() && input_[pos_] == '@') {
+      ++pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '-')) {
+        ++pos_;
+      }
+    } else if (pos_ + 1 < input_.size() && input_[pos_] == '^' &&
+               input_[pos_ + 1] == '^') {
+      pos_ += 2;
+      if (pos_ < input_.size() && input_[pos_] == '<') {
+        while (pos_ < input_.size() && input_[pos_] != '>') ++pos_;
+        if (pos_ < input_.size()) ++pos_;
+      }
+    }
+    return Token{TokenKind::kLiteral, std::move(value), at};
+  }
+
+  Result<Token> Number(std::size_t at) {
+    std::string text;
+    if (input_[pos_] == '-' || input_[pos_] == '+') {
+      text.push_back(input_[pos_++]);
+    }
+    bool seen_digit = false;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.')) {
+      seen_digit |= std::isdigit(static_cast<unsigned char>(input_[pos_])) != 0;
+      text.push_back(input_[pos_++]);
+    }
+    if (!seen_digit) {
+      return Status::InvalidArgument(
+          StrFormat("malformed number at offset %zu", at));
+    }
+    return Token{TokenKind::kNumber, std::move(text), at};
+  }
+
+  Result<Token> Word(std::size_t at) {
+    std::string word;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      word.push_back(input_[pos_++]);
+    }
+    if (word.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "unexpected character '%c' at offset %zu", input_[pos_], at));
+    }
+    if (word == "a") return Token{TokenKind::kA, std::move(word), at};
+    return Token{TokenKind::kKeyword, ToUpper(word), at};
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, rdf::Dictionary* dictionary)
+      : lexer_(text), dictionary_(dictionary) {}
+
+  Result<ParsedQuery> Parse() {
+    GRASP_RETURN_IF_ERROR(Advance());
+    GRASP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+
+    // Projection: '*' or a non-empty variable list.
+    std::vector<std::string> selected_names;
+    bool select_all = false;
+    if (current_.kind == TokenKind::kStar) {
+      select_all = true;
+      GRASP_RETURN_IF_ERROR(Advance());
+    } else {
+      while (current_.kind == TokenKind::kVariable) {
+        selected_names.push_back(current_.text);
+        GRASP_RETURN_IF_ERROR(Advance());
+      }
+      if (selected_names.empty()) {
+        return Status::InvalidArgument(StrFormat(
+            "expected '*' or variables after SELECT at offset %zu",
+            current_.position));
+      }
+    }
+
+    GRASP_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
+    if (current_.kind != TokenKind::kLBrace) {
+      return Status::InvalidArgument(
+          StrFormat("expected '{' at offset %zu", current_.position));
+    }
+    GRASP_RETURN_IF_ERROR(Advance());
+
+    while (current_.kind != TokenKind::kRBrace) {
+      if (current_.kind == TokenKind::kEnd) {
+        return Status::InvalidArgument("unterminated group pattern: missing '}'");
+      }
+      if (current_.kind == TokenKind::kKeyword && current_.text == "FILTER") {
+        GRASP_RETURN_IF_ERROR(Advance());
+        GRASP_RETURN_IF_ERROR(FilterClause());
+      } else {
+        GRASP_RETURN_IF_ERROR(TriplePattern());
+      }
+      if (current_.kind == TokenKind::kDot) {
+        GRASP_RETURN_IF_ERROR(Advance());  // trailing dot before '}' is fine
+      } else if (current_.kind != TokenKind::kRBrace &&
+                 !(current_.kind == TokenKind::kKeyword &&
+                   current_.text == "FILTER")) {
+        return Status::InvalidArgument(StrFormat(
+            "expected '.' or '}' after triple pattern at offset %zu",
+            current_.position));
+      }
+    }
+    GRASP_RETURN_IF_ERROR(Advance());  // consume '}'
+    if (current_.kind != TokenKind::kEnd) {
+      return Status::InvalidArgument(StrFormat(
+          "unexpected trailing input at offset %zu", current_.position));
+    }
+    if (result_.query.empty()) {
+      return Status::InvalidArgument("empty group pattern: no triple patterns");
+    }
+
+    // Resolve the projection against the variables seen in the pattern.
+    for (const std::string& name : selected_names) {
+      auto it = var_ids_.find(name);
+      if (it == var_ids_.end()) {
+        return Status::InvalidArgument(
+            StrFormat("selected variable ?%s does not occur in the pattern",
+                      name.c_str()));
+      }
+      result_.selected.push_back(it->second);
+    }
+    (void)select_all;  // empty `selected` already means SELECT *
+    return std::move(result_);
+  }
+
+ private:
+  Status Advance() {
+    auto token = lexer_.Next();
+    if (!token.ok()) return token.status();
+    current_ = std::move(*token);
+    return Status::Ok();
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (current_.kind != TokenKind::kKeyword || current_.text != keyword) {
+      return Status::InvalidArgument(
+          StrFormat("expected %s at offset %zu", std::string(keyword).c_str(),
+                    current_.position));
+    }
+    return Advance();
+  }
+
+  Result<QueryTerm> Term() {
+    switch (current_.kind) {
+      case TokenKind::kVariable: {
+        auto [it, inserted] =
+            var_ids_.try_emplace(current_.text, result_.query.num_variables());
+        if (inserted) {
+          result_.query.NewVariable();
+          result_.variable_names.push_back(current_.text);
+        }
+        const QueryTerm term = QueryTerm::Variable(it->second);
+        GRASP_RETURN_IF_ERROR(Advance());
+        return term;
+      }
+      case TokenKind::kIri: {
+        const QueryTerm term =
+            QueryTerm::Constant(dictionary_->InternIri(current_.text));
+        GRASP_RETURN_IF_ERROR(Advance());
+        return term;
+      }
+      case TokenKind::kLiteral: {
+        const QueryTerm term =
+            QueryTerm::Constant(dictionary_->InternLiteral(current_.text));
+        GRASP_RETURN_IF_ERROR(Advance());
+        return term;
+      }
+      default:
+        return Status::InvalidArgument(StrFormat(
+            "expected variable, IRI or literal at offset %zu",
+            current_.position));
+    }
+  }
+
+  /// FILTER ( ?var op number ) — the numeric-comparison subset matching the
+  /// FilterCondition extension (Sec. IX future work).
+  Status FilterClause() {
+    if (current_.kind != TokenKind::kLParen) {
+      return Status::InvalidArgument(StrFormat(
+          "expected '(' after FILTER at offset %zu", current_.position));
+    }
+    GRASP_RETURN_IF_ERROR(Advance());
+    if (current_.kind != TokenKind::kVariable) {
+      return Status::InvalidArgument(StrFormat(
+          "expected variable in FILTER at offset %zu", current_.position));
+    }
+    auto it = var_ids_.find(current_.text);
+    if (it == var_ids_.end()) {
+      return Status::InvalidArgument(StrFormat(
+          "FILTER variable ?%s does not occur in a preceding triple pattern",
+          current_.text.c_str()));
+    }
+    const VarId var = it->second;
+    GRASP_RETURN_IF_ERROR(Advance());
+    if (current_.kind != TokenKind::kComparison) {
+      return Status::InvalidArgument(StrFormat(
+          "expected comparison operator in FILTER at offset %zu",
+          current_.position));
+    }
+    FilterOp op;
+    if (current_.text == "<") {
+      op = FilterOp::kLess;
+    } else if (current_.text == "<=") {
+      op = FilterOp::kLessEqual;
+    } else if (current_.text == ">") {
+      op = FilterOp::kGreater;
+    } else if (current_.text == ">=") {
+      op = FilterOp::kGreaterEqual;
+    } else {
+      op = FilterOp::kNotEqual;
+    }
+    GRASP_RETURN_IF_ERROR(Advance());
+    double value = 0.0;
+    if (current_.kind == TokenKind::kNumber) {
+      value = std::atof(current_.text.c_str());
+    } else if (current_.kind == TokenKind::kLiteral) {
+      const auto numeric = ParseNumericLiteral(current_.text);
+      if (!numeric.has_value()) {
+        return Status::InvalidArgument(StrFormat(
+            "non-numeric FILTER literal at offset %zu", current_.position));
+      }
+      value = *numeric;
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "expected number in FILTER at offset %zu", current_.position));
+    }
+    GRASP_RETURN_IF_ERROR(Advance());
+    if (current_.kind != TokenKind::kRParen) {
+      return Status::InvalidArgument(StrFormat(
+          "expected ')' to close FILTER at offset %zu", current_.position));
+    }
+    GRASP_RETURN_IF_ERROR(Advance());
+    result_.query.AddFilter(FilterCondition{var, op, value});
+    return Status::Ok();
+  }
+
+  Status TriplePattern() {
+    auto subject = Term();
+    if (!subject.ok()) return subject.status();
+    if (!subject->is_variable &&
+        dictionary_->kind(subject->term) == rdf::TermKind::kLiteral) {
+      return Status::InvalidArgument("literal in subject position");
+    }
+
+    // Predicate: IRI or the `a` abbreviation. Variables are rejected —
+    // predicates are constants in a conjunctive atom (Definition 2).
+    rdf::TermId predicate = rdf::kInvalidTermId;
+    if (current_.kind == TokenKind::kIri) {
+      predicate = dictionary_->InternIri(current_.text);
+      GRASP_RETURN_IF_ERROR(Advance());
+    } else if (current_.kind == TokenKind::kA) {
+      predicate = dictionary_->InternIri(rdf::Vocabulary().type_iri);
+      GRASP_RETURN_IF_ERROR(Advance());
+    } else if (current_.kind == TokenKind::kVariable) {
+      return Status::InvalidArgument(StrFormat(
+          "variable predicate ?%s at offset %zu: predicates must be IRIs in "
+          "a conjunctive query",
+          current_.text.c_str(), current_.position));
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "expected predicate IRI at offset %zu", current_.position));
+    }
+
+    auto object = Term();
+    if (!object.ok()) return object.status();
+
+    result_.query.AddAtom(Atom{predicate, *subject, *object});
+    return Status::Ok();
+  }
+
+  Lexer lexer_;
+  rdf::Dictionary* dictionary_;
+  Token current_{TokenKind::kEnd, "", 0};
+  ParsedQuery result_;
+  std::map<std::string, VarId> var_ids_;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseSparql(std::string_view text,
+                                rdf::Dictionary* dictionary) {
+  return Parser(text, dictionary).Parse();
+}
+
+}  // namespace grasp::query

@@ -1,0 +1,47 @@
+#ifndef GRASP_QUERY_SPARQL_PARSER_H_
+#define GRASP_QUERY_SPARQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "query/conjunctive_query.h"
+#include "rdf/dictionary.h"
+
+namespace grasp::query {
+
+/// A parsed SELECT query: the conjunctive core plus the projection and the
+/// surface variable names (ConjunctiveQuery itself stores dense VarIds).
+struct ParsedQuery {
+  ConjunctiveQuery query;
+  /// Surface name per VarId, without the leading '?' (e.g. "x0").
+  std::vector<std::string> variable_names;
+  /// Projected variables in SELECT order; empty means `SELECT *`.
+  std::vector<VarId> selected;
+};
+
+/// Parses the conjunctive SELECT subset of SPARQL — exactly the queries this
+/// engine computes (Sec. II: "many SPARQL queries can be written as
+/// conjunctive queries"), and everything ToSparql() prints:
+///
+///   SELECT ?x ?y WHERE { ?x <iri> ?y . ?x <iri> "literal" . }
+///   SELECT * WHERE { <iri> <iri> <iri> }
+///
+/// Grammar notes:
+///  - keywords are case-insensitive; whitespace and newlines are free-form,
+///  - triple patterns separate with '.', the last dot is optional,
+///  - literals support the \" \\ \n \t \r escapes (as in our N-Triples
+///    subset); language tags and datatypes are parsed and dropped,
+///  - predicates must be IRIs (variables in predicate position are not
+///    conjunctive atoms in this engine's sense and are rejected),
+///  - `a` abbreviates rdf:type.
+///
+/// Constants are interned into `dictionary`. Returns InvalidArgument with a
+/// position-annotated message on malformed input.
+Result<ParsedQuery> ParseSparql(std::string_view text,
+                                rdf::Dictionary* dictionary);
+
+}  // namespace grasp::query
+
+#endif  // GRASP_QUERY_SPARQL_PARSER_H_

@@ -1,0 +1,37 @@
+#ifndef GRASP_QUERY_VERBALIZER_H_
+#define GRASP_QUERY_VERBALIZER_H_
+
+#include <string>
+
+#include "query/conjunctive_query.h"
+#include "rdf/dictionary.h"
+
+namespace grasp::query {
+
+/// Options of the query verbalizer.
+struct VerbalizeOptions {
+  /// Lead-in of the question ("Find every ...").
+  std::string prefix = "Find every";
+};
+
+/// Renders a conjunctive query as a simple natural-language question — the
+/// presentation step of the paper's SearchWebDB demo (Sec. VII: "computes
+/// the top-k conjunctive queries, transforms them to simple natural language
+/// (NL) questions, and presents them to the user").
+///
+/// The verbalization is template-based and deterministic:
+///   type(x, Publication) & year(x, '2006') & author(x, y) &
+///   type(y, Person) & name(y, 'P. Cimiano')
+/// becomes
+///   "Find every Publication whose year is '2006', with author some Person
+///    whose name is 'P. Cimiano'."
+///
+/// Every atom is verbalized (nothing is dropped), so distinct queries yield
+/// distinct questions.
+std::string Verbalize(const ConjunctiveQuery& query,
+                      const rdf::Dictionary& dictionary,
+                      const VerbalizeOptions& options = {});
+
+}  // namespace grasp::query
+
+#endif  // GRASP_QUERY_VERBALIZER_H_

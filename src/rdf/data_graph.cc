@@ -1,0 +1,146 @@
+#include "rdf/data_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace grasp::rdf {
+
+DataGraph DataGraph::Build(const TripleStore& store,
+                           const Dictionary& dictionary,
+                           const Vocabulary& vocabulary) {
+  GRASP_CHECK(store.finalized());
+  DataGraph g(dictionary);
+  g.type_term_ = dictionary.Find(TermKind::kIri, vocabulary.type_iri);
+  g.subclass_term_ = dictionary.Find(TermKind::kIri, vocabulary.subclass_iri);
+
+  // Pass 1: find class terms (objects of `type`, endpoints of `subclass`).
+  std::unordered_set<TermId> class_terms;
+  for (const Triple& t : store.triples()) {
+    const bool object_is_iri = dictionary.kind(t.object) == TermKind::kIri;
+    if (t.predicate == g.type_term_ && object_is_iri) {
+      class_terms.insert(t.object);
+    } else if (t.predicate == g.subclass_term_ && object_is_iri) {
+      class_terms.insert(t.subject);
+      class_terms.insert(t.object);
+    }
+  }
+
+  // Pass 2: create vertices and edges.
+  auto vertex_for = [&](TermId term) -> VertexId {
+    auto it = g.vertex_of_term_.find(term);
+    if (it != g.vertex_of_term_.end()) return it->second;
+    VertexKind kind;
+    if (dictionary.kind(term) == TermKind::kLiteral) {
+      kind = VertexKind::kValue;
+      ++g.num_values_;
+    } else if (class_terms.count(term) > 0) {
+      kind = VertexKind::kClass;
+      ++g.num_classes_;
+    } else {
+      kind = VertexKind::kEntity;
+      ++g.num_entities_;
+    }
+    const VertexId id = static_cast<VertexId>(g.vertices_.size());
+    g.vertices_.push_back(Vertex{term, kind});
+    g.vertex_of_term_.emplace(term, id);
+    return id;
+  };
+
+  for (const Triple& t : store.triples()) {
+    const VertexId from = vertex_for(t.subject);
+    const VertexId to = vertex_for(t.object);
+    EdgeKind kind;
+    if (g.vertices_[to].kind == VertexKind::kValue) {
+      // A `type`/`subclass` assertion about a literal degrades to an A-edge.
+      kind = EdgeKind::kAttribute;
+    } else if (t.predicate == g.type_term_) {
+      kind = EdgeKind::kType;
+    } else if (t.predicate == g.subclass_term_) {
+      kind = EdgeKind::kSubclass;
+    } else {
+      kind = EdgeKind::kRelation;
+    }
+    g.edges_.push_back(Edge{t.predicate, from, to, kind});
+  }
+
+  g.BuildAdjacency();
+  return g;
+}
+
+void DataGraph::BuildAdjacency() {
+  const std::size_t nv = vertices_.size();
+  const std::size_t ne = edges_.size();
+  out_offsets_.assign(nv + 1, 0);
+  in_offsets_.assign(nv + 1, 0);
+  for (const Edge& e : edges_) {
+    ++out_offsets_[e.from + 1];
+    ++in_offsets_[e.to + 1];
+  }
+  for (std::size_t v = 0; v < nv; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  out_edges_.resize(ne);
+  in_edges_.resize(ne);
+  std::vector<std::uint32_t> out_fill(out_offsets_.begin(),
+                                      out_offsets_.end() - 1);
+  std::vector<std::uint32_t> in_fill(in_offsets_.begin(),
+                                     in_offsets_.end() - 1);
+  for (std::size_t e = 0; e < ne; ++e) {
+    out_edges_[out_fill[edges_[e].from]++] = static_cast<EdgeId>(e);
+    in_edges_[in_fill[edges_[e].to]++] = static_cast<EdgeId>(e);
+  }
+
+  // Entity -> classes CSR, from `type` edges.
+  class_offsets_.assign(nv + 1, 0);
+  for (const Edge& e : edges_) {
+    if (e.kind == EdgeKind::kType) ++class_offsets_[e.from + 1];
+  }
+  for (std::size_t v = 0; v < nv; ++v) {
+    class_offsets_[v + 1] += class_offsets_[v];
+  }
+  class_targets_.resize(class_offsets_[nv]);
+  std::vector<std::uint32_t> class_fill(class_offsets_.begin(),
+                                        class_offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    if (e.kind == EdgeKind::kType) {
+      class_targets_[class_fill[e.from]++] = e.to;
+    }
+  }
+}
+
+VertexId DataGraph::VertexOf(TermId term) const {
+  auto it = vertex_of_term_.find(term);
+  return it == vertex_of_term_.end() ? kInvalidVertexId : it->second;
+}
+
+std::span<const EdgeId> DataGraph::OutEdges(VertexId v) const {
+  return {out_edges_.data() + out_offsets_[v],
+          out_edges_.data() + out_offsets_[v + 1]};
+}
+
+std::span<const EdgeId> DataGraph::InEdges(VertexId v) const {
+  return {in_edges_.data() + in_offsets_[v],
+          in_edges_.data() + in_offsets_[v + 1]};
+}
+
+std::span<const VertexId> DataGraph::ClassesOf(VertexId v) const {
+  return {class_targets_.data() + class_offsets_[v],
+          class_targets_.data() + class_offsets_[v + 1]};
+}
+
+std::size_t DataGraph::MemoryUsageBytes() const {
+  return vertices_.capacity() * sizeof(Vertex) +
+         edges_.capacity() * sizeof(Edge) +
+         vertex_of_term_.size() *
+             (sizeof(TermId) + sizeof(VertexId) + 2 * sizeof(void*)) +
+         (out_offsets_.capacity() + in_offsets_.capacity() +
+          class_offsets_.capacity()) *
+             sizeof(std::uint32_t) +
+         (out_edges_.capacity() + in_edges_.capacity()) * sizeof(EdgeId) +
+         class_targets_.capacity() * sizeof(VertexId);
+}
+
+}  // namespace grasp::rdf

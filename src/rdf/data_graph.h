@@ -1,0 +1,142 @@
+#ifndef GRASP_RDF_DATA_GRAPH_H_
+#define GRASP_RDF_DATA_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace grasp::rdf {
+
+/// Well-known predicate IRIs that give triples their special interpretation
+/// (Definition 1: `type` and `subclass` edges).
+struct Vocabulary {
+  std::string type_iri = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+  std::string subclass_iri = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+};
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+inline constexpr VertexId kInvalidVertexId = 0xffffffffu;
+
+/// Pseudo term denoting the `Thing` class that aggregates all untyped
+/// entities (Definition 4). Never a real Dictionary id.
+inline constexpr TermId kThingTerm = 0xfffffffeu;
+
+/// Vertex partition of Definition 1: E-vertices (entities), C-vertices
+/// (classes) and V-vertices (data values).
+enum class VertexKind : std::uint8_t { kEntity = 0, kClass = 1, kValue = 2 };
+
+/// Edge partition of Definition 1: R-edges (entity-entity relations), A-edges
+/// (entity-attribute assignments), plus the two predefined edge types.
+enum class EdgeKind : std::uint8_t {
+  kRelation = 0,
+  kAttribute = 1,
+  kType = 2,
+  kSubclass = 3,
+};
+
+struct Vertex {
+  TermId term = kInvalidTermId;
+  VertexKind kind = VertexKind::kEntity;
+};
+
+struct Edge {
+  TermId label = kInvalidTermId;
+  VertexId from = kInvalidVertexId;
+  VertexId to = kInvalidVertexId;
+  EdgeKind kind = EdgeKind::kRelation;
+};
+
+/// The data graph G of Definition 1, derived from a finalized TripleStore by
+/// classifying vertices and edges:
+///
+///  - a term is a C-vertex if it occurs as the object of a `type` triple or on
+///    either side of a `subclass` triple;
+///  - literal objects are V-vertices (one vertex per distinct literal value);
+///  - every other IRI subject/object is an E-vertex;
+///  - a triple becomes a `type`/`subclass`/A-/R-edge accordingly (a `type` or
+///    `subclass` triple with a literal object degrades to an A-edge).
+///
+/// The graph borrows the Dictionary and must not outlive it.
+class DataGraph {
+ public:
+  /// Builds the graph. `store` must be finalized.
+  static DataGraph Build(const TripleStore& store, const Dictionary& dictionary,
+                         const Vocabulary& vocabulary = Vocabulary());
+
+  DataGraph(const DataGraph&) = delete;
+  DataGraph& operator=(const DataGraph&) = delete;
+  DataGraph(DataGraph&&) = default;
+  DataGraph& operator=(DataGraph&&) = default;
+
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Dictionary& dictionary() const { return *dictionary_; }
+
+  const Vertex& vertex(VertexId v) const { return vertices_[v]; }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Vertex for a term, or kInvalidVertexId if the term does not occur as a
+  /// subject or object.
+  VertexId VertexOf(TermId term) const;
+
+  /// Edges leaving / entering a vertex.
+  std::span<const EdgeId> OutEdges(VertexId v) const;
+  std::span<const EdgeId> InEdges(VertexId v) const;
+
+  /// Class vertices an entity is typed with (targets of its `type` edges).
+  /// Empty for untyped entities (they aggregate into `Thing` in the summary).
+  std::span<const VertexId> ClassesOf(VertexId v) const;
+
+  /// Label text helpers.
+  const std::string& VertexText(VertexId v) const {
+    return dictionary_->text(vertices_[v].term);
+  }
+  const std::string& EdgeLabelText(EdgeId e) const {
+    return dictionary_->text(edges_[e].label);
+  }
+
+  std::size_t NumVertices() const { return vertices_.size(); }
+  std::size_t NumEdges() const { return edges_.size(); }
+  std::size_t NumEntities() const { return num_entities_; }
+  std::size_t NumClasses() const { return num_classes_; }
+  std::size_t NumValues() const { return num_values_; }
+
+  TermId type_term() const { return type_term_; }
+  TermId subclass_term() const { return subclass_term_; }
+
+  /// Approximate heap footprint in bytes (graph structures only, excluding
+  /// the shared Dictionary).
+  std::size_t MemoryUsageBytes() const;
+
+ private:
+  explicit DataGraph(const Dictionary& dictionary)
+      : dictionary_(&dictionary) {}
+
+  void BuildAdjacency();
+
+  const Dictionary* dictionary_;
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::unordered_map<TermId, VertexId> vertex_of_term_;
+
+  // CSR adjacency.
+  std::vector<std::uint32_t> out_offsets_, in_offsets_;
+  std::vector<EdgeId> out_edges_, in_edges_;
+  // CSR entity -> classes.
+  std::vector<std::uint32_t> class_offsets_;
+  std::vector<VertexId> class_targets_;
+
+  std::size_t num_entities_ = 0, num_classes_ = 0, num_values_ = 0;
+  TermId type_term_ = kInvalidTermId;
+  TermId subclass_term_ = kInvalidTermId;
+};
+
+}  // namespace grasp::rdf
+
+#endif  // GRASP_RDF_DATA_GRAPH_H_

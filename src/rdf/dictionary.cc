@@ -1,0 +1,32 @@
+#include "rdf/dictionary.h"
+
+#include "common/logging.h"
+
+namespace grasp::rdf {
+
+TermId Dictionary::Intern(TermKind kind, std::string_view text) {
+  Key key{kind, std::string(text)};
+  auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
+  GRASP_CHECK_LT(terms_.size(), static_cast<std::size_t>(kInvalidTermId));
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(Term{kind, key.text});
+  ids_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId Dictionary::Find(TermKind kind, std::string_view text) const {
+  auto it = ids_.find(Key{kind, std::string(text)});
+  return it == ids_.end() ? kInvalidTermId : it->second;
+}
+
+std::size_t Dictionary::MemoryUsageBytes() const {
+  std::size_t bytes = terms_.capacity() * sizeof(Term);
+  for (const Term& t : terms_) bytes += t.text.capacity();
+  // Each map entry stores the key string again plus bucket overhead.
+  bytes += ids_.size() * (sizeof(Key) + sizeof(TermId) + 2 * sizeof(void*));
+  for (const auto& [key, id] : ids_) bytes += key.text.capacity();
+  return bytes;
+}
+
+}  // namespace grasp::rdf

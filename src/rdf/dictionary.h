@@ -1,0 +1,68 @@
+#ifndef GRASP_RDF_DICTIONARY_H_
+#define GRASP_RDF_DICTIONARY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace grasp::rdf {
+
+/// Bidirectional string interner for RDF terms. Every distinct (kind, text)
+/// pair receives one dense TermId; lookups in both directions are O(1).
+/// Not thread-safe for concurrent mutation (index builds are single-threaded).
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Interns a term, returning its id (existing or freshly assigned).
+  TermId Intern(TermKind kind, std::string_view text);
+  TermId InternIri(std::string_view iri) { return Intern(TermKind::kIri, iri); }
+  TermId InternLiteral(std::string_view value) {
+    return Intern(TermKind::kLiteral, value);
+  }
+
+  /// Returns the id of an already-interned term, or kInvalidTermId.
+  TermId Find(TermKind kind, std::string_view text) const;
+
+  /// Term for an id. `id` must be valid.
+  const Term& term(TermId id) const { return terms_[id]; }
+  TermKind kind(TermId id) const { return terms_[id].kind; }
+  const std::string& text(TermId id) const { return terms_[id].text; }
+
+  std::size_t size() const { return terms_.size(); }
+
+  /// Approximate heap footprint in bytes (term text + hash buckets); used by
+  /// the Fig. 6b index-size report.
+  std::size_t MemoryUsageBytes() const;
+
+ private:
+  struct Key {
+    TermKind kind;
+    std::string text;
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.kind == b.kind && a.text == b.text;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::string>{}(k.text) * 31 +
+             static_cast<std::size_t>(k.kind);
+    }
+  };
+
+  std::vector<Term> terms_;
+  std::unordered_map<Key, TermId, KeyHash> ids_;
+};
+
+}  // namespace grasp::rdf
+
+#endif  // GRASP_RDF_DICTIONARY_H_

@@ -1,0 +1,271 @@
+#include "rdf/ntriples.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace grasp::rdf {
+namespace {
+
+/// Cursor over one physical line.
+struct LineCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  int line_number = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(StrFormat("line %d, column %zu: %s", line_number,
+                                        pos + 1, what.c_str()));
+  }
+};
+
+Status ParseIri(LineCursor* cur, std::string* out) {
+  if (cur->AtEnd() || cur->Peek() != '<') return cur->Error("expected '<'");
+  ++cur->pos;
+  out->clear();
+  while (!cur->AtEnd() && cur->Peek() != '>') {
+    out->push_back(cur->Peek());
+    ++cur->pos;
+  }
+  if (cur->AtEnd()) return cur->Error("unterminated IRI");
+  ++cur->pos;  // consume '>'
+  if (out->empty()) return cur->Error("empty IRI");
+  return Status::Ok();
+}
+
+Status ParseBlankNode(LineCursor* cur, std::string* out) {
+  // Precondition: cursor at '_'.
+  out->clear();
+  out->push_back('_');
+  ++cur->pos;
+  if (cur->AtEnd() || cur->Peek() != ':') return cur->Error("expected ':'");
+  out->push_back(':');
+  ++cur->pos;
+  while (!cur->AtEnd() && (std::isalnum(static_cast<unsigned char>(cur->Peek())) ||
+                           cur->Peek() == '_' || cur->Peek() == '-' ||
+                           cur->Peek() == '.')) {
+    out->push_back(cur->Peek());
+    ++cur->pos;
+  }
+  if (out->size() == 2) return cur->Error("empty blank node label");
+  return Status::Ok();
+}
+
+Status ParseLiteral(LineCursor* cur, std::string* out) {
+  // Precondition: cursor at '"'.
+  ++cur->pos;
+  out->clear();
+  while (true) {
+    if (cur->AtEnd()) return cur->Error("unterminated literal");
+    char c = cur->Peek();
+    ++cur->pos;
+    if (c == '"') break;
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (cur->AtEnd()) return cur->Error("dangling escape");
+    char esc = cur->Peek();
+    ++cur->pos;
+    switch (esc) {
+      case '"':
+        out->push_back('"');
+        break;
+      case '\\':
+        out->push_back('\\');
+        break;
+      case 'n':
+        out->push_back('\n');
+        break;
+      case 't':
+        out->push_back('\t');
+        break;
+      case 'r':
+        out->push_back('\r');
+        break;
+      case 'u': {
+        if (cur->pos + 4 > cur->text.size()) {
+          return cur->Error("truncated \\u escape");
+        }
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = cur->text[cur->pos + static_cast<std::size_t>(i)];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return cur->Error("bad hex digit in \\u escape");
+          }
+        }
+        cur->pos += 4;
+        // UTF-8 encode (BMP only).
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+          out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        }
+        break;
+      }
+      default:
+        return cur->Error("unknown escape");
+    }
+  }
+  // Optional language tag or datatype; both are parsed and dropped.
+  if (!cur->AtEnd() && cur->Peek() == '@') {
+    ++cur->pos;
+    while (!cur->AtEnd() &&
+           (std::isalnum(static_cast<unsigned char>(cur->Peek())) ||
+            cur->Peek() == '-')) {
+      ++cur->pos;
+    }
+  } else if (cur->pos + 1 < cur->text.size() && cur->Peek() == '^' &&
+             cur->text[cur->pos + 1] == '^') {
+    cur->pos += 2;
+    std::string datatype;
+    GRASP_RETURN_IF_ERROR(ParseIri(cur, &datatype));
+  }
+  return Status::Ok();
+}
+
+Status ParseLine(LineCursor* cur, Dictionary* dictionary, TripleStore* store) {
+  cur->SkipSpace();
+  if (cur->AtEnd() || cur->Peek() == '#') return Status::Ok();
+
+  std::string text;
+  // Subject: IRI or blank node.
+  if (cur->Peek() == '_') {
+    GRASP_RETURN_IF_ERROR(ParseBlankNode(cur, &text));
+  } else {
+    GRASP_RETURN_IF_ERROR(ParseIri(cur, &text));
+  }
+  const TermId subject = dictionary->InternIri(text);
+
+  cur->SkipSpace();
+  GRASP_RETURN_IF_ERROR(ParseIri(cur, &text));
+  const TermId predicate = dictionary->InternIri(text);
+
+  cur->SkipSpace();
+  if (cur->AtEnd()) return cur->Error("missing object");
+  TermId object;
+  if (cur->Peek() == '"') {
+    GRASP_RETURN_IF_ERROR(ParseLiteral(cur, &text));
+    object = dictionary->InternLiteral(text);
+  } else if (cur->Peek() == '_') {
+    GRASP_RETURN_IF_ERROR(ParseBlankNode(cur, &text));
+    object = dictionary->InternIri(text);
+  } else {
+    GRASP_RETURN_IF_ERROR(ParseIri(cur, &text));
+    object = dictionary->InternIri(text);
+  }
+
+  cur->SkipSpace();
+  if (cur->AtEnd() || cur->Peek() != '.') return cur->Error("expected '.'");
+  ++cur->pos;
+  cur->SkipSpace();
+  if (!cur->AtEnd() && cur->Peek() != '#') {
+    return cur->Error("trailing content after '.'");
+  }
+
+  store->Add(subject, predicate, object);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ParseNTriplesString(std::string_view text, Dictionary* dictionary,
+                           TripleStore* store) {
+  int line_number = 0;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    ++line_number;
+    std::string_view line = text.substr(begin, end - begin);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    LineCursor cur{line, 0, line_number};
+    GRASP_RETURN_IF_ERROR(ParseLine(&cur, dictionary, store));
+    if (end == text.size()) break;
+    begin = end + 1;
+  }
+  return Status::Ok();
+}
+
+Status ParseNTriplesFile(const std::string& path, Dictionary* dictionary,
+                         TripleStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseNTriplesString(buffer.str(), dictionary, store);
+}
+
+std::string EscapeLiteral(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void WriteNTriples(const TripleStore& store, const Dictionary& dictionary,
+                   std::ostream* out) {
+  auto write_resource = [&](TermId id) {
+    const std::string& text = dictionary.text(id);
+    if (StartsWith(text, "_:")) {
+      *out << text;
+    } else {
+      *out << '<' << text << '>';
+    }
+  };
+  for (const Triple& t : store.triples()) {
+    write_resource(t.subject);
+    *out << ' ';
+    write_resource(t.predicate);
+    *out << ' ';
+    if (dictionary.kind(t.object) == TermKind::kLiteral) {
+      *out << '"' << EscapeLiteral(dictionary.text(t.object)) << '"';
+    } else {
+      write_resource(t.object);
+    }
+    *out << " .\n";
+  }
+}
+
+}  // namespace grasp::rdf

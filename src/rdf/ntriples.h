@@ -1,0 +1,43 @@
+#ifndef GRASP_RDF_NTRIPLES_H_
+#define GRASP_RDF_NTRIPLES_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace grasp::rdf {
+
+/// Parses N-Triples text into `store`, interning terms into `dictionary`.
+///
+/// Supported grammar (a pragmatic N-Triples subset):
+///  - `<iri> <iri> <iri> .` and `<iri> <iri> "literal" .`
+///  - blank-node labels `_:name` in subject/object position (interned as IRIs
+///    with their `_:` spelling preserved),
+///  - literal escapes \" \\ \n \t \r and \uXXXX (BMP only),
+///  - language tags (`@en`) and datatype suffixes (`^^<iri>`), parsed and
+///    dropped — the engine treats every literal as its plain text,
+///  - `#` comments and blank lines.
+///
+/// The caller is responsible for calling store->Finalize() afterwards.
+Status ParseNTriplesString(std::string_view text, Dictionary* dictionary,
+                           TripleStore* store);
+
+/// Reads `path` and parses it with ParseNTriplesString.
+Status ParseNTriplesFile(const std::string& path, Dictionary* dictionary,
+                         TripleStore* store);
+
+/// Serializes every triple in `store` as N-Triples lines. Literal values are
+/// re-escaped; the output round-trips through ParseNTriplesString.
+void WriteNTriples(const TripleStore& store, const Dictionary& dictionary,
+                   std::ostream* out);
+
+/// Escapes a literal value for embedding between double quotes.
+std::string EscapeLiteral(std::string_view value);
+
+}  // namespace grasp::rdf
+
+#endif  // GRASP_RDF_NTRIPLES_H_

@@ -1,0 +1,191 @@
+#include "rdf/snapshot.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/string_util.h"
+
+namespace grasp::rdf {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'R', 'S', 'P'};
+constexpr std::uint8_t kVersion = 1;
+
+void WriteVarint(std::ostream* out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out->put(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->put(static_cast<char>(value));
+}
+
+/// Reads one LEB128 varint; false on EOF or overlong encoding.
+bool ReadVarint(std::istream* in, std::uint64_t* value) {
+  *value = 0;
+  int shift = 0;
+  while (shift < 64) {
+    const int c = in->get();
+    if (c == std::char_traits<char>::eof()) return false;
+    *value |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;  // more than 10 bytes: corrupt
+}
+
+}  // namespace
+
+Status WriteSnapshot(const TripleStore& store, const Dictionary& dictionary,
+                     std::ostream* out) {
+  if (!store.finalized()) {
+    return Status::InvalidArgument("snapshot requires a finalized store");
+  }
+  out->write(kMagic, sizeof(kMagic));
+  out->put(static_cast<char>(kVersion));
+
+  WriteVarint(out, dictionary.size());
+  for (TermId id = 0; id < dictionary.size(); ++id) {
+    const Term& term = dictionary.term(id);
+    out->put(static_cast<char>(term.kind));
+    WriteVarint(out, term.text.size());
+    out->write(term.text.data(),
+               static_cast<std::streamsize>(term.text.size()));
+  }
+
+  WriteVarint(out, store.size());
+  // Triples are sorted (s, p, o) after Finalize: delta-code the subject and
+  // restart p/o deltas whenever the previous component changed.
+  Triple prev{0, 0, 0};
+  bool first = true;
+  for (const Triple& t : store.triples()) {
+    if (first) {
+      WriteVarint(out, t.subject);
+      WriteVarint(out, t.predicate);
+      WriteVarint(out, t.object);
+      first = false;
+    } else {
+      WriteVarint(out, t.subject - prev.subject);
+      if (t.subject != prev.subject) {
+        WriteVarint(out, t.predicate);
+        WriteVarint(out, t.object);
+      } else {
+        WriteVarint(out, t.predicate - prev.predicate);
+        WriteVarint(out, t.predicate != prev.predicate
+                             ? t.object
+                             : t.object - prev.object);
+      }
+    }
+    prev = t;
+  }
+  if (!out->good()) return Status::Internal("snapshot write failed");
+  return Status::Ok();
+}
+
+Status WriteSnapshotFile(const TripleStore& store,
+                         const Dictionary& dictionary,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::NotFound(
+        StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  return WriteSnapshot(store, dictionary, &out);
+}
+
+Status ReadSnapshot(std::istream* in, Dictionary* dictionary,
+                    TripleStore* store) {
+  if (dictionary->size() != 0 || store->size() != 0) {
+    return Status::InvalidArgument(
+        "snapshot must be read into an empty dictionary and store");
+  }
+  char magic[4] = {};
+  in->read(magic, sizeof(magic));
+  if (in->gcount() != sizeof(magic) ||
+      !std::equal(magic, magic + 4, kMagic)) {
+    return Status::InvalidArgument("not a grasp snapshot (bad magic)");
+  }
+  const int version = in->get();
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported snapshot version %d", version));
+  }
+
+  std::uint64_t num_terms = 0;
+  if (!ReadVarint(in, &num_terms)) {
+    return Status::InvalidArgument("truncated snapshot (term count)");
+  }
+  std::string text;
+  for (std::uint64_t i = 0; i < num_terms; ++i) {
+    const int kind_byte = in->get();
+    std::uint64_t length = 0;
+    if (kind_byte == std::char_traits<char>::eof() ||
+        !ReadVarint(in, &length)) {
+      return Status::InvalidArgument("truncated snapshot (term header)");
+    }
+    if (kind_byte != static_cast<int>(TermKind::kIri) &&
+        kind_byte != static_cast<int>(TermKind::kLiteral)) {
+      return Status::InvalidArgument(
+          StrFormat("corrupt snapshot: unknown term kind %d", kind_byte));
+    }
+    text.resize(length);
+    in->read(text.data(), static_cast<std::streamsize>(length));
+    if (static_cast<std::uint64_t>(in->gcount()) != length) {
+      return Status::InvalidArgument("truncated snapshot (term text)");
+    }
+    const TermId id =
+        dictionary->Intern(static_cast<TermKind>(kind_byte), text);
+    if (id != i) {
+      return Status::InvalidArgument(
+          "corrupt snapshot: duplicate dictionary entry");
+    }
+  }
+
+  std::uint64_t num_triples = 0;
+  if (!ReadVarint(in, &num_triples)) {
+    return Status::InvalidArgument("truncated snapshot (triple count)");
+  }
+  Triple prev{0, 0, 0};
+  for (std::uint64_t i = 0; i < num_triples; ++i) {
+    std::uint64_t ds = 0, a = 0, b = 0;
+    if (!ReadVarint(in, &ds) || !ReadVarint(in, &a) || !ReadVarint(in, &b)) {
+      return Status::InvalidArgument("truncated snapshot (triples)");
+    }
+    Triple t;
+    if (i == 0) {
+      t = Triple{static_cast<TermId>(ds), static_cast<TermId>(a),
+                 static_cast<TermId>(b)};
+    } else {
+      t.subject = prev.subject + static_cast<TermId>(ds);
+      if (ds != 0) {
+        t.predicate = static_cast<TermId>(a);
+        t.object = static_cast<TermId>(b);
+      } else {
+        t.predicate = prev.predicate + static_cast<TermId>(a);
+        t.object = a != 0 ? static_cast<TermId>(b)
+                          : prev.object + static_cast<TermId>(b);
+      }
+    }
+    if (t.subject >= dictionary->size() || t.predicate >= dictionary->size() ||
+        t.object >= dictionary->size()) {
+      return Status::InvalidArgument(
+          "corrupt snapshot: triple references unknown term");
+    }
+    store->Add(t);
+    prev = t;
+  }
+  store->Finalize();
+  return Status::Ok();
+}
+
+Status ReadSnapshotFile(const std::string& path, Dictionary* dictionary,
+                        TripleStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  return ReadSnapshot(&in, dictionary, store);
+}
+
+}  // namespace grasp::rdf

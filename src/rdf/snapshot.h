@@ -1,0 +1,42 @@
+#ifndef GRASP_RDF_SNAPSHOT_H_
+#define GRASP_RDF_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace grasp::rdf {
+
+/// Binary snapshot of a dataset (dictionary + triples): the offline-indexing
+/// artifact of Fig. 2 made durable. Loading a snapshot is much cheaper than
+/// re-parsing N-Triples — terms are stored once in a length-prefixed string
+/// table and triples as varint-delta-coded id streams.
+///
+/// Format (little-endian, varint = LEB128):
+///   magic "GRSP"  u8 version  varint num_terms
+///   per term: u8 kind, varint length, bytes
+///   varint num_triples
+///   per triple (sorted SPO): varint delta-coded s, p, o
+/// The store is written in finalized order; ReadSnapshot() finalizes the
+/// output store, so it is ready for use.
+
+/// Serializes `store` (must be finalized) and `dictionary` to `out`.
+Status WriteSnapshot(const TripleStore& store, const Dictionary& dictionary,
+                     std::ostream* out);
+Status WriteSnapshotFile(const TripleStore& store,
+                         const Dictionary& dictionary,
+                         const std::string& path);
+
+/// Deserializes into empty `dictionary` / `store`; finalizes the store.
+/// Returns InvalidArgument on malformed or truncated input.
+Status ReadSnapshot(std::istream* in, Dictionary* dictionary,
+                    TripleStore* store);
+Status ReadSnapshotFile(const std::string& path, Dictionary* dictionary,
+                        TripleStore* store);
+
+}  // namespace grasp::rdf
+
+#endif  // GRASP_RDF_SNAPSHOT_H_

@@ -1,0 +1,17 @@
+#include "rdf/term.h"
+
+namespace grasp::rdf {
+
+std::string_view IriLocalName(std::string_view iri) {
+  const std::size_t hash = iri.find_last_of('#');
+  if (hash != std::string_view::npos && hash + 1 < iri.size()) {
+    return iri.substr(hash + 1);
+  }
+  const std::size_t slash = iri.find_last_of('/');
+  if (slash != std::string_view::npos && slash + 1 < iri.size()) {
+    return iri.substr(slash + 1);
+  }
+  return iri;
+}
+
+}  // namespace grasp::rdf

@@ -1,0 +1,41 @@
+#ifndef GRASP_RDF_TERM_H_
+#define GRASP_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace grasp::rdf {
+
+/// Dense identifier for an interned RDF term. Ids are assigned contiguously
+/// from 0 by the Dictionary, so they can index plain vectors.
+using TermId = std::uint32_t;
+
+/// Sentinel for "no term".
+inline constexpr TermId kInvalidTermId = 0xffffffffu;
+
+/// The two RDF term shapes this engine stores. IRIs identify entities,
+/// classes and predicates; literals are attribute values. (Blank nodes are
+/// accepted by the parser and interned as IRIs with a `_:` prefix.)
+enum class TermKind : std::uint8_t { kIri = 0, kLiteral = 1 };
+
+/// An RDF term as a (kind, lexical form) pair. For IRIs the lexical form is
+/// the IRI text without angle brackets; for literals it is the unescaped
+/// string value.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string text;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.text == b.text;
+  }
+};
+
+/// Returns the human-oriented "local name" of an IRI: the substring after the
+/// last '#' or '/', with '_' treated as a space separator downstream. Used to
+/// derive index terms for classes and predicates.
+std::string_view IriLocalName(std::string_view iri);
+
+}  // namespace grasp::rdf
+
+#endif  // GRASP_RDF_TERM_H_

@@ -1,0 +1,29 @@
+#ifndef GRASP_RDF_TRIPLE_H_
+#define GRASP_RDF_TRIPLE_H_
+
+#include <tuple>
+
+#include "rdf/term.h"
+
+namespace grasp::rdf {
+
+/// One RDF statement as interned ids. Subject and predicate are always IRIs;
+/// the object may be an IRI or a literal (its kind lives in the Dictionary).
+struct Triple {
+  TermId subject = kInvalidTermId;
+  TermId predicate = kInvalidTermId;
+  TermId object = kInvalidTermId;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object;
+  }
+  friend auto operator<=>(const Triple& a, const Triple& b) {
+    return std::tie(a.subject, a.predicate, a.object) <=>
+           std::tie(b.subject, b.predicate, b.object);
+  }
+};
+
+}  // namespace grasp::rdf
+
+#endif  // GRASP_RDF_TRIPLE_H_

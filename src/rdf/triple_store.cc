@@ -1,0 +1,238 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.h"
+
+namespace grasp::rdf {
+namespace {
+
+/// Component order of a permutation: indexes into {subject, predicate,
+/// object} in the permutation's sort order.
+constexpr std::array<int, 3> kSpoOrder = {0, 1, 2};
+constexpr std::array<int, 3> kPosOrder = {1, 2, 0};
+constexpr std::array<int, 3> kOspOrder = {2, 0, 1};
+
+TermId Component(const Triple& t, int which) {
+  switch (which) {
+    case 0:
+      return t.subject;
+    case 1:
+      return t.predicate;
+    default:
+      return t.object;
+  }
+}
+
+TermId Component(const TripleStore::Pattern& p, int which) {
+  switch (which) {
+    case 0:
+      return p.subject;
+    case 1:
+      return p.predicate;
+    default:
+      return p.object;
+  }
+}
+
+}  // namespace
+
+void TripleStore::Add(const Triple& triple) {
+  GRASP_CHECK(!finalized_) << "TripleStore::Add after Finalize";
+  GRASP_CHECK_NE(triple.subject, kInvalidTermId);
+  GRASP_CHECK_NE(triple.predicate, kInvalidTermId);
+  GRASP_CHECK_NE(triple.object, kInvalidTermId);
+  triples_.push_back(triple);
+}
+
+void TripleStore::Finalize() {
+  if (finalized_) return;
+  std::sort(triples_.begin(), triples_.end());
+  triples_.erase(std::unique(triples_.begin(), triples_.end()),
+                 triples_.end());
+  const std::size_t n = triples_.size();
+  GRASP_CHECK_LE(n, static_cast<std::size_t>(UINT32_MAX));
+  pos_.resize(n);
+  osp_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos_[i] = static_cast<std::uint32_t>(i);
+    osp_[i] = static_cast<std::uint32_t>(i);
+  }
+  auto by = [this](const std::array<int, 3>& order) {
+    return [this, order](std::uint32_t a, std::uint32_t b) {
+      const Triple& ta = triples_[a];
+      const Triple& tb = triples_[b];
+      for (int which : order) {
+        const TermId ca = Component(ta, which);
+        const TermId cb = Component(tb, which);
+        if (ca != cb) return ca < cb;
+      }
+      return false;
+    };
+  };
+  std::sort(pos_.begin(), pos_.end(), by(kPosOrder));
+  std::sort(osp_.begin(), osp_.end(), by(kOspOrder));
+
+  // Per-predicate fan-out statistics for the evaluator's join planner. One
+  // pass over the POS permutation groups triples by predicate (and, within
+  // a predicate, by object); distinct subjects are counted via a sorted
+  // scratch copy of the group's subjects.
+  predicate_stats_.clear();
+  std::size_t group_begin = 0;
+  std::vector<TermId> subjects;
+  while (group_begin < n) {
+    const TermId predicate = triples_[pos_[group_begin]].predicate;
+    std::size_t group_end = group_begin;
+    std::size_t distinct_objects = 0;
+    TermId prev_object = kInvalidTermId;
+    subjects.clear();
+    while (group_end < n && triples_[pos_[group_end]].predicate == predicate) {
+      const Triple& t = triples_[pos_[group_end]];
+      if (group_end == group_begin || t.object != prev_object) {
+        ++distinct_objects;  // POS order groups equal objects together
+        prev_object = t.object;
+      }
+      subjects.push_back(t.subject);
+      ++group_end;
+    }
+    std::sort(subjects.begin(), subjects.end());
+    const std::size_t distinct_subjects = static_cast<std::size_t>(
+        std::unique(subjects.begin(), subjects.end()) - subjects.begin());
+    const double total = static_cast<double>(group_end - group_begin);
+    predicate_stats_.emplace(
+        predicate,
+        PredicateStats{total / static_cast<double>(std::max<std::size_t>(
+                                   1, distinct_subjects)),
+                       total / static_cast<double>(std::max<std::size_t>(
+                                   1, distinct_objects))});
+    group_begin = group_end;
+  }
+  finalized_ = true;
+}
+
+double TripleStore::AvgTriplesPerSubject(TermId predicate) const {
+  auto it = predicate_stats_.find(predicate);
+  return it == predicate_stats_.end() ? 1.0 : it->second.per_subject;
+}
+
+double TripleStore::AvgTriplesPerObject(TermId predicate) const {
+  auto it = predicate_stats_.find(predicate);
+  return it == predicate_stats_.end() ? 1.0 : it->second.per_object;
+}
+
+const Triple& TripleStore::TripleAt(Order order, std::size_t pos) const {
+  switch (order) {
+    case Order::kSpo:
+      return triples_[pos];
+    case Order::kPos:
+      return triples_[pos_[pos]];
+    default:
+      return triples_[osp_[pos]];
+  }
+}
+
+void TripleStore::SeekRange(const Pattern& pattern, Order* order,
+                            std::size_t* begin, std::size_t* end) const {
+  GRASP_CHECK(finalized_) << "TripleStore used before Finalize";
+  const bool s = pattern.subject != kInvalidTermId;
+  const bool p = pattern.predicate != kInvalidTermId;
+  const bool o = pattern.object != kInvalidTermId;
+
+  // Pick a permutation whose sort order begins with the bound components, so
+  // that the matching triples are one contiguous run.
+  std::array<int, 3> component_order = kSpoOrder;
+  if (s) {
+    component_order = (o && !p) ? kOspOrder : kSpoOrder;
+    *order = (o && !p) ? Order::kOsp : Order::kSpo;
+  } else if (p) {
+    component_order = kPosOrder;
+    *order = Order::kPos;
+  } else if (o) {
+    component_order = kOspOrder;
+    *order = Order::kOsp;
+  } else {
+    *order = Order::kSpo;
+    *begin = 0;
+    *end = triples_.size();
+    return;
+  }
+
+  int prefix_len = 0;
+  std::array<TermId, 3> prefix = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    const TermId v = Component(pattern, component_order[i]);
+    if (v == kInvalidTermId) break;
+    prefix[i] = v;
+    ++prefix_len;
+  }
+
+  // -1 / 0 / +1: triple's prefix vs. the pattern prefix.
+  auto compare = [&](std::size_t idx) {
+    const Triple& t = TripleAt(*order, idx);
+    for (int i = 0; i < prefix_len; ++i) {
+      const TermId c = Component(t, component_order[i]);
+      if (c < prefix[i]) return -1;
+      if (c > prefix[i]) return 1;
+    }
+    return 0;
+  };
+
+  std::size_t lo = 0, hi = triples_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (compare(mid) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  *begin = lo;
+  hi = triples_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (compare(mid) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  *end = lo;
+}
+
+std::size_t TripleStore::Scan(
+    const Pattern& pattern, const std::function<bool(const Triple&)>& fn) const {
+  Order order;
+  std::size_t begin, end;
+  SeekRange(pattern, &order, &begin, &end);
+  std::size_t visited = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    ++visited;
+    if (!fn(TripleAt(order, i))) break;
+  }
+  return visited;
+}
+
+std::size_t TripleStore::Count(const Pattern& pattern) const {
+  Order order;
+  std::size_t begin, end;
+  SeekRange(pattern, &order, &begin, &end);
+  return end - begin;
+}
+
+bool TripleStore::Contains(const Triple& triple) const {
+  GRASP_CHECK(finalized_);
+  return std::binary_search(triples_.begin(), triples_.end(), triple);
+}
+
+std::size_t TripleStore::PredicateCardinality(TermId predicate) const {
+  return Count(Pattern{kInvalidTermId, predicate, kInvalidTermId});
+}
+
+std::size_t TripleStore::MemoryUsageBytes() const {
+  return triples_.capacity() * sizeof(Triple) +
+         pos_.capacity() * sizeof(std::uint32_t) +
+         osp_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace grasp::rdf

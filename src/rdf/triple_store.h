@@ -1,0 +1,100 @@
+#ifndef GRASP_RDF_TRIPLE_STORE_H_
+#define GRASP_RDF_TRIPLE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace grasp::rdf {
+
+/// In-memory triple table with three sorted permutation indexes (SPO, POS,
+/// OSP), mirroring the single-table RDF storage scheme the paper assumes
+/// (Fig. 1b) with the index layout of modern RDF stores.
+///
+/// Usage: Add() triples (duplicates allowed), then Finalize() once; after
+/// finalization the store is immutable and all scan patterns are O(log n)
+/// seek + linear in the result size.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  /// Appends a triple. Must not be called after Finalize().
+  void Add(const Triple& triple);
+  void Add(TermId s, TermId p, TermId o) { Add(Triple{s, p, o}); }
+
+  /// Sorts, deduplicates and builds the POS and OSP permutations. Idempotent.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  std::size_t size() const { return triples_.size(); }
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Triple pattern: kInvalidTermId acts as a wildcard in any position.
+  struct Pattern {
+    TermId subject = kInvalidTermId;
+    TermId predicate = kInvalidTermId;
+    TermId object = kInvalidTermId;
+  };
+
+  /// Invokes `fn` for every triple matching `pattern`. Returns the number of
+  /// matches. If `fn` returns false, the scan stops early (the count then
+  /// reflects triples visited). Requires Finalize().
+  std::size_t Scan(const Pattern& pattern,
+                   const std::function<bool(const Triple&)>& fn) const;
+
+  /// Number of triples matching `pattern`. Requires Finalize().
+  std::size_t Count(const Pattern& pattern) const;
+
+  /// True if the exact triple is present. Requires Finalize().
+  bool Contains(const Triple& triple) const;
+
+  /// Number of triples with the given predicate (used by the query
+  /// evaluator's selectivity ordering). Requires Finalize().
+  std::size_t PredicateCardinality(TermId predicate) const;
+
+  /// Per-predicate statistics for the evaluator's join planning: the average
+  /// number of triples per distinct subject (object) under this predicate —
+  /// the expected fan-out once the subject (object) variable is bound.
+  /// Returns 1.0 for unknown predicates. Requires Finalize().
+  double AvgTriplesPerSubject(TermId predicate) const;
+  double AvgTriplesPerObject(TermId predicate) const;
+
+  /// Approximate heap footprint in bytes.
+  std::size_t MemoryUsageBytes() const;
+
+ private:
+  enum class Order { kSpo, kPos, kOsp };
+
+  /// Picks the cheapest permutation for a pattern and returns the contiguous
+  /// [begin, end) range of matching positions in that permutation.
+  void SeekRange(const Pattern& pattern, Order* order, std::size_t* begin,
+                 std::size_t* end) const;
+
+  const Triple& TripleAt(Order order, std::size_t pos) const;
+
+  struct PredicateStats {
+    double per_subject = 1.0;  // avg triples per distinct subject
+    double per_object = 1.0;   // avg triples per distinct object
+  };
+
+  std::vector<Triple> triples_;       // sorted (s, p, o) after Finalize
+  std::vector<std::uint32_t> pos_;    // permutation sorted by (p, o, s)
+  std::vector<std::uint32_t> osp_;    // permutation sorted by (o, s, p)
+  std::unordered_map<TermId, PredicateStats> predicate_stats_;
+  bool finalized_ = false;
+};
+
+}  // namespace grasp::rdf
+
+#endif  // GRASP_RDF_TRIPLE_STORE_H_

@@ -1,0 +1,146 @@
+#ifndef GRASP_SUMMARY_AUGMENTED_GRAPH_H_
+#define GRASP_SUMMARY_AUGMENTED_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/filter_op.h"
+#include "common/hash.h"
+#include "keyword/keyword_index.h"
+#include "summary/summary_graph.h"
+
+namespace grasp::summary {
+
+/// Uniform address for a graph element: exploration (Alg. 1) walks vertices
+/// *and* edges, since keywords may map to either. The high bit tags edges.
+class ElementId {
+ public:
+  ElementId() : raw_(0xffffffffu) {}
+
+  static ElementId Node(NodeId id) { return ElementId(id); }
+  static ElementId Edge(EdgeId id) { return ElementId(id | kEdgeBit); }
+
+  bool valid() const { return raw_ != 0xffffffffu; }
+  bool is_edge() const { return (raw_ & kEdgeBit) != 0 && valid(); }
+  bool is_node() const { return valid() && !is_edge(); }
+  std::uint32_t index() const { return raw_ & ~kEdgeBit; }
+  std::uint32_t raw() const { return raw_; }
+
+  friend bool operator==(ElementId a, ElementId b) { return a.raw_ == b.raw_; }
+  friend bool operator<(ElementId a, ElementId b) { return a.raw_ < b.raw_; }
+
+ private:
+  explicit ElementId(std::uint32_t raw) : raw_(raw) {}
+  static constexpr std::uint32_t kEdgeBit = 0x80000000u;
+  std::uint32_t raw_;
+};
+
+struct ElementIdHash {
+  std::size_t operator()(ElementId id) const {
+    return std::hash<std::uint32_t>{}(id.raw());
+  }
+};
+
+/// A keyword element: a graph element together with its matching score.
+struct ScoredElement {
+  ElementId element;
+  double score = 1.0;  ///< sm(n) in (0, 1]
+};
+
+/// The augmented summary graph G'_K of Definition 5: a per-query copy of the
+/// summary graph extended with
+///  - the keyword-matching V-vertices, connected to the classes of their
+///    subjects through the corresponding A-edges, and
+///  - for keyword-matching A-edge labels, an A-edge to a fresh artificial
+///    `value` node per class context (Def. 5, rule 2 — the free-variable
+///    interpretation); every concrete same-label edge added by the first
+///    rule is additionally registered as an occurrence of the label keyword,
+///    so the exploration can merge "attribute" and "value" keywords into a
+///    single edge.
+///
+/// The graph also records, per input keyword, the set K_i of keyword
+/// elements with their matching scores, and per element the best score
+/// (used by cost model C3).
+class AugmentedGraph {
+ public:
+  /// Builds the augmentation. `keyword_matches[i]` is the Lookup() result
+  /// for keyword i. The base summary graph must outlive the result.
+  static AugmentedGraph Build(
+      const SummaryGraph& base,
+      const std::vector<std::vector<keyword::KeywordMatch>>& keyword_matches);
+
+  AugmentedGraph(const AugmentedGraph&) = delete;
+  AugmentedGraph& operator=(const AugmentedGraph&) = delete;
+  AugmentedGraph(AugmentedGraph&&) = default;
+  AugmentedGraph& operator=(AugmentedGraph&&) = default;
+
+  const std::vector<SummaryNode>& nodes() const { return nodes_; }
+  const std::vector<SummaryEdge>& edges() const { return edges_; }
+  const SummaryNode& node(NodeId id) const { return nodes_[id]; }
+  const SummaryEdge& edge(EdgeId id) const { return edges_[id]; }
+
+  /// All edges touching a node (undirected incidence; exploration follows
+  /// incoming and outgoing edges alike).
+  std::span<const EdgeId> IncidentEdges(NodeId node) const;
+
+  /// K_i per keyword (deduplicated, best score kept).
+  const std::vector<std::vector<ScoredElement>>& keyword_elements() const {
+    return keyword_elements_;
+  }
+  std::size_t num_keywords() const { return keyword_elements_.size(); }
+
+  /// Best matching score sm(n) of an element; 1.0 for non-keyword elements.
+  double MatchScore(ElementId element) const;
+
+  /// Filter-operator extension (Sec. IX): the comparison an artificial node
+  /// carries when it was introduced by an operator keyword such as ">2000";
+  /// nullptr for ordinary nodes. The query mapping turns it into a FILTER
+  /// condition on the node's variable.
+  const FilterSpec* FilterOf(NodeId node) const {
+    auto it = filter_of_node_.find(node);
+    return it == filter_of_node_.end() ? nullptr : &it->second;
+  }
+
+  /// Popularity denominators inherited from the summary graph.
+  std::uint64_t total_entities() const { return total_entities_; }
+  std::uint64_t total_relation_edges() const { return total_relation_edges_; }
+
+  std::size_t num_elements() const { return nodes_.size() + edges_.size(); }
+
+  /// Human-readable element description (for logging and examples).
+  std::string DebugString(ElementId element,
+                          const rdf::Dictionary& dictionary) const;
+
+ private:
+  AugmentedGraph() = default;
+
+  NodeId GetOrAddValueNode(rdf::TermId value_term);
+  EdgeId GetOrAddAttributeEdge(rdf::TermId label, NodeId from, NodeId to,
+                               std::uint64_t agg_count);
+  void SetScore(ElementId element, double score);
+  void BuildAdjacency();
+
+  std::vector<SummaryNode> nodes_;
+  std::vector<SummaryEdge> edges_;
+  std::unordered_map<rdf::TermId, NodeId> class_node_of_term_;
+  std::unordered_map<rdf::TermId, NodeId> value_node_of_term_;
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, EdgeId, PairHash>
+      attribute_edge_ids_;
+  std::vector<double> node_scores_, edge_scores_;
+  /// Marks elements whose score was explicitly set (distinguishes "no match
+  /// yet" from a genuine exact match of score 1.0).
+  std::vector<bool> node_scored_, edge_scored_;
+  std::vector<std::vector<ScoredElement>> keyword_elements_;
+  std::unordered_map<NodeId, FilterSpec> filter_of_node_;
+  std::vector<std::uint32_t> incident_offsets_;
+  std::vector<EdgeId> incident_edges_;
+  std::uint64_t total_entities_ = 0;
+  std::uint64_t total_relation_edges_ = 0;
+};
+
+}  // namespace grasp::summary
+
+#endif  // GRASP_SUMMARY_AUGMENTED_GRAPH_H_

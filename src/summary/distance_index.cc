@@ -1,0 +1,60 @@
+#include "summary/distance_index.h"
+
+#include <deque>
+
+namespace grasp::summary {
+
+KeywordDistanceIndex KeywordDistanceIndex::Build(const AugmentedGraph& graph) {
+  KeywordDistanceIndex index(graph.nodes().size());
+  const std::size_t num_elements = graph.num_elements();
+  index.distances_.reserve(graph.num_keywords());
+
+  for (std::size_t kw = 0; kw < graph.num_keywords(); ++kw) {
+    std::vector<std::uint32_t> dist(num_elements, kUnreachable);
+    std::deque<ElementId> frontier;
+    for (const ScoredElement& se : graph.keyword_elements()[kw]) {
+      const std::size_t at = index.DenseIndex(se.element);
+      if (dist[at] == 0) continue;  // duplicate source
+      dist[at] = 0;
+      frontier.push_back(se.element);
+    }
+    while (!frontier.empty()) {
+      const ElementId current = frontier.front();
+      frontier.pop_front();
+      const std::uint32_t d = dist[index.DenseIndex(current)];
+      auto relax = [&](ElementId neighbor) {
+        std::uint32_t& slot = dist[index.DenseIndex(neighbor)];
+        if (slot != kUnreachable) return;
+        slot = d + 1;
+        frontier.push_back(neighbor);
+      };
+      if (current.is_node()) {
+        for (EdgeId e : graph.IncidentEdges(current.index())) {
+          relax(ElementId::Edge(e));
+        }
+      } else {
+        const SummaryEdge& e = graph.edge(current.index());
+        relax(ElementId::Node(e.from));
+        if (e.to != e.from) relax(ElementId::Node(e.to));
+      }
+    }
+    index.distances_.push_back(std::move(dist));
+  }
+  return index;
+}
+
+bool KeywordDistanceIndex::CanStillConnect(std::size_t cursor_keyword,
+                                           ElementId element,
+                                           std::uint32_t cursor_distance,
+                                           std::uint32_t dmax) const {
+  if (cursor_distance > dmax) return false;
+  const std::uint32_t budget = (dmax - cursor_distance) + dmax;
+  for (std::size_t j = 0; j < distances_.size(); ++j) {
+    if (j == cursor_keyword) continue;
+    const std::uint32_t d = distances_[j][DenseIndex(element)];
+    if (d == kUnreachable || d > budget) return false;
+  }
+  return true;
+}
+
+}  // namespace grasp::summary

@@ -1,0 +1,68 @@
+#ifndef GRASP_SUMMARY_DISTANCE_INDEX_H_
+#define GRASP_SUMMARY_DISTANCE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "summary/augmented_graph.h"
+
+namespace grasp::summary {
+
+/// Per-keyword hop distances on the augmented summary graph — the
+/// "indexing connectivity for further speed up" the paper leaves as future
+/// work (Sec. IX), restricted to what stays sound with query-specific costs
+/// (Sec. VI-A: distance information applies to query-independent parts
+/// only).
+///
+/// For every keyword i and every element n (node or edge), `Distance(i, n)`
+/// is the minimum number of exploration steps — elements visited after n —
+/// needed to reach some element of K_i from n, walking node↔incident-edge
+/// adjacency exactly like the cursor exploration does. A keyword element of
+/// K_i has distance 0.
+///
+/// The exploration uses these distances as an admissible reachability test:
+/// a cursor of keyword i at element n with path distance d can contribute a
+/// matching subgraph only if every other keyword j can still meet one of
+/// its paths at a connecting element, which requires
+///     Distance(j, n) <= (dmax - d) + dmax
+/// (the cursor walks at most dmax - d further; j's path is at most dmax
+/// long). Cursors violating the test for any j are pruned without affecting
+/// the top-k result.
+class KeywordDistanceIndex {
+ public:
+  static constexpr std::uint32_t kUnreachable = 0xffffffffu;
+
+  /// Runs one multi-source BFS per keyword. O(|K| * (nodes + edges)).
+  static KeywordDistanceIndex Build(const AugmentedGraph& graph);
+
+  /// Hops from element `n` to the nearest element of keyword `i`.
+  std::uint32_t Distance(std::size_t keyword, ElementId element) const {
+    return distances_[keyword][DenseIndex(element)];
+  }
+
+  /// True when a cursor of `keyword` at `element` with path distance
+  /// `cursor_distance` can still take part in some matching subgraph of
+  /// radius `dmax`, as far as every *other* keyword's reachability is
+  /// concerned.
+  bool CanStillConnect(std::size_t cursor_keyword, ElementId element,
+                       std::uint32_t cursor_distance,
+                       std::uint32_t dmax) const;
+
+  std::size_t num_keywords() const { return distances_.size(); }
+
+ private:
+  explicit KeywordDistanceIndex(std::size_t num_nodes)
+      : num_nodes_(num_nodes) {}
+
+  std::size_t DenseIndex(ElementId element) const {
+    return element.is_edge() ? num_nodes_ + element.index() : element.index();
+  }
+
+  std::size_t num_nodes_ = 0;
+  /// distances_[keyword][dense element index] in exploration hops.
+  std::vector<std::vector<std::uint32_t>> distances_;
+};
+
+}  // namespace grasp::summary
+
+#endif  // GRASP_SUMMARY_DISTANCE_INDEX_H_

@@ -1,0 +1,119 @@
+#include "summary/summary_graph.h"
+
+#include <map>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace grasp::summary {
+
+SummaryGraph SummaryGraph::Build(const rdf::DataGraph& graph) {
+  SummaryGraph s;
+  s.total_entities_ = graph.NumEntities();
+
+  // One node per class vertex, in data-graph order (deterministic).
+  for (const rdf::Vertex& v : graph.vertices()) {
+    if (v.kind != rdf::VertexKind::kClass) continue;
+    const NodeId id = static_cast<NodeId>(s.nodes_.size());
+    s.nodes_.push_back(SummaryNode{v.term, NodeKind::kClass, 0});
+    s.node_of_term_.emplace(v.term, id);
+  }
+
+  // Aggregation targets of an endpoint vertex: its classes, or Thing.
+  bool needs_thing = false;
+  auto endpoint_nodes = [&](rdf::VertexId v,
+                            std::vector<NodeId>* out) -> bool {
+    out->clear();
+    const rdf::Vertex& vertex = graph.vertex(v);
+    if (vertex.kind == rdf::VertexKind::kClass) {
+      out->push_back(s.node_of_term_.at(vertex.term));
+      return true;
+    }
+    if (vertex.kind == rdf::VertexKind::kValue) return false;
+    for (rdf::VertexId c : graph.ClassesOf(v)) {
+      out->push_back(s.node_of_term_.at(graph.vertex(c).term));
+    }
+    if (out->empty()) {
+      needs_thing = true;
+      out->push_back(kInvalidNodeId);  // patched to the Thing node below
+    }
+    return true;
+  };
+
+  // First sweep: count |v_agg| per class and detect untyped entities.
+  for (const rdf::Vertex& v : graph.vertices()) {
+    if (v.kind != rdf::VertexKind::kEntity) continue;
+    auto classes = graph.ClassesOf(graph.VertexOf(v.term));
+    if (classes.empty()) {
+      needs_thing = true;
+    } else {
+      for (rdf::VertexId c : classes) {
+        ++s.nodes_[s.node_of_term_.at(graph.vertex(c).term)].agg_count;
+      }
+    }
+  }
+  if (needs_thing) {
+    s.thing_node_ = static_cast<NodeId>(s.nodes_.size());
+    std::uint64_t untyped = 0;
+    for (const rdf::Vertex& v : graph.vertices()) {
+      if (v.kind == rdf::VertexKind::kEntity &&
+          graph.ClassesOf(graph.VertexOf(v.term)).empty()) {
+        ++untyped;
+      }
+    }
+    s.nodes_.push_back(SummaryNode{rdf::kThingTerm, NodeKind::kThing, untyped});
+    s.node_of_term_.emplace(rdf::kThingTerm, s.thing_node_);
+  }
+
+  // Project R-edges and subclass edges onto class nodes, aggregating counts.
+  std::map<std::tuple<rdf::TermId, NodeId, NodeId>,
+           std::pair<SummaryEdgeKind, std::uint64_t>>
+      aggregated;
+  std::vector<NodeId> from_nodes, to_nodes;
+  for (const rdf::Edge& e : graph.edges()) {
+    if (e.kind == rdf::EdgeKind::kAttribute || e.kind == rdf::EdgeKind::kType) {
+      continue;  // A-edges join only via augmentation; type edges define [[v']]
+    }
+    if (e.kind == rdf::EdgeKind::kRelation) {
+      s.total_relation_edges_ += 1;
+      if (!endpoint_nodes(e.from, &from_nodes) ||
+          !endpoint_nodes(e.to, &to_nodes)) {
+        continue;
+      }
+      for (NodeId f : from_nodes) {
+        if (f == kInvalidNodeId) f = s.thing_node_;
+        for (NodeId t : to_nodes) {
+          if (t == kInvalidNodeId) t = s.thing_node_;
+          auto& slot = aggregated[{e.label, f, t}];
+          slot.first = SummaryEdgeKind::kRelation;
+          ++slot.second;
+        }
+      }
+    } else {  // subclass
+      const NodeId f = s.node_of_term_.at(graph.vertex(e.from).term);
+      const NodeId t = s.node_of_term_.at(graph.vertex(e.to).term);
+      auto& slot = aggregated[{e.label, f, t}];
+      slot.first = SummaryEdgeKind::kSubclass;
+      ++slot.second;
+    }
+  }
+  for (const auto& [key, value] : aggregated) {
+    const auto& [label, from, to] = key;
+    s.edges_.push_back(SummaryEdge{label, from, to, value.first, value.second});
+  }
+  return s;
+}
+
+NodeId SummaryGraph::NodeOfTerm(rdf::TermId term) const {
+  auto it = node_of_term_.find(term);
+  return it == node_of_term_.end() ? kInvalidNodeId : it->second;
+}
+
+std::size_t SummaryGraph::MemoryUsageBytes() const {
+  return nodes_.capacity() * sizeof(SummaryNode) +
+         edges_.capacity() * sizeof(SummaryEdge) +
+         node_of_term_.size() *
+             (sizeof(rdf::TermId) + sizeof(NodeId) + 2 * sizeof(void*));
+}
+
+}  // namespace grasp::summary

@@ -1,0 +1,99 @@
+#ifndef GRASP_SUMMARY_SUMMARY_GRAPH_H_
+#define GRASP_SUMMARY_SUMMARY_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/data_graph.h"
+
+namespace grasp::summary {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+inline constexpr NodeId kInvalidNodeId = 0xffffffffu;
+
+/// Node roles in the (augmented) summary graph.
+enum class NodeKind : std::uint8_t {
+  kClass = 0,      ///< C-vertex carried over from the data graph
+  kThing = 1,      ///< aggregation of all untyped entities (Def. 4)
+  kValue = 2,      ///< V-vertex added by augmentation (Def. 5, rule 1)
+  kArtificial = 3, ///< artificial `value` node (Def. 5, rule 2)
+};
+
+enum class SummaryEdgeKind : std::uint8_t {
+  kRelation = 0,
+  kSubclass = 1,
+  kAttribute = 2,  ///< only present after augmentation
+};
+
+struct SummaryNode {
+  /// Class term, literal term (kValue), rdf::kThingTerm, or kInvalidTermId
+  /// for artificial nodes.
+  rdf::TermId term = rdf::kInvalidTermId;
+  NodeKind kind = NodeKind::kClass;
+  /// |v_agg|: number of data-graph E-vertices this node aggregates (the
+  /// popularity numerator of cost model C2). 1 for augmented nodes.
+  std::uint64_t agg_count = 1;
+};
+
+struct SummaryEdge {
+  rdf::TermId label = rdf::kInvalidTermId;
+  NodeId from = kInvalidNodeId;
+  NodeId to = kInvalidNodeId;
+  SummaryEdgeKind kind = SummaryEdgeKind::kRelation;
+  /// |e_agg|: number of data-graph edges this summary edge aggregates.
+  std::uint64_t agg_count = 1;
+};
+
+/// The summary graph G' of Definition 4: one node per class plus `Thing`,
+/// edges e(c1, c2) whenever some data edge e(v1, v2) exists with v1 of type
+/// c1 and v2 of type c2 (projected over all class combinations), plus the
+/// `subclass` hierarchy. Aggregation counts are retained for the popularity
+/// cost of Sec. V.
+///
+/// The summary is a *schema extracted from the data*: for every path in the
+/// data graph there is at least one path here (tested as a property).
+class SummaryGraph {
+ public:
+  /// Builds the summary of `graph`. A `Thing` node is created only when
+  /// untyped entities exist.
+  static SummaryGraph Build(const rdf::DataGraph& graph);
+
+  SummaryGraph(const SummaryGraph&) = delete;
+  SummaryGraph& operator=(const SummaryGraph&) = delete;
+  SummaryGraph(SummaryGraph&&) = default;
+  SummaryGraph& operator=(SummaryGraph&&) = default;
+
+  const std::vector<SummaryNode>& nodes() const { return nodes_; }
+  const std::vector<SummaryEdge>& edges() const { return edges_; }
+
+  /// Node for a class term (or rdf::kThingTerm); kInvalidNodeId if absent.
+  NodeId NodeOfTerm(rdf::TermId term) const;
+
+  NodeId thing_node() const { return thing_node_; }
+
+  /// Total number of E-vertices (resp. R-edges) in the underlying data
+  /// graph: the popularity denominators of cost model C2.
+  std::uint64_t total_entities() const { return total_entities_; }
+  std::uint64_t total_relation_edges() const { return total_relation_edges_; }
+
+  /// Approximate heap footprint in bytes (Fig. 6b graph-index size).
+  std::size_t MemoryUsageBytes() const;
+
+ private:
+  friend class AugmentedGraph;
+  SummaryGraph() = default;
+
+  std::vector<SummaryNode> nodes_;
+  std::vector<SummaryEdge> edges_;
+  std::unordered_map<rdf::TermId, NodeId> node_of_term_;
+  NodeId thing_node_ = kInvalidNodeId;
+  std::uint64_t total_entities_ = 0;
+  std::uint64_t total_relation_edges_ = 0;
+};
+
+}  // namespace grasp::summary
+
+#endif  // GRASP_SUMMARY_SUMMARY_GRAPH_H_

@@ -1,0 +1,200 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "text/levenshtein.h"
+
+namespace grasp::text {
+
+InvertedIndex::TermIdx InvertedIndex::InternTerm(const std::string& term) {
+  auto it = term_ids_.find(term);
+  if (it != term_ids_.end()) return it->second;
+  const TermIdx idx = static_cast<TermIdx>(term_texts_.size());
+  term_ids_.emplace(term, idx);
+  term_texts_.push_back(term);
+  postings_.emplace_back();
+  return idx;
+}
+
+InvertedIndex::DocId InvertedIndex::AddDocument(std::string_view label) {
+  GRASP_CHECK(!finalized_) << "AddDocument after Finalize";
+  const DocId doc = static_cast<DocId>(doc_term_counts_.size());
+  std::vector<std::string> terms = Analyze(label, analyzer_options_);
+  // The label length used by the coverage factor excludes the synthetic
+  // compound term, which exists only as an extra way to hit the label.
+  AnalyzerOptions without_compound = analyzer_options_;
+  without_compound.emit_compound = false;
+  doc_term_counts_.push_back(static_cast<std::uint32_t>(
+      Analyze(label, without_compound).size()));
+  // Aggregate term frequencies within the label.
+  std::sort(terms.begin(), terms.end());
+  for (std::size_t i = 0; i < terms.size();) {
+    std::size_t j = i;
+    while (j < terms.size() && terms[j] == terms[i]) ++j;
+    const TermIdx idx = InternTerm(terms[i]);
+    postings_[idx].push_back(
+        Posting{doc, static_cast<std::uint32_t>(j - i)});
+    i = j;
+  }
+  return doc;
+}
+
+void InvertedIndex::Finalize() {
+  if (finalized_) return;
+  std::size_t max_len = 0;
+  for (const std::string& t : term_texts_) max_len = std::max(max_len, t.size());
+  length_buckets_.assign(max_len + 1, {});
+  for (TermIdx i = 0; i < term_texts_.size(); ++i) {
+    length_buckets_[term_texts_[i].size()].push_back(i);
+  }
+  finalized_ = true;
+}
+
+double InvertedIndex::TermWeight(TermIdx term,
+                                 const SearchOptions& options) const {
+  if (!options.use_idf) return 1.0;
+  const double n = static_cast<double>(std::max<std::size_t>(1, num_documents()));
+  const double df = static_cast<double>(postings_[term].size());
+  // Mild IDF in (0.5, 1]: discriminative terms score higher without letting
+  // frequency dominate the syntactic/semantic similarity.
+  const double idf = std::log(1.0 + n / df) / std::log(1.0 + n);
+  return 0.5 + 0.5 * idf;
+}
+
+void InvertedIndex::CollectCandidates(const std::string& token,
+                                      const SearchOptions& options,
+                                      std::vector<Candidate>* candidates) const {
+  auto add = [&](TermIdx term, double similarity) {
+    if (similarity < options.min_similarity) return;
+    for (Candidate& c : *candidates) {
+      if (c.term == term) {
+        c.similarity = std::max(c.similarity, similarity);
+        return;
+      }
+    }
+    candidates->push_back(Candidate{term, similarity});
+  };
+
+  // 1) Exact vocabulary match.
+  auto exact = term_ids_.find(token);
+  if (exact != term_ids_.end()) add(exact->second, 1.0);
+
+  // 2) Semantic expansion via the thesaurus (WordNet stand-in).
+  if (options.thesaurus != nullptr) {
+    for (const Thesaurus::Entry& entry : options.thesaurus->Lookup(token)) {
+      auto it = term_ids_.find(entry.term);
+      if (it != term_ids_.end()) add(it->second, entry.weight);
+    }
+  }
+
+  // 3) Syntactic (fuzzy) matching over the vocabulary, banded by length.
+  if (options.fuzzy && !token.empty()) {
+    const std::size_t len = token.size();
+    const std::size_t max_dist =
+        std::min(options.max_edit_distance, len / 3);
+    if (max_dist > 0) {
+      const std::size_t lo = len > max_dist ? len - max_dist : 1;
+      const std::size_t hi =
+          std::min(length_buckets_.empty() ? 0 : length_buckets_.size() - 1,
+                   len + max_dist);
+      for (std::size_t l = lo; l <= hi; ++l) {
+        for (TermIdx term : length_buckets_[l]) {
+          const std::size_t dist =
+              BoundedLevenshtein(token, term_texts_[term], max_dist);
+          if (dist == 0 || dist > max_dist) continue;
+          const double sim =
+              1.0 - static_cast<double>(dist) /
+                        static_cast<double>(std::max(len, l));
+          add(term, sim);
+        }
+      }
+    }
+  }
+}
+
+std::vector<InvertedIndex::Hit> InvertedIndex::Search(
+    std::string_view keyword, const SearchOptions& options) const {
+  GRASP_CHECK(finalized_) << "Search before Finalize";
+  // Queries never emit the synthetic compound term: it would dilute the
+  // per-token average for multi-word keywords. Compounds exist on the
+  // document side only, where single-word queries can still hit them.
+  AnalyzerOptions query_options = analyzer_options_;
+  query_options.emit_compound = false;
+  const std::vector<std::string> tokens = Analyze(keyword, query_options);
+  if (tokens.empty()) return {};
+
+  // doc -> (summed best-per-token score, number of matched tokens).
+  struct DocScore {
+    double sum = 0.0;
+    std::uint32_t matched = 0;
+  };
+  std::unordered_map<DocId, DocScore> scores;
+  std::vector<Candidate> candidates;
+  std::unordered_map<DocId, double> token_best;
+  for (const std::string& token : tokens) {
+    candidates.clear();
+    CollectCandidates(token, options, &candidates);
+    token_best.clear();
+    for (const Candidate& c : candidates) {
+      const double weight = c.similarity * TermWeight(c.term, options);
+      for (const Posting& p : postings_[c.term]) {
+        double& best = token_best[p.doc];
+        best = std::max(best, weight);
+      }
+    }
+    for (const auto& [doc, best] : token_best) {
+      DocScore& ds = scores[doc];
+      ds.sum += best;
+      ++ds.matched;
+    }
+  }
+
+  std::vector<Hit> hits;
+  hits.reserve(scores.size());
+  const double denom = static_cast<double>(tokens.size());
+  for (const auto& [doc, ds] : scores) {
+    // The relevance filter uses the raw per-token average; the coverage
+    // factor then discounts hits that touch only a fraction of a long label
+    // so that e.g. a three-word title outranks a six-word one for the same
+    // single-keyword hit.
+    const double raw = ds.sum / denom;
+    if (raw >= options.min_similarity || (tokens.size() > 1 && raw > 0.0)) {
+      double score = raw;
+      if (options.length_normalize) {
+        const double label_len = static_cast<double>(
+            std::max<std::uint32_t>(1, doc_term_counts_[doc]));
+        score *= std::min(
+            1.0, std::sqrt(static_cast<double>(ds.matched) / label_len));
+      }
+      hits.push_back(Hit{doc, std::min(1.0, score)});
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  if (options.max_results > 0 && hits.size() > options.max_results) {
+    hits.resize(options.max_results);
+  }
+  return hits;
+}
+
+std::size_t InvertedIndex::MemoryUsageBytes() const {
+  std::size_t bytes = 0;
+  for (const std::string& t : term_texts_) {
+    bytes += sizeof(std::string) + t.capacity();
+  }
+  bytes += term_ids_.size() * (sizeof(TermIdx) + 2 * sizeof(void*) + 16);
+  for (const auto& plist : postings_) {
+    bytes += sizeof(plist) + plist.capacity() * sizeof(Posting);
+  }
+  bytes += doc_term_counts_.capacity() * sizeof(std::uint32_t);
+  for (const auto& bucket : length_buckets_) {
+    bytes += sizeof(bucket) + bucket.capacity() * sizeof(TermIdx);
+  }
+  return bytes;
+}
+
+}  // namespace grasp::text

@@ -1,0 +1,114 @@
+#ifndef GRASP_TEXT_INVERTED_INDEX_H_
+#define GRASP_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/thesaurus.h"
+#include "text/tokenizer.h"
+
+namespace grasp::text {
+
+/// A small IR engine over short labels: the functional replacement for the
+/// paper's use of Lucene (Sec. IV-A). Documents are element labels; search
+/// combines exact term matching, thesaurus expansion (semantic similarity)
+/// and Levenshtein-based fuzzy matching (syntactic similarity) into one
+/// score per document in (0, 1].
+class InvertedIndex {
+ public:
+  using DocId = std::uint32_t;
+
+  explicit InvertedIndex(AnalyzerOptions options = {})
+      : analyzer_options_(options) {}
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+
+  /// Adds a label; returns its document id (dense, starting at 0). Must not
+  /// be called after Finalize().
+  DocId AddDocument(std::string_view label);
+
+  /// Freezes the index: sorts postings and builds the fuzzy-scan length
+  /// buckets. Idempotent.
+  void Finalize();
+
+  struct SearchOptions {
+    /// Enables the Levenshtein vocabulary scan.
+    bool fuzzy = true;
+    /// Hard cap on edit distance; the effective cap also shrinks for short
+    /// tokens (min(max_edit_distance, token_len / 3)).
+    std::size_t max_edit_distance = 2;
+    /// Candidate terms below this similarity are dropped.
+    double min_similarity = 0.55;
+    /// Optional semantic expansion table; nullptr disables it.
+    const Thesaurus* thesaurus = nullptr;
+    /// Weighs rarer terms higher (the paper's suggested TF/IDF adoption).
+    bool use_idf = true;
+    /// Discounts long labels: a single-token hit on a three-word title
+    /// scores higher than the same hit on a six-word title (the coverage
+    /// factor sqrt(matched tokens / label length), capped at 1).
+    bool length_normalize = true;
+    /// 0 = unlimited.
+    std::size_t max_results = 0;
+  };
+
+  struct Hit {
+    DocId doc;
+    double score;  ///< in (0, 1]
+  };
+
+  /// Scores documents against a (possibly multi-token) keyword. A document's
+  /// score averages its per-token best similarity; tokens without any match
+  /// contribute 0, so partial matches are penalized proportionally. Results
+  /// are sorted by descending score. Requires Finalize().
+  std::vector<Hit> Search(std::string_view keyword,
+                          const SearchOptions& options) const;
+  std::vector<Hit> Search(std::string_view keyword) const {
+    return Search(keyword, SearchOptions{});
+  }
+
+  std::size_t num_documents() const { return doc_term_counts_.size(); }
+  std::size_t vocabulary_size() const { return term_texts_.size(); }
+  const AnalyzerOptions& analyzer_options() const { return analyzer_options_; }
+
+  /// Approximate heap footprint in bytes (Fig. 6b keyword-index size).
+  std::size_t MemoryUsageBytes() const;
+
+ private:
+  using TermIdx = std::uint32_t;
+
+  struct Posting {
+    DocId doc;
+    std::uint32_t tf;
+  };
+
+  /// Candidate vocabulary term matched by one query token.
+  struct Candidate {
+    TermIdx term;
+    double similarity;
+  };
+
+  TermIdx InternTerm(const std::string& term);
+  void CollectCandidates(const std::string& token,
+                         const SearchOptions& options,
+                         std::vector<Candidate>* candidates) const;
+  double TermWeight(TermIdx term, const SearchOptions& options) const;
+
+  AnalyzerOptions analyzer_options_;
+  std::unordered_map<std::string, TermIdx> term_ids_;
+  std::vector<std::string> term_texts_;
+  std::vector<std::vector<Posting>> postings_;
+  std::vector<std::uint32_t> doc_term_counts_;
+  /// term indexes bucketed by term length, for the banded fuzzy scan.
+  std::vector<std::vector<TermIdx>> length_buckets_;
+  bool finalized_ = false;
+};
+
+}  // namespace grasp::text
+
+#endif  // GRASP_TEXT_INVERTED_INDEX_H_

@@ -1,0 +1,45 @@
+#include "text/levenshtein.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace grasp::text {
+
+std::size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  return BoundedLevenshtein(a, b, std::max(a.size(), b.size()));
+}
+
+std::size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                               std::size_t limit) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const std::size_t m = a.size(), n = b.size();
+  if (n - m > limit) return limit + 1;
+  if (m == 0) return n;
+
+  // One-row DP with a band of width 2*limit+1.
+  std::vector<std::size_t> row(m + 1);
+  for (std::size_t i = 0; i <= m; ++i) row[i] = i;
+  for (std::size_t j = 1; j <= n; ++j) {
+    std::size_t prev_diag = row[0];  // dp[j-1][0]
+    row[0] = j;
+    std::size_t row_min = row[0];
+    for (std::size_t i = 1; i <= m; ++i) {
+      const std::size_t up = row[i];  // dp[j-1][i]
+      const std::size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[i] = std::min({row[i - 1] + 1, up + 1, prev_diag + cost});
+      prev_diag = up;
+      row_min = std::min(row_min, row[i]);
+    }
+    if (row_min > limit) return limit + 1;
+  }
+  return row[m];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  const std::size_t dist = LevenshteinDistance(a, b);
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+}
+
+}  // namespace grasp::text

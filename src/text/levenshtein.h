@@ -1,0 +1,25 @@
+#ifndef GRASP_TEXT_LEVENSHTEIN_H_
+#define GRASP_TEXT_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace grasp::text {
+
+/// Classic Levenshtein edit distance (insert/delete/substitute, unit costs).
+std::size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Banded variant: returns the distance if it is <= `limit`, otherwise any
+/// value > `limit` (early exit). Used for fuzzy vocabulary scans where only
+/// small distances matter.
+std::size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                               std::size_t limit);
+
+/// Similarity in [0, 1]: 1 - distance / max(|a|, |b|); 1.0 for two empty
+/// strings. This is the syntactic component of the paper's matching score
+/// sm(n).
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace grasp::text
+
+#endif  // GRASP_TEXT_LEVENSHTEIN_H_

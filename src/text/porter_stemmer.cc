@@ -1,0 +1,292 @@
+#include "text/porter_stemmer.h"
+
+namespace grasp::text {
+namespace {
+
+// Direct adaptation of Porter's reference algorithm (1980). `w` holds the
+// word; `k` is the index of its current last character; `j` marks the stem
+// end set by Ends().
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word) : w_(word), k_(static_cast<int>(word.size()) - 1) {}
+
+  std::string Run() {
+    if (k_ <= 1) return w_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return w_.substr(0, static_cast<std::size_t>(k_ + 1));
+  }
+
+ private:
+  bool IsConsonant(int i) const {
+    switch (w_[static_cast<std::size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Number of consonant-vowel sequences in w[0..j].
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (w_[static_cast<std::size_t>(i)] != w_[static_cast<std::size_t>(i - 1)]) return false;
+    return IsConsonant(i);
+  }
+
+  // consonant - vowel - consonant, where the final consonant is not w, x, y.
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    const char c = w_[static_cast<std::size_t>(i)];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool Ends(std::string_view suffix) {
+    const int len = static_cast<int>(suffix.size());
+    if (len > k_ + 1) return false;
+    if (w_.compare(static_cast<std::size_t>(k_ - len + 1), static_cast<std::size_t>(len),
+                   suffix) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  void SetTo(std::string_view replacement) {
+    w_.replace(static_cast<std::size_t>(j_ + 1), static_cast<std::size_t>(k_ - j_),
+               replacement);
+    k_ = j_ + static_cast<int>(replacement.size());
+  }
+
+  void ReplaceIfStem(std::string_view replacement) {
+    if (Measure() > 0) SetTo(replacement);
+  }
+
+  void Step1ab() {
+    if (w_[static_cast<std::size_t>(k_)] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (k_ >= 1 && w_[static_cast<std::size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        --k_;
+        const char c = w_[static_cast<std::size_t>(k_)];
+        if (c == 'l' || c == 's' || c == 'z') ++k_;
+      } else if (Measure() == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) w_[static_cast<std::size_t>(k_)] = 'i';
+  }
+
+  void Step2() {
+    if (k_ < 1) return;
+    switch (w_[static_cast<std::size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfStem("ate"); break; }
+        if (Ends("tional")) { ReplaceIfStem("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfStem("ence"); break; }
+        if (Ends("anci")) { ReplaceIfStem("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfStem("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfStem("ble"); break; }
+        if (Ends("alli")) { ReplaceIfStem("al"); break; }
+        if (Ends("entli")) { ReplaceIfStem("ent"); break; }
+        if (Ends("eli")) { ReplaceIfStem("e"); break; }
+        if (Ends("ousli")) { ReplaceIfStem("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfStem("ize"); break; }
+        if (Ends("ation")) { ReplaceIfStem("ate"); break; }
+        if (Ends("ator")) { ReplaceIfStem("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfStem("al"); break; }
+        if (Ends("iveness")) { ReplaceIfStem("ive"); break; }
+        if (Ends("fulness")) { ReplaceIfStem("ful"); break; }
+        if (Ends("ousness")) { ReplaceIfStem("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfStem("al"); break; }
+        if (Ends("iviti")) { ReplaceIfStem("ive"); break; }
+        if (Ends("biliti")) { ReplaceIfStem("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfStem("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (w_[static_cast<std::size_t>(k_)]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfStem("ic"); break; }
+        if (Ends("ative")) { ReplaceIfStem(""); break; }
+        if (Ends("alize")) { ReplaceIfStem("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfStem("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfStem("ic"); break; }
+        if (Ends("ful")) { ReplaceIfStem(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfStem(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    if (k_ < 1) return;
+    switch (w_[static_cast<std::size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 &&
+            (w_[static_cast<std::size_t>(j_)] == 's' ||
+             w_[static_cast<std::size_t>(j_)] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) k_ = j_;
+  }
+
+  void Step5() {
+    j_ = k_;
+    if (w_[static_cast<std::size_t>(k_)] == 'e') {
+      const int a = Measure();
+      if (a > 1 || (a == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (w_[static_cast<std::size_t>(k_)] == 'l' && DoubleConsonant(k_) &&
+        Measure() > 1) {
+      --k_;
+    }
+  }
+
+  std::string w_;
+  int k_;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  return Stemmer(word).Run();
+}
+
+}  // namespace grasp::text

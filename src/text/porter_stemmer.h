@@ -1,0 +1,16 @@
+#ifndef GRASP_TEXT_PORTER_STEMMER_H_
+#define GRASP_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace grasp::text {
+
+/// Stems an English word with the classic Porter (1980) algorithm, the same
+/// stemmer standard IR engines (Lucene) ship. Input must be lower-case ASCII;
+/// words shorter than 3 characters are returned unchanged.
+std::string PorterStem(std::string_view word);
+
+}  // namespace grasp::text
+
+#endif  // GRASP_TEXT_PORTER_STEMMER_H_

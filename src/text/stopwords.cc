@@ -1,0 +1,28 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+#include <array>
+
+namespace grasp::text {
+namespace {
+
+// Sorted so std::binary_search applies. Kept deliberately small: over-eager
+// stopword removal hurts keyword search (queries are 1-4 words long).
+constexpr std::array<std::string_view, 44> kStopwords = {
+    "a",    "about", "after", "all",  "an",   "and",  "any",  "are",
+    "as",   "at",    "be",    "but",  "by",   "for",  "from", "had",
+    "has",  "have",  "he",    "her",  "his",  "if",   "in",   "into",
+    "is",   "it",    "its",   "no",   "not",  "of",   "on",   "or",
+    "such", "that",  "the",   "their", "then", "there", "these", "they",
+    "this", "to",    "was",   "with",
+};
+
+static_assert(std::is_sorted(kStopwords.begin(), kStopwords.end()));
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return std::binary_search(kStopwords.begin(), kStopwords.end(), word);
+}
+
+}  // namespace grasp::text

@@ -1,0 +1,15 @@
+#ifndef GRASP_TEXT_STOPWORDS_H_
+#define GRASP_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace grasp::text {
+
+/// True for common English function words that the analyzer drops before
+/// indexing (the paper's "removal of stopwords" preprocessing step). The
+/// check expects lower-cased input.
+bool IsStopword(std::string_view word);
+
+}  // namespace grasp::text
+
+#endif  // GRASP_TEXT_STOPWORDS_H_

@@ -1,0 +1,109 @@
+#include "text/thesaurus.h"
+
+#include "common/string_util.h"
+#include "text/porter_stemmer.h"
+
+namespace grasp::text {
+
+std::string Thesaurus::Normalize(std::string_view term) {
+  return PorterStem(ToLower(term));
+}
+
+void Thesaurus::AddDirected(std::string normalized_from,
+                            std::string normalized_to, Relation relation,
+                            double weight) {
+  if (normalized_from == normalized_to) return;
+  auto& entries = related_[std::move(normalized_from)];
+  for (Entry& e : entries) {
+    if (e.term == normalized_to) {
+      if (weight > e.weight) {
+        e.weight = weight;
+        e.relation = relation;
+      }
+      return;
+    }
+  }
+  entries.push_back(Entry{std::move(normalized_to), relation, weight});
+}
+
+void Thesaurus::AddSynonym(std::string_view a, std::string_view b,
+                           double weight) {
+  std::string na = Normalize(a), nb = Normalize(b);
+  AddDirected(na, nb, Relation::kSynonym, weight);
+  AddDirected(std::move(nb), std::move(na), Relation::kSynonym, weight);
+}
+
+void Thesaurus::AddHypernym(std::string_view narrow, std::string_view broad,
+                            double weight) {
+  std::string nn = Normalize(narrow), nb = Normalize(broad);
+  AddDirected(nn, nb, Relation::kHypernym, weight);
+  AddDirected(std::move(nb), std::move(nn), Relation::kHyponym, weight);
+}
+
+std::vector<Thesaurus::Entry> Thesaurus::Lookup(std::string_view term) const {
+  auto it = related_.find(Normalize(term));
+  if (it == related_.end()) return {};
+  return it->second;
+}
+
+Thesaurus Thesaurus::BuiltIn() {
+  Thesaurus t;
+  // Bibliographic domain (DBLP-like). Mirrors WordNet's *direct* (one-hop)
+  // relations only; multi-hop connections go through the intermediate term,
+  // as in the real lexicon. Notably, neither "article" nor "journal" has a
+  // direct WordNet edge to "publication" — adding one lets a single popular
+  // class node absorb whole keyword queries and drown the exact
+  // interpretations.
+  t.AddSynonym("publication", "paper");
+  t.AddSynonym("paper", "article");
+  t.AddSynonym("author", "writer");
+  t.AddSynonym("author", "creator");
+  t.AddSynonym("researcher", "scientist");
+  t.AddSynonym("institute", "institution");
+  t.AddSynonym("institute", "organization");
+  t.AddSynonym("organization", "organisation");
+  t.AddSynonym("conference", "venue");
+  t.AddSynonym("conference", "proceedings");
+  t.AddSynonym("journal", "periodical");
+  t.AddSynonym("year", "date");
+  t.AddSynonym("cite", "reference");
+  t.AddSynonym("advisor", "supervisor");
+  t.AddHypernym("periodical", "publication");
+  t.AddHypernym("researcher", "person");
+  t.AddHypernym("author", "person");
+  t.AddHypernym("institute", "agent");
+  t.AddHypernym("person", "agent");
+
+  // University domain (LUBM-like).
+  t.AddSynonym("university", "college");
+  t.AddSynonym("professor", "prof");
+  t.AddSynonym("professor", "faculty");
+  t.AddSynonym("student", "pupil");
+  t.AddSynonym("course", "lecture");
+  t.AddSynonym("department", "dept");
+  t.AddSynonym("work", "employment");
+  t.AddSynonym("teach", "instruct");
+  t.AddHypernym("professor", "person");
+  t.AddHypernym("student", "person");
+  t.AddHypernym("university", "organization");
+  t.AddHypernym("department", "organization");
+
+  // Encyclopedic domain (TAP-like).
+  t.AddSynonym("player", "athlete");
+  t.AddSynonym("team", "club");
+  t.AddSynonym("song", "track");
+  t.AddSynonym("album", "record");
+  t.AddSynonym("film", "movie");
+  t.AddSynonym("city", "town");
+  t.AddSynonym("country", "nation");
+  t.AddSynonym("place", "location");
+  t.AddSynonym("sport", "game");
+  t.AddSynonym("musician", "artist");
+  t.AddHypernym("city", "place");
+  t.AddHypernym("country", "place");
+  t.AddHypernym("musician", "person");
+  t.AddHypernym("athlete", "person");
+  return t;
+}
+
+}  // namespace grasp::text

@@ -1,0 +1,69 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+
+namespace grasp::text {
+
+std::vector<std::string> Tokenize(std::string_view label,
+                                  bool split_camel_case) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  char prev = '\0';
+  for (char c : label) {
+    const bool alnum = std::isalnum(static_cast<unsigned char>(c)) != 0;
+    if (!alnum) {
+      flush();
+      prev = c;
+      continue;
+    }
+    if (split_camel_case && std::isupper(static_cast<unsigned char>(c)) &&
+        std::islower(static_cast<unsigned char>(prev))) {
+      flush();
+    }
+    // Also split at letter/digit boundaries ("lubm50" -> "lubm", "50").
+    const bool c_digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    const bool p_digit = std::isdigit(static_cast<unsigned char>(prev)) != 0;
+    const bool p_alpha = std::isalpha(static_cast<unsigned char>(prev)) != 0;
+    if (!current.empty() && ((c_digit && p_alpha) || (!c_digit && p_digit))) {
+      flush();
+    }
+    current.push_back(c);
+    prev = c;
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<std::string> Analyze(std::string_view label,
+                                 const AnalyzerOptions& options) {
+  std::vector<std::string> raw = Tokenize(label, options.split_camel_case);
+  std::vector<std::string> terms;
+  for (std::string& token : raw) {
+    std::string term = options.lowercase ? ToLower(token) : token;
+    if (term.size() < options.min_token_length) continue;
+    if (options.drop_stopwords && IsStopword(term)) continue;
+    if (options.stem) term = PorterStem(term);
+    if (term.empty()) continue;
+    terms.push_back(std::move(term));
+  }
+  if (options.emit_compound && raw.size() >= 2 && raw.size() <= 4) {
+    std::string compound;
+    for (const std::string& token : raw) {
+      compound += options.lowercase ? ToLower(token) : token;
+    }
+    if (compound.size() <= 24) terms.push_back(std::move(compound));
+  }
+  return terms;
+}
+
+}  // namespace grasp::text

@@ -1,0 +1,39 @@
+#ifndef GRASP_TEXT_TOKENIZER_H_
+#define GRASP_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grasp::text {
+
+/// Options for the lexical analysis performed on element labels and keywords
+/// (Sec. IV-A: "a lexical analysis (stemming, removal of stopwords) as
+/// supported by standard IR engines").
+struct AnalyzerOptions {
+  bool lowercase = true;
+  bool split_camel_case = true;   ///< "worksAt" -> {"works", "at"}
+  bool drop_stopwords = true;
+  bool stem = true;               ///< Porter stemming
+  std::size_t min_token_length = 1;
+  /// Additionally emit the concatenation of short multi-token labels as one
+  /// term ("worksAt" -> "worksat"), so that users who type a predicate name
+  /// as a single word still hit it. Applied to labels of 2-4 tokens whose
+  /// concatenation is at most 24 characters.
+  bool emit_compound = true;
+};
+
+/// Splits `label` into raw tokens on non-alphanumeric characters; optionally
+/// also at lower-to-upper camelCase boundaries. No normalization beyond the
+/// split.
+std::vector<std::string> Tokenize(std::string_view label,
+                                  bool split_camel_case);
+
+/// Full analysis: tokenize, lowercase, drop stopwords, stem. The resulting
+/// terms are what the inverted index stores and matches against.
+std::vector<std::string> Analyze(std::string_view label,
+                                 const AnalyzerOptions& options = {});
+
+}  // namespace grasp::text
+
+#endif  // GRASP_TEXT_TOKENIZER_H_

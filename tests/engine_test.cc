@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/engine.h"
+#include "test_util.h"
+
+namespace grasp::core {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : dataset_(grasp::testing::MakeFigure1Dataset()),
+        engine_(dataset_.store, dataset_.dictionary) {}
+
+  rdf::TermId Iri(const std::string& local) {
+    return dataset_.dictionary.InternIri(std::string(grasp::testing::kEx) +
+                                         local);
+  }
+  rdf::TermId Lit(const std::string& text) {
+    return dataset_.dictionary.InternLiteral(text);
+  }
+
+  /// The paper's Fig. 1c query, built by hand as the gold standard.
+  query::ConjunctiveQuery GoldFig1Query() {
+    query::ConjunctiveQuery q;
+    const rdf::TermId type = engine_.data_graph().type_term();
+    const query::VarId x = q.NewVariable(), y = q.NewVariable(),
+                       z = q.NewVariable();
+    q.AddAtom({type, query::QueryTerm::Variable(x),
+               query::QueryTerm::Constant(Iri("Publication"))});
+    q.AddAtom({Iri("year"), query::QueryTerm::Variable(x),
+               query::QueryTerm::Constant(Lit("2006"))});
+    q.AddAtom({Iri("author"), query::QueryTerm::Variable(x),
+               query::QueryTerm::Variable(y)});
+    q.AddAtom({type, query::QueryTerm::Variable(y),
+               query::QueryTerm::Constant(Iri("Researcher"))});
+    q.AddAtom({Iri("name"), query::QueryTerm::Variable(y),
+               query::QueryTerm::Constant(Lit("P._Cimiano"))});
+    q.AddAtom({Iri("worksAt"), query::QueryTerm::Variable(y),
+               query::QueryTerm::Variable(z)});
+    q.AddAtom({type, query::QueryTerm::Variable(z),
+               query::QueryTerm::Constant(Iri("Institute"))});
+    q.AddAtom({Iri("name"), query::QueryTerm::Variable(z),
+               query::QueryTerm::Constant(Lit("AIFB"))});
+    return q;
+  }
+
+  grasp::testing::Dataset dataset_;
+  KeywordSearchEngine engine_;
+};
+
+TEST_F(EngineTest, RunningExampleProducesPaperQuery) {
+  auto result = engine_.Search({"2006", "cimiano", "aifb"}, 5);
+  ASSERT_FALSE(result.queries.empty());
+  const query::ConjunctiveQuery gold = GoldFig1Query();
+  // The paper's query must appear among the top results — and given the
+  // unambiguous keywords, at rank 1.
+  EXPECT_TRUE(Isomorphic(result.queries[0].query, gold))
+      << "top query: "
+      << result.queries[0].query.ToString(dataset_.dictionary);
+}
+
+TEST_F(EngineTest, AnswersOfTopQueryAreCorrect) {
+  auto result = engine_.Search({"2006", "cimiano", "aifb"}, 1);
+  ASSERT_FALSE(result.queries.empty());
+  auto answers = engine_.Answers(result.queries[0].query, 10);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_FALSE(answers->rows.empty());
+  std::set<std::string> bound;
+  for (const auto& row : answers->rows) {
+    for (rdf::TermId t : row) bound.insert(dataset_.dictionary.text(t));
+  }
+  EXPECT_TRUE(bound.count(std::string(grasp::testing::kEx) + "pub1") > 0);
+  EXPECT_TRUE(bound.count(std::string(grasp::testing::kEx) + "re2") > 0);
+  EXPECT_TRUE(bound.count(std::string(grasp::testing::kEx) + "inst1") > 0);
+}
+
+TEST_F(EngineTest, QueriesSortedAndDeduplicated) {
+  auto result = engine_.Search({"name", "publication"}, 8);
+  std::set<std::string> canonicals;
+  for (std::size_t i = 0; i < result.queries.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(result.queries[i - 1].cost, result.queries[i].cost);
+    }
+    EXPECT_TRUE(
+        canonicals.insert(result.queries[i].query.CanonicalString()).second)
+        << "duplicate query at rank " << i;
+  }
+}
+
+TEST_F(EngineTest, KLimitsResultCount) {
+  auto many = engine_.Search({"name"}, 10);
+  auto few = engine_.Search({"name"}, 2);
+  EXPECT_LE(few.queries.size(), 2u);
+  EXPECT_GE(many.queries.size(), few.queries.size());
+}
+
+TEST_F(EngineTest, SearchReportsTimingsAndStats) {
+  auto result = engine_.Search({"2006", "cimiano"}, 3);
+  EXPECT_GE(result.total_millis, 0.0);
+  EXPECT_EQ(result.matches_per_keyword.size(), 2u);
+  EXPECT_GT(result.exploration_stats.cursors_created, 0u);
+}
+
+TEST_F(EngineTest, UnmatchableKeywordGivesNoQueries) {
+  auto result = engine_.Search({"qqqqqqq"}, 3);
+  EXPECT_TRUE(result.queries.empty());
+}
+
+TEST_F(EngineTest, EmptyKeywordListGivesNoQueries) {
+  auto result = engine_.Search({}, 3);
+  EXPECT_TRUE(result.queries.empty());
+}
+
+TEST_F(EngineTest, FuzzyKeywordStillFindsQuery) {
+  // Misspelled "cimano" must still lead to the Cimiano interpretation via
+  // the syntactic similarity of the keyword index.
+  auto result = engine_.Search({"cimano"}, 3);
+  ASSERT_FALSE(result.queries.empty());
+  bool mentions_cimiano = false;
+  for (const auto& rq : result.queries) {
+    if (rq.query.ToString(dataset_.dictionary).find("Cimiano") !=
+        std::string::npos) {
+      mentions_cimiano = true;
+    }
+  }
+  EXPECT_TRUE(mentions_cimiano);
+}
+
+TEST_F(EngineTest, SynonymKeywordFindsClass) {
+  // "paper" is not a label in the data; the thesaurus maps it to
+  // Publication (a direct WordNet synonym).
+  auto result = engine_.Search({"paper"}, 3);
+  ASSERT_FALSE(result.queries.empty());
+  bool mentions_publication = false;
+  for (const auto& rq : result.queries) {
+    if (rq.query.ToString(dataset_.dictionary).find("Publication") !=
+        std::string::npos) {
+      mentions_publication = true;
+    }
+  }
+  EXPECT_TRUE(mentions_publication);
+}
+
+TEST_F(EngineTest, RelationKeywordMapsToPredicate) {
+  auto result = engine_.Search({"author", "2006"}, 5);
+  ASSERT_FALSE(result.queries.empty());
+  bool has_author_atom = false;
+  for (const auto& atom : result.queries[0].query.atoms()) {
+    if (rdf::IriLocalName(dataset_.dictionary.text(atom.predicate)) ==
+        "author") {
+      has_author_atom = true;
+    }
+  }
+  EXPECT_TRUE(has_author_atom);
+}
+
+TEST_F(EngineTest, IndexStatsPopulated) {
+  const auto& stats = engine_.index_stats();
+  EXPECT_GT(stats.keyword_index_bytes, 0u);
+  EXPECT_GT(stats.summary_graph_bytes, 0u);
+  EXPECT_EQ(stats.summary_nodes, 7u);
+  EXPECT_GT(stats.keyword_elements, 0u);
+  EXPECT_GE(stats.build_millis, 0.0);
+}
+
+TEST_F(EngineTest, CostModelsProduceDifferentRankings) {
+  KeywordSearchEngine::Options c1_options;
+  c1_options.exploration.cost_model = CostModel::kPathLength;
+  KeywordSearchEngine c1_engine(dataset_.store, dataset_.dictionary,
+                                c1_options);
+  auto c1 = c1_engine.Search({"name", "institute"}, 5);
+  auto c3 = engine_.Search({"name", "institute"}, 5);
+  ASSERT_FALSE(c1.queries.empty());
+  ASSERT_FALSE(c3.queries.empty());
+  // Both find interpretations; the cost values differ between models.
+  EXPECT_NE(c1.queries[0].cost, c3.queries[0].cost);
+}
+
+TEST_F(EngineTest, QueryCostMatchesSubgraphCost) {
+  auto result = engine_.Search({"2006", "cimiano"}, 4);
+  for (const auto& rq : result.queries) {
+    EXPECT_DOUBLE_EQ(rq.cost, rq.subgraph.cost);
+    EXPECT_DOUBLE_EQ(rq.query.cost(), rq.subgraph.cost);
+  }
+}
+
+TEST_F(EngineTest, SparqlRenderingOfTopQueryParses) {
+  auto result = engine_.Search({"2006", "cimiano", "aifb"}, 1);
+  ASSERT_FALSE(result.queries.empty());
+  const std::string sparql =
+      result.queries[0].query.ToSparql(dataset_.dictionary);
+  EXPECT_NE(sparql.find("SELECT"), std::string::npos);
+  EXPECT_NE(sparql.find("WHERE {"), std::string::npos);
+  EXPECT_NE(sparql.find("\"2006\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grasp::core

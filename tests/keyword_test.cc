@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "keyword/keyword_index.h"
+#include "rdf/data_graph.h"
+#include "test_util.h"
+
+namespace grasp::keyword {
+namespace {
+
+using Kind = KeywordMatch::Kind;
+
+class KeywordIndexTest : public ::testing::Test {
+ protected:
+  KeywordIndexTest()
+      : dataset_(grasp::testing::MakeFigure1Dataset()),
+        graph_(rdf::DataGraph::Build(dataset_.store, dataset_.dictionary)),
+        index_(KeywordIndex::Build(graph_)) {}
+
+  std::vector<KeywordMatch> Lookup(std::string_view kw) const {
+    text::InvertedIndex::SearchOptions options;
+    return index_.Lookup(kw, options);
+  }
+
+  bool HasMatch(const std::vector<KeywordMatch>& matches, Kind kind,
+                std::string_view text) const {
+    const auto& dict = dataset_.dictionary;
+    return std::any_of(matches.begin(), matches.end(), [&](const auto& m) {
+      if (m.kind != kind) return false;
+      const std::string& full = dict.text(m.term);
+      return full == text || rdf::IriLocalName(full) == text;
+    });
+  }
+
+  grasp::testing::Dataset dataset_;
+  rdf::DataGraph graph_;
+  KeywordIndex index_;
+};
+
+TEST_F(KeywordIndexTest, KeywordMapsToClass) {
+  auto matches = Lookup("publication");
+  EXPECT_TRUE(HasMatch(matches, Kind::kClass, "Publication"));
+}
+
+TEST_F(KeywordIndexTest, KeywordMapsToValueVertex) {
+  auto matches = Lookup("2006");
+  ASSERT_TRUE(HasMatch(matches, Kind::kValue, "2006"));
+  // The [V-vertex, A-edge, (C-vertices)] structure: 2006 is a `year` of
+  // Publications.
+  for (const auto& m : matches) {
+    if (m.kind != Kind::kValue) continue;
+    ASSERT_EQ(m.contexts.size(), 1u);
+    EXPECT_EQ(rdf::IriLocalName(
+                  dataset_.dictionary.text(m.contexts[0].attribute)),
+              "year");
+    ASSERT_EQ(m.contexts[0].classes.size(), 1u);
+    EXPECT_EQ(rdf::IriLocalName(
+                  dataset_.dictionary.text(m.contexts[0].classes[0])),
+              "Publication");
+  }
+}
+
+TEST_F(KeywordIndexTest, KeywordMapsToRelationLabel) {
+  auto matches = Lookup("author");
+  EXPECT_TRUE(HasMatch(matches, Kind::kRelationLabel, "author"));
+}
+
+TEST_F(KeywordIndexTest, KeywordMapsToAttributeLabel) {
+  auto matches = Lookup("name");
+  ASSERT_TRUE(HasMatch(matches, Kind::kAttributeLabel, "name"));
+  for (const auto& m : matches) {
+    if (m.kind != Kind::kAttributeLabel) continue;
+    ASSERT_EQ(m.contexts.size(), 1u);
+    // `name` appears on Project, Researcher and Institute subjects.
+    EXPECT_EQ(m.contexts[0].classes.size(), 3u);
+  }
+}
+
+TEST_F(KeywordIndexTest, EntityUrisAreNotIndexed) {
+  // E-vertices are deliberately omitted (Sec. IV-A): looking up an entity's
+  // local name yields no match unless it collides with an indexed label.
+  auto matches = Lookup("pub1");
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST_F(KeywordIndexTest, CamelCasePredicateFindable) {
+  auto matches = Lookup("works");
+  EXPECT_TRUE(HasMatch(matches, Kind::kRelationLabel, "worksAt"));
+}
+
+TEST_F(KeywordIndexTest, MultiWordValueFindableByOneWord) {
+  auto matches = Lookup("cimiano");
+  EXPECT_TRUE(HasMatch(matches, Kind::kValue, "P._Cimiano"));
+}
+
+TEST_F(KeywordIndexTest, FuzzyKeywordStillMatches) {
+  auto matches = Lookup("cimano");
+  EXPECT_TRUE(HasMatch(matches, Kind::kValue, "P._Cimiano"));
+  for (const auto& m : matches) {
+    EXPECT_LE(m.score, 1.0);
+    EXPECT_GT(m.score, 0.0);
+  }
+}
+
+TEST_F(KeywordIndexTest, ScoresSortedDescending) {
+  auto matches = Lookup("pro");
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i - 1].score, matches[i].score);
+  }
+}
+
+TEST_F(KeywordIndexTest, StatsExposeSizes) {
+  EXPECT_GT(index_.num_elements(), 0u);
+  EXPECT_GT(index_.vocabulary_size(), 0u);
+  EXPECT_GT(index_.MemoryUsageBytes(), 0u);
+}
+
+TEST(KeywordIndexEdgeTest, UntypedSubjectYieldsThingContext) {
+  auto dataset = grasp::testing::MakeDataset({R"(e1 label "loner")"});
+  rdf::DataGraph graph =
+      rdf::DataGraph::Build(dataset.store, dataset.dictionary);
+  KeywordIndex index = KeywordIndex::Build(graph);
+  text::InvertedIndex::SearchOptions options;
+  auto matches = index.Lookup("loner", options);
+  ASSERT_FALSE(matches.empty());
+  ASSERT_EQ(matches[0].contexts.size(), 1u);
+  ASSERT_EQ(matches[0].contexts[0].classes.size(), 1u);
+  EXPECT_EQ(matches[0].contexts[0].classes[0], rdf::kThingTerm);
+}
+
+TEST(KeywordIndexEdgeTest, ValueUnderTwoAttributesHasTwoContexts) {
+  auto dataset = grasp::testing::MakeDataset({
+      R"(e1 a Publication)",
+      R"(e2 a Proceedings)",
+      R"(e1 year "2006")",
+      R"(e2 volume "2006")",
+  });
+  rdf::DataGraph graph =
+      rdf::DataGraph::Build(dataset.store, dataset.dictionary);
+  KeywordIndex index = KeywordIndex::Build(graph);
+  text::InvertedIndex::SearchOptions options;
+  auto matches = index.Lookup("2006", options);
+  ASSERT_FALSE(matches.empty());
+  bool found_value = false;
+  for (const auto& m : matches) {
+    if (m.kind != Kind::kValue) continue;
+    found_value = true;
+    EXPECT_EQ(m.contexts.size(), 2u);  // year and volume
+  }
+  EXPECT_TRUE(found_value);
+}
+
+TEST(KeywordIndexEdgeTest, MixedRelationAndAttributeLabel) {
+  // The same predicate used with IRI and literal objects produces both a
+  // relation-label and an attribute-label element.
+  auto dataset = grasp::testing::MakeDataset({
+      R"(e1 ref e2)",
+      R"(e1 ref "external")",
+  });
+  rdf::DataGraph graph =
+      rdf::DataGraph::Build(dataset.store, dataset.dictionary);
+  KeywordIndex index = KeywordIndex::Build(graph);
+  text::InvertedIndex::SearchOptions options;
+  auto matches = index.Lookup("ref", options);
+  bool rel = false, attr = false;
+  for (const auto& m : matches) {
+    rel = rel || m.kind == Kind::kRelationLabel;
+    attr = attr || m.kind == Kind::kAttributeLabel;
+  }
+  EXPECT_TRUE(rel);
+  EXPECT_TRUE(attr);
+}
+
+}  // namespace
+}  // namespace grasp::keyword

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "query/conjunctive_query.h"
+#include "query/evaluator.h"
+#include "test_util.h"
+
+namespace grasp::query {
+namespace {
+
+class QueryFixture : public ::testing::Test {
+ protected:
+  QueryFixture() : dataset_(grasp::testing::MakeFigure1Dataset()) {}
+
+  rdf::TermId Iri(const std::string& local) {
+    return dataset_.dictionary.InternIri(std::string(grasp::testing::kEx) +
+                                         local);
+  }
+  rdf::TermId Lit(const std::string& text) {
+    return dataset_.dictionary.InternLiteral(text);
+  }
+  rdf::TermId Type() {
+    return dataset_.dictionary.InternIri(
+        "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  }
+
+  grasp::testing::Dataset dataset_;
+};
+
+// -------------------------------------------------------- Canonical form --
+
+TEST_F(QueryFixture, IsomorphicUnderVariableRenaming) {
+  ConjunctiveQuery a, b;
+  const VarId a0 = a.NewVariable(), a1 = a.NewVariable();
+  a.AddAtom({Iri("author"), QueryTerm::Variable(a0), QueryTerm::Variable(a1)});
+  a.AddAtom({Iri("name"), QueryTerm::Variable(a1),
+             QueryTerm::Constant(Lit("AIFB"))});
+
+  const VarId b0 = b.NewVariable(), b1 = b.NewVariable();
+  // Same structure, swapped variable roles and atom order.
+  b.AddAtom({Iri("name"), QueryTerm::Variable(b0),
+             QueryTerm::Constant(Lit("AIFB"))});
+  b.AddAtom({Iri("author"), QueryTerm::Variable(b1), QueryTerm::Variable(b0)});
+
+  EXPECT_TRUE(Isomorphic(a, b));
+}
+
+TEST_F(QueryFixture, DifferentStructureNotIsomorphic) {
+  ConjunctiveQuery a, b;
+  const VarId a0 = a.NewVariable(), a1 = a.NewVariable();
+  a.AddAtom({Iri("author"), QueryTerm::Variable(a0), QueryTerm::Variable(a1)});
+
+  const VarId b0 = b.NewVariable();
+  b.AddAtom({Iri("author"), QueryTerm::Variable(b0), QueryTerm::Variable(b0)});
+  EXPECT_FALSE(Isomorphic(a, b));
+}
+
+TEST_F(QueryFixture, DifferentConstantsNotIsomorphic) {
+  ConjunctiveQuery a, b;
+  a.AddAtom({Iri("name"), QueryTerm::Variable(a.NewVariable()),
+             QueryTerm::Constant(Lit("AIFB"))});
+  b.AddAtom({Iri("name"), QueryTerm::Variable(b.NewVariable()),
+             QueryTerm::Constant(Lit("SJTU"))});
+  EXPECT_FALSE(Isomorphic(a, b));
+}
+
+TEST_F(QueryFixture, CanonicalIgnoresUnusedVariables) {
+  ConjunctiveQuery a, b;
+  a.NewVariable();  // never used
+  const VarId av = a.NewVariable();
+  a.AddAtom({Iri("p"), QueryTerm::Variable(av), QueryTerm::Constant(Lit("x"))});
+  const VarId bv = b.NewVariable();
+  b.AddAtom({Iri("p"), QueryTerm::Variable(bv), QueryTerm::Constant(Lit("x"))});
+  EXPECT_TRUE(Isomorphic(a, b));
+}
+
+TEST_F(QueryFixture, TriangleVsPathNotIsomorphic) {
+  ConjunctiveQuery tri, path;
+  const rdf::TermId p = Iri("p");
+  {
+    VarId x = tri.NewVariable(), y = tri.NewVariable(), z = tri.NewVariable();
+    tri.AddAtom({p, QueryTerm::Variable(x), QueryTerm::Variable(y)});
+    tri.AddAtom({p, QueryTerm::Variable(y), QueryTerm::Variable(z)});
+    tri.AddAtom({p, QueryTerm::Variable(z), QueryTerm::Variable(x)});
+  }
+  {
+    VarId x = path.NewVariable(), y = path.NewVariable(),
+          z = path.NewVariable(), w = path.NewVariable();
+    path.AddAtom({p, QueryTerm::Variable(x), QueryTerm::Variable(y)});
+    path.AddAtom({p, QueryTerm::Variable(y), QueryTerm::Variable(z)});
+    path.AddAtom({p, QueryTerm::Variable(z), QueryTerm::Variable(w)});
+  }
+  EXPECT_FALSE(Isomorphic(tri, path));
+}
+
+TEST_F(QueryFixture, DeduplicateAtomsRemovesRepeats) {
+  ConjunctiveQuery q;
+  const VarId x = q.NewVariable();
+  Atom atom{Type(), QueryTerm::Variable(x),
+            QueryTerm::Constant(Iri("Publication"))};
+  q.AddAtom(atom);
+  q.AddAtom(atom);
+  q.AddAtom(atom);
+  q.DeduplicateAtoms();
+  EXPECT_EQ(q.atoms().size(), 1u);
+}
+
+TEST_F(QueryFixture, CanonicalStableUnderAtomShuffle) {
+  Rng rng(99);
+  ConjunctiveQuery base;
+  std::vector<Atom> atoms;
+  const VarId x = base.NewVariable(), y = base.NewVariable(),
+              z = base.NewVariable();
+  atoms.push_back({Type(), QueryTerm::Variable(x),
+                   QueryTerm::Constant(Iri("Publication"))});
+  atoms.push_back({Iri("author"), QueryTerm::Variable(x),
+                   QueryTerm::Variable(y)});
+  atoms.push_back({Iri("worksAt"), QueryTerm::Variable(y),
+                   QueryTerm::Variable(z)});
+  atoms.push_back({Iri("name"), QueryTerm::Variable(z),
+                   QueryTerm::Constant(Lit("AIFB"))});
+  for (const Atom& a : atoms) base.AddAtom(a);
+  const std::string canonical = base.CanonicalString();
+  for (int trial = 0; trial < 10; ++trial) {
+    rng.Shuffle(&atoms);
+    ConjunctiveQuery q;
+    q.NewVariable();
+    q.NewVariable();
+    q.NewVariable();
+    for (const Atom& a : atoms) q.AddAtom(a);
+    EXPECT_EQ(q.CanonicalString(), canonical);
+  }
+}
+
+// ------------------------------------------------------------ Rendering --
+
+TEST_F(QueryFixture, SparqlRendering) {
+  ConjunctiveQuery q;
+  const VarId x = q.NewVariable(), y = q.NewVariable();
+  q.AddAtom({Type(), QueryTerm::Variable(x),
+             QueryTerm::Constant(Iri("Publication"))});
+  q.AddAtom({Iri("year"), QueryTerm::Variable(x),
+             QueryTerm::Constant(Lit("2006"))});
+  q.AddAtom({Iri("author"), QueryTerm::Variable(x), QueryTerm::Variable(y)});
+  const std::string sparql = q.ToSparql(dataset_.dictionary);
+  EXPECT_NE(sparql.find("SELECT ?x0 ?x1 WHERE {"), std::string::npos);
+  EXPECT_NE(sparql.find("?x0 <http://example.org/year> \"2006\" ."),
+            std::string::npos);
+  EXPECT_NE(sparql.find(
+                "?x0 <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+                "<http://example.org/Publication> ."),
+            std::string::npos);
+}
+
+TEST_F(QueryFixture, SparqlEscapesLiterals) {
+  ConjunctiveQuery q;
+  q.AddAtom({Iri("name"), QueryTerm::Variable(q.NewVariable()),
+             QueryTerm::Constant(Lit("say \"hi\"\n"))});
+  EXPECT_NE(q.ToSparql(dataset_.dictionary).find(R"("say \"hi\"\n")"),
+            std::string::npos);
+}
+
+TEST_F(QueryFixture, ToStringUsesLocalNames) {
+  ConjunctiveQuery q;
+  q.AddAtom({Iri("worksAt"), QueryTerm::Variable(q.NewVariable()),
+             QueryTerm::Constant(Iri("AIFB_Institute"))});
+  const std::string s = q.ToString(dataset_.dictionary);
+  EXPECT_NE(s.find("worksAt(?x0, AIFB_Institute)"), std::string::npos);
+}
+
+// ------------------------------------------------------------ Evaluator --
+
+class EvaluatorTest : public QueryFixture {};
+
+TEST_F(EvaluatorTest, EmptyQueryIsInvalid) {
+  ConjunctiveQuery q;
+  auto result = Evaluate(dataset_.store, q);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EvaluatorTest, GroundAtomPresent) {
+  ConjunctiveQuery q;
+  q.AddAtom({Iri("worksAt"), QueryTerm::Constant(Iri("re1")),
+             QueryTerm::Constant(Iri("inst1"))});
+  auto result = Evaluate(dataset_.store, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 1u);  // the empty binding
+}
+
+TEST_F(EvaluatorTest, GroundAtomAbsent) {
+  ConjunctiveQuery q;
+  q.AddAtom({Iri("worksAt"), QueryTerm::Constant(Iri("re1")),
+             QueryTerm::Constant(Iri("inst2"))});
+  auto result = Evaluate(dataset_.store, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(EvaluatorTest, SingleAtomBindings) {
+  ConjunctiveQuery q;
+  const VarId x = q.NewVariable();
+  q.AddAtom({Type(), QueryTerm::Variable(x),
+             QueryTerm::Constant(Iri("Researcher"))});
+  auto result = Evaluate(dataset_.store, q);
+  ASSERT_TRUE(result.ok());
+  std::set<std::string> names;
+  for (const auto& row : result->rows) {
+    names.insert(dataset_.dictionary.text(row[0]));
+  }
+  EXPECT_EQ(names, (std::set<std::string>{
+                       std::string(grasp::testing::kEx) + "re1",
+                       std::string(grasp::testing::kEx) + "re2"}));
+}
+
+TEST_F(EvaluatorTest, PaperExampleQuery) {
+  // Fig. 1c: publications of 2006 by P. Cimiano who works at AIFB.
+  ConjunctiveQuery q;
+  const VarId x = q.NewVariable(), y = q.NewVariable(), z = q.NewVariable();
+  q.AddAtom({Type(), QueryTerm::Variable(x),
+             QueryTerm::Constant(Iri("Publication"))});
+  q.AddAtom({Iri("year"), QueryTerm::Variable(x),
+             QueryTerm::Constant(Lit("2006"))});
+  q.AddAtom({Iri("author"), QueryTerm::Variable(x), QueryTerm::Variable(y)});
+  q.AddAtom({Iri("name"), QueryTerm::Variable(y),
+             QueryTerm::Constant(Lit("P._Cimiano"))});
+  q.AddAtom({Iri("worksAt"), QueryTerm::Variable(y), QueryTerm::Variable(z)});
+  q.AddAtom({Iri("name"), QueryTerm::Variable(z),
+             QueryTerm::Constant(Lit("AIFB"))});
+  auto result = Evaluate(dataset_.store, q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  ASSERT_EQ(result->variables.size(), 3u);
+  EXPECT_EQ(dataset_.dictionary.text(result->rows[0][0]),
+            std::string(grasp::testing::kEx) + "pub1");
+  EXPECT_EQ(dataset_.dictionary.text(result->rows[0][1]),
+            std::string(grasp::testing::kEx) + "re2");
+  EXPECT_EQ(dataset_.dictionary.text(result->rows[0][2]),
+            std::string(grasp::testing::kEx) + "inst1");
+}
+
+TEST_F(EvaluatorTest, LimitTruncates) {
+  ConjunctiveQuery q;
+  const VarId x = q.NewVariable(), y = q.NewVariable();
+  q.AddAtom({Type(), QueryTerm::Variable(x), QueryTerm::Variable(y)});
+  EvalOptions options;
+  options.limit = 3;
+  auto result = Evaluate(dataset_.store, q, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u);
+  EXPECT_TRUE(result->truncated);
+}
+
+TEST_F(EvaluatorTest, MaxStepsTruncates) {
+  ConjunctiveQuery q;
+  const VarId x = q.NewVariable(), y = q.NewVariable();
+  q.AddAtom({Type(), QueryTerm::Variable(x), QueryTerm::Variable(y)});
+  EvalOptions options;
+  options.max_steps = 2;
+  auto result = Evaluate(dataset_.store, q, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated);
+}
+
+TEST_F(EvaluatorTest, SameVariableTwiceInAtom) {
+  auto dataset = grasp::testing::MakeDataset({
+      R"(a knows a)",
+      R"(a knows b)",
+      R"(b knows a)",
+  });
+  ConjunctiveQuery q;
+  const VarId x = q.NewVariable();
+  q.AddAtom({dataset.dictionary.Find(rdf::TermKind::kIri,
+                                     std::string(grasp::testing::kEx) +
+                                         "knows"),
+             QueryTerm::Variable(x), QueryTerm::Variable(x)});
+  auto result = Evaluate(dataset.store, q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);  // only a knows a
+  EXPECT_EQ(dataset.dictionary.text(result->rows[0][0]),
+            std::string(grasp::testing::kEx) + "a");
+}
+
+TEST_F(EvaluatorTest, CyclicQueryPattern) {
+  auto dataset = grasp::testing::MakeDataset({
+      R"(a p b)", R"(b p c)", R"(c p a)",  // 3-cycle
+      R"(x p y)", R"(y p x)",              // 2-cycle
+  });
+  const rdf::TermId p = dataset.dictionary.Find(
+      rdf::TermKind::kIri, std::string(grasp::testing::kEx) + "p");
+  ConjunctiveQuery q;
+  const VarId x = q.NewVariable(), y = q.NewVariable(), z = q.NewVariable();
+  q.AddAtom({p, QueryTerm::Variable(x), QueryTerm::Variable(y)});
+  q.AddAtom({p, QueryTerm::Variable(y), QueryTerm::Variable(z)});
+  q.AddAtom({p, QueryTerm::Variable(z), QueryTerm::Variable(x)});
+  auto result = Evaluate(dataset.store, q);
+  ASSERT_TRUE(result.ok());
+  // Exactly the 3 rotations of the triangle. The 2-cycle contributes
+  // nothing: a closed walk of odd length cannot exist in a bipartite
+  // component, so no assignment over {x,y} satisfies all three atoms.
+  std::set<std::vector<rdf::TermId>> rows(result->rows.begin(),
+                                          result->rows.end());
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+/// Property: the indexed evaluator agrees with a naive enumerate-all-
+/// assignments oracle on random small graphs and random queries.
+class EvaluatorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvaluatorPropertyTest, AgreesWithAssignmentOracle) {
+  Rng rng(GetParam());
+  auto dataset = grasp::testing::MakeRandomDataset(GetParam(), 3, 8, 14, 2, 6, 3);
+  const auto& store = dataset.store;
+
+  // Collect all terms appearing anywhere (candidate assignments).
+  std::set<rdf::TermId> term_set;
+  for (const auto& t : store.triples()) {
+    term_set.insert(t.subject);
+    term_set.insert(t.object);
+  }
+  std::vector<rdf::TermId> terms(term_set.begin(), term_set.end());
+  std::vector<rdf::TermId> predicates;
+  {
+    std::set<rdf::TermId> preds;
+    for (const auto& t : store.triples()) preds.insert(t.predicate);
+    predicates.assign(preds.begin(), preds.end());
+  }
+
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random query: 1-3 atoms over <= 3 variables, random constants.
+    ConjunctiveQuery q;
+    const int num_vars = 1 + static_cast<int>(rng.NextBelow(3));
+    std::vector<VarId> vars;
+    for (int i = 0; i < num_vars; ++i) vars.push_back(q.NewVariable());
+    const int num_atoms = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int i = 0; i < num_atoms; ++i) {
+      auto random_term = [&]() {
+        if (rng.NextBernoulli(0.7)) {
+          return QueryTerm::Variable(vars[rng.NextBelow(vars.size())]);
+        }
+        return QueryTerm::Constant(terms[rng.NextBelow(terms.size())]);
+      };
+      q.AddAtom({predicates[rng.NextBelow(predicates.size())], random_term(),
+                 random_term()});
+    }
+
+    auto result = Evaluate(store, q);
+    ASSERT_TRUE(result.ok());
+
+    // Oracle: enumerate every assignment of used variables to terms.
+    std::set<VarId> used;
+    for (const Atom& a : q.atoms()) {
+      if (a.subject.is_variable) used.insert(a.subject.var);
+      if (a.object.is_variable) used.insert(a.object.var);
+    }
+    std::vector<VarId> used_vars(used.begin(), used.end());
+    std::set<std::vector<rdf::TermId>> expected;
+    std::vector<rdf::TermId> assignment(q.num_variables(),
+                                        rdf::kInvalidTermId);
+    std::function<void(std::size_t)> enumerate = [&](std::size_t i) {
+      if (i == used_vars.size()) {
+        for (const Atom& a : q.atoms()) {
+          const rdf::TermId s =
+              a.subject.is_variable ? assignment[a.subject.var] : a.subject.term;
+          const rdf::TermId o =
+              a.object.is_variable ? assignment[a.object.var] : a.object.term;
+          if (!store.Contains({s, a.predicate, o})) return;
+        }
+        std::vector<rdf::TermId> row;
+        for (VarId v : used_vars) row.push_back(assignment[v]);
+        expected.insert(row);
+        return;
+      }
+      for (rdf::TermId t : terms) {
+        assignment[used_vars[i]] = t;
+        enumerate(i + 1);
+      }
+    };
+    enumerate(0);
+
+    std::set<std::vector<rdf::TermId>> actual(result->rows.begin(),
+                                              result->rows.end());
+    EXPECT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorPropertyTest,
+                         ::testing::Values(7, 17, 27, 37, 47, 57));
+
+}  // namespace
+}  // namespace grasp::query

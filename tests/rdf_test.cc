@@ -1,0 +1,474 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "rdf/data_graph.h"
+#include "rdf/dictionary.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+#include "test_util.h"
+
+namespace grasp::rdf {
+namespace {
+
+// ----------------------------------------------------------------- Term --
+
+TEST(TermTest, LocalNameAfterHash) {
+  EXPECT_EQ(IriLocalName("http://ex.org/onto#Person"), "Person");
+}
+
+TEST(TermTest, LocalNameAfterSlash) {
+  EXPECT_EQ(IriLocalName("http://ex.org/Person"), "Person");
+}
+
+TEST(TermTest, LocalNameHashWinsOverSlash) {
+  EXPECT_EQ(IriLocalName("http://ex.org/a/b#works_at"), "works_at");
+}
+
+TEST(TermTest, LocalNameNoSeparators) {
+  EXPECT_EQ(IriLocalName("Person"), "Person");
+}
+
+TEST(TermTest, LocalNameTrailingSeparator) {
+  // Trailing '/' yields no usable suffix; fall back to the whole IRI.
+  EXPECT_EQ(IriLocalName("http://ex.org/"), "http://ex.org/");
+}
+
+// ----------------------------------------------------------- Dictionary --
+
+TEST(DictionaryTest, InterningIsIdempotent) {
+  Dictionary d;
+  TermId a = d.InternIri("http://x/a");
+  TermId b = d.InternIri("http://x/a");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DictionaryTest, KindDistinguishesIriFromLiteral) {
+  Dictionary d;
+  TermId iri = d.InternIri("same");
+  TermId lit = d.InternLiteral("same");
+  EXPECT_NE(iri, lit);
+  EXPECT_EQ(d.kind(iri), TermKind::kIri);
+  EXPECT_EQ(d.kind(lit), TermKind::kLiteral);
+}
+
+TEST(DictionaryTest, FindReturnsInvalidForUnknown) {
+  Dictionary d;
+  EXPECT_EQ(d.Find(TermKind::kIri, "nope"), kInvalidTermId);
+}
+
+TEST(DictionaryTest, RoundTripText) {
+  Dictionary d;
+  TermId id = d.InternLiteral("Philipp Cimiano");
+  EXPECT_EQ(d.text(id), "Philipp Cimiano");
+  EXPECT_EQ(d.Find(TermKind::kLiteral, "Philipp Cimiano"), id);
+}
+
+TEST(DictionaryTest, IdsAreDense) {
+  Dictionary d;
+  EXPECT_EQ(d.InternIri("a"), 0u);
+  EXPECT_EQ(d.InternIri("b"), 1u);
+  EXPECT_EQ(d.InternLiteral("c"), 2u);
+}
+
+TEST(DictionaryTest, MemoryUsageGrows) {
+  Dictionary d;
+  std::size_t before = d.MemoryUsageBytes();
+  for (int i = 0; i < 100; ++i) d.InternIri(StrFormat("http://x/entity%d", i));
+  EXPECT_GT(d.MemoryUsageBytes(), before);
+}
+
+// ---------------------------------------------------------- TripleStore --
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s_ = d_.InternIri("s");
+    p_ = d_.InternIri("p");
+    o_ = d_.InternIri("o");
+    s2_ = d_.InternIri("s2");
+    p2_ = d_.InternIri("p2");
+    o2_ = d_.InternIri("o2");
+    store_.Add(s_, p_, o_);
+    store_.Add(s_, p_, o2_);
+    store_.Add(s_, p2_, o_);
+    store_.Add(s2_, p_, o_);
+    store_.Add(s2_, p2_, o2_);
+    store_.Add(s_, p_, o_);  // duplicate, removed by Finalize
+    store_.Finalize();
+  }
+
+  Dictionary d_;
+  TripleStore store_;
+  TermId s_, p_, o_, s2_, p2_, o2_;
+};
+
+TEST_F(TripleStoreTest, FinalizeDeduplicates) { EXPECT_EQ(store_.size(), 5u); }
+
+TEST_F(TripleStoreTest, CountFullWildcard) {
+  EXPECT_EQ(store_.Count({}), 5u);
+}
+
+TEST_F(TripleStoreTest, CountBySubject) {
+  EXPECT_EQ(store_.Count({s_, kInvalidTermId, kInvalidTermId}), 3u);
+  EXPECT_EQ(store_.Count({s2_, kInvalidTermId, kInvalidTermId}), 2u);
+}
+
+TEST_F(TripleStoreTest, CountByPredicate) {
+  EXPECT_EQ(store_.Count({kInvalidTermId, p_, kInvalidTermId}), 3u);
+  EXPECT_EQ(store_.PredicateCardinality(p2_), 2u);
+}
+
+TEST_F(TripleStoreTest, CountByObject) {
+  EXPECT_EQ(store_.Count({kInvalidTermId, kInvalidTermId, o_}), 3u);
+}
+
+TEST_F(TripleStoreTest, CountSubjectObject) {
+  EXPECT_EQ(store_.Count({s_, kInvalidTermId, o_}), 2u);
+}
+
+TEST_F(TripleStoreTest, CountSubjectPredicate) {
+  EXPECT_EQ(store_.Count({s_, p_, kInvalidTermId}), 2u);
+}
+
+TEST_F(TripleStoreTest, CountPredicateObject) {
+  EXPECT_EQ(store_.Count({kInvalidTermId, p_, o_}), 2u);
+}
+
+TEST_F(TripleStoreTest, CountExactTriple) {
+  EXPECT_EQ(store_.Count({s_, p_, o_}), 1u);
+  EXPECT_EQ(store_.Count({s2_, p2_, o_}), 0u);
+}
+
+TEST_F(TripleStoreTest, ContainsExact) {
+  EXPECT_TRUE(store_.Contains({s_, p_, o_}));
+  EXPECT_FALSE(store_.Contains({o_, p_, s_}));
+}
+
+TEST_F(TripleStoreTest, ScanVisitsMatchesOnly) {
+  std::set<std::tuple<TermId, TermId, TermId>> seen;
+  store_.Scan({s_, kInvalidTermId, kInvalidTermId}, [&](const Triple& t) {
+    EXPECT_EQ(t.subject, s_);
+    seen.insert({t.subject, t.predicate, t.object});
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST_F(TripleStoreTest, ScanEarlyExit) {
+  int visits = 0;
+  store_.Scan({}, [&](const Triple&) {
+    ++visits;
+    return visits < 2;
+  });
+  EXPECT_EQ(visits, 2);
+}
+
+TEST_F(TripleStoreTest, MemoryUsageNonZero) {
+  EXPECT_GT(store_.MemoryUsageBytes(), 0u);
+}
+
+/// Property sweep: every pattern shape returns exactly the brute-force
+/// filtered set, on randomized stores.
+class TripleStorePatternTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TripleStorePatternTest, AllPatternShapesMatchBruteForce) {
+  Rng rng(GetParam());
+  Dictionary d;
+  TripleStore store;
+  std::vector<Triple> reference;
+  const int terms = 12;
+  for (int i = 0; i < terms; ++i) d.InternIri(StrFormat("t%d", i));
+  for (int i = 0; i < 120; ++i) {
+    Triple t{static_cast<TermId>(rng.NextBelow(terms)),
+             static_cast<TermId>(rng.NextBelow(terms)),
+             static_cast<TermId>(rng.NextBelow(terms))};
+    store.Add(t);
+    reference.push_back(t);
+  }
+  store.Finalize();
+  std::sort(reference.begin(), reference.end());
+  reference.erase(std::unique(reference.begin(), reference.end()),
+                  reference.end());
+
+  for (int mask = 0; mask < 8; ++mask) {
+    TripleStore::Pattern pattern;
+    const TermId sv = static_cast<TermId>(rng.NextBelow(terms));
+    const TermId pv = static_cast<TermId>(rng.NextBelow(terms));
+    const TermId ov = static_cast<TermId>(rng.NextBelow(terms));
+    if (mask & 1) pattern.subject = sv;
+    if (mask & 2) pattern.predicate = pv;
+    if (mask & 4) pattern.object = ov;
+
+    std::set<std::tuple<TermId, TermId, TermId>> expected;
+    for (const Triple& t : reference) {
+      if ((mask & 1) && t.subject != sv) continue;
+      if ((mask & 2) && t.predicate != pv) continue;
+      if ((mask & 4) && t.object != ov) continue;
+      expected.insert({t.subject, t.predicate, t.object});
+    }
+    std::set<std::tuple<TermId, TermId, TermId>> actual;
+    store.Scan(pattern, [&](const Triple& t) {
+      actual.insert({t.subject, t.predicate, t.object});
+      return true;
+    });
+    EXPECT_EQ(actual, expected) << "mask=" << mask;
+    EXPECT_EQ(store.Count(pattern), expected.size()) << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStores, TripleStorePatternTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// -------------------------------------------------------------- NTriples --
+
+TEST(NTriplesTest, ParsesIriTriple) {
+  Dictionary d;
+  TripleStore store;
+  ASSERT_TRUE(
+      ParseNTriplesString("<http://a> <http://b> <http://c> .", &d, &store)
+          .ok());
+  store.Finalize();
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(NTriplesTest, ParsesLiteralWithEscapes) {
+  Dictionary d;
+  TripleStore store;
+  ASSERT_TRUE(ParseNTriplesString(
+                  R"(<http://a> <http://b> "line\n\"quoted\"\t\\" .)", &d,
+                  &store)
+                  .ok());
+  store.Finalize();
+  const Triple& t = store.triples()[0];
+  EXPECT_EQ(d.text(t.object), "line\n\"quoted\"\t\\");
+}
+
+TEST(NTriplesTest, ParsesUnicodeEscape) {
+  Dictionary d;
+  TripleStore store;
+  ASSERT_TRUE(ParseNTriplesString(R"(<a> <b> "café" .)", &d, &store).ok());
+  store.Finalize();
+  EXPECT_EQ(d.text(store.triples()[0].object), "caf\xc3\xa9");
+}
+
+TEST(NTriplesTest, DropsLanguageTagAndDatatype) {
+  Dictionary d;
+  TripleStore store;
+  ASSERT_TRUE(ParseNTriplesString(
+                  "<a> <b> \"x\"@en .\n<a> <c> \"5\"^^<http://int> .", &d,
+                  &store)
+                  .ok());
+  store.Finalize();
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_NE(d.Find(TermKind::kLiteral, "x"), kInvalidTermId);
+  EXPECT_NE(d.Find(TermKind::kLiteral, "5"), kInvalidTermId);
+}
+
+TEST(NTriplesTest, ParsesBlankNodes) {
+  Dictionary d;
+  TripleStore store;
+  ASSERT_TRUE(ParseNTriplesString("_:b1 <p> _:b2 .", &d, &store).ok());
+  store.Finalize();
+  EXPECT_EQ(d.text(store.triples()[0].subject), "_:b1");
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlankLines) {
+  Dictionary d;
+  TripleStore store;
+  ASSERT_TRUE(ParseNTriplesString("# comment\n\n<a> <b> <c> . # trailing\n",
+                                  &d, &store)
+                  .ok());
+  store.Finalize();
+  EXPECT_EQ(store.size(), 1u);
+}
+
+struct BadInputCase {
+  const char* name;
+  const char* input;
+};
+
+class NTriplesErrorTest : public ::testing::TestWithParam<BadInputCase> {};
+
+TEST_P(NTriplesErrorTest, RejectsMalformedInput) {
+  Dictionary d;
+  TripleStore store;
+  Status s = ParseNTriplesString(GetParam().input, &d, &store);
+  EXPECT_FALSE(s.ok()) << GetParam().name;
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, NTriplesErrorTest,
+    ::testing::Values(
+        BadInputCase{"missing_dot", "<a> <b> <c>"},
+        BadInputCase{"unterminated_iri", "<a> <b> <c .\n"},
+        BadInputCase{"unterminated_literal", "<a> <b> \"oops ."},
+        BadInputCase{"dangling_escape", "<a> <b> \"x\\"},
+        BadInputCase{"bad_unicode", R"(<a> <b> "\uZZZZ" .)"},
+        BadInputCase{"missing_object", "<a> <b> ."},
+        BadInputCase{"empty_iri", "<> <b> <c> ."},
+        BadInputCase{"trailing_garbage", "<a> <b> <c> . junk"},
+        BadInputCase{"unknown_escape", R"(<a> <b> "\q" .)"},
+        BadInputCase{"empty_blank_label", "_: <b> <c> ."}),
+    [](const ::testing::TestParamInfo<BadInputCase>& info) {
+      return info.param.name;
+    });
+
+TEST(NTriplesTest, WriterRoundTrips) {
+  Dictionary d;
+  TripleStore store;
+  const char* input =
+      "<http://a> <http://p> \"va\\\"l\\nue\" .\n"
+      "<http://a> <http://q> <http://b> .\n"
+      "_:x <http://p> \"2006\" .\n";
+  ASSERT_TRUE(ParseNTriplesString(input, &d, &store).ok());
+  store.Finalize();
+
+  std::ostringstream out;
+  WriteNTriples(store, d, &out);
+
+  Dictionary d2;
+  TripleStore store2;
+  ASSERT_TRUE(ParseNTriplesString(out.str(), &d2, &store2).ok());
+  store2.Finalize();
+  ASSERT_EQ(store2.size(), store.size());
+  // Compare as (kind, text) tuples since ids may differ.
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const Triple& a = store.triples()[i];
+    const Triple& b = store2.triples()[i];
+    EXPECT_EQ(d.text(a.subject), d2.text(b.subject));
+    EXPECT_EQ(d.text(a.predicate), d2.text(b.predicate));
+    EXPECT_EQ(d.text(a.object), d2.text(b.object));
+    EXPECT_EQ(d.kind(a.object), d2.kind(b.object));
+  }
+}
+
+TEST(NTriplesTest, EscapeLiteralCoversControls) {
+  EXPECT_EQ(EscapeLiteral("a\"b\\c\nd\te\rf"), "a\\\"b\\\\c\\nd\\te\\rf");
+}
+
+TEST(NTriplesTest, FileNotFoundReportsIoError) {
+  Dictionary d;
+  TripleStore store;
+  Status s = ParseNTriplesFile("/nonexistent/file.nt", &d, &store);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+// ------------------------------------------------------------- DataGraph --
+
+class DataGraphTest : public ::testing::Test {
+ protected:
+  DataGraphTest() : dataset_(grasp::testing::MakeFigure1Dataset()) {}
+
+  testing::Dataset dataset_;
+};
+
+TEST_F(DataGraphTest, ClassifiesVertexKinds) {
+  DataGraph g = DataGraph::Build(dataset_.store, dataset_.dictionary);
+  // Classes: Project, Publication, Researcher, Institute, Agent, Person,
+  // Thing (as subclass object).
+  EXPECT_EQ(g.NumClasses(), 7u);
+  // Entities: pro1 pro2 pub1 pub2 re1 re2 inst1 inst2.
+  EXPECT_EQ(g.NumEntities(), 8u);
+  // Values: X-Media, 2006, Thanh_Tran, P._Cimiano, AIFB.
+  EXPECT_EQ(g.NumValues(), 5u);
+}
+
+TEST_F(DataGraphTest, ClassifiesEdgeKinds) {
+  DataGraph g = DataGraph::Build(dataset_.store, dataset_.dictionary);
+  std::size_t rel = 0, attr = 0, type = 0, subclass = 0;
+  for (const Edge& e : g.edges()) {
+    switch (e.kind) {
+      case EdgeKind::kRelation: ++rel; break;
+      case EdgeKind::kAttribute: ++attr; break;
+      case EdgeKind::kType: ++type; break;
+      case EdgeKind::kSubclass: ++subclass; break;
+    }
+  }
+  EXPECT_EQ(rel, 5u);       // author x2, worksAt x2, hasProject
+  EXPECT_EQ(attr, 5u);      // name x4, year
+  EXPECT_EQ(type, 8u);      // one per entity
+  EXPECT_EQ(subclass, 4u);  // Institute, Researcher, Person, Agent
+}
+
+TEST_F(DataGraphTest, ClassesOfEntity) {
+  DataGraph g = DataGraph::Build(dataset_.store, dataset_.dictionary);
+  const TermId re1 = dataset_.dictionary.Find(
+      TermKind::kIri, std::string(grasp::testing::kEx) + "re1");
+  ASSERT_NE(re1, kInvalidTermId);
+  const VertexId v = g.VertexOf(re1);
+  ASSERT_NE(v, kInvalidVertexId);
+  auto classes = g.ClassesOf(v);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(IriLocalName(g.VertexText(classes[0])), "Researcher");
+}
+
+TEST_F(DataGraphTest, AdjacencyIsConsistent) {
+  DataGraph g = DataGraph::Build(dataset_.store, dataset_.dictionary);
+  std::size_t out_total = 0, in_total = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out_total += g.OutEdges(v).size();
+    in_total += g.InEdges(v).size();
+    for (EdgeId e : g.OutEdges(v)) EXPECT_EQ(g.edge(e).from, v);
+    for (EdgeId e : g.InEdges(v)) EXPECT_EQ(g.edge(e).to, v);
+  }
+  EXPECT_EQ(out_total, g.NumEdges());
+  EXPECT_EQ(in_total, g.NumEdges());
+}
+
+TEST_F(DataGraphTest, VertexOfUnknownTermIsInvalid) {
+  DataGraph g = DataGraph::Build(dataset_.store, dataset_.dictionary);
+  Dictionary& dict = dataset_.dictionary;
+  const TermId unknown = dict.InternIri("http://nowhere/else");
+  EXPECT_EQ(g.VertexOf(unknown), kInvalidVertexId);
+}
+
+TEST(DataGraphEdgeCasesTest, TypeWithLiteralObjectBecomesAttribute) {
+  auto dataset = grasp::testing::MakeDataset({R"(e1 a "oops")"});
+  DataGraph g = DataGraph::Build(dataset.store, dataset.dictionary);
+  ASSERT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.edges()[0].kind, EdgeKind::kAttribute);
+  EXPECT_EQ(g.NumClasses(), 0u);
+}
+
+TEST(DataGraphEdgeCasesTest, UntypedEntitiesAreEntities) {
+  auto dataset = grasp::testing::MakeDataset({R"(e1 knows e2)"});
+  DataGraph g = DataGraph::Build(dataset.store, dataset.dictionary);
+  EXPECT_EQ(g.NumEntities(), 2u);
+  EXPECT_EQ(g.NumClasses(), 0u);
+  ASSERT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.edges()[0].kind, EdgeKind::kRelation);
+}
+
+TEST(DataGraphEdgeCasesTest, SharedLiteralValueIsOneVertex) {
+  auto dataset = grasp::testing::MakeDataset({
+      R"(e1 year "2006")",
+      R"(e2 year "2006")",
+  });
+  DataGraph g = DataGraph::Build(dataset.store, dataset.dictionary);
+  EXPECT_EQ(g.NumValues(), 1u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(DataGraphEdgeCasesTest, ClassUsedAsRelationTarget) {
+  auto dataset = grasp::testing::MakeDataset({
+      R"(e1 a C)",
+      R"(e1 likes C)",
+  });
+  DataGraph g = DataGraph::Build(dataset.store, dataset.dictionary);
+  // `likes` points at a class vertex; it is still an R-edge.
+  std::size_t rel = 0;
+  for (const Edge& e : g.edges()) {
+    if (e.kind == EdgeKind::kRelation) ++rel;
+  }
+  EXPECT_EQ(rel, 1u);
+  EXPECT_EQ(g.NumClasses(), 1u);
+}
+
+}  // namespace
+}  // namespace grasp::rdf

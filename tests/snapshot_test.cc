@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "datagen/dblp_gen.h"
+#include "rdf/ntriples.h"
+#include "rdf/snapshot.h"
+#include "test_util.h"
+
+namespace grasp::rdf {
+namespace {
+
+/// Serializes both stores as sorted N-Triples text and compares: equality
+/// modulo ids, which snapshots do not promise to preserve verbatim (they do,
+/// but the test should not depend on it).
+std::string CanonicalText(const TripleStore& store, const Dictionary& dict) {
+  std::ostringstream out;
+  WriteNTriples(store, dict, &out);
+  return out.str();
+}
+
+TEST(SnapshotTest, RoundTripFigure1) {
+  auto dataset = grasp::testing::MakeFigure1Dataset();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(dataset.store, dataset.dictionary, &buffer).ok());
+
+  Dictionary loaded_dict;
+  TripleStore loaded_store;
+  auto status = ReadSnapshot(&buffer, &loaded_dict, &loaded_store);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(loaded_store.finalized());
+  EXPECT_EQ(loaded_store.size(), dataset.store.size());
+  EXPECT_EQ(loaded_dict.size(), dataset.dictionary.size());
+  EXPECT_EQ(CanonicalText(loaded_store, loaded_dict),
+            CanonicalText(dataset.store, dataset.dictionary));
+}
+
+TEST(SnapshotTest, RoundTripGeneratedDataset) {
+  Dictionary dict;
+  TripleStore store;
+  datagen::DblpOptions options;
+  options.num_authors = 100;
+  options.num_publications = 300;
+  datagen::GenerateDblp(options, &dict, &store);
+  store.Finalize();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(store, dict, &buffer).ok());
+  const std::size_t snapshot_bytes = buffer.str().size();
+
+  Dictionary loaded_dict;
+  TripleStore loaded_store;
+  ASSERT_TRUE(ReadSnapshot(&buffer, &loaded_dict, &loaded_store).ok());
+  EXPECT_EQ(loaded_store.size(), store.size());
+  EXPECT_EQ(CanonicalText(loaded_store, loaded_dict),
+            CanonicalText(store, dict));
+
+  // The varint-delta coding should be clearly smaller than N-Triples text.
+  EXPECT_LT(snapshot_bytes, CanonicalText(store, dict).size() / 2);
+}
+
+TEST(SnapshotTest, PreservesTermIdsExactly) {
+  // Stronger property the engine relies on: ids survive verbatim, so query
+  // artifacts referencing TermIds stay valid across a snapshot reload.
+  auto dataset = grasp::testing::MakeFigure1Dataset();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(dataset.store, dataset.dictionary, &buffer).ok());
+  Dictionary loaded;
+  TripleStore loaded_store;
+  ASSERT_TRUE(ReadSnapshot(&buffer, &loaded, &loaded_store).ok());
+  for (TermId id = 0; id < dataset.dictionary.size(); ++id) {
+    EXPECT_EQ(loaded.kind(id), dataset.dictionary.kind(id));
+    EXPECT_EQ(loaded.text(id), dataset.dictionary.text(id));
+  }
+}
+
+TEST(SnapshotTest, RequiresFinalizedStore) {
+  Dictionary dict;
+  TripleStore store;
+  store.Add(dict.InternIri("http://e/s"), dict.InternIri("http://e/p"),
+            dict.InternIri("http://e/o"));
+  std::stringstream buffer;
+  EXPECT_EQ(WriteSnapshot(store, dict, &buffer).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, RequiresEmptyTarget) {
+  auto dataset = grasp::testing::MakeFigure1Dataset();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(dataset.store, dataset.dictionary, &buffer).ok());
+  Dictionary dict;
+  dict.InternIri("http://already/present");
+  TripleStore store;
+  EXPECT_EQ(ReadSnapshot(&buffer, &dict, &store).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, RejectsBadMagic) {
+  std::stringstream buffer("NOPE not a snapshot");
+  Dictionary dict;
+  TripleStore store;
+  EXPECT_EQ(ReadSnapshot(&buffer, &dict, &store).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, RejectsTruncation) {
+  auto dataset = grasp::testing::MakeFigure1Dataset();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(dataset.store, dataset.dictionary, &buffer).ok());
+  const std::string full = buffer.str();
+  // Chop the stream at several points; every prefix must fail cleanly.
+  for (std::size_t cut : {std::size_t{3}, std::size_t{5}, full.size() / 4,
+                          full.size() / 2, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    Dictionary dict;
+    TripleStore store;
+    EXPECT_EQ(ReadSnapshot(&truncated, &dict, &store).code(),
+              StatusCode::kInvalidArgument)
+        << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotTest, RejectsUnsupportedVersion) {
+  auto dataset = grasp::testing::MakeFigure1Dataset();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSnapshot(dataset.store, dataset.dictionary, &buffer).ok());
+  std::string bytes = buffer.str();
+  bytes[4] = 99;  // version byte
+  std::stringstream patched(bytes);
+  Dictionary dict;
+  TripleStore store;
+  EXPECT_EQ(ReadSnapshot(&patched, &dict, &store).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  auto dataset = grasp::testing::MakeFigure1Dataset();
+  const std::string path = ::testing::TempDir() + "/grasp_snapshot_test.grdf";
+  ASSERT_TRUE(
+      WriteSnapshotFile(dataset.store, dataset.dictionary, path).ok());
+  Dictionary dict;
+  TripleStore store;
+  ASSERT_TRUE(ReadSnapshotFile(path, &dict, &store).ok());
+  EXPECT_EQ(store.size(), dataset.store.size());
+  EXPECT_EQ(ReadSnapshotFile("/nonexistent/dir/x.grdf", &dict, &store).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace grasp::rdf

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/conjunctive_query.h"
+#include "query/evaluator.h"
+#include "query/sparql_parser.h"
+#include "rdf/data_graph.h"
+#include "test_util.h"
+
+namespace grasp::query {
+namespace {
+
+rdf::TermId TypeTerm(rdf::Dictionary* dictionary) {
+  return dictionary->InternIri(rdf::Vocabulary().type_iri);
+}
+
+// ----------------------------------------------------------------- basics --
+
+TEST(SparqlParserTest, SingleTriplePattern) {
+  rdf::Dictionary dict;
+  auto parsed = ParseSparql(
+      "SELECT ?x WHERE { ?x <http://ex.org/name> \"AIFB\" . }", &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->query.atoms().size(), 1u);
+  EXPECT_EQ(parsed->variable_names, (std::vector<std::string>{"x"}));
+  ASSERT_EQ(parsed->selected.size(), 1u);
+  const Atom& atom = parsed->query.atoms()[0];
+  EXPECT_TRUE(atom.subject.is_variable);
+  EXPECT_FALSE(atom.object.is_variable);
+  EXPECT_EQ(dict.text(atom.object.term), "AIFB");
+  EXPECT_EQ(dict.kind(atom.object.term), rdf::TermKind::kLiteral);
+}
+
+TEST(SparqlParserTest, SelectStar) {
+  rdf::Dictionary dict;
+  auto parsed = ParseSparql(
+      "SELECT * WHERE { ?s <http://ex.org/p> ?o }", &dict);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->selected.empty());  // empty projection = all variables
+  EXPECT_EQ(parsed->query.num_variables(), 2u);
+}
+
+TEST(SparqlParserTest, KeywordsCaseInsensitive) {
+  rdf::Dictionary dict;
+  auto parsed = ParseSparql(
+      "select ?x where { ?x <http://ex.org/p> ?y }", &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST(SparqlParserTest, TypeAbbreviation) {
+  rdf::Dictionary dict;
+  auto parsed = ParseSparql(
+      "SELECT ?x WHERE { ?x a <http://ex.org/Publication> }", &dict);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->query.atoms()[0].predicate, TypeTerm(&dict));
+}
+
+TEST(SparqlParserTest, SharedVariablesGetOneId) {
+  rdf::Dictionary dict;
+  auto parsed = ParseSparql(
+      "SELECT ?x ?y WHERE { ?x <http://ex.org/p> ?y . "
+      "?y <http://ex.org/q> ?x }",
+      &dict);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->query.num_variables(), 2u);
+  const auto& atoms = parsed->query.atoms();
+  EXPECT_EQ(atoms[0].subject.var, atoms[1].object.var);
+  EXPECT_EQ(atoms[0].object.var, atoms[1].subject.var);
+}
+
+TEST(SparqlParserTest, LastDotOptional) {
+  rdf::Dictionary dict;
+  EXPECT_TRUE(ParseSparql("SELECT ?x WHERE { ?x <http://e/p> \"v\" }", &dict)
+                  .ok());
+  EXPECT_TRUE(ParseSparql("SELECT ?x WHERE { ?x <http://e/p> \"v\" . }", &dict)
+                  .ok());
+}
+
+TEST(SparqlParserTest, LiteralEscapes) {
+  rdf::Dictionary dict;
+  auto parsed = ParseSparql(
+      R"(SELECT ?x WHERE { ?x <http://e/p> "say \"hi\"\n" })", &dict);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(dict.text(parsed->query.atoms()[0].object.term), "say \"hi\"\n");
+}
+
+TEST(SparqlParserTest, LanguageTagAndDatatypeDropped) {
+  rdf::Dictionary dict;
+  auto with_lang = ParseSparql(
+      R"(SELECT ?x WHERE { ?x <http://e/p> "hallo"@de })", &dict);
+  ASSERT_TRUE(with_lang.ok());
+  EXPECT_EQ(dict.text(with_lang->query.atoms()[0].object.term), "hallo");
+  auto with_type = ParseSparql(
+      R"(SELECT ?x WHERE { ?x <http://e/p> "5"^^<http://www.w3.org/2001/XMLSchema#int> })",
+      &dict);
+  ASSERT_TRUE(with_type.ok());
+  EXPECT_EQ(dict.text(with_type->query.atoms()[0].object.term), "5");
+}
+
+TEST(SparqlParserTest, CommentsIgnored) {
+  rdf::Dictionary dict;
+  auto parsed = ParseSparql(
+      "# top comment\nSELECT ?x WHERE { # pattern\n ?x <http://e/p> ?y }",
+      &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+// ----------------------------------------------------------------- errors --
+
+struct BadQueryCase {
+  const char* name;
+  const char* text;
+};
+
+class SparqlParserErrorTest : public ::testing::TestWithParam<BadQueryCase> {};
+
+TEST_P(SparqlParserErrorTest, Rejected) {
+  rdf::Dictionary dict;
+  auto parsed = ParseSparql(GetParam().text, &dict);
+  ASSERT_FALSE(parsed.ok()) << GetParam().name;
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammar, SparqlParserErrorTest,
+    ::testing::Values(
+        BadQueryCase{"empty", ""},
+        BadQueryCase{"no_select", "WHERE { ?x <http://e/p> ?y }"},
+        BadQueryCase{"no_projection", "SELECT WHERE { ?x <http://e/p> ?y }"},
+        BadQueryCase{"no_where", "SELECT ?x { ?x <http://e/p> ?y }"},
+        BadQueryCase{"missing_brace", "SELECT ?x WHERE ?x <http://e/p> ?y }"},
+        BadQueryCase{"unterminated", "SELECT ?x WHERE { ?x <http://e/p> ?y"},
+        BadQueryCase{"empty_pattern", "SELECT ?x WHERE { }"},
+        BadQueryCase{"variable_predicate",
+                     "SELECT ?x WHERE { ?x ?p ?y }"},
+        BadQueryCase{"literal_subject",
+                     "SELECT ?x WHERE { \"v\" <http://e/p> ?x }"},
+        BadQueryCase{"unknown_selected_variable",
+                     "SELECT ?zz WHERE { ?x <http://e/p> ?y }"},
+        BadQueryCase{"unterminated_iri",
+                     "SELECT ?x WHERE { ?x <http://e/p ?y }"},
+        BadQueryCase{"unterminated_literal",
+                     "SELECT ?x WHERE { ?x <http://e/p> \"v }"},
+        BadQueryCase{"missing_dot_between_patterns",
+                     "SELECT ?x WHERE { ?x <http://e/p> ?y ?y <http://e/q> "
+                     "?x }"},
+        BadQueryCase{"trailing_garbage",
+                     "SELECT ?x WHERE { ?x <http://e/p> ?y } LIMIT 5"}),
+    [](const ::testing::TestParamInfo<BadQueryCase>& info) {
+      return info.param.name;
+    });
+
+// ------------------------------------------------------------- round trip --
+
+TEST(SparqlRoundTripTest, PrinterOutputParsesBackIsomorphic) {
+  auto dataset = grasp::testing::MakeFigure1Dataset();
+  ConjunctiveQuery q;
+  const VarId x = q.NewVariable(), y = q.NewVariable(), z = q.NewVariable();
+  auto iri = [&](const char* local) {
+    return dataset.dictionary.InternIri(std::string(grasp::testing::kEx) +
+                                        local);
+  };
+  q.AddAtom({TypeTerm(&dataset.dictionary), QueryTerm::Variable(x),
+             QueryTerm::Constant(iri("Publication"))});
+  q.AddAtom({iri("year"), QueryTerm::Variable(x),
+             QueryTerm::Constant(dataset.dictionary.InternLiteral("2006"))});
+  q.AddAtom({iri("author"), QueryTerm::Variable(x), QueryTerm::Variable(y)});
+  q.AddAtom({iri("worksAt"), QueryTerm::Variable(y), QueryTerm::Variable(z)});
+
+  const std::string sparql = q.ToSparql(dataset.dictionary);
+  auto parsed = ParseSparql(sparql, &dataset.dictionary);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << sparql;
+  EXPECT_TRUE(Isomorphic(parsed->query, q))
+      << "printed:\n" << sparql << "\nreparsed:\n"
+      << parsed->query.ToSparql(dataset.dictionary);
+  // Projection covers every variable, in order.
+  EXPECT_EQ(parsed->selected.size(), 3u);
+}
+
+/// Property: random conjunctive queries survive print -> parse -> compare.
+class SparqlRoundTripPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SparqlRoundTripPropertyTest, RandomQueriesRoundTrip) {
+  Rng rng(GetParam());
+  rdf::Dictionary dict;
+  std::vector<rdf::TermId> predicates, iris, literals;
+  for (int i = 0; i < 5; ++i) {
+    predicates.push_back(
+        dict.InternIri(StrFormat("http://ex.org/p%d", i)));
+    iris.push_back(dict.InternIri(StrFormat("http://ex.org/e%d", i)));
+    literals.push_back(dict.InternLiteral(StrFormat("value %d\n\"q\"", i)));
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    ConjunctiveQuery q;
+    const int num_vars = 1 + static_cast<int>(rng.NextBelow(4));
+    std::vector<VarId> vars;
+    for (int i = 0; i < num_vars; ++i) vars.push_back(q.NewVariable());
+    const int num_atoms = 1 + static_cast<int>(rng.NextBelow(5));
+    bool var_subject_somewhere = false;
+    for (int i = 0; i < num_atoms; ++i) {
+      // Subjects: variable or IRI (literal subjects are invalid SPARQL).
+      QueryTerm subject =
+          rng.NextBernoulli(0.8)
+              ? QueryTerm::Variable(vars[rng.NextBelow(vars.size())])
+              : QueryTerm::Constant(iris[rng.NextBelow(iris.size())]);
+      var_subject_somewhere |= subject.is_variable;
+      QueryTerm object;
+      const double dice = rng.NextDouble();
+      if (dice < 0.5) {
+        object = QueryTerm::Variable(vars[rng.NextBelow(vars.size())]);
+      } else if (dice < 0.75) {
+        object = QueryTerm::Constant(iris[rng.NextBelow(iris.size())]);
+      } else {
+        object = QueryTerm::Constant(literals[rng.NextBelow(literals.size())]);
+      }
+      q.AddAtom({predicates[rng.NextBelow(predicates.size())], subject,
+                 object});
+    }
+    const std::string sparql = q.ToSparql(dict);
+    auto parsed = ParseSparql(sparql, &dict);
+    ASSERT_TRUE(parsed.ok())
+        << parsed.status().ToString() << "\nquery was:\n" << sparql;
+    EXPECT_TRUE(Isomorphic(parsed->query, q)) << sparql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparqlRoundTripPropertyTest,
+                         ::testing::Values(3, 13, 23, 33, 43, 53, 63, 73));
+
+/// Integration: a parsed query evaluates identically to the built query.
+TEST(SparqlRoundTripTest, ParsedQueryEvaluatesLikeOriginal) {
+  auto dataset = grasp::testing::MakeFigure1Dataset();
+  const std::string text =
+      "SELECT ?x ?y WHERE {\n"
+      "  ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://example.org/Researcher> .\n"
+      "  ?x <http://example.org/worksAt> ?y .\n"
+      "}";
+  auto parsed = ParseSparql(text, &dataset.dictionary);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto result = Evaluate(dataset.store, parsed->query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);  // re1 and re2, both at inst1
+}
+
+}  // namespace
+}  // namespace grasp::query

@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "keyword/keyword_index.h"
+#include "rdf/data_graph.h"
+#include "summary/augmented_graph.h"
+#include "summary/summary_graph.h"
+#include "test_util.h"
+
+namespace grasp::summary {
+namespace {
+
+std::string Local(const rdf::Dictionary& d, rdf::TermId t) {
+  if (t == rdf::kThingTerm) return "Thing";
+  if (t == rdf::kInvalidTermId) return "<artificial>";
+  return std::string(rdf::IriLocalName(d.text(t)));
+}
+
+class SummaryGraphTest : public ::testing::Test {
+ protected:
+  SummaryGraphTest()
+      : dataset_(grasp::testing::MakeFigure1Dataset()),
+        graph_(rdf::DataGraph::Build(dataset_.store, dataset_.dictionary)),
+        summary_(SummaryGraph::Build(graph_)) {}
+
+  NodeId NodeOf(const std::string& local_name) const {
+    for (NodeId i = 0; i < summary_.nodes().size(); ++i) {
+      if (Local(dataset_.dictionary, summary_.nodes()[i].term) == local_name) {
+        return i;
+      }
+    }
+    return kInvalidNodeId;
+  }
+
+  grasp::testing::Dataset dataset_;
+  rdf::DataGraph graph_;
+  SummaryGraph summary_;
+};
+
+TEST_F(SummaryGraphTest, OneNodePerClassNoThingWhenAllTyped) {
+  // All 8 entities are typed, so no Thing node: 7 class nodes only.
+  EXPECT_EQ(summary_.nodes().size(), 7u);
+  EXPECT_EQ(summary_.thing_node(), kInvalidNodeId);
+}
+
+TEST_F(SummaryGraphTest, AggregationCounts) {
+  EXPECT_EQ(summary_.nodes()[NodeOf("Publication")].agg_count, 2u);
+  EXPECT_EQ(summary_.nodes()[NodeOf("Researcher")].agg_count, 2u);
+  EXPECT_EQ(summary_.nodes()[NodeOf("Institute")].agg_count, 2u);
+  EXPECT_EQ(summary_.nodes()[NodeOf("Project")].agg_count, 2u);
+  EXPECT_EQ(summary_.nodes()[NodeOf("Agent")].agg_count, 0u);  // no instances
+}
+
+TEST_F(SummaryGraphTest, RelationEdgesProjectToClasses) {
+  bool author_edge = false, works_at_edge = false;
+  for (const SummaryEdge& e : summary_.edges()) {
+    const std::string label = Local(dataset_.dictionary, e.label);
+    const std::string from = Local(dataset_.dictionary, summary_.nodes()[e.from].term);
+    const std::string to = Local(dataset_.dictionary, summary_.nodes()[e.to].term);
+    if (label == "author" && from == "Publication" && to == "Researcher") {
+      author_edge = true;
+      EXPECT_EQ(e.agg_count, 2u);  // two author triples aggregate here
+      EXPECT_EQ(e.kind, SummaryEdgeKind::kRelation);
+    }
+    if (label == "worksAt" && from == "Researcher" && to == "Institute") {
+      works_at_edge = true;
+      EXPECT_EQ(e.agg_count, 2u);
+    }
+  }
+  EXPECT_TRUE(author_edge);
+  EXPECT_TRUE(works_at_edge);
+}
+
+TEST_F(SummaryGraphTest, SubclassEdgesPreserved) {
+  std::size_t subclass = 0;
+  for (const SummaryEdge& e : summary_.edges()) {
+    if (e.kind == SummaryEdgeKind::kSubclass) ++subclass;
+  }
+  EXPECT_EQ(subclass, 4u);
+}
+
+TEST_F(SummaryGraphTest, NoAttributeEdgesBeforeAugmentation) {
+  for (const SummaryEdge& e : summary_.edges()) {
+    EXPECT_NE(e.kind, SummaryEdgeKind::kAttribute);
+  }
+}
+
+TEST_F(SummaryGraphTest, PopularityDenominators) {
+  EXPECT_EQ(summary_.total_entities(), 8u);
+  EXPECT_EQ(summary_.total_relation_edges(), 5u);
+}
+
+TEST_F(SummaryGraphTest, NodeOfTermLookup) {
+  const rdf::TermId pub = dataset_.dictionary.Find(
+      rdf::TermKind::kIri, std::string(grasp::testing::kEx) + "Publication");
+  EXPECT_NE(summary_.NodeOfTerm(pub), kInvalidNodeId);
+  EXPECT_EQ(summary_.NodeOfTerm(12345678), kInvalidNodeId);
+}
+
+TEST(SummaryGraphThingTest, UntypedEntitiesAggregateIntoThing) {
+  auto dataset = grasp::testing::MakeDataset({
+      R"(e1 a C)",
+      R"(e1 knows e2)",
+      R"(e2 knows e3)",
+  });
+  rdf::DataGraph graph =
+      rdf::DataGraph::Build(dataset.store, dataset.dictionary);
+  SummaryGraph summary = SummaryGraph::Build(graph);
+  ASSERT_NE(summary.thing_node(), kInvalidNodeId);
+  EXPECT_EQ(summary.nodes()[summary.thing_node()].agg_count, 2u);  // e2, e3
+  // knows: C->Thing and Thing->Thing.
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (const SummaryEdge& e : summary.edges()) {
+    pairs.insert({e.from, e.to});
+  }
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+TEST(SummaryGraphMultiTypeTest, EntityWithTwoClassesProjectsToBoth) {
+  auto dataset = grasp::testing::MakeDataset({
+      R"(e1 a C1)",
+      R"(e1 a C2)",
+      R"(e2 a C3)",
+      R"(e1 knows e2)",
+  });
+  rdf::DataGraph graph =
+      rdf::DataGraph::Build(dataset.store, dataset.dictionary);
+  SummaryGraph summary = SummaryGraph::Build(graph);
+  std::size_t knows_edges = 0;
+  for (const SummaryEdge& e : summary.edges()) {
+    if (e.kind == SummaryEdgeKind::kRelation) ++knows_edges;
+  }
+  EXPECT_EQ(knows_edges, 2u);  // C1->C3 and C2->C3
+}
+
+/// Property (Def. 4): for every R-edge path in the data graph there is a
+/// corresponding path in the summary graph.
+class SummarySoundnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SummarySoundnessTest, EveryDataPathHasSummaryPath) {
+  auto dataset = grasp::testing::MakeRandomDataset(GetParam(), 4, 14, 22, 3, 8, 4);
+  rdf::DataGraph graph =
+      rdf::DataGraph::Build(dataset.store, dataset.dictionary);
+  SummaryGraph summary = SummaryGraph::Build(graph);
+
+  // Summary edge lookup by (label, from, to).
+  std::set<std::tuple<rdf::TermId, NodeId, NodeId>> summary_edges;
+  for (const SummaryEdge& e : summary.edges()) {
+    summary_edges.insert({e.label, e.from, e.to});
+  }
+  auto nodes_of_vertex = [&](rdf::VertexId v) {
+    std::vector<NodeId> nodes;
+    const rdf::Vertex& vertex = graph.vertex(v);
+    if (vertex.kind == rdf::VertexKind::kClass) {
+      nodes.push_back(summary.NodeOfTerm(vertex.term));
+    } else {
+      for (rdf::VertexId c : graph.ClassesOf(v)) {
+        nodes.push_back(summary.NodeOfTerm(graph.vertex(c).term));
+      }
+      if (nodes.empty()) nodes.push_back(summary.thing_node());
+    }
+    return nodes;
+  };
+
+  // Check every single R-edge projects (paths compose edge-wise, so edge
+  // soundness implies path soundness).
+  for (const rdf::Edge& e : graph.edges()) {
+    if (e.kind != rdf::EdgeKind::kRelation) continue;
+    bool found = false;
+    for (NodeId f : nodes_of_vertex(e.from)) {
+      for (NodeId t : nodes_of_vertex(e.to)) {
+        if (summary_edges.count({e.label, f, t}) > 0) found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "unprojected edge label "
+                       << dataset.dictionary.text(e.label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummarySoundnessTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+// -------------------------------------------------------- AugmentedGraph --
+
+class AugmentedGraphTest : public ::testing::Test {
+ protected:
+  AugmentedGraphTest()
+      : dataset_(grasp::testing::MakeFigure1Dataset()),
+        graph_(rdf::DataGraph::Build(dataset_.store, dataset_.dictionary)),
+        summary_(SummaryGraph::Build(graph_)),
+        index_(keyword::KeywordIndex::Build(graph_)) {}
+
+  std::vector<std::vector<keyword::KeywordMatch>> LookupAll(
+      const std::vector<std::string>& keywords) const {
+    text::InvertedIndex::SearchOptions options;
+    std::vector<std::vector<keyword::KeywordMatch>> out;
+    for (const auto& kw : keywords) out.push_back(index_.Lookup(kw, options));
+    return out;
+  }
+
+  grasp::testing::Dataset dataset_;
+  rdf::DataGraph graph_;
+  SummaryGraph summary_;
+  keyword::KeywordIndex index_;
+};
+
+TEST_F(AugmentedGraphTest, ValueKeywordAddsNodeAndEdge) {
+  AugmentedGraph g = AugmentedGraph::Build(summary_, LookupAll({"2006"}));
+  EXPECT_GT(g.nodes().size(), summary_.nodes().size());
+  bool value_node = false, attribute_edge = false;
+  for (const SummaryNode& n : g.nodes()) {
+    if (n.kind == NodeKind::kValue &&
+        dataset_.dictionary.text(n.term) == "2006") {
+      value_node = true;
+    }
+  }
+  for (const SummaryEdge& e : g.edges()) {
+    if (e.kind == SummaryEdgeKind::kAttribute &&
+        Local(dataset_.dictionary, e.label) == "year") {
+      attribute_edge = true;
+      EXPECT_EQ(Local(dataset_.dictionary, g.nodes()[e.from].term),
+                "Publication");
+    }
+  }
+  EXPECT_TRUE(value_node);
+  EXPECT_TRUE(attribute_edge);
+  ASSERT_EQ(g.num_keywords(), 1u);
+  ASSERT_EQ(g.keyword_elements()[0].size(), 1u);
+  EXPECT_TRUE(g.keyword_elements()[0][0].element.is_node());
+}
+
+TEST_F(AugmentedGraphTest, AttributeLabelKeywordAddsArtificialNode) {
+  AugmentedGraph g = AugmentedGraph::Build(summary_, LookupAll({"year"}));
+  bool artificial = false;
+  for (const SummaryNode& n : g.nodes()) {
+    if (n.kind == NodeKind::kArtificial) artificial = true;
+  }
+  EXPECT_TRUE(artificial);
+  // Keyword element is the edge, not the node.
+  ASSERT_EQ(g.keyword_elements()[0].size(), 1u);
+  EXPECT_TRUE(g.keyword_elements()[0][0].element.is_edge());
+}
+
+TEST_F(AugmentedGraphTest, AttributeLabelCoversConcreteAndArtificialEdges) {
+  // Def. 5 rule 2: for "year 2006", the `year` keyword is represented both
+  // by the concrete A-edge to the matched value 2006 (so the exploration
+  // can merge the two keywords into one edge) and by an artificial-value
+  // edge (the free-variable interpretation — the data graph contains year
+  // values that are not keyword elements).
+  AugmentedGraph g =
+      AugmentedGraph::Build(summary_, LookupAll({"year", "2006"}));
+  std::size_t artificial = 0;
+  for (const SummaryNode& n : g.nodes()) {
+    if (n.kind == NodeKind::kArtificial) ++artificial;
+  }
+  EXPECT_EQ(artificial, 1u);
+  ASSERT_EQ(g.num_keywords(), 2u);
+  const auto& year_elements = g.keyword_elements()[0];
+  ASSERT_EQ(year_elements.size(), 2u);
+  bool concrete = false, free_value = false;
+  for (const ScoredElement& se : year_elements) {
+    ASSERT_TRUE(se.element.is_edge());
+    const SummaryEdge& e = g.edge(se.element.index());
+    if (g.nodes()[e.to].kind == NodeKind::kValue) concrete = true;
+    if (g.nodes()[e.to].kind == NodeKind::kArtificial) free_value = true;
+  }
+  EXPECT_TRUE(concrete);
+  EXPECT_TRUE(free_value);
+  EXPECT_TRUE(g.keyword_elements()[1][0].element.is_node());
+}
+
+TEST_F(AugmentedGraphTest, ClassKeywordIsExistingNode) {
+  AugmentedGraph g =
+      AugmentedGraph::Build(summary_, LookupAll({"publication"}));
+  EXPECT_EQ(g.nodes().size(), summary_.nodes().size());  // nothing added
+  ASSERT_FALSE(g.keyword_elements()[0].empty());
+  const auto& se = g.keyword_elements()[0][0];
+  ASSERT_TRUE(se.element.is_node());
+  EXPECT_EQ(Local(dataset_.dictionary, g.nodes()[se.element.index()].term),
+            "Publication");
+}
+
+TEST_F(AugmentedGraphTest, RelationLabelKeywordMarksEdges) {
+  AugmentedGraph g = AugmentedGraph::Build(summary_, LookupAll({"author"}));
+  ASSERT_FALSE(g.keyword_elements()[0].empty());
+  for (const auto& se : g.keyword_elements()[0]) {
+    ASSERT_TRUE(se.element.is_edge());
+    EXPECT_EQ(Local(dataset_.dictionary, g.edges()[se.element.index()].label),
+              "author");
+  }
+}
+
+TEST_F(AugmentedGraphTest, MatchScoresRecorded) {
+  AugmentedGraph g = AugmentedGraph::Build(summary_, LookupAll({"cimano"}));
+  ASSERT_FALSE(g.keyword_elements()[0].empty());
+  const auto& se = g.keyword_elements()[0][0];
+  EXPECT_LT(se.score, 1.0);
+  EXPECT_GT(se.score, 0.0);
+  EXPECT_DOUBLE_EQ(g.MatchScore(se.element), se.score);
+}
+
+TEST_F(AugmentedGraphTest, IncidentAdjacencyConsistent) {
+  AugmentedGraph g =
+      AugmentedGraph::Build(summary_, LookupAll({"2006", "aifb"}));
+  std::size_t incidences = 0;
+  for (NodeId n = 0; n < g.nodes().size(); ++n) {
+    for (EdgeId e : g.IncidentEdges(n)) {
+      EXPECT_TRUE(g.edges()[e].from == n || g.edges()[e].to == n);
+      ++incidences;
+    }
+  }
+  std::size_t expected = 0;
+  for (const SummaryEdge& e : g.edges()) {
+    expected += (e.from == e.to) ? 1 : 2;
+  }
+  EXPECT_EQ(incidences, expected);
+}
+
+TEST_F(AugmentedGraphTest, GraphIsConnectedForFig1Keywords) {
+  // The running example: all three keyword elements must be reachable from
+  // each other in the augmented graph.
+  AugmentedGraph g =
+      AugmentedGraph::Build(summary_, LookupAll({"2006", "cimiano", "aifb"}));
+  ASSERT_EQ(g.num_keywords(), 3u);
+  for (const auto& k : g.keyword_elements()) ASSERT_FALSE(k.empty());
+
+  // BFS over nodes from the first keyword element's node.
+  auto start_node = [&](ElementId el) {
+    return el.is_node() ? static_cast<NodeId>(el.index())
+                        : g.edges()[el.index()].from;
+  };
+  std::set<NodeId> visited;
+  std::queue<NodeId> frontier;
+  frontier.push(start_node(g.keyword_elements()[0][0].element));
+  visited.insert(frontier.front());
+  while (!frontier.empty()) {
+    NodeId cur = frontier.front();
+    frontier.pop();
+    for (EdgeId e : g.IncidentEdges(cur)) {
+      for (NodeId next : {g.edges()[e].from, g.edges()[e].to}) {
+        if (visited.insert(next).second) frontier.push(next);
+      }
+    }
+  }
+  for (const auto& k : g.keyword_elements()) {
+    EXPECT_TRUE(visited.count(start_node(k[0].element)) > 0);
+  }
+}
+
+TEST_F(AugmentedGraphTest, DebugStringSmoke) {
+  AugmentedGraph g = AugmentedGraph::Build(summary_, LookupAll({"2006"}));
+  const auto& se = g.keyword_elements()[0][0];
+  EXPECT_NE(g.DebugString(se.element, dataset_.dictionary).find("2006"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace grasp::summary

@@ -1,0 +1,125 @@
+#ifndef GRASP_TESTS_TEST_UTIL_H_
+#define GRASP_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "rdf/dictionary.h"
+#include "rdf/ntriples.h"
+#include "rdf/triple_store.h"
+
+namespace grasp::testing {
+
+/// Owning bundle of a parsed dataset (dictionary + finalized store).
+struct Dataset {
+  rdf::Dictionary dictionary;
+  rdf::TripleStore store;
+};
+
+inline constexpr char kEx[] = "http://example.org/";
+
+/// Parses inline N-Triples written with the http://example.org/ namespace
+/// shorthand: tokens without angle brackets are expanded, quoted tokens stay
+/// literals. Each line is "subj pred obj".
+inline Dataset MakeDataset(const std::vector<std::string>& lines) {
+  Dataset d;
+  std::string nt;
+  for (const std::string& line : lines) {
+    std::vector<std::string> parts = SplitWhitespace(line);
+    if (parts.size() != 3) continue;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const std::string& tok = parts[i];
+      if (!tok.empty() && tok.front() == '"') {
+        nt += tok;
+      } else if (tok == "a" && i == 1) {  // Turtle's "a" only as predicate
+        nt += "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>";
+      } else if (tok == "sc") {
+        nt += "<http://www.w3.org/2000/01/rdf-schema#subClassOf>";
+      } else {
+        nt += "<" + std::string(kEx) + tok + ">";
+      }
+      nt += ' ';
+    }
+    nt += ".\n";
+  }
+  auto status = rdf::ParseNTriplesString(nt, &d.dictionary, &d.store);
+  if (!status.ok()) {
+    // Surface parse problems loudly in tests.
+    std::fprintf(stderr, "MakeDataset parse error: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+  d.store.Finalize();
+  return d;
+}
+
+/// The running example of the paper (Fig. 1a): projects, publications,
+/// researchers, institutes. Quoted literals keep multi-word values intact by
+/// using underscores (the analyzer splits them back into words).
+inline Dataset MakeFigure1Dataset() {
+  return MakeDataset({
+      R"(pro2 a Project)",
+      R"(pro1 a Project)",
+      R"(pro1 name "X-Media")",
+      R"(pub1 a Publication)",
+      R"(pub1 author re1)",
+      R"(pub1 author re2)",
+      R"(pub1 year "2006")",
+      R"(pub1 hasProject pro1)",
+      R"(pub2 a Publication)",
+      R"(re1 a Researcher)",
+      R"(re1 name "Thanh_Tran")",
+      R"(re1 worksAt inst1)",
+      R"(re2 a Researcher)",
+      R"(re2 name "P._Cimiano")",
+      R"(re2 worksAt inst1)",
+      R"(inst1 a Institute)",
+      R"(inst1 name "AIFB")",
+      R"(inst2 a Institute)",
+      R"(Institute sc Agent)",
+      R"(Researcher sc Person)",
+      R"(Person sc Agent)",
+      R"(Agent sc Thing)",
+  });
+}
+
+/// Generates a small random typed RDF dataset for property tests:
+/// `num_classes` classes, `num_entities` entities (each typed with 1 class),
+/// random relation edges over `num_predicates` labels, and random attributes
+/// from a small value pool. Deterministic in `seed`.
+inline Dataset MakeRandomDataset(std::uint64_t seed, std::size_t num_classes,
+                                 std::size_t num_entities,
+                                 std::size_t num_relations,
+                                 std::size_t num_predicates,
+                                 std::size_t num_attributes,
+                                 std::size_t value_pool) {
+  Rng rng(seed);
+  std::vector<std::string> lines;
+  for (std::size_t e = 0; e < num_entities; ++e) {
+    lines.push_back(StrFormat("ent%zu a Class%llu", e,
+                              static_cast<unsigned long long>(
+                                  rng.NextBelow(num_classes))));
+  }
+  for (std::size_t r = 0; r < num_relations; ++r) {
+    lines.push_back(StrFormat(
+        "ent%llu rel%llu ent%llu",
+        static_cast<unsigned long long>(rng.NextBelow(num_entities)),
+        static_cast<unsigned long long>(rng.NextBelow(num_predicates)),
+        static_cast<unsigned long long>(rng.NextBelow(num_entities))));
+  }
+  for (std::size_t a = 0; a < num_attributes; ++a) {
+    lines.push_back(StrFormat(
+        "ent%llu attr%llu \"value%llu\"",
+        static_cast<unsigned long long>(rng.NextBelow(num_entities)),
+        static_cast<unsigned long long>(rng.NextBelow(num_predicates)),
+        static_cast<unsigned long long>(rng.NextBelow(value_pool))));
+  }
+  return MakeDataset(lines);
+}
+
+}  // namespace grasp::testing
+
+#endif  // GRASP_TESTS_TEST_UTIL_H_
