@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "core/engine.h"
 #include "core/exploration.h"
 #include "datagen/dblp_gen.h"
+#include "datagen/tap_gen.h"
 #include "keyword/keyword_index.h"
 #include "rdf/data_graph.h"
 #include "rdf/dictionary.h"
@@ -26,10 +28,15 @@
 namespace {
 
 struct DblpFixture {
-  DblpFixture() {
-    grasp::datagen::DblpOptions options;
-    options.num_authors = 500;
-    options.num_publications = 1500;
+  DblpFixture()
+      : DblpFixture([] {
+          grasp::datagen::DblpOptions options;
+          options.num_authors = 500;
+          options.num_publications = 1500;
+          return options;
+        }()) {}
+
+  explicit DblpFixture(const grasp::datagen::DblpOptions& options) {
     grasp::datagen::GenerateDblp(options, &dictionary, &store);
     store.Finalize();
     graph = std::make_unique<grasp::rdf::DataGraph>(
@@ -128,6 +135,104 @@ void BM_Augmentation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Augmentation);
+
+// ------------------------------------------------- augmentation cost sweep --
+// Per-query augmentation cost as a function of summary size x matches per
+// keyword. The copy-free overlay build must scale with the keyword matches
+// only (rows with the same match budget stay flat across summary scales),
+// while the materialized reference build pays the O(|summary|) copy tax —
+// the difference is the win `augmentation_millis` sees in Fig. 5 / Fig. 6a.
+//
+// The dataset is TAP-like (many classes, few instances each): its summary
+// grows with the class count, so the `classes` axis really scales the base
+// graph the overlay borrows — DBLP's summary is schema-sized and would stay
+// flat.
+
+struct TapFixture {
+  explicit TapFixture(std::size_t num_classes) {
+    grasp::datagen::TapOptions options;
+    options.num_classes = num_classes;
+    grasp::datagen::GenerateTap(options, &dictionary, &store);
+    store.Finalize();
+    graph = std::make_unique<grasp::rdf::DataGraph>(
+        grasp::rdf::DataGraph::Build(store, dictionary));
+    summary = std::make_unique<grasp::summary::SummaryGraph>(
+        grasp::summary::SummaryGraph::Build(*graph));
+    index = std::make_unique<grasp::keyword::KeywordIndex>(
+        grasp::keyword::KeywordIndex::Build(*graph));
+  }
+  grasp::rdf::Dictionary dictionary;
+  grasp::rdf::TripleStore store;
+  std::unique_ptr<grasp::rdf::DataGraph> graph;
+  std::unique_ptr<grasp::summary::SummaryGraph> summary;
+  std::unique_ptr<grasp::keyword::KeywordIndex> index;
+};
+
+TapFixture& ScaledTapFixture(int num_classes) {
+  static std::map<int, TapFixture*>* fixtures = new std::map<int, TapFixture*>();
+  auto it = fixtures->find(num_classes);
+  if (it == fixtures->end()) {
+    it = fixtures
+             ->emplace(num_classes,
+                       new TapFixture(static_cast<std::size_t>(num_classes)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::vector<grasp::keyword::KeywordMatch>> SweepMatches(
+    TapFixture& f, int per_keyword) {
+  grasp::text::InvertedIndex::SearchOptions options;
+  options.max_results = static_cast<std::size_t>(per_keyword);
+  // "item" occurs in every instance description: each match is a distinct
+  // V-vertex, so `max_results` directly controls the number of overlay
+  // elements created. "album" matches class nodes (no overlay growth).
+  // Neither brushes a relation/attribute label, whose K_i would legitimately
+  // grow with the summary and obscure the copy-tax comparison.
+  std::vector<std::vector<grasp::keyword::KeywordMatch>> matches;
+  matches.push_back(f.index->Lookup("item", options));
+  matches.push_back(f.index->Lookup("album", options));
+  return matches;
+}
+
+template <typename BuildFn>
+void RunAugmentationSweep(benchmark::State& state, BuildFn&& build) {
+  TapFixture& f = ScaledTapFixture(static_cast<int>(state.range(0)));
+  const auto matches = SweepMatches(f, static_cast<int>(state.range(1)));
+  std::size_t overlay_nodes = 0, overlay_edges = 0, overlay_bytes = 0;
+  for (auto _ : state) {
+    auto g = build(*f.summary, matches);
+    overlay_nodes = g.NumNodes() - g.base_nodes();
+    overlay_edges = g.NumEdges() - g.base_edges();
+    overlay_bytes = g.OverlayMemoryUsageBytes();
+    benchmark::DoNotOptimize(g);
+  }
+  state.counters["summary_nodes"] =
+      static_cast<double>(f.summary->NumNodes());
+  state.counters["summary_edges"] =
+      static_cast<double>(f.summary->NumEdges());
+  state.counters["overlay_nodes"] = static_cast<double>(overlay_nodes);
+  state.counters["overlay_edges"] = static_cast<double>(overlay_edges);
+  state.counters["overlay_bytes"] = static_cast<double>(overlay_bytes);
+}
+
+void BM_AugmentationSweepOverlay(benchmark::State& state) {
+  RunAugmentationSweep(state, [](const auto& summary, const auto& matches) {
+    return grasp::summary::AugmentedGraph::Build(summary, matches);
+  });
+}
+BENCHMARK(BM_AugmentationSweepOverlay)
+    ->ArgNames({"classes", "matches"})
+    ->ArgsProduct({{64, 256, 1024}, {4, 16, 64}});
+
+void BM_AugmentationSweepMaterialized(benchmark::State& state) {
+  RunAugmentationSweep(state, [](const auto& summary, const auto& matches) {
+    return grasp::summary::AugmentedGraph::BuildMaterialized(summary, matches);
+  });
+}
+BENCHMARK(BM_AugmentationSweepMaterialized)
+    ->ArgNames({"classes", "matches"})
+    ->ArgsProduct({{64, 256, 1024}, {4, 16, 64}});
 
 void BM_TopKExploration(benchmark::State& state) {
   DblpFixture& f = Fixture();

@@ -40,8 +40,8 @@ KeywordSearchEngine::KeywordSearchEngine(const rdf::TripleStore& store,
       keyword_index_(std::move(prebuilt.index)) {
   index_stats_.keyword_index_bytes = keyword_index_.MemoryUsageBytes();
   index_stats_.summary_graph_bytes = summary_.MemoryUsageBytes();
-  index_stats_.summary_nodes = summary_.nodes().size();
-  index_stats_.summary_edges = summary_.edges().size();
+  index_stats_.summary_nodes = summary_.NumNodes();
+  index_stats_.summary_edges = summary_.NumEdges();
   index_stats_.keyword_elements = keyword_index_.num_elements();
   index_stats_.build_millis = prebuilt.millis;
 }

@@ -34,7 +34,7 @@ SubgraphExplorer::SubgraphExplorer(const summary::AugmentedGraph& graph,
 }
 
 std::size_t SubgraphExplorer::DenseIndex(summary::ElementId element) const {
-  return element.is_edge() ? graph_->nodes().size() + element.index()
+  return element.is_edge() ? graph_->NumNodes() + element.index()
                            : element.index();
 }
 

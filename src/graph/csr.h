@@ -1,0 +1,66 @@
+#ifndef GRASP_GRAPH_CSR_H_
+#define GRASP_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace grasp::graph {
+
+/// One bucketed id list in compressed-sparse-row form: `offsets_` partitions
+/// `values_` into `num_buckets` contiguous runs. This is the single
+/// counting-sort adjacency builder shared by every graph structure in the
+/// system (data-graph out/in edges, entity->class lists, summary incidence) —
+/// it replaces the three divergent copies that used to live in
+/// rdf::DataGraph, summary::SummaryGraph and summary::AugmentedGraph.
+class CsrArray {
+ public:
+  CsrArray() = default;
+
+  /// Builds the array with two sweeps over the emitted (bucket, value)
+  /// pairs. `emit` is invoked twice with a sink callable; it must produce
+  /// the same sequence both times:
+  ///
+  ///   CsrArray::Build(n, [&](auto&& sink) {
+  ///     for (const Edge& e : edges) sink(e.from, edge_id);
+  ///   });
+  template <typename EmitFn>
+  static CsrArray Build(std::uint32_t num_buckets, EmitFn&& emit) {
+    CsrArray a;
+    a.offsets_.assign(static_cast<std::size_t>(num_buckets) + 1, 0);
+    emit([&a](std::uint32_t bucket, std::uint32_t) { ++a.offsets_[bucket + 1]; });
+    for (std::uint32_t b = 0; b < num_buckets; ++b) {
+      a.offsets_[b + 1] += a.offsets_[b];
+    }
+    a.values_.resize(a.offsets_[num_buckets]);
+    std::vector<std::uint32_t> fill(a.offsets_.begin(), a.offsets_.end() - 1);
+    emit([&a, &fill](std::uint32_t bucket, std::uint32_t value) {
+      a.values_[fill[bucket]++] = value;
+    });
+    return a;
+  }
+
+  std::span<const std::uint32_t> operator[](std::uint32_t bucket) const {
+    if (offsets_.empty()) return {};  // adjacency kind not built
+    return {values_.data() + offsets_[bucket],
+            values_.data() + offsets_[bucket + 1]};
+  }
+
+  std::size_t num_buckets() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t num_values() const { return values_.size(); }
+
+  std::size_t MemoryUsageBytes() const {
+    return (offsets_.capacity() + values_.capacity()) * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> values_;
+};
+
+}  // namespace grasp::graph
+
+#endif  // GRASP_GRAPH_CSR_H_

@@ -1,0 +1,105 @@
+#ifndef GRASP_GRAPH_CSR_GRAPH_H_
+#define GRASP_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace grasp::graph {
+
+/// Which adjacency directions a CsrGraph materializes. Directed traversals
+/// (the data-graph searchers) need out/in; the undirected cursor exploration
+/// of the summary layer needs incidence. Building only what a layer uses
+/// keeps the memory accounting honest.
+enum AdjacencyMask : unsigned {
+  kNoAdjacency = 0,
+  kOutAdjacency = 1u << 0,
+  kInAdjacency = 1u << 1,
+  /// Undirected incidence: every edge appears at both endpoints, once for a
+  /// self-loop (the iteration contract the exploration relies on).
+  kIncidentAdjacency = 1u << 2,
+};
+
+/// Immutable graph core in compressed-sparse-row form: node and edge
+/// records plus the requested adjacency arrays, built once and then only
+/// read. `EdgeT` must expose `from`/`to` members convertible to uint32.
+///
+/// Every storage layer of the system backs its topology with this one
+/// template (rdf::DataGraph, summary::SummaryGraph); per-query extensions
+/// layer an OverlayGraph on top instead of copying (summary::AugmentedGraph).
+template <typename NodeT, typename EdgeT>
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  static CsrGraph Build(std::vector<NodeT> nodes, std::vector<EdgeT> edges,
+                        unsigned adjacency) {
+    CsrGraph g;
+    g.nodes_ = std::move(nodes);
+    g.edges_ = std::move(edges);
+    const std::uint32_t n = static_cast<std::uint32_t>(g.nodes_.size());
+    if (adjacency & kOutAdjacency) {
+      g.out_ = CsrArray::Build(n, [&g](auto&& sink) {
+        for (std::uint32_t e = 0; e < g.edges_.size(); ++e) {
+          sink(static_cast<std::uint32_t>(g.edges_[e].from), e);
+        }
+      });
+    }
+    if (adjacency & kInAdjacency) {
+      g.in_ = CsrArray::Build(n, [&g](auto&& sink) {
+        for (std::uint32_t e = 0; e < g.edges_.size(); ++e) {
+          sink(static_cast<std::uint32_t>(g.edges_[e].to), e);
+        }
+      });
+    }
+    if (adjacency & kIncidentAdjacency) {
+      g.incident_ = CsrArray::Build(n, [&g](auto&& sink) {
+        for (std::uint32_t e = 0; e < g.edges_.size(); ++e) {
+          sink(static_cast<std::uint32_t>(g.edges_[e].from), e);
+          if (g.edges_[e].to != g.edges_[e].from) {
+            sink(static_cast<std::uint32_t>(g.edges_[e].to), e);
+          }
+        }
+      });
+    }
+    return g;
+  }
+
+  std::size_t NumNodes() const { return nodes_.size(); }
+  std::size_t NumEdges() const { return edges_.size(); }
+
+  const NodeT& node(std::uint32_t id) const { return nodes_[id]; }
+  const EdgeT& edge(std::uint32_t id) const { return edges_[id]; }
+  const std::vector<NodeT>& nodes() const { return nodes_; }
+  const std::vector<EdgeT>& edges() const { return edges_; }
+
+  /// Edge ids leaving / entering / touching a node. Valid only for the
+  /// adjacency kinds requested at Build time (empty otherwise).
+  std::span<const std::uint32_t> OutEdges(std::uint32_t node) const {
+    return out_[node];
+  }
+  std::span<const std::uint32_t> InEdges(std::uint32_t node) const {
+    return in_[node];
+  }
+  std::span<const std::uint32_t> IncidentEdges(std::uint32_t node) const {
+    return incident_[node];
+  }
+
+  std::size_t MemoryUsageBytes() const {
+    return nodes_.capacity() * sizeof(NodeT) +
+           edges_.capacity() * sizeof(EdgeT) + out_.MemoryUsageBytes() +
+           in_.MemoryUsageBytes() + incident_.MemoryUsageBytes();
+  }
+
+ private:
+  std::vector<NodeT> nodes_;
+  std::vector<EdgeT> edges_;
+  CsrArray out_, in_, incident_;
+};
+
+}  // namespace grasp::graph
+
+#endif  // GRASP_GRAPH_CSR_GRAPH_H_

@@ -1,0 +1,191 @@
+#ifndef GRASP_GRAPH_OVERLAY_GRAPH_H_
+#define GRASP_GRAPH_OVERLAY_GRAPH_H_
+
+#include <cstdint>
+#include <iterator>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace grasp::graph {
+
+/// Concatenation of two id spans, iterable with range-for. Adjacency of an
+/// overlaid graph chains the base CSR run with the overlay extension list
+/// without copying either.
+class ChainedIds {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const std::uint32_t*;
+    using reference = std::uint32_t;
+
+    iterator(const std::uint32_t* first, const std::uint32_t* first_end,
+             const std::uint32_t* second)
+        : cur_(first), first_end_(first_end), second_(second) {
+      if (cur_ == first_end_) cur_ = second_;
+    }
+
+    std::uint32_t operator*() const { return *cur_; }
+    iterator& operator++() {
+      ++cur_;
+      if (cur_ == first_end_) cur_ = second_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.cur_ == b.cur_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) {
+      return a.cur_ != b.cur_;
+    }
+
+   private:
+    const std::uint32_t* cur_;
+    const std::uint32_t* first_end_;
+    const std::uint32_t* second_;
+  };
+
+  ChainedIds() = default;
+  ChainedIds(std::span<const std::uint32_t> first,
+             std::span<const std::uint32_t> second)
+      : first_(first), second_(second) {}
+
+  iterator begin() const {
+    return iterator(first_.data(), first_.data() + first_.size(),
+                    second_.data());
+  }
+  iterator end() const {
+    return iterator(second_.data() + second_.size(),
+                    second_.data() + second_.size(),
+                    second_.data() + second_.size());
+  }
+  std::size_t size() const { return first_.size() + second_.size(); }
+  bool empty() const { return first_.empty() && second_.empty(); }
+
+ private:
+  std::span<const std::uint32_t> first_;
+  std::span<const std::uint32_t> second_;
+};
+
+/// A mutable per-query view over a borrowed immutable CsrGraph: overlay
+/// nodes and edges are appended with ids past base.NumNodes() /
+/// base.NumEdges(), base elements keep their ids, and incident iteration
+/// chains the base CSR run with the overlay extension list. Building a view
+/// costs O(added elements) — the base graph is never copied or touched.
+///
+/// The base graph must outlive the overlay. Only incidence (undirected,
+/// self-loops once) is maintained: that is the iteration the summary-layer
+/// exploration uses. Overlay edges may connect base nodes, overlay nodes,
+/// or a mix.
+template <typename NodeT, typename EdgeT>
+class OverlayGraph {
+ public:
+  using Base = CsrGraph<NodeT, EdgeT>;
+
+  explicit OverlayGraph(const Base& base)
+      : base_(&base),
+        base_nodes_(static_cast<std::uint32_t>(base.NumNodes())),
+        base_edges_(static_cast<std::uint32_t>(base.NumEdges())) {}
+
+  const Base& base() const { return *base_; }
+
+  std::size_t NumNodes() const { return base_nodes_ + extra_nodes_.size(); }
+  std::size_t NumEdges() const { return base_edges_ + extra_edges_.size(); }
+  std::uint32_t base_nodes() const { return base_nodes_; }
+  std::uint32_t base_edges() const { return base_edges_; }
+  bool IsOverlayNode(std::uint32_t id) const { return id >= base_nodes_; }
+  bool IsOverlayEdge(std::uint32_t id) const { return id >= base_edges_; }
+
+  const NodeT& node(std::uint32_t id) const {
+    return id < base_nodes_ ? base_->node(id) : extra_nodes_[id - base_nodes_];
+  }
+  const EdgeT& edge(std::uint32_t id) const {
+    return id < base_edges_ ? base_->edge(id) : extra_edges_[id - base_edges_];
+  }
+
+  /// Mutable access to an overlay element (base elements are immutable).
+  NodeT& overlay_node(std::uint32_t id) { return extra_nodes_[id - base_nodes_]; }
+  EdgeT& overlay_edge(std::uint32_t id) { return extra_edges_[id - base_edges_]; }
+
+  std::uint32_t AddNode(NodeT node) {
+    const std::uint32_t id =
+        base_nodes_ + static_cast<std::uint32_t>(extra_nodes_.size());
+    extra_nodes_.push_back(std::move(node));
+    overlay_incident_.emplace_back();
+    return id;
+  }
+
+  /// Appends an edge and registers it in the incidence extension lists of
+  /// both endpoints (once for a self-loop), mirroring the base contract.
+  std::uint32_t AddEdge(EdgeT edge) {
+    const std::uint32_t id =
+        base_edges_ + static_cast<std::uint32_t>(extra_edges_.size());
+    const std::uint32_t from = static_cast<std::uint32_t>(edge.from);
+    const std::uint32_t to = static_cast<std::uint32_t>(edge.to);
+    extra_edges_.push_back(std::move(edge));
+    ExtensionOf(from).push_back(id);
+    if (to != from) ExtensionOf(to).push_back(id);
+    return id;
+  }
+
+  /// All edges touching `node`: the base run (for base nodes) chained with
+  /// the overlay extension list.
+  ChainedIds IncidentEdges(std::uint32_t node) const {
+    if (node >= base_nodes_) {
+      return ChainedIds({}, overlay_incident_[node - base_nodes_]);
+    }
+    auto it = base_incident_extra_.find(node);
+    return ChainedIds(base_->IncidentEdges(node),
+                      it == base_incident_extra_.end()
+                          ? std::span<const std::uint32_t>{}
+                          : std::span<const std::uint32_t>(it->second));
+  }
+
+  std::span<const NodeT> overlay_nodes() const { return extra_nodes_; }
+  std::span<const EdgeT> overlay_edges() const { return extra_edges_; }
+
+  /// Footprint of the overlay itself (the base is shared and accounted for
+  /// where it is owned).
+  std::size_t MemoryUsageBytes() const {
+    std::size_t bytes = extra_nodes_.capacity() * sizeof(NodeT) +
+                        extra_edges_.capacity() * sizeof(EdgeT);
+    for (const auto& v : overlay_incident_) {
+      bytes += v.capacity() * sizeof(std::uint32_t);
+    }
+    for (const auto& [node, v] : base_incident_extra_) {
+      bytes += sizeof(node) + v.capacity() * sizeof(std::uint32_t);
+    }
+    return bytes;
+  }
+
+ private:
+  std::vector<std::uint32_t>& ExtensionOf(std::uint32_t node) {
+    if (node >= base_nodes_) return overlay_incident_[node - base_nodes_];
+    return base_incident_extra_[node];
+  }
+
+  const Base* base_;
+  std::uint32_t base_nodes_ = 0;
+  std::uint32_t base_edges_ = 0;
+  std::vector<NodeT> extra_nodes_;
+  std::vector<EdgeT> extra_edges_;
+  /// Incidence extension lists: dense for overlay nodes (indexed by
+  /// id - base_nodes_), sparse for the base nodes overlay edges touch.
+  std::vector<std::vector<std::uint32_t>> overlay_incident_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
+      base_incident_extra_;
+};
+
+}  // namespace grasp::graph
+
+#endif  // GRASP_GRAPH_OVERLAY_GRAPH_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -28,6 +29,8 @@ DataGraph DataGraph::Build(const TripleStore& store,
   }
 
   // Pass 2: create vertices and edges.
+  std::vector<Vertex> vertices;
+  std::vector<Edge> edges;
   auto vertex_for = [&](TermId term) -> VertexId {
     auto it = g.vertex_of_term_.find(term);
     if (it != g.vertex_of_term_.end()) return it->second;
@@ -42,8 +45,8 @@ DataGraph DataGraph::Build(const TripleStore& store,
       kind = VertexKind::kEntity;
       ++g.num_entities_;
     }
-    const VertexId id = static_cast<VertexId>(g.vertices_.size());
-    g.vertices_.push_back(Vertex{term, kind});
+    const VertexId id = static_cast<VertexId>(vertices.size());
+    vertices.push_back(Vertex{term, kind});
     g.vertex_of_term_.emplace(term, id);
     return id;
   };
@@ -52,7 +55,7 @@ DataGraph DataGraph::Build(const TripleStore& store,
     const VertexId from = vertex_for(t.subject);
     const VertexId to = vertex_for(t.object);
     EdgeKind kind;
-    if (g.vertices_[to].kind == VertexKind::kValue) {
+    if (vertices[to].kind == VertexKind::kValue) {
       // A `type`/`subclass` assertion about a literal degrades to an A-edge.
       kind = EdgeKind::kAttribute;
     } else if (t.predicate == g.type_term_) {
@@ -62,53 +65,20 @@ DataGraph DataGraph::Build(const TripleStore& store,
     } else {
       kind = EdgeKind::kRelation;
     }
-    g.edges_.push_back(Edge{t.predicate, from, to, kind});
+    edges.push_back(Edge{t.predicate, from, to, kind});
   }
 
-  g.BuildAdjacency();
-  return g;
-}
-
-void DataGraph::BuildAdjacency() {
-  const std::size_t nv = vertices_.size();
-  const std::size_t ne = edges_.size();
-  out_offsets_.assign(nv + 1, 0);
-  in_offsets_.assign(nv + 1, 0);
-  for (const Edge& e : edges_) {
-    ++out_offsets_[e.from + 1];
-    ++in_offsets_[e.to + 1];
-  }
-  for (std::size_t v = 0; v < nv; ++v) {
-    out_offsets_[v + 1] += out_offsets_[v];
-    in_offsets_[v + 1] += in_offsets_[v];
-  }
-  out_edges_.resize(ne);
-  in_edges_.resize(ne);
-  std::vector<std::uint32_t> out_fill(out_offsets_.begin(),
-                                      out_offsets_.end() - 1);
-  std::vector<std::uint32_t> in_fill(in_offsets_.begin(),
-                                     in_offsets_.end() - 1);
-  for (std::size_t e = 0; e < ne; ++e) {
-    out_edges_[out_fill[edges_[e].from]++] = static_cast<EdgeId>(e);
-    in_edges_[in_fill[edges_[e].to]++] = static_cast<EdgeId>(e);
-  }
-
-  // Entity -> classes CSR, from `type` edges.
-  class_offsets_.assign(nv + 1, 0);
-  for (const Edge& e : edges_) {
-    if (e.kind == EdgeKind::kType) ++class_offsets_[e.from + 1];
-  }
-  for (std::size_t v = 0; v < nv; ++v) {
-    class_offsets_[v + 1] += class_offsets_[v];
-  }
-  class_targets_.resize(class_offsets_[nv]);
-  std::vector<std::uint32_t> class_fill(class_offsets_.begin(),
-                                        class_offsets_.end() - 1);
-  for (const Edge& e : edges_) {
-    if (e.kind == EdgeKind::kType) {
-      class_targets_[class_fill[e.from]++] = e.to;
+  const std::uint32_t num_vertices = static_cast<std::uint32_t>(vertices.size());
+  g.csr_ = graph::CsrGraph<Vertex, Edge>::Build(
+      std::move(vertices), std::move(edges),
+      graph::kOutAdjacency | graph::kInAdjacency);
+  // Entity -> classes, from `type` edges.
+  g.classes_ = graph::CsrArray::Build(num_vertices, [&g](auto&& sink) {
+    for (const Edge& e : g.csr_.edges()) {
+      if (e.kind == EdgeKind::kType) sink(e.from, e.to);
     }
-  }
+  });
+  return g;
 }
 
 VertexId DataGraph::VertexOf(TermId term) const {
@@ -116,31 +86,10 @@ VertexId DataGraph::VertexOf(TermId term) const {
   return it == vertex_of_term_.end() ? kInvalidVertexId : it->second;
 }
 
-std::span<const EdgeId> DataGraph::OutEdges(VertexId v) const {
-  return {out_edges_.data() + out_offsets_[v],
-          out_edges_.data() + out_offsets_[v + 1]};
-}
-
-std::span<const EdgeId> DataGraph::InEdges(VertexId v) const {
-  return {in_edges_.data() + in_offsets_[v],
-          in_edges_.data() + in_offsets_[v + 1]};
-}
-
-std::span<const VertexId> DataGraph::ClassesOf(VertexId v) const {
-  return {class_targets_.data() + class_offsets_[v],
-          class_targets_.data() + class_offsets_[v + 1]};
-}
-
 std::size_t DataGraph::MemoryUsageBytes() const {
-  return vertices_.capacity() * sizeof(Vertex) +
-         edges_.capacity() * sizeof(Edge) +
+  return csr_.MemoryUsageBytes() + classes_.MemoryUsageBytes() +
          vertex_of_term_.size() *
-             (sizeof(TermId) + sizeof(VertexId) + 2 * sizeof(void*)) +
-         (out_offsets_.capacity() + in_offsets_.capacity() +
-          class_offsets_.capacity()) *
-             sizeof(std::uint32_t) +
-         (out_edges_.capacity() + in_edges_.capacity()) * sizeof(EdgeId) +
-         class_targets_.capacity() * sizeof(VertexId);
+             (sizeof(TermId) + sizeof(VertexId) + 2 * sizeof(void*));
 }
 
 }  // namespace grasp::rdf

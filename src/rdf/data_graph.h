@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "graph/csr.h"
+#include "graph/csr_graph.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple_store.h"
 
@@ -74,35 +76,38 @@ class DataGraph {
   DataGraph(DataGraph&&) = default;
   DataGraph& operator=(DataGraph&&) = default;
 
-  const std::vector<Vertex>& vertices() const { return vertices_; }
-  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<Vertex>& vertices() const { return csr_.nodes(); }
+  const std::vector<Edge>& edges() const { return csr_.edges(); }
   const Dictionary& dictionary() const { return *dictionary_; }
 
-  const Vertex& vertex(VertexId v) const { return vertices_[v]; }
-  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  const Vertex& vertex(VertexId v) const { return csr_.node(v); }
+  const Edge& edge(EdgeId e) const { return csr_.edge(e); }
+
+  /// The shared immutable topology core (out/in adjacency).
+  const graph::CsrGraph<Vertex, Edge>& csr() const { return csr_; }
 
   /// Vertex for a term, or kInvalidVertexId if the term does not occur as a
   /// subject or object.
   VertexId VertexOf(TermId term) const;
 
   /// Edges leaving / entering a vertex.
-  std::span<const EdgeId> OutEdges(VertexId v) const;
-  std::span<const EdgeId> InEdges(VertexId v) const;
+  std::span<const EdgeId> OutEdges(VertexId v) const { return csr_.OutEdges(v); }
+  std::span<const EdgeId> InEdges(VertexId v) const { return csr_.InEdges(v); }
 
   /// Class vertices an entity is typed with (targets of its `type` edges).
   /// Empty for untyped entities (they aggregate into `Thing` in the summary).
-  std::span<const VertexId> ClassesOf(VertexId v) const;
+  std::span<const VertexId> ClassesOf(VertexId v) const { return classes_[v]; }
 
   /// Label text helpers.
   const std::string& VertexText(VertexId v) const {
-    return dictionary_->text(vertices_[v].term);
+    return dictionary_->text(csr_.node(v).term);
   }
   const std::string& EdgeLabelText(EdgeId e) const {
-    return dictionary_->text(edges_[e].label);
+    return dictionary_->text(csr_.edge(e).label);
   }
 
-  std::size_t NumVertices() const { return vertices_.size(); }
-  std::size_t NumEdges() const { return edges_.size(); }
+  std::size_t NumVertices() const { return csr_.NumNodes(); }
+  std::size_t NumEdges() const { return csr_.NumEdges(); }
   std::size_t NumEntities() const { return num_entities_; }
   std::size_t NumClasses() const { return num_classes_; }
   std::size_t NumValues() const { return num_values_; }
@@ -118,19 +123,12 @@ class DataGraph {
   explicit DataGraph(const Dictionary& dictionary)
       : dictionary_(&dictionary) {}
 
-  void BuildAdjacency();
-
   const Dictionary* dictionary_;
-  std::vector<Vertex> vertices_;
-  std::vector<Edge> edges_;
+  /// Shared immutable topology core: vertex/edge records + out/in CSR.
+  graph::CsrGraph<Vertex, Edge> csr_;
   std::unordered_map<TermId, VertexId> vertex_of_term_;
-
-  // CSR adjacency.
-  std::vector<std::uint32_t> out_offsets_, in_offsets_;
-  std::vector<EdgeId> out_edges_, in_edges_;
-  // CSR entity -> classes.
-  std::vector<std::uint32_t> class_offsets_;
-  std::vector<VertexId> class_targets_;
+  /// Entity -> class vertices (targets of `type` edges).
+  graph::CsrArray classes_;
 
   std::size_t num_entities_ = 0, num_classes_ = 0, num_values_ = 0;
   TermId type_term_ = kInvalidTermId;

@@ -10,12 +10,19 @@
 
 namespace grasp::summary {
 
+AugmentedGraph::AugmentedGraph(const SummaryGraph& base, bool materialize)
+    : base_summary_(&base),
+      owned_base_(materialize ? std::make_unique<Csr>(base.csr()) : nullptr),
+      overlay_(owned_base_ != nullptr ? *owned_base_ : base.csr()) {
+  total_entities_ = base.total_entities();
+  total_relation_edges_ = base.total_relation_edges();
+}
+
 NodeId AugmentedGraph::GetOrAddValueNode(rdf::TermId value_term) {
   auto it = value_node_of_term_.find(value_term);
   if (it != value_node_of_term_.end()) return it->second;
-  const NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(SummaryNode{value_term, NodeKind::kValue, 1});
-  node_scores_.push_back(1.0);
+  const NodeId id =
+      overlay_.AddNode(SummaryNode{value_term, NodeKind::kValue, 1});
   value_node_of_term_.emplace(value_term, id);
   return id;
 }
@@ -28,65 +35,64 @@ EdgeId AugmentedGraph::GetOrAddAttributeEdge(rdf::TermId label, NodeId from,
   auto it = attribute_edge_ids_.find(key);
   if (it != attribute_edge_ids_.end()) {
     // Several keywords can introduce the same augmented edge; keep the
-    // largest aggregation count reported for it.
-    SummaryEdge& existing = edges_[it->second];
+    // largest aggregation count reported for it. Attribute edges are always
+    // overlay edges, so mutating the count never touches the shared base.
+    SummaryEdge& existing = overlay_.overlay_edge(it->second);
     existing.agg_count = std::max(existing.agg_count, agg_count);
     return it->second;
   }
-  const EdgeId id = static_cast<EdgeId>(edges_.size());
-  edges_.push_back(
+  const EdgeId id = overlay_.AddEdge(
       SummaryEdge{label, from, to, SummaryEdgeKind::kAttribute, agg_count});
-  edge_scores_.push_back(1.0);
   attribute_edge_ids_.emplace(key, id);
   return id;
 }
 
 void AugmentedGraph::SetScore(ElementId element, double score) {
-  auto& scored = element.is_edge() ? edge_scored_ : node_scored_;
-  if (scored.size() <= element.index()) scored.resize(element.index() + 1);
-  double& slot = element.is_edge() ? edge_scores_[element.index()]
-                                   : node_scores_[element.index()];
   // An element may represent several keywords; remember its best match.
-  if (!scored[element.index()] || score > slot) slot = score;
-  scored[element.index()] = true;
+  auto [it, inserted] = scores_.try_emplace(element.raw(), score);
+  if (!inserted && score > it->second) it->second = score;
+}
+
+void AugmentedGraph::AddKeywordElement(std::size_t keyword, ElementId element,
+                                       double score) {
+  auto& list = keyword_elements_[keyword];
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(keyword) << 32) | element.raw();
+  auto [it, inserted] = keyword_element_pos_.try_emplace(key, list.size());
+  if (!inserted) {
+    // Deduplicate K_i, keeping the best score. The position map makes this
+    // O(1) even when a label keyword covers thousands of summary edges.
+    ScoredElement& existing = list[it->second];
+    existing.score = std::max(existing.score, score);
+    SetScore(element, existing.score);
+    return;
+  }
+  list.push_back(ScoredElement{element, score});
+  SetScore(element, score);
 }
 
 AugmentedGraph AugmentedGraph::Build(
     const SummaryGraph& base,
     const std::vector<std::vector<keyword::KeywordMatch>>& keyword_matches) {
-  AugmentedGraph g;
-  g.nodes_ = base.nodes_;
-  g.edges_ = base.edges_;
-  g.class_node_of_term_ = base.node_of_term_;
-  g.total_entities_ = base.total_entities_;
-  g.total_relation_edges_ = base.total_relation_edges_;
-  g.node_scores_.assign(g.nodes_.size(), 1.0);
-  g.edge_scores_.assign(g.edges_.size(), 1.0);
-  g.keyword_elements_.resize(keyword_matches.size());
+  AugmentedGraph g(base, /*materialize=*/false);
+  g.Augment(keyword_matches);
+  return g;
+}
 
-  // Pre-index base edges by label for kRelationLabel matches.
-  std::unordered_map<rdf::TermId, std::vector<EdgeId>> edges_by_label;
-  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
-    edges_by_label[g.edges_[e].label].push_back(e);
-  }
+AugmentedGraph AugmentedGraph::BuildMaterialized(
+    const SummaryGraph& base,
+    const std::vector<std::vector<keyword::KeywordMatch>>& keyword_matches) {
+  AugmentedGraph g(base, /*materialize=*/true);
+  g.Augment(keyword_matches);
+  return g;
+}
 
-  auto class_node = [&g](rdf::TermId term) -> NodeId {
-    auto it = g.class_node_of_term_.find(term);
-    return it == g.class_node_of_term_.end() ? kInvalidNodeId : it->second;
-  };
+void AugmentedGraph::Augment(
+    const std::vector<std::vector<keyword::KeywordMatch>>& keyword_matches) {
+  keyword_elements_.resize(keyword_matches.size());
 
-  auto add_keyword_element = [&g](std::size_t kw, ElementId element,
-                                  double score) {
-    auto& list = g.keyword_elements_[kw];
-    for (ScoredElement& existing : list) {
-      if (existing.element == element) {
-        existing.score = std::max(existing.score, score);
-        g.SetScore(element, existing.score);
-        return;
-      }
-    }
-    list.push_back(ScoredElement{element, score});
-    g.SetScore(element, score);
+  auto class_node = [this](rdf::TermId term) -> NodeId {
+    return base_summary_->NodeOfTerm(term);
   };
 
   // Pass 1 (Def. 5, rule 1): keyword-matching V-vertices and their A-edges.
@@ -97,21 +103,19 @@ AugmentedGraph AugmentedGraph::Build(
         // Filter-operator extension: one artificial node stands for the
         // whole satisfying value set; the mapping will bind it to a fresh
         // variable constrained by a FILTER condition.
-        const NodeId filter_node = static_cast<NodeId>(g.nodes_.size());
-        g.nodes_.push_back(
+        const NodeId filter_node = overlay_.AddNode(
             SummaryNode{rdf::kInvalidTermId, NodeKind::kArtificial, 1});
-        g.node_scores_.push_back(1.0);
-        g.filter_of_node_.emplace(filter_node, m.filter);
+        filter_of_node_.emplace(filter_node, m.filter);
         for (const keyword::AttrContext& ctx : m.contexts) {
           for (std::size_t i = 0; i < ctx.classes.size(); ++i) {
             const NodeId c = class_node(ctx.classes[i]);
             if (c == kInvalidNodeId) continue;
             const std::uint64_t count =
                 i < ctx.counts.size() ? ctx.counts[i] : 1;
-            g.GetOrAddAttributeEdge(ctx.attribute, c, filter_node, count);
+            GetOrAddAttributeEdge(ctx.attribute, c, filter_node, count);
           }
         }
-        add_keyword_element(kw, ElementId::Node(filter_node), m.score);
+        AddKeywordElement(kw, ElementId::Node(filter_node), m.score);
         continue;
       }
       for (const keyword::AttrContext& ctx : m.contexts) {
@@ -120,9 +124,9 @@ AugmentedGraph AugmentedGraph::Build(
           if (c == kInvalidNodeId) continue;
           const std::uint64_t count =
               i < ctx.counts.size() ? ctx.counts[i] : 1;
-          const NodeId value_node = g.GetOrAddValueNode(m.term);
-          g.GetOrAddAttributeEdge(ctx.attribute, c, value_node, count);
-          add_keyword_element(kw, ElementId::Node(value_node), m.score);
+          const NodeId value_node = GetOrAddValueNode(m.term);
+          GetOrAddAttributeEdge(ctx.attribute, c, value_node, count);
+          AddKeywordElement(kw, ElementId::Node(value_node), m.score);
         }
       }
     }
@@ -137,6 +141,10 @@ AugmentedGraph AugmentedGraph::Build(
   // exploration choose between "the keyword is the attribute of a matched
   // value" (one merged edge) and "the keyword asks for the attribute with a
   // free value" (the artificial edge mapping to a fresh variable).
+  //
+  // Candidate concrete edges always target V-vertices or filter nodes, and
+  // those exist only in the overlay — so the scan walks the O(matches)
+  // overlay extension, never the base edge array.
   std::map<std::pair<rdf::TermId, NodeId>, EdgeId> artificial_edges;
   for (std::size_t kw = 0; kw < keyword_matches.size(); ++kw) {
     for (const keyword::KeywordMatch& m : keyword_matches[kw]) {
@@ -150,12 +158,13 @@ AugmentedGraph AugmentedGraph::Build(
           // Concrete keyword-value edges added by pass 1 under this label —
           // including edges to filter nodes, so "year >2005" merges into a
           // single year(x, ?v) atom with the FILTER on ?v.
-          for (EdgeId e = 0; e < g.edges_.size(); ++e) {
-            const SummaryEdge& edge = g.edges_[e];
+          const EdgeId overlay_end = static_cast<EdgeId>(overlay_.NumEdges());
+          for (EdgeId e = overlay_.base_edges(); e < overlay_end; ++e) {
+            const SummaryEdge& edge = overlay_.edge(e);
             if (edge.label == m.term && edge.from == c &&
-                (g.nodes_[edge.to].kind == NodeKind::kValue ||
-                 g.filter_of_node_.count(edge.to) > 0)) {
-              add_keyword_element(kw, ElementId::Edge(e), m.score);
+                (overlay_.node(edge.to).kind == NodeKind::kValue ||
+                 filter_of_node_.count(edge.to) > 0)) {
+              AddKeywordElement(kw, ElementId::Edge(e), m.score);
             }
           }
           // The artificial-value edge for the free-variable interpretation,
@@ -165,70 +174,58 @@ AugmentedGraph AugmentedGraph::Build(
           auto [it, inserted] =
               artificial_edges.try_emplace({m.term, c}, kInvalidNodeId);
           if (inserted) {
-            const NodeId artificial = static_cast<NodeId>(g.nodes_.size());
-            g.nodes_.push_back(
+            const NodeId artificial = overlay_.AddNode(
                 SummaryNode{rdf::kInvalidTermId, NodeKind::kArtificial, 1});
-            g.node_scores_.push_back(1.0);
-            it->second = g.GetOrAddAttributeEdge(m.term, c, artificial, count);
+            it->second = GetOrAddAttributeEdge(m.term, c, artificial, count);
           }
-          add_keyword_element(kw, ElementId::Edge(it->second), m.score);
+          AddKeywordElement(kw, ElementId::Edge(it->second), m.score);
         }
       }
     }
   }
 
-  // Pass 3: class and R-edge label matches refer to existing elements.
+  // Pass 3: class and R-edge label matches refer to existing base elements,
+  // resolved through the summary's precomputed term/label indexes.
   for (std::size_t kw = 0; kw < keyword_matches.size(); ++kw) {
     for (const keyword::KeywordMatch& m : keyword_matches[kw]) {
       if (m.kind == keyword::KeywordMatch::Kind::kClass) {
         const NodeId c = class_node(m.term);
         if (c != kInvalidNodeId) {
-          add_keyword_element(kw, ElementId::Node(c), m.score);
+          AddKeywordElement(kw, ElementId::Node(c), m.score);
         }
       } else if (m.kind == keyword::KeywordMatch::Kind::kRelationLabel) {
-        auto it = edges_by_label.find(m.term);
-        if (it == edges_by_label.end()) continue;
-        for (EdgeId e : it->second) {
-          add_keyword_element(kw, ElementId::Edge(e), m.score);
+        EdgeId first = kInvalidNodeId;
+        const auto run = base_summary_->EdgesWithLabel(m.term, &first);
+        for (EdgeId e = 0; e < run.size(); ++e) {
+          AddKeywordElement(kw, ElementId::Edge(first + e), m.score);
         }
       }
     }
   }
-
-  g.BuildAdjacency();
-  return g;
-}
-
-void AugmentedGraph::BuildAdjacency() {
-  const std::size_t nn = nodes_.size();
-  incident_offsets_.assign(nn + 1, 0);
-  auto count_endpoint = [&](const SummaryEdge& e) {
-    ++incident_offsets_[e.from + 1];
-    if (e.to != e.from) ++incident_offsets_[e.to + 1];
-  };
-  for (const SummaryEdge& e : edges_) count_endpoint(e);
-  for (std::size_t i = 0; i < nn; ++i) {
-    incident_offsets_[i + 1] += incident_offsets_[i];
-  }
-  incident_edges_.resize(incident_offsets_[nn]);
-  std::vector<std::uint32_t> fill(incident_offsets_.begin(),
-                                  incident_offsets_.end() - 1);
-  for (EdgeId e = 0; e < edges_.size(); ++e) {
-    incident_edges_[fill[edges_[e].from]++] = e;
-    if (edges_[e].to != edges_[e].from) {
-      incident_edges_[fill[edges_[e].to]++] = e;
-    }
-  }
-}
-
-std::span<const EdgeId> AugmentedGraph::IncidentEdges(NodeId node) const {
-  return {incident_edges_.data() + incident_offsets_[node],
-          incident_edges_.data() + incident_offsets_[node + 1]};
 }
 
 double AugmentedGraph::MatchScore(ElementId element) const {
-  return element.is_edge() ? edge_scores_[element.index()]
-                           : node_scores_[element.index()];
+  auto it = scores_.find(element.raw());
+  return it == scores_.end() ? 1.0 : it->second;
+}
+
+std::size_t AugmentedGraph::OverlayMemoryUsageBytes() const {
+  std::size_t bytes = overlay_.MemoryUsageBytes();
+  // A materialized build owns its base copy — that O(|summary|) tax is the
+  // very thing the microbenchmark's memory counter must show.
+  if (owned_base_ != nullptr) bytes += owned_base_->MemoryUsageBytes();
+  bytes += value_node_of_term_.size() *
+           (sizeof(rdf::TermId) + sizeof(NodeId) + 2 * sizeof(void*));
+  bytes += attribute_edge_ids_.size() *
+           (2 * sizeof(std::uint64_t) + sizeof(EdgeId) + 2 * sizeof(void*));
+  bytes += scores_.size() *
+           (sizeof(std::uint32_t) + sizeof(double) + 2 * sizeof(void*));
+  for (const auto& list : keyword_elements_) {
+    bytes += list.capacity() * sizeof(ScoredElement);
+  }
+  bytes += filter_of_node_.size() *
+           (sizeof(NodeId) + sizeof(FilterSpec) + 2 * sizeof(void*));
+  return bytes;
 }
 
 std::string AugmentedGraph::DebugString(
@@ -240,13 +237,13 @@ std::string AugmentedGraph::DebugString(
   };
   if (!element.valid()) return "<invalid>";
   if (element.is_node()) {
-    const SummaryNode& n = nodes_[element.index()];
+    const SummaryNode& n = node(element.index());
     return StrFormat("node(%s)", term_text(n.term).c_str());
   }
-  const SummaryEdge& e = edges_[element.index()];
+  const SummaryEdge& e = edge(element.index());
   return StrFormat("edge(%s: %s -> %s)", term_text(e.label).c_str(),
-                   term_text(nodes_[e.from].term).c_str(),
-                   term_text(nodes_[e.to].term).c_str());
+                   term_text(node(e.from).term).c_str(),
+                   term_text(node(e.to).term).c_str());
 }
 
 }  // namespace grasp::summary

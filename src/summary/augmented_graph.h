@@ -2,13 +2,14 @@
 #define GRASP_SUMMARY_AUGMENTED_GRAPH_H_
 
 #include <cstdint>
-#include <span>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/filter_op.h"
 #include "common/hash.h"
+#include "graph/overlay_graph.h"
 #include "keyword/keyword_index.h"
 #include "summary/summary_graph.h"
 
@@ -50,8 +51,8 @@ struct ScoredElement {
   double score = 1.0;  ///< sm(n) in (0, 1]
 };
 
-/// The augmented summary graph G'_K of Definition 5: a per-query copy of the
-/// summary graph extended with
+/// The augmented summary graph G'_K of Definition 5: a copy-free per-query
+/// *view* of the summary graph extended with
 ///  - the keyword-matching V-vertices, connected to the classes of their
 ///    subjects through the corresponding A-edges, and
 ///  - for keyword-matching A-edge labels, an A-edge to a fresh artificial
@@ -61,14 +62,31 @@ struct ScoredElement {
 ///    so the exploration can merge "attribute" and "value" keywords into a
 ///    single edge.
 ///
+/// Base summary elements keep their ids and are borrowed, never copied;
+/// augmentation elements get ids past the base counts and live in a
+/// graph::OverlayGraph extension. Per-query build work is therefore
+/// O(keyword matches), independent of the summary size.
+///
 /// The graph also records, per input keyword, the set K_i of keyword
 /// elements with their matching scores, and per element the best score
 /// (used by cost model C3).
 class AugmentedGraph {
  public:
-  /// Builds the augmentation. `keyword_matches[i]` is the Lookup() result
-  /// for keyword i. The base summary graph must outlive the result.
+  using Csr = SummaryGraph::Csr;
+  using Overlay = graph::OverlayGraph<SummaryNode, SummaryEdge>;
+
+  /// Builds the augmentation as an overlay borrowing `base`'s CSR core.
+  /// `keyword_matches[i]` is the Lookup() result for keyword i. The base
+  /// summary graph must outlive the result.
   static AugmentedGraph Build(
+      const SummaryGraph& base,
+      const std::vector<std::vector<keyword::KeywordMatch>>& keyword_matches);
+
+  /// Reference variant that deep-copies the base CSR before overlaying —
+  /// the seed's copy-based semantics, kept for differential testing and for
+  /// callers that must detach from the summary's lifetime. Element ids,
+  /// adjacency order, scores and keyword sets are identical to Build().
+  static AugmentedGraph BuildMaterialized(
       const SummaryGraph& base,
       const std::vector<std::vector<keyword::KeywordMatch>>& keyword_matches);
 
@@ -77,14 +95,21 @@ class AugmentedGraph {
   AugmentedGraph(AugmentedGraph&&) = default;
   AugmentedGraph& operator=(AugmentedGraph&&) = default;
 
-  const std::vector<SummaryNode>& nodes() const { return nodes_; }
-  const std::vector<SummaryEdge>& edges() const { return edges_; }
-  const SummaryNode& node(NodeId id) const { return nodes_[id]; }
-  const SummaryEdge& edge(EdgeId id) const { return edges_[id]; }
+  std::size_t NumNodes() const { return overlay_.NumNodes(); }
+  std::size_t NumEdges() const { return overlay_.NumEdges(); }
+  const SummaryNode& node(NodeId id) const { return overlay_.node(id); }
+  const SummaryEdge& edge(EdgeId id) const { return overlay_.edge(id); }
+
+  /// First overlay node / edge id (== number of base elements).
+  std::uint32_t base_nodes() const { return overlay_.base_nodes(); }
+  std::uint32_t base_edges() const { return overlay_.base_edges(); }
 
   /// All edges touching a node (undirected incidence; exploration follows
-  /// incoming and outgoing edges alike).
-  std::span<const EdgeId> IncidentEdges(NodeId node) const;
+  /// incoming and outgoing edges alike): the base CSR run chained with the
+  /// overlay extension list.
+  graph::ChainedIds IncidentEdges(NodeId node) const {
+    return overlay_.IncidentEdges(node);
+  }
 
   /// K_i per keyword (deduplicated, best score kept).
   const std::vector<std::vector<ScoredElement>>& keyword_elements() const {
@@ -108,35 +133,46 @@ class AugmentedGraph {
   std::uint64_t total_entities() const { return total_entities_; }
   std::uint64_t total_relation_edges() const { return total_relation_edges_; }
 
-  std::size_t num_elements() const { return nodes_.size() + edges_.size(); }
+  std::size_t num_elements() const { return NumNodes() + NumEdges(); }
+
+  /// Bytes owned by this graph: overlay extension + per-query maps, plus the
+  /// deep-copied base for BuildMaterialized (a borrowed base contributes
+  /// nothing). The augmentation microbenchmark tracks this to show the
+  /// copy-free per-query footprint is O(matches), not O(summary).
+  std::size_t OverlayMemoryUsageBytes() const;
 
   /// Human-readable element description (for logging and examples).
   std::string DebugString(ElementId element,
                           const rdf::Dictionary& dictionary) const;
 
  private:
-  AugmentedGraph() = default;
+  AugmentedGraph(const SummaryGraph& base, bool materialize);
 
+  void Augment(
+      const std::vector<std::vector<keyword::KeywordMatch>>& keyword_matches);
   NodeId GetOrAddValueNode(rdf::TermId value_term);
   EdgeId GetOrAddAttributeEdge(rdf::TermId label, NodeId from, NodeId to,
                                std::uint64_t agg_count);
   void SetScore(ElementId element, double score);
-  void BuildAdjacency();
+  void AddKeywordElement(std::size_t keyword, ElementId element, double score);
 
-  std::vector<SummaryNode> nodes_;
-  std::vector<SummaryEdge> edges_;
-  std::unordered_map<rdf::TermId, NodeId> class_node_of_term_;
+  const SummaryGraph* base_summary_;
+  /// Deep copy of the base CSR (BuildMaterialized only); Build() leaves this
+  /// empty and the overlay borrows the summary's long-lived core directly.
+  std::unique_ptr<Csr> owned_base_;
+  Overlay overlay_;
+
   std::unordered_map<rdf::TermId, NodeId> value_node_of_term_;
   std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, EdgeId, PairHash>
       attribute_edge_ids_;
-  std::vector<double> node_scores_, edge_scores_;
-  /// Marks elements whose score was explicitly set (distinguishes "no match
-  /// yet" from a genuine exact match of score 1.0).
-  std::vector<bool> node_scored_, edge_scored_;
+  /// Best match score per element, keyed by ElementId::raw(); elements never
+  /// matched by any keyword are absent (score 1.0). O(matches) entries.
+  std::unordered_map<std::uint32_t, double> scores_;
   std::vector<std::vector<ScoredElement>> keyword_elements_;
+  /// (keyword << 32 | element raw) -> position in keyword_elements_[keyword];
+  /// constant-time K_i deduplication.
+  std::unordered_map<std::uint64_t, std::size_t> keyword_element_pos_;
   std::unordered_map<NodeId, FilterSpec> filter_of_node_;
-  std::vector<std::uint32_t> incident_offsets_;
-  std::vector<EdgeId> incident_edges_;
   std::uint64_t total_entities_ = 0;
   std::uint64_t total_relation_edges_ = 0;
 };

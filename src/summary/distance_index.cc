@@ -5,7 +5,7 @@
 namespace grasp::summary {
 
 KeywordDistanceIndex KeywordDistanceIndex::Build(const AugmentedGraph& graph) {
-  KeywordDistanceIndex index(graph.nodes().size());
+  KeywordDistanceIndex index(graph.NumNodes());
   const std::size_t num_elements = graph.num_elements();
   index.distances_.reserve(graph.num_keywords());
 

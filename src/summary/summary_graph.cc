@@ -2,6 +2,7 @@
 
 #include <map>
 #include <tuple>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -12,10 +13,11 @@ SummaryGraph SummaryGraph::Build(const rdf::DataGraph& graph) {
   s.total_entities_ = graph.NumEntities();
 
   // One node per class vertex, in data-graph order (deterministic).
+  std::vector<SummaryNode> nodes;
   for (const rdf::Vertex& v : graph.vertices()) {
     if (v.kind != rdf::VertexKind::kClass) continue;
-    const NodeId id = static_cast<NodeId>(s.nodes_.size());
-    s.nodes_.push_back(SummaryNode{v.term, NodeKind::kClass, 0});
+    const NodeId id = static_cast<NodeId>(nodes.size());
+    nodes.push_back(SummaryNode{v.term, NodeKind::kClass, 0});
     s.node_of_term_.emplace(v.term, id);
   }
 
@@ -48,12 +50,12 @@ SummaryGraph SummaryGraph::Build(const rdf::DataGraph& graph) {
       needs_thing = true;
     } else {
       for (rdf::VertexId c : classes) {
-        ++s.nodes_[s.node_of_term_.at(graph.vertex(c).term)].agg_count;
+        ++nodes[s.node_of_term_.at(graph.vertex(c).term)].agg_count;
       }
     }
   }
   if (needs_thing) {
-    s.thing_node_ = static_cast<NodeId>(s.nodes_.size());
+    s.thing_node_ = static_cast<NodeId>(nodes.size());
     std::uint64_t untyped = 0;
     for (const rdf::Vertex& v : graph.vertices()) {
       if (v.kind == rdf::VertexKind::kEntity &&
@@ -61,7 +63,7 @@ SummaryGraph SummaryGraph::Build(const rdf::DataGraph& graph) {
         ++untyped;
       }
     }
-    s.nodes_.push_back(SummaryNode{rdf::kThingTerm, NodeKind::kThing, untyped});
+    nodes.push_back(SummaryNode{rdf::kThingTerm, NodeKind::kThing, untyped});
     s.node_of_term_.emplace(rdf::kThingTerm, s.thing_node_);
   }
 
@@ -97,10 +99,20 @@ SummaryGraph SummaryGraph::Build(const rdf::DataGraph& graph) {
       ++slot.second;
     }
   }
+  // The aggregation map iterates in (label, from, to) order, so same-label
+  // edges land contiguously — that ordering is what EdgesWithLabel serves.
+  std::vector<SummaryEdge> edges;
+  edges.reserve(aggregated.size());
   for (const auto& [key, value] : aggregated) {
     const auto& [label, from, to] = key;
-    s.edges_.push_back(SummaryEdge{label, from, to, value.first, value.second});
+    const EdgeId id = static_cast<EdgeId>(edges.size());
+    auto [it, inserted] = s.edges_of_label_.try_emplace(label, id, id + 1);
+    if (!inserted) it->second.second = id + 1;
+    edges.push_back(SummaryEdge{label, from, to, value.first, value.second});
   }
+
+  s.csr_ = Csr::Build(std::move(nodes), std::move(edges),
+                      graph::kIncidentAdjacency);
   return s;
 }
 
@@ -109,11 +121,24 @@ NodeId SummaryGraph::NodeOfTerm(rdf::TermId term) const {
   return it == node_of_term_.end() ? kInvalidNodeId : it->second;
 }
 
+std::span<const SummaryEdge> SummaryGraph::EdgesWithLabel(
+    rdf::TermId label, EdgeId* first_id) const {
+  auto it = edges_of_label_.find(label);
+  if (it == edges_of_label_.end()) {
+    if (first_id != nullptr) *first_id = kInvalidNodeId;
+    return {};
+  }
+  const auto [first, last] = it->second;
+  if (first_id != nullptr) *first_id = first;
+  return {csr_.edges().data() + first, csr_.edges().data() + last};
+}
+
 std::size_t SummaryGraph::MemoryUsageBytes() const {
-  return nodes_.capacity() * sizeof(SummaryNode) +
-         edges_.capacity() * sizeof(SummaryEdge) +
+  return csr_.MemoryUsageBytes() +
          node_of_term_.size() *
-             (sizeof(rdf::TermId) + sizeof(NodeId) + 2 * sizeof(void*));
+             (sizeof(rdf::TermId) + sizeof(NodeId) + 2 * sizeof(void*)) +
+         edges_of_label_.size() *
+             (sizeof(rdf::TermId) + 2 * sizeof(EdgeId) + 2 * sizeof(void*));
 }
 
 }  // namespace grasp::summary

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "graph/csr_graph.h"
 #include "rdf/data_graph.h"
 
 namespace grasp::summary {
@@ -55,8 +57,15 @@ struct SummaryEdge {
 ///
 /// The summary is a *schema extracted from the data*: for every path in the
 /// data graph there is at least one path here (tested as a property).
+///
+/// Topology lives in the shared immutable graph::CsrGraph core, with
+/// undirected incidence built once at index time; per-query augmentation
+/// layers a graph::OverlayGraph view on top (see AugmentedGraph) instead of
+/// copying any of it.
 class SummaryGraph {
  public:
+  using Csr = graph::CsrGraph<SummaryNode, SummaryEdge>;
+
   /// Builds the summary of `graph`. A `Thing` node is created only when
   /// untyped entities exist.
   static SummaryGraph Build(const rdf::DataGraph& graph);
@@ -66,11 +75,22 @@ class SummaryGraph {
   SummaryGraph(SummaryGraph&&) = default;
   SummaryGraph& operator=(SummaryGraph&&) = default;
 
-  const std::vector<SummaryNode>& nodes() const { return nodes_; }
-  const std::vector<SummaryEdge>& edges() const { return edges_; }
+  /// The shared immutable topology core (incident adjacency).
+  const Csr& csr() const { return csr_; }
+
+  const std::vector<SummaryNode>& nodes() const { return csr_.nodes(); }
+  const std::vector<SummaryEdge>& edges() const { return csr_.edges(); }
+  std::size_t NumNodes() const { return csr_.NumNodes(); }
+  std::size_t NumEdges() const { return csr_.NumEdges(); }
 
   /// Node for a class term (or rdf::kThingTerm); kInvalidNodeId if absent.
   NodeId NodeOfTerm(rdf::TermId term) const;
+
+  /// The contiguous run of edge ids carrying `label` (edges are sorted by
+  /// label at build time). Lets augmentation resolve relation-label keyword
+  /// matches without scanning all edges per query.
+  std::span<const SummaryEdge> EdgesWithLabel(rdf::TermId label,
+                                              EdgeId* first_id) const;
 
   NodeId thing_node() const { return thing_node_; }
 
@@ -83,12 +103,12 @@ class SummaryGraph {
   std::size_t MemoryUsageBytes() const;
 
  private:
-  friend class AugmentedGraph;
   SummaryGraph() = default;
 
-  std::vector<SummaryNode> nodes_;
-  std::vector<SummaryEdge> edges_;
+  Csr csr_;
   std::unordered_map<rdf::TermId, NodeId> node_of_term_;
+  /// label -> [first, last) edge-id range; edges are built label-sorted.
+  std::unordered_map<rdf::TermId, std::pair<EdgeId, EdgeId>> edges_of_label_;
   NodeId thing_node_ = kInvalidNodeId;
   std::uint64_t total_entities_ = 0;
   std::uint64_t total_relation_edges_ = 0;

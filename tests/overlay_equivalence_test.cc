@@ -1,0 +1,253 @@
+// Equivalence of the copy-free overlay augmentation with the copy-based
+// build: AugmentedGraph::Build borrows the summary's CSR core and layers a
+// per-query OverlayGraph on top; AugmentedGraph::BuildMaterialized deep-
+// copies the base first (the seed's semantics). Both must agree element for
+// element — ids, records, adjacency, keyword sets, scores — and drive the
+// exploration to identical top-k queries and costs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/filter_op.h"
+#include "common/string_util.h"
+#include "core/exploration.h"
+#include "core/query_mapping.h"
+#include "datagen/lubm_gen.h"
+#include "keyword/keyword_index.h"
+#include "rdf/data_graph.h"
+#include "summary/augmented_graph.h"
+#include "summary/summary_graph.h"
+#include "test_util.h"
+
+namespace grasp::summary {
+namespace {
+
+struct Pipeline {
+  rdf::Dictionary dictionary;
+  rdf::TripleStore store;
+  std::unique_ptr<rdf::DataGraph> graph;
+  std::unique_ptr<SummaryGraph> summary;
+  std::unique_ptr<keyword::KeywordIndex> index;
+};
+
+Pipeline MakeFig1Pipeline() {
+  Pipeline p;
+  auto dataset = grasp::testing::MakeFigure1Dataset();
+  p.dictionary = std::move(dataset.dictionary);
+  p.store = std::move(dataset.store);
+  p.graph = std::make_unique<rdf::DataGraph>(
+      rdf::DataGraph::Build(p.store, p.dictionary));
+  p.summary =
+      std::make_unique<SummaryGraph>(SummaryGraph::Build(*p.graph));
+  p.index = std::make_unique<keyword::KeywordIndex>(
+      keyword::KeywordIndex::Build(*p.graph));
+  return p;
+}
+
+Pipeline MakeLubmPipeline() {
+  Pipeline p;
+  datagen::LubmOptions options;
+  options.num_universities = 1;
+  options.departments_per_university = 2;
+  datagen::GenerateLubm(options, &p.dictionary, &p.store);
+  p.store.Finalize();
+  p.graph = std::make_unique<rdf::DataGraph>(
+      rdf::DataGraph::Build(p.store, p.dictionary));
+  p.summary =
+      std::make_unique<SummaryGraph>(SummaryGraph::Build(*p.graph));
+  p.index = std::make_unique<keyword::KeywordIndex>(
+      keyword::KeywordIndex::Build(*p.graph));
+  return p;
+}
+
+std::vector<std::vector<keyword::KeywordMatch>> Lookup(
+    const Pipeline& p, const std::vector<std::string>& keywords) {
+  text::InvertedIndex::SearchOptions options;
+  options.max_results = 16;
+  std::vector<std::vector<keyword::KeywordMatch>> matches;
+  for (const auto& kw : keywords) {
+    matches.push_back(p.index->Lookup(kw, options));
+  }
+  return matches;
+}
+
+/// Element-for-element equality of two augmentations.
+void ExpectSameGraph(const AugmentedGraph& a, const AugmentedGraph& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  ASSERT_EQ(a.base_nodes(), b.base_nodes());
+  ASSERT_EQ(a.base_edges(), b.base_edges());
+  for (NodeId n = 0; n < a.NumNodes(); ++n) {
+    EXPECT_EQ(a.node(n).term, b.node(n).term);
+    EXPECT_EQ(a.node(n).kind, b.node(n).kind);
+    EXPECT_EQ(a.node(n).agg_count, b.node(n).agg_count);
+  }
+  for (EdgeId e = 0; e < a.NumEdges(); ++e) {
+    EXPECT_EQ(a.edge(e).label, b.edge(e).label);
+    EXPECT_EQ(a.edge(e).from, b.edge(e).from);
+    EXPECT_EQ(a.edge(e).to, b.edge(e).to);
+    EXPECT_EQ(a.edge(e).kind, b.edge(e).kind);
+    EXPECT_EQ(a.edge(e).agg_count, b.edge(e).agg_count);
+  }
+  // Incident iteration must agree edge for edge, in order.
+  for (NodeId n = 0; n < a.NumNodes(); ++n) {
+    std::vector<EdgeId> ia, ib;
+    for (EdgeId e : a.IncidentEdges(n)) ia.push_back(e);
+    for (EdgeId e : b.IncidentEdges(n)) ib.push_back(e);
+    EXPECT_EQ(ia, ib) << "incidence mismatch at node " << n;
+  }
+  // Per-keyword element sets K_i with scores.
+  ASSERT_EQ(a.num_keywords(), b.num_keywords());
+  for (std::size_t kw = 0; kw < a.num_keywords(); ++kw) {
+    const auto& ka = a.keyword_elements()[kw];
+    const auto& kb = b.keyword_elements()[kw];
+    ASSERT_EQ(ka.size(), kb.size()) << "keyword " << kw;
+    for (std::size_t i = 0; i < ka.size(); ++i) {
+      EXPECT_EQ(ka[i].element.raw(), kb[i].element.raw());
+      EXPECT_DOUBLE_EQ(ka[i].score, kb[i].score);
+      EXPECT_DOUBLE_EQ(a.MatchScore(ka[i].element),
+                       b.MatchScore(kb[i].element));
+    }
+  }
+}
+
+/// The overlay's chained incidence must equal a from-scratch CSR rebuild
+/// over the *flattened* element arrays — the adjacency the seed's copy-based
+/// builder produced (per node: all touching edges, ascending edge id,
+/// self-loops once).
+void ExpectSameAsFlatRebuild(const AugmentedGraph& g) {
+  std::vector<std::vector<EdgeId>> expected(g.NumNodes());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    expected[g.edge(e).from].push_back(e);
+    if (g.edge(e).to != g.edge(e).from) expected[g.edge(e).to].push_back(e);
+  }
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    std::vector<EdgeId> actual;
+    for (EdgeId e : g.IncidentEdges(n)) actual.push_back(e);
+    std::vector<EdgeId> sorted = expected[n];
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(actual, sorted) << "node " << n;
+  }
+}
+
+void ExpectSameExploration(const Pipeline& p, const AugmentedGraph& a,
+                           const AugmentedGraph& b) {
+  for (core::CostModel model :
+       {core::CostModel::kPathLength, core::CostModel::kPopularity,
+        core::CostModel::kMatching}) {
+    core::ExplorationOptions options;
+    options.k = 10;
+    options.cost_model = model;
+    core::SubgraphExplorer explorer_a(a, options);
+    core::SubgraphExplorer explorer_b(b, options);
+    auto results_a = explorer_a.FindTopK();
+    auto results_b = explorer_b.FindTopK();
+    ASSERT_EQ(results_a.size(), results_b.size());
+    core::QueryMappingContext context;
+    context.type_term = p.graph->type_term();
+    for (std::size_t i = 0; i < results_a.size(); ++i) {
+      EXPECT_NEAR(results_a[i].cost, results_b[i].cost, 1e-12);
+      EXPECT_EQ(results_a[i].StructureKey(), results_b[i].StructureKey());
+      // The mapped conjunctive queries agree as well.
+      const auto qa = core::MapToQuery(a, results_a[i], context);
+      const auto qb = core::MapToQuery(b, results_b[i], context);
+      EXPECT_EQ(qa.CanonicalString(), qb.CanonicalString());
+    }
+  }
+}
+
+void RunEquivalence(const Pipeline& p,
+                    const std::vector<std::string>& keywords) {
+  SCOPED_TRACE("keywords: " + Join(keywords, ","));
+  const auto matches = Lookup(p, keywords);
+  AugmentedGraph overlay = AugmentedGraph::Build(*p.summary, matches);
+  AugmentedGraph materialized =
+      AugmentedGraph::BuildMaterialized(*p.summary, matches);
+  // The overlay really borrows: base ids line up with the summary.
+  EXPECT_EQ(overlay.base_nodes(), p.summary->NumNodes());
+  EXPECT_EQ(overlay.base_edges(), p.summary->NumEdges());
+  ExpectSameGraph(overlay, materialized);
+  ExpectSameAsFlatRebuild(overlay);
+  ExpectSameExploration(p, overlay, materialized);
+}
+
+TEST(OverlayEquivalenceTest, Figure1RunningExample) {
+  Pipeline p = MakeFig1Pipeline();
+  RunEquivalence(p, {"2006", "cimiano", "aifb"});
+}
+
+TEST(OverlayEquivalenceTest, Figure1AttributeAndValueMerge) {
+  Pipeline p = MakeFig1Pipeline();
+  RunEquivalence(p, {"year", "2006"});
+}
+
+TEST(OverlayEquivalenceTest, Figure1SingleClassKeyword) {
+  Pipeline p = MakeFig1Pipeline();
+  RunEquivalence(p, {"publication"});
+}
+
+TEST(OverlayEquivalenceTest, Figure1RelationLabelKeyword) {
+  Pipeline p = MakeFig1Pipeline();
+  RunEquivalence(p, {"author", "name"});
+}
+
+TEST(OverlayEquivalenceTest, Figure1FilterKeyword) {
+  Pipeline p = MakeFig1Pipeline();
+  // Operator keywords resolve through the filter extension: an artificial
+  // overlay node constrained by a FILTER condition.
+  const auto filter = ParseFilterKeyword(">2000");
+  ASSERT_TRUE(filter.has_value());
+  auto match = p.index->LookupFilter(*filter);
+  ASSERT_TRUE(match.has_value());
+  std::vector<std::vector<keyword::KeywordMatch>> matches;
+  matches.push_back({*match});
+  matches.push_back(Lookup(p, {"year"})[0]);
+  AugmentedGraph overlay = AugmentedGraph::Build(*p.summary, matches);
+  AugmentedGraph materialized =
+      AugmentedGraph::BuildMaterialized(*p.summary, matches);
+  ExpectSameGraph(overlay, materialized);
+  ExpectSameAsFlatRebuild(overlay);
+  ExpectSameExploration(p, overlay, materialized);
+}
+
+TEST(OverlayEquivalenceTest, LubmSlice) {
+  Pipeline p = MakeLubmPipeline();
+  RunEquivalence(p, {"publication", "professor"});
+  RunEquivalence(p, {"databases", "student"});
+  RunEquivalence(p, {"name", "course", "department"});
+}
+
+TEST(OverlayEquivalenceTest, OverlayFootprintIndependentOfBase) {
+  // The per-query cost claim, structurally: the same keyword set against a
+  // 1-university and a 3-university LUBM summary allocates overlay memory
+  // within a constant of each other, while the summaries differ in size.
+  auto run = [](std::size_t universities) {
+    Pipeline p;
+    datagen::LubmOptions options;
+    options.num_universities = universities;
+    datagen::GenerateLubm(options, &p.dictionary, &p.store);
+    p.store.Finalize();
+    p.graph = std::make_unique<rdf::DataGraph>(
+        rdf::DataGraph::Build(p.store, p.dictionary));
+    p.summary =
+        std::make_unique<SummaryGraph>(SummaryGraph::Build(*p.graph));
+    p.index = std::make_unique<keyword::KeywordIndex>(
+        keyword::KeywordIndex::Build(*p.graph));
+    const auto matches = Lookup(p, {"publication", "databases"});
+    AugmentedGraph g = AugmentedGraph::Build(*p.summary, matches);
+    return g.OverlayMemoryUsageBytes();
+  };
+  const std::size_t small = run(1);
+  const std::size_t large = run(3);
+  // Identical keyword vocabulary => identical overlay structure; allow
+  // slack for map load factors.
+  EXPECT_LE(large, small * 2);
+  EXPECT_GE(large, small / 2);
+}
+
+}  // namespace
+}  // namespace grasp::summary

@@ -210,19 +210,21 @@ class AugmentedGraphTest : public ::testing::Test {
 
 TEST_F(AugmentedGraphTest, ValueKeywordAddsNodeAndEdge) {
   AugmentedGraph g = AugmentedGraph::Build(summary_, LookupAll({"2006"}));
-  EXPECT_GT(g.nodes().size(), summary_.nodes().size());
+  EXPECT_GT(g.NumNodes(), summary_.NumNodes());
   bool value_node = false, attribute_edge = false;
-  for (const SummaryNode& n : g.nodes()) {
+  for (NodeId i = 0; i < g.NumNodes(); ++i) {
+    const SummaryNode& n = g.node(i);
     if (n.kind == NodeKind::kValue &&
         dataset_.dictionary.text(n.term) == "2006") {
       value_node = true;
     }
   }
-  for (const SummaryEdge& e : g.edges()) {
+  for (EdgeId i = 0; i < g.NumEdges(); ++i) {
+    const SummaryEdge& e = g.edge(i);
     if (e.kind == SummaryEdgeKind::kAttribute &&
         Local(dataset_.dictionary, e.label) == "year") {
       attribute_edge = true;
-      EXPECT_EQ(Local(dataset_.dictionary, g.nodes()[e.from].term),
+      EXPECT_EQ(Local(dataset_.dictionary, g.node(e.from).term),
                 "Publication");
     }
   }
@@ -236,8 +238,8 @@ TEST_F(AugmentedGraphTest, ValueKeywordAddsNodeAndEdge) {
 TEST_F(AugmentedGraphTest, AttributeLabelKeywordAddsArtificialNode) {
   AugmentedGraph g = AugmentedGraph::Build(summary_, LookupAll({"year"}));
   bool artificial = false;
-  for (const SummaryNode& n : g.nodes()) {
-    if (n.kind == NodeKind::kArtificial) artificial = true;
+  for (NodeId i = 0; i < g.NumNodes(); ++i) {
+    if (g.node(i).kind == NodeKind::kArtificial) artificial = true;
   }
   EXPECT_TRUE(artificial);
   // Keyword element is the edge, not the node.
@@ -254,8 +256,8 @@ TEST_F(AugmentedGraphTest, AttributeLabelCoversConcreteAndArtificialEdges) {
   AugmentedGraph g =
       AugmentedGraph::Build(summary_, LookupAll({"year", "2006"}));
   std::size_t artificial = 0;
-  for (const SummaryNode& n : g.nodes()) {
-    if (n.kind == NodeKind::kArtificial) ++artificial;
+  for (NodeId i = 0; i < g.NumNodes(); ++i) {
+    if (g.node(i).kind == NodeKind::kArtificial) ++artificial;
   }
   EXPECT_EQ(artificial, 1u);
   ASSERT_EQ(g.num_keywords(), 2u);
@@ -265,8 +267,8 @@ TEST_F(AugmentedGraphTest, AttributeLabelCoversConcreteAndArtificialEdges) {
   for (const ScoredElement& se : year_elements) {
     ASSERT_TRUE(se.element.is_edge());
     const SummaryEdge& e = g.edge(se.element.index());
-    if (g.nodes()[e.to].kind == NodeKind::kValue) concrete = true;
-    if (g.nodes()[e.to].kind == NodeKind::kArtificial) free_value = true;
+    if (g.node(e.to).kind == NodeKind::kValue) concrete = true;
+    if (g.node(e.to).kind == NodeKind::kArtificial) free_value = true;
   }
   EXPECT_TRUE(concrete);
   EXPECT_TRUE(free_value);
@@ -276,11 +278,11 @@ TEST_F(AugmentedGraphTest, AttributeLabelCoversConcreteAndArtificialEdges) {
 TEST_F(AugmentedGraphTest, ClassKeywordIsExistingNode) {
   AugmentedGraph g =
       AugmentedGraph::Build(summary_, LookupAll({"publication"}));
-  EXPECT_EQ(g.nodes().size(), summary_.nodes().size());  // nothing added
+  EXPECT_EQ(g.NumNodes(), summary_.NumNodes());  // nothing added
   ASSERT_FALSE(g.keyword_elements()[0].empty());
   const auto& se = g.keyword_elements()[0][0];
   ASSERT_TRUE(se.element.is_node());
-  EXPECT_EQ(Local(dataset_.dictionary, g.nodes()[se.element.index()].term),
+  EXPECT_EQ(Local(dataset_.dictionary, g.node(se.element.index()).term),
             "Publication");
 }
 
@@ -289,7 +291,7 @@ TEST_F(AugmentedGraphTest, RelationLabelKeywordMarksEdges) {
   ASSERT_FALSE(g.keyword_elements()[0].empty());
   for (const auto& se : g.keyword_elements()[0]) {
     ASSERT_TRUE(se.element.is_edge());
-    EXPECT_EQ(Local(dataset_.dictionary, g.edges()[se.element.index()].label),
+    EXPECT_EQ(Local(dataset_.dictionary, g.edge(se.element.index()).label),
               "author");
   }
 }
@@ -307,15 +309,15 @@ TEST_F(AugmentedGraphTest, IncidentAdjacencyConsistent) {
   AugmentedGraph g =
       AugmentedGraph::Build(summary_, LookupAll({"2006", "aifb"}));
   std::size_t incidences = 0;
-  for (NodeId n = 0; n < g.nodes().size(); ++n) {
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
     for (EdgeId e : g.IncidentEdges(n)) {
-      EXPECT_TRUE(g.edges()[e].from == n || g.edges()[e].to == n);
+      EXPECT_TRUE(g.edge(e).from == n || g.edge(e).to == n);
       ++incidences;
     }
   }
   std::size_t expected = 0;
-  for (const SummaryEdge& e : g.edges()) {
-    expected += (e.from == e.to) ? 1 : 2;
+  for (EdgeId i = 0; i < g.NumEdges(); ++i) {
+    expected += (g.edge(i).from == g.edge(i).to) ? 1 : 2;
   }
   EXPECT_EQ(incidences, expected);
 }
@@ -331,7 +333,7 @@ TEST_F(AugmentedGraphTest, GraphIsConnectedForFig1Keywords) {
   // BFS over nodes from the first keyword element's node.
   auto start_node = [&](ElementId el) {
     return el.is_node() ? static_cast<NodeId>(el.index())
-                        : g.edges()[el.index()].from;
+                        : g.edge(el.index()).from;
   };
   std::set<NodeId> visited;
   std::queue<NodeId> frontier;
@@ -341,7 +343,7 @@ TEST_F(AugmentedGraphTest, GraphIsConnectedForFig1Keywords) {
     NodeId cur = frontier.front();
     frontier.pop();
     for (EdgeId e : g.IncidentEdges(cur)) {
-      for (NodeId next : {g.edges()[e].from, g.edges()[e].to}) {
+      for (NodeId next : {g.edge(e).from, g.edge(e).to}) {
         if (visited.insert(next).second) frontier.push(next);
       }
     }
