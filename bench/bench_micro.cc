@@ -12,6 +12,7 @@
 
 #include "core/engine.h"
 #include "core/exploration.h"
+#include "core/exploration_reference.h"
 #include "datagen/dblp_gen.h"
 #include "datagen/tap_gen.h"
 #include "keyword/keyword_index.h"
@@ -233,6 +234,113 @@ void BM_AugmentationSweepMaterialized(benchmark::State& state) {
 BENCHMARK(BM_AugmentationSweepMaterialized)
     ->ArgNames({"classes", "matches"})
     ->ArgsProduct({{64, 256, 1024}, {4, 16, 64}});
+
+// ------------------------------------------------ exploration hot-path sweep --
+// ns/query of the flat SubgraphExplorer vs the retained straightforward
+// ReferenceExplorer, swept over summary scale (TAP classes) x keyword count
+// x k. The flat engine reuses one ExplorationScratch across iterations the
+// way the engine does across queries; `scratch_grow_events` staying at 1
+// demonstrates the allocation-free steady state. Each configuration first
+// cross-checks that both explorers return byte-identical top-k costs and
+// structure keys. CI captures this sweep as BENCH_exploration.json
+// (--benchmark_out) for cross-PR trend tracking.
+
+std::vector<std::vector<grasp::keyword::KeywordMatch>> ExplorationSweepMatches(
+    TapFixture& f, int m) {
+  // Vocabulary that spans match kinds: "item" hits instance descriptions
+  // (V-vertices), the rest hit class nodes minted from the Domain+Concept
+  // cross product ("MusicAlbum", "SportsTeam", ...).
+  static constexpr const char* kSweepKeywords[] = {"item", "album", "team"};
+  grasp::text::InvertedIndex::SearchOptions options;
+  options.max_results = 8;
+  std::vector<std::vector<grasp::keyword::KeywordMatch>> matches;
+  for (int i = 0; i < m; ++i) {
+    matches.push_back(f.index->Lookup(kSweepKeywords[i], options));
+  }
+  return matches;
+}
+
+template <typename RunFn>
+void RunExplorationSweep(benchmark::State& state, bool uses_scratch,
+                         RunFn&& run) {
+  TapFixture& f = ScaledTapFixture(static_cast<int>(state.range(0)));
+  const int m = static_cast<int>(state.range(1));
+  auto matches = ExplorationSweepMatches(f, m);
+  for (const auto& list : matches) {
+    if (list.empty()) {
+      state.SkipWithError("sweep keyword without matches");
+      return;
+    }
+  }
+  grasp::summary::AugmentedGraph augmented =
+      grasp::summary::AugmentedGraph::Build(*f.summary, matches);
+  grasp::core::ExplorationOptions explore;
+  explore.k = static_cast<std::size_t>(state.range(2));
+
+  // Differential guard: the optimized engine must reproduce the reference
+  // byte for byte before its speed means anything.
+  {
+    grasp::core::SubgraphExplorer flat(augmented, explore);
+    grasp::core::ReferenceExplorer reference(augmented, explore);
+    const auto a = flat.FindTopK();
+    const auto b = reference.FindTopK();
+    bool identical = a.size() == b.size();
+    for (std::size_t i = 0; identical && i < a.size(); ++i) {
+      identical = a[i].cost == b[i].cost &&
+                  a[i].StructureKey() == b[i].StructureKey();
+    }
+    if (!identical) {
+      state.SkipWithError("flat and reference explorers diverge");
+      return;
+    }
+  }
+
+  grasp::core::ExplorationScratch scratch;
+  grasp::core::ExplorationStats stats;
+  for (auto _ : state) {
+    stats = run(augmented, explore, &scratch);
+  }
+  state.counters["summary_nodes"] = static_cast<double>(f.summary->NumNodes());
+  state.counters["cursors_popped"] = static_cast<double>(stats.cursors_popped);
+  state.counters["candidates_generated"] =
+      static_cast<double>(stats.subgraphs_generated);
+  if (uses_scratch) {  // the reference explorer has no pooled scratch
+    state.counters["scratch_bytes"] =
+        static_cast<double>(scratch.CapacityBytes());
+    state.counters["scratch_grow_events"] =
+        static_cast<double>(scratch.grow_events);
+  }
+}
+
+void BM_ExplorationSweepFlat(benchmark::State& state) {
+  RunExplorationSweep(
+      state, /*uses_scratch=*/true,
+      [](const grasp::summary::AugmentedGraph& augmented,
+                const grasp::core::ExplorationOptions& explore,
+                grasp::core::ExplorationScratch* scratch) {
+        grasp::core::SubgraphExplorer explorer(augmented, explore, scratch);
+        benchmark::DoNotOptimize(explorer.FindTopK());
+        return explorer.stats();
+      });
+}
+BENCHMARK(BM_ExplorationSweepFlat)
+    ->ArgNames({"classes", "m", "k"})
+    ->ArgsProduct({{64, 256, 1024}, {2, 3}, {1, 10}});
+
+void BM_ExplorationSweepReference(benchmark::State& state) {
+  RunExplorationSweep(
+      state, /*uses_scratch=*/false,
+      [](const grasp::summary::AugmentedGraph& augmented,
+                const grasp::core::ExplorationOptions& explore,
+                grasp::core::ExplorationScratch*) {
+        grasp::core::ReferenceExplorer explorer(augmented, explore);
+        benchmark::DoNotOptimize(explorer.FindTopK());
+        return explorer.stats();
+      });
+}
+BENCHMARK(BM_ExplorationSweepReference)
+    ->ArgNames({"classes", "m", "k"})
+    ->ArgsProduct({{64, 256, 1024}, {2, 3}, {1, 10}});
 
 void BM_TopKExploration(benchmark::State& state) {
   DblpFixture& f = Fixture();

@@ -13,6 +13,17 @@ inline std::size_t HashCombine(std::size_t seed, std::size_t value) {
   return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
 }
 
+/// splitmix64 finalizer: a fast, well-distributed 64-bit mixer. Used by the
+/// open-addressing tables on the exploration hot path, where std::hash (an
+/// identity function for integers on common standard libraries) would cluster
+/// the sequential element ids into long probe chains.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Hashes an arbitrary pack of hashable values into one size_t.
 template <typename... Ts>
 std::size_t HashValues(const Ts&... values) {

@@ -125,15 +125,35 @@ KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
   result.augmentation_millis = step.ElapsedMillis();
 
   // Step 3: top-k graph exploration (Alg. 1 + Alg. 2), with overfetch to
-  // absorb query-level deduplication.
+  // absorb query-level deduplication. The engine's scratch is reused across
+  // queries so the steady state allocates nothing; if another thread holds
+  // it (Search is const and may run concurrently), fall back to a local one.
   step.Reset();
   ExplorationOptions explore = exploration;
   explore.k = std::max<std::size_t>(
       k, static_cast<std::size_t>(
              std::ceil(static_cast<double>(k) * options_.subgraph_overfetch)));
-  SubgraphExplorer explorer(augmented, explore);
-  std::vector<MatchingSubgraph> subgraphs = explorer.FindTopK();
-  result.exploration_stats = explorer.stats();
+  struct ScratchLease {  // releases the flag on every exit path
+    std::atomic_flag& busy;
+    const bool acquired;
+    explicit ScratchLease(std::atomic_flag& busy)
+        : busy(busy), acquired(!busy.test_and_set(std::memory_order_acquire)) {}
+    ~ScratchLease() {
+      if (acquired) busy.clear(std::memory_order_release);
+    }
+  };
+  std::vector<MatchingSubgraph> subgraphs;
+  {
+    // The lease spans only the exploration, so a concurrent Search in the
+    // later mapping steps does not keep others off the pooled scratch.
+    ScratchLease lease(exploration_scratch_busy_);
+    ExplorationScratch local_scratch;
+    SubgraphExplorer explorer(
+        augmented, explore,
+        lease.acquired ? &exploration_scratch_ : &local_scratch);
+    subgraphs = explorer.FindTopK();
+    result.exploration_stats = explorer.stats();
+  }
   result.exploration_millis = step.ElapsedMillis();
 
   // Step 4: element-to-query mapping + isomorphism-level deduplication.

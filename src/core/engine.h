@@ -1,11 +1,13 @@
 #ifndef GRASP_CORE_ENGINE_H_
 #define GRASP_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
 
 #include "core/exploration.h"
+#include "core/exploration_scratch.h"
 #include "core/query_mapping.h"
 #include "core/subgraph.h"
 #include "keyword/keyword_index.h"
@@ -110,6 +112,16 @@ class KeywordSearchEngine {
   const Options& options() const { return options_; }
   const IndexStats& index_stats() const { return index_stats_; }
 
+  /// The reusable exploration state: repeated Search() calls clear it
+  /// instead of reallocating (scratch.grow_events stops advancing once the
+  /// engine has seen the query shape). Concurrent Search() calls stay safe
+  /// among themselves — a call that finds the scratch busy runs on a
+  /// private one — but this accessor is unsynchronized: only read it when
+  /// no Search() is in flight (tests and single-threaded stats reporting).
+  const ExplorationScratch& exploration_scratch() const {
+    return exploration_scratch_;
+  }
+
  private:
   /// Result of the timed off-line preprocessing pass.
   struct Prebuilt {
@@ -133,6 +145,8 @@ class KeywordSearchEngine {
   summary::SummaryGraph summary_;
   keyword::KeywordIndex keyword_index_;
   IndexStats index_stats_;
+  mutable ExplorationScratch exploration_scratch_;
+  mutable std::atomic_flag exploration_scratch_busy_ = ATOMIC_FLAG_INIT;
 };
 
 }  // namespace grasp::core

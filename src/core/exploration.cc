@@ -10,95 +10,84 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Min-heap helpers over (cost, cursor index) pairs; ties break on the
-/// cursor index so runs are deterministic.
-struct HeapGreater {
-  bool operator()(const std::pair<double, std::uint32_t>& a,
-                  const std::pair<double, std::uint32_t>& b) const {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second > b.second;
+/// Tracks whether a FindTopK run had to enlarge any pooled structure; fires
+/// on every exit path so the steady-state-allocation test sees all of them.
+struct GrowTracker {
+  explicit GrowTracker(ExplorationScratch* scratch)
+      : scratch(scratch), before(scratch->CapacityBytes()) {}
+  ~GrowTracker() {
+    if (scratch->CapacityBytes() > before) ++scratch->grow_events;
   }
+  ExplorationScratch* scratch;
+  std::size_t before;
 };
 
 }  // namespace
 
 SubgraphExplorer::SubgraphExplorer(const summary::AugmentedGraph& graph,
-                                   const ExplorationOptions& options)
+                                   const ExplorationOptions& options,
+                                   ExplorationScratch* scratch)
     : graph_(&graph),
       options_(options),
       cost_fn_(options.cost_model, graph),
-      num_keywords_(graph.num_keywords()) {
+      num_keywords_(graph.num_keywords()),
+      scratch_(scratch) {
   GRASP_CHECK_GT(options_.k, 0u);
-  queues_.resize(num_keywords_);
-  paths_at_.resize(graph_->num_elements() * std::max<std::size_t>(1, num_keywords_));
-}
-
-std::size_t SubgraphExplorer::DenseIndex(summary::ElementId element) const {
-  return element.is_edge() ? graph_->NumNodes() + element.index()
-                           : element.index();
-}
-
-std::vector<std::uint32_t>& SubgraphExplorer::PathsAt(
-    summary::ElementId element, std::uint32_t keyword) {
-  return paths_at_[DenseIndex(element) * num_keywords_ + keyword];
+  if (scratch_ == nullptr) {
+    owned_scratch_ = std::make_unique<ExplorationScratch>();
+    scratch_ = owned_scratch_.get();
+  }
 }
 
 bool SubgraphExplorer::InAncestors(std::uint32_t cursor,
                                    summary::ElementId element) const {
+  const auto& cursors = scratch_->cursors;
+  // Bloom fast path: a clear bit proves `element` is on no ancestor.
+  if ((cursors[cursor].ancestor_sig & FlatCursor::SigBit(element)) == 0) {
+    return false;
+  }
   std::int32_t i = static_cast<std::int32_t>(cursor);
   while (i >= 0) {
-    const Cursor& c = cursors_[static_cast<std::size_t>(i)];
+    const FlatCursor& c = cursors[static_cast<std::size_t>(i)];
     if (c.element == element) return true;
     i = c.parent;
   }
   return false;
 }
 
-void SubgraphExplorer::CollectNeighbors(
-    summary::ElementId element, std::vector<summary::ElementId>* out) const {
-  out->clear();
-  if (element.is_node()) {
-    for (summary::EdgeId e : graph_->IncidentEdges(element.index())) {
-      out->push_back(summary::ElementId::Edge(e));
-    }
-  } else {
-    const summary::SummaryEdge& e = graph_->edge(element.index());
-    out->push_back(summary::ElementId::Node(e.from));
-    if (e.to != e.from) out->push_back(summary::ElementId::Node(e.to));
+double SubgraphExplorer::CachedElementCost(summary::ElementId element) const {
+  const std::size_t i = graph_->DenseIndex(element);
+  if (scratch_->element_cost_epoch[i] != scratch_->cost_epoch) {
+    scratch_->element_cost_epoch[i] = scratch_->cost_epoch;
+    scratch_->element_cost[i] = cost_fn_.ElementCost(element);
   }
+  return scratch_->element_cost[i];
 }
 
-std::vector<summary::ElementId> SubgraphExplorer::ReconstructPath(
-    std::uint32_t cursor) const {
-  std::vector<summary::ElementId> path;
-  std::int32_t i = static_cast<std::int32_t>(cursor);
-  while (i >= 0) {
-    const Cursor& c = cursors_[static_cast<std::size_t>(i)];
-    path.push_back(c.element);
-    i = c.parent;
-  }
-  std::reverse(path.begin(), path.end());  // origin (keyword element) first
-  return path;
+std::uint32_t SubgraphExplorer::ChosenCursor(std::uint32_t j, std::uint32_t kw,
+                                             std::uint32_t new_cursor,
+                                             const std::uint32_t* choice) const {
+  if (j == kw) return new_cursor;
+  return scratch_->event_cursors[scratch_->event_offsets[j] +
+                                 choice[scratch_->dim_of[j]]];
 }
 
 double SubgraphExplorer::KthCandidateCost() const {
-  if (candidates_.size() < options_.k) return kInf;
-  return candidates_[options_.k - 1].cost;
+  const auto& ranked = scratch_->candidates.ranked();
+  if (ranked.size() < options_.k) return kInf;
+  return ranked[options_.k - 1].cost;
 }
 
 double SubgraphExplorer::RemainingLowerBound() const {
-  double min_cursor = kInf;
-  for (const auto& q : queues_) {
-    if (!q.empty()) min_cursor = std::min(min_cursor, q.front().first);
-  }
-  if (min_cursor == kInf) return kInf;
+  if (scratch_->heap.empty()) return kInf;
+  const double min_cursor = scratch_->heap.Top().cost;
   if (!options_.tightened_bound) return min_cursor;
-  // A future candidate consists of one path that is still on some queue
+  // A future candidate consists of one path that is still on the heap
   // (cost >= min_cursor) plus, for every other keyword, some path that costs
   // at least that keyword's cheapest root. Minimizing over the choice of the
-  // queue keyword yields: min_cursor + sum(min roots) - max(min root).
+  // heap keyword yields: min_cursor + sum(min roots) - max(min root).
   double sum = 0.0, worst = 0.0;
-  for (double r : min_root_cost_) {
+  for (double r : scratch_->min_root_cost) {
     sum += r;
     worst = std::max(worst, r);
   }
@@ -112,70 +101,112 @@ std::size_t SubgraphExplorer::CandidateCap() const {
 }
 
 double SubgraphExplorer::CandidatePruneCost() const {
-  if (candidates_.size() < CandidateCap()) return kInf;
-  return candidates_.back().cost;
+  const auto& ranked = scratch_->candidates.ranked();
+  if (ranked.size() < CandidateCap()) return kInf;
+  return ranked.back().cost;
 }
 
-void SubgraphExplorer::InsertCandidate(MatchingSubgraph subgraph) {
+void SubgraphExplorer::InsertCandidate(std::uint64_t hash, double cost,
+                                       summary::ElementId n, std::uint32_t kw,
+                                       std::uint32_t new_cursor,
+                                       const std::uint32_t* choice) {
   ++stats_.subgraphs_generated;
-  std::string key = subgraph.StructureKey();
-  auto it = best_cost_by_key_.find(key);
-  if (it != best_cost_by_key_.end()) {
+  CandidateStore& store = scratch_->candidates;
+  bool inserted = false;
+  CandidateStore::TableSlot* entry = store.FindOrInsert(hash, &inserted);
+  std::uint32_t slot;
+  if (!inserted) {
     ++stats_.subgraphs_deduplicated;
-    if (subgraph.cost >= it->second) return;
-    // A cheaper decomposition of a known structure: replace it. The key
-    // cache avoids rebuilding every candidate's key during the scan.
-    it->second = subgraph.cost;
-    for (std::size_t i = 0; i < candidates_.size(); ++i) {
-      if (candidate_keys_[i] == key) {
-        candidates_.erase(candidates_.begin() + static_cast<std::ptrdiff_t>(i));
-        candidate_keys_.erase(candidate_keys_.begin() +
-                              static_cast<std::ptrdiff_t>(i));
-        break;
-      }
+    if (cost >= entry->best_cost) return;
+    // A cheaper decomposition of a known structure: re-rank it. If the
+    // structure is still live, its pool slot (and vector capacities) are
+    // reused in place.
+    entry->best_cost = cost;
+    if (entry->candidate != CandidateStore::kEvicted) {
+      store.Unrank(entry->candidate);
+      slot = entry->candidate;
+    } else {
+      slot = store.AcquireSlot();
     }
   } else {
-    best_cost_by_key_.emplace(key, subgraph.cost);
+    entry->best_cost = cost;
+    slot = store.AcquireSlot();
   }
-  auto pos = std::upper_bound(
-      candidates_.begin(), candidates_.end(), subgraph,
-      [](const MatchingSubgraph& a, const MatchingSubgraph& b) {
-        return a.cost < b.cost;
-      });
-  const std::size_t index =
-      static_cast<std::size_t>(pos - candidates_.begin());
-  candidates_.insert(pos, std::move(subgraph));
-  candidate_keys_.insert(candidate_keys_.begin() +
-                             static_cast<std::ptrdiff_t>(index),
-                         std::move(key));
-  const std::size_t cap = CandidateCap();
-  if (candidates_.size() > cap) {
-    candidates_.resize(cap);
-    candidate_keys_.resize(cap);
+  store.Rank(cost, slot);
+  entry->candidate = slot;
+
+  // Materialize from the scratch element sets and the chosen cursors'
+  // parent chains; every container either reuses slot-pool capacity or
+  // scratch capacity. Paths are reconstructed only here — candidates that
+  // fail the dedup above never pay for one.
+  MatchingSubgraph& sg = store.subgraph(slot);
+  sg.cost = cost;
+  sg.connecting_element = n;
+  sg.nodes.assign(scratch_->cand_nodes.begin(), scratch_->cand_nodes.end());
+  sg.edges.assign(scratch_->cand_edges.begin(), scratch_->cand_edges.end());
+  sg.paths.resize(num_keywords_);
+  for (std::uint32_t j = 0; j < num_keywords_; ++j) {
+    std::vector<summary::ElementId>& path = sg.paths[j];
+    path.clear();
+    std::int32_t i =
+        static_cast<std::int32_t>(ChosenCursor(j, kw, new_cursor, choice));
+    while (i >= 0) {
+      const FlatCursor& c = scratch_->cursors[static_cast<std::size_t>(i)];
+      path.push_back(c.element);
+      i = c.parent;
+    }
+    std::reverse(path.begin(), path.end());  // origin first
+  }
+  store.hash_of(slot) = hash;
+
+  auto& ranked = store.ranked();
+  if (ranked.size() > CandidateCap()) {
+    const CandidateStore::RankEntry worst = ranked.back();
+    ranked.pop_back();
+    CandidateStore::TableSlot* evicted = store.Find(store.hash_of(worst.slot));
+    GRASP_CHECK(evicted != nullptr);
+    evicted->candidate = CandidateStore::kEvicted;  // best_cost stays known
+    store.ReleaseSlot(worst.slot);
   }
 }
 
 void SubgraphExplorer::GenerateCandidates(summary::ElementId n,
                                           std::uint32_t new_cursor) {
-  const std::uint32_t kw = cursors_[new_cursor].keyword;
+  const std::uint32_t kw = scratch_->cursors[new_cursor].keyword;
   // n is a connecting element iff every keyword has at least one recorded
   // path ending here (Alg. 2, line 1).
   for (std::uint32_t j = 0; j < num_keywords_; ++j) {
     if (j == kw) continue;
-    if (PathsAt(n, j).empty()) return;
+    if (scratch_->paths.CountOf(PathKey(n, j)) == 0) return;
   }
 
-  // Reconstruct every recorded path at n once up front; combinations below
-  // reuse these instead of re-walking parent chains per combination.
-  std::vector<std::vector<std::vector<summary::ElementId>>> prebuilt(
-      num_keywords_);
+  // Flatten the slab lists once so combinations can index list positions in
+  // O(1). Paths themselves are NOT reconstructed here: a combination that
+  // is emitted walks the m chosen parent chains directly, so an event whose
+  // frontier stops after one combination never touches the dozens of other
+  // recorded paths at this element.
+  auto& event_cursors = scratch_->event_cursors;
+  auto& offsets = scratch_->event_offsets;
+  event_cursors.clear();
+  offsets.clear();
+  for (std::uint32_t j = 0; j < num_keywords_; ++j) {
+    offsets.push_back(static_cast<std::uint32_t>(event_cursors.size()));
+    if (j != kw) scratch_->paths.FlattenTo(PathKey(n, j), &event_cursors);
+  }
+  offsets.push_back(static_cast<std::uint32_t>(event_cursors.size()));
+
+  // Keyword dimensions other than kw, plus the inverse map (hoists the
+  // per-combination dims lookup out of the loop).
+  auto& dims = scratch_->dims;
+  auto& dim_of = scratch_->dim_of;
+  dims.clear();
+  dim_of.assign(num_keywords_, 0);
   for (std::uint32_t j = 0; j < num_keywords_; ++j) {
     if (j == kw) continue;
-    for (std::uint32_t cursor : PathsAt(n, j)) {
-      prebuilt[j].push_back(ReconstructPath(cursor));
-    }
+    dim_of[j] = static_cast<std::uint32_t>(dims.size());
+    dims.push_back(j);
   }
-  const std::vector<summary::ElementId> new_path = ReconstructPath(new_cursor);
+  const std::size_t stride = dims.size();
 
   // Enumerate cursorCombinations(n) incrementally: every new combination
   // must include the cursor that was just recorded; combinations of older
@@ -189,95 +220,99 @@ void SubgraphExplorer::GenerateCandidates(summary::ElementId n,
   // candidate-cap threshold — anything beyond it can never reach the top k
   // distinct structures. With m keywords and per-element path lists capped
   // at k, this materializes O(cap) combinations instead of k^(m-1).
-  std::vector<const std::vector<std::uint32_t>*> path_lists(num_keywords_,
-                                                            nullptr);
-  std::vector<std::uint32_t> dims;  // keyword dimensions other than kw
-  for (std::uint32_t j = 0; j < num_keywords_; ++j) {
-    if (j == kw) continue;
-    dims.push_back(j);
-    path_lists[j] = &PathsAt(n, j);
-  }
+  // Choice tuples live in a per-event arena (immutable once pushed);
+  // frontier entries carry only (cost, arena offset).
+  auto& frontier = scratch_->frontier;
+  auto& choices = scratch_->choice_arena;
+  frontier.clear();
+  choices.clear();
 
-  struct Combo {
-    double cost;
-    std::vector<std::uint32_t> choice;  // indexed by dims position
-  };
-  auto combo_greater = [](const Combo& a, const Combo& b) {
-    return a.cost > b.cost;
-  };
-  auto combo_cost = [&](const std::vector<std::uint32_t>& choice) {
-    double cost = cursors_[new_cursor].cost;
-    for (std::size_t d = 0; d < dims.size(); ++d) {
-      cost += cursors_[(*path_lists[dims[d]])[choice[d]]].cost;
+  const double base_cost = scratch_->cursors[new_cursor].cost;
+  auto combo_cost = [&](const std::uint32_t* choice) {
+    double cost = base_cost;
+    for (std::size_t d = 0; d < stride; ++d) {
+      cost += scratch_
+                  ->cursors[event_cursors[offsets[dims[d]] + choice[d]]]
+                  .cost;
     }
     return cost;
   };
+  auto combo_greater = [](const ExplorationScratch::Combo& a,
+                          const ExplorationScratch::Combo& b) {
+    return a.cost > b.cost;
+  };
 
-  std::vector<Combo> frontier;
-  frontier.push_back(
-      Combo{combo_cost(std::vector<std::uint32_t>(dims.size(), 0)),
-            std::vector<std::uint32_t>(dims.size(), 0)});
+  choices.assign(stride, 0);
+  frontier.push_back(ExplorationScratch::Combo{combo_cost(choices.data()), 0});
   std::size_t combinations = 0;
   while (!frontier.empty()) {
     std::pop_heap(frontier.begin(), frontier.end(), combo_greater);
-    Combo combo = std::move(frontier.back());
+    const ExplorationScratch::Combo combo = frontier.back();
     frontier.pop_back();
     if (combo.cost > CandidatePruneCost()) break;  // nothing cheaper remains
     if (++combinations > options_.max_combinations_per_event) {
       stats_.budget_exceeded = true;
       break;
     }
+    const std::uint32_t* choice = choices.data() + combo.choice_begin;
 
-    MatchingSubgraph subgraph;
-    subgraph.connecting_element = n;
-    subgraph.paths.resize(num_keywords_);
-    subgraph.cost = combo.cost;
+    // Merged element sets of the combination, in scratch: the m chosen
+    // parent chains, each edge closing the structure with both endpoints
+    // (chain order is irrelevant — the sets are sorted below). The
+    // structure hash is computed from these before any candidate object is
+    // touched, so duplicate combinations cost no allocation or copying.
+    auto& nodes = scratch_->cand_nodes;
+    auto& edges = scratch_->cand_edges;
+    nodes.clear();
+    edges.clear();
     for (std::uint32_t j = 0; j < num_keywords_; ++j) {
-      if (j == kw) {
-        subgraph.paths[j] = new_path;
-      } else {
-        const std::size_t d = static_cast<std::size_t>(
-            std::find(dims.begin(), dims.end(), j) - dims.begin());
-        subgraph.paths[j] = prebuilt[j][combo.choice[d]];
-      }
-      for (summary::ElementId el : subgraph.paths[j]) {
+      std::int32_t i =
+          static_cast<std::int32_t>(ChosenCursor(j, kw, new_cursor, choice));
+      while (i >= 0) {
+        const FlatCursor& c = scratch_->cursors[static_cast<std::size_t>(i)];
+        const summary::ElementId el = c.element;
         if (el.is_edge()) {
-          subgraph.edges.push_back(el.index());
-          // Close the structure: an edge brings both endpoints.
+          edges.push_back(el.index());
           const summary::SummaryEdge& e = graph_->edge(el.index());
-          subgraph.nodes.push_back(e.from);
-          subgraph.nodes.push_back(e.to);
+          nodes.push_back(e.from);
+          nodes.push_back(e.to);
         } else {
-          subgraph.nodes.push_back(el.index());
+          nodes.push_back(el.index());
         }
+        i = c.parent;
       }
     }
-    std::sort(subgraph.nodes.begin(), subgraph.nodes.end());
-    subgraph.nodes.erase(
-        std::unique(subgraph.nodes.begin(), subgraph.nodes.end()),
-        subgraph.nodes.end());
-    std::sort(subgraph.edges.begin(), subgraph.edges.end());
-    subgraph.edges.erase(
-        std::unique(subgraph.edges.begin(), subgraph.edges.end()),
-        subgraph.edges.end());
-    InsertCandidate(std::move(subgraph));
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    InsertCandidate(StructureHashOf(nodes, edges), combo.cost, n, kw,
+                    new_cursor, choice);
 
     // Successors: advance one dimension each. Advancing only dimensions at
     // or after the last non-zero one visits every combination exactly once
     // (the lexicographic successor rule), so no visited-set is needed.
     std::size_t first = 0;
-    for (std::size_t d = dims.size(); d-- > 0;) {
-      if (combo.choice[d] != 0) {
+    for (std::size_t d = stride; d-- > 0;) {
+      if (choice[d] != 0) {
         first = d;
         break;
       }
     }
-    for (std::size_t d = first; d < dims.size(); ++d) {
-      if (combo.choice[d] + 1 < path_lists[dims[d]]->size()) {
-        Combo next = combo;
-        ++next.choice[d];
-        next.cost = combo_cost(next.choice);
-        frontier.push_back(std::move(next));
+    for (std::size_t d = first; d < stride; ++d) {
+      const std::uint32_t list_size = offsets[dims[d] + 1] - offsets[dims[d]];
+      if (choice[d] + 1 < list_size) {
+        const std::uint32_t next_begin =
+            static_cast<std::uint32_t>(choices.size());
+        choices.resize(next_begin + stride);
+        for (std::size_t c = 0; c < stride; ++c) {
+          choices[next_begin + c] = choices[combo.choice_begin + c];
+        }
+        ++choices[next_begin + d];
+        // `choice` may dangle after the resize reallocates; re-derive it.
+        choice = choices.data() + combo.choice_begin;
+        frontier.push_back(ExplorationScratch::Combo{
+            combo_cost(choices.data() + next_begin), next_begin});
         std::push_heap(frontier.begin(), frontier.end(), combo_greater);
       }
     }
@@ -285,6 +320,10 @@ void SubgraphExplorer::GenerateCandidates(summary::ElementId n,
 }
 
 std::vector<MatchingSubgraph> SubgraphExplorer::FindTopK() {
+  scratch_->Reset();
+  ++scratch_->queries_run;
+  GrowTracker grow_tracker(scratch_);
+
   const auto& keyword_elements = graph_->keyword_elements();
   if (keyword_elements.empty()) return {};
   for (const auto& k_i : keyword_elements) {
@@ -307,43 +346,42 @@ std::vector<MatchingSubgraph> SubgraphExplorer::FindTopK() {
     return false;
   };
 
+  auto& cursors = scratch_->cursors;
+  auto& heap = scratch_->heap;
+
+  // Size the element-cost cache for this query's graph; entries from older
+  // (smaller) epochs are invalid by stamp, so no clearing is needed.
+  if (scratch_->element_cost_epoch.size() < graph_->num_elements()) {
+    scratch_->element_cost_epoch.resize(graph_->num_elements(), 0);
+    scratch_->element_cost.resize(graph_->num_elements(), 0.0);
+  }
+
   // Alg. 1, lines 1-6: one root cursor per keyword element.
-  min_root_cost_.assign(num_keywords_, kInf);
+  scratch_->min_root_cost.assign(num_keywords_, kInf);
   for (std::uint32_t i = 0; i < num_keywords_; ++i) {
     for (const summary::ScoredElement& se : keyword_elements[i]) {
-      const double w = cost_fn_.ElementCost(se.element);
-      min_root_cost_[i] = std::min(min_root_cost_[i], w);
+      const double w = CachedElementCost(se.element);
+      scratch_->min_root_cost[i] = std::min(scratch_->min_root_cost[i], w);
       if (!distance_admissible(i, se.element, 0)) continue;
-      const std::uint32_t idx = static_cast<std::uint32_t>(cursors_.size());
-      cursors_.push_back(Cursor{se.element, -1, i, 0, w});
-      queues_[i].emplace_back(w, idx);
-      std::push_heap(queues_[i].begin(), queues_[i].end(), HeapGreater{});
+      const std::uint32_t idx = static_cast<std::uint32_t>(cursors.size());
+      cursors.push_back(FlatCursor{se.element, -1, i, 0, w,
+                                   FlatCursor::SigBit(se.element)});
+      heap.Push(w, idx);
       ++stats_.cursors_created;
     }
   }
 
-  std::vector<summary::ElementId> neighbors;
   while (true) {
-    // Alg. 1, line 8: cheapest cursor across all queues.
-    std::size_t best_queue = queues_.size();
-    for (std::size_t i = 0; i < queues_.size(); ++i) {
-      if (queues_[i].empty()) continue;
-      if (best_queue == queues_.size() ||
-          HeapGreater{}(queues_[best_queue].front(), queues_[i].front())) {
-        best_queue = i;
-      }
-    }
-    if (best_queue == queues_.size()) {
+    // Alg. 1, line 8: cheapest cursor overall — the global heap top.
+    if (heap.empty()) {
       stats_.exhausted = true;
       break;
     }
-    auto& q = queues_[best_queue];
-    std::pop_heap(q.begin(), q.end(), HeapGreater{});
-    const std::uint32_t cursor_idx = q.back().second;
-    q.pop_back();
-    const Cursor cursor = cursors_[cursor_idx];
+    const CursorHeap::Entry top = heap.Pop();
+    const std::uint32_t cursor_idx = top.cursor;
+    const FlatCursor cursor = cursors[cursor_idx];
     ++stats_.cursors_popped;
-    pop_cost_trace_.push_back(cursor.cost);
+    if (options_.record_pop_trace) scratch_->pop_trace.push_back(cursor.cost);
     if (options_.max_cursor_pops > 0 &&
         stats_.cursors_popped > options_.max_cursor_pops) {
       stats_.budget_exceeded = true;
@@ -351,37 +389,47 @@ std::vector<MatchingSubgraph> SubgraphExplorer::FindTopK() {
     }
 
     const summary::ElementId n = cursor.element;
-    auto& paths = PathsAt(n, cursor.keyword);
-    const bool record =
-        !options_.prune_paths_per_element || paths.size() < options_.k;
+    PathListTable::Slot& path_list =
+        scratch_->paths.Acquire(PathKey(n, cursor.keyword));
+    const bool record = !options_.prune_paths_per_element ||
+                        path_list.count < options_.k;
     if (record) {
-      paths.push_back(cursor_idx);  // Alg. 1, line 11: n.addCursor(c)
+      scratch_->paths.AppendTo(path_list, cursor_idx);  // Alg. 1: addCursor
       ++stats_.paths_recorded;
       GenerateCandidates(n, cursor_idx);  // Alg. 2 body
 
       // Alg. 1, lines 13-22: expand to all neighbors except the parent,
-      // refusing cyclic paths.
+      // refusing cyclic paths. Incident CSR/overlay runs are iterated
+      // directly — no per-expansion neighbor vector.
       if (cursor.distance < options_.dmax) {
-        CollectNeighbors(n, &neighbors);
         const summary::ElementId parent_element =
             cursor.parent >= 0
-                ? cursors_[static_cast<std::size_t>(cursor.parent)].element
+                ? cursors[static_cast<std::size_t>(cursor.parent)].element
                 : summary::ElementId();
-        for (summary::ElementId nb : neighbors) {
-          if (nb == parent_element) continue;
-          if (InAncestors(cursor_idx, nb)) continue;
+        auto try_expand = [&](summary::ElementId nb) {
+          if (nb == parent_element) return;
+          if (InAncestors(cursor_idx, nb)) return;
           if (!distance_admissible(cursor.keyword, nb, cursor.distance + 1)) {
-            continue;
+            return;
           }
-          const double w = cursor.cost + cost_fn_.ElementCost(nb);
-          const std::uint32_t child = static_cast<std::uint32_t>(cursors_.size());
-          cursors_.push_back(
-              Cursor{nb, static_cast<std::int32_t>(cursor_idx),
-                     cursor.keyword, cursor.distance + 1, w});
-          queues_[cursor.keyword].emplace_back(w, child);
-          std::push_heap(queues_[cursor.keyword].begin(),
-                         queues_[cursor.keyword].end(), HeapGreater{});
+          const double w = cursor.cost + CachedElementCost(nb);
+          const std::uint32_t child =
+              static_cast<std::uint32_t>(cursors.size());
+          cursors.push_back(FlatCursor{
+              nb, static_cast<std::int32_t>(cursor_idx), cursor.keyword,
+              cursor.distance + 1, w,
+              cursor.ancestor_sig | FlatCursor::SigBit(nb)});
+          heap.Push(w, child);
           ++stats_.cursors_created;
+        };
+        if (n.is_node()) {
+          for (summary::EdgeId e : graph_->IncidentEdges(n.index())) {
+            try_expand(summary::ElementId::Edge(e));
+          }
+        } else {
+          const summary::SummaryEdge& e = graph_->edge(n.index());
+          try_expand(summary::ElementId::Node(e.from));
+          if (e.to != e.from) try_expand(summary::ElementId::Node(e.to));
         }
       }
     }
@@ -393,8 +441,17 @@ std::vector<MatchingSubgraph> SubgraphExplorer::FindTopK() {
     }
   }
 
-  if (candidates_.size() > options_.k) candidates_.resize(options_.k);
-  return std::move(candidates_);
+  const auto& ranked = scratch_->candidates.ranked();
+  const std::size_t count = std::min(options_.k, ranked.size());
+  std::vector<MatchingSubgraph> results;
+  results.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Copy, don't move: the caller owns the results (their allocation is
+    // inherent to returning them), while the pool slots keep their vector
+    // capacities so the next query re-materializes without allocating.
+    results.push_back(scratch_->candidates.subgraph(ranked[i].slot));
+  }
+  return results;
 }
 
 }  // namespace grasp::core

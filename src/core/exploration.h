@@ -2,14 +2,11 @@
 #define GRASP_CORE_EXPLORATION_H_
 
 #include <cstdint>
-#include <map>
-#include <string>
-#include <utility>
+#include <memory>
 #include <vector>
 
-#include <memory>
-
 #include "core/cost_model.h"
+#include "core/exploration_scratch.h"
 #include "core/subgraph.h"
 #include "summary/augmented_graph.h"
 #include "summary/distance_index.h"
@@ -37,6 +34,10 @@ struct ExplorationOptions {
   /// cursors provably unable to take part in any matching subgraph of
   /// radius dmax are never created. Sound — the top-k result is unchanged.
   bool distance_pruning = false;
+  /// Record the per-pop cost trace (pop_cost_trace()). Off by default so
+  /// the hot loop does not grow a vector on every pop; the Theorem 1
+  /// property tests switch it on.
+  bool record_pop_trace = false;
   /// Safety valve: stop after this many cursor pops (0 = unlimited).
   std::size_t max_cursor_pops = 0;
   /// Safety valve: cap on path combinations generated per connecting-element
@@ -63,11 +64,25 @@ struct ExplorationStats {
 /// connecting elements, merges paths into candidate subgraphs, and stops as
 /// soon as the k best candidates are provably cheaper than anything still
 /// discoverable (Threshold Algorithm adaptation, Alg. 2).
+///
+/// The engine is flat and allocation-free in the steady state: cursors live
+/// in an arena and chain parents by index, one global 4-ary heap orders all
+/// cursors (the keyword lives in the cursor), recorded paths sit in a
+/// sparse slab table, and candidates are deduplicated by 64-bit structure
+/// hash in an open-addressing table over a slot pool. All of that state is
+/// an ExplorationScratch: pass one in to reuse its allocations across
+/// queries (the engine does), or omit it for a self-contained run.
+/// Results — pop order, tie-breaks, costs, structures — are byte-identical
+/// to ReferenceExplorer, the retained straightforward formulation.
 class SubgraphExplorer {
  public:
-  /// `graph` must outlive the explorer.
+  /// `graph` must outlive the explorer; a non-null `scratch` must too.
   SubgraphExplorer(const summary::AugmentedGraph& graph,
-                   const ExplorationOptions& options);
+                   const ExplorationOptions& options,
+                   ExplorationScratch* scratch);
+  SubgraphExplorer(const summary::AugmentedGraph& graph,
+                   const ExplorationOptions& options)
+      : SubgraphExplorer(graph, options, nullptr) {}
 
   SubgraphExplorer(const SubgraphExplorer&) = delete;
   SubgraphExplorer& operator=(const SubgraphExplorer&) = delete;
@@ -79,28 +94,37 @@ class SubgraphExplorer {
 
   const ExplorationStats& stats() const { return stats_; }
 
-  /// Cost-ordered pop trace (element, cost) recorded during FindTopK; used
-  /// by the Theorem 1 property test.
-  const std::vector<double>& pop_cost_trace() const { return pop_cost_trace_; }
+  /// Cost-ordered pop trace recorded during FindTopK when
+  /// options.record_pop_trace is set; used by the Theorem 1 property test.
+  /// Valid until the owning scratch runs its next query.
+  const std::vector<double>& pop_cost_trace() const {
+    return scratch_->pop_trace;
+  }
 
  private:
-  struct Cursor {
-    summary::ElementId element;
-    std::int32_t parent = -1;  ///< arena index of the parent cursor, -1 = root
-    std::uint32_t keyword = 0;
-    std::uint32_t distance = 0;
-    double cost = 0.0;
-  };
+  /// Key of a (element, keyword) path list in the slab table.
+  std::uint64_t PathKey(summary::ElementId element,
+                        std::uint32_t keyword) const {
+    return static_cast<std::uint64_t>(graph_->DenseIndex(element)) *
+               num_keywords_ +
+           keyword;
+  }
 
-  std::size_t DenseIndex(summary::ElementId element) const;
-  std::vector<std::uint32_t>& PathsAt(summary::ElementId element,
-                                      std::uint32_t keyword);
   bool InAncestors(std::uint32_t cursor, summary::ElementId element) const;
-  void CollectNeighbors(summary::ElementId element,
-                        std::vector<summary::ElementId>* out) const;
-  std::vector<summary::ElementId> ReconstructPath(std::uint32_t cursor) const;
+  /// ElementCost through the scratch's per-query cache (costs are
+  /// query-constant; cursors revisit elements constantly).
+  double CachedElementCost(summary::ElementId element) const;
+  /// The cursor a combination chose for keyword `j` (`choice` is indexed by
+  /// dims position; the just-recorded cursor covers its own keyword).
+  std::uint32_t ChosenCursor(std::uint32_t j, std::uint32_t kw,
+                             std::uint32_t new_cursor,
+                             const std::uint32_t* choice) const;
   void GenerateCandidates(summary::ElementId n, std::uint32_t new_cursor);
-  void InsertCandidate(MatchingSubgraph subgraph);
+  /// Dedups by structure hash and, when the candidate survives, materializes
+  /// it from the scratch element sets + the chosen cursors' parent chains.
+  void InsertCandidate(std::uint64_t hash, double cost, summary::ElementId n,
+                       std::uint32_t kw, std::uint32_t new_cursor,
+                       const std::uint32_t* choice);
   /// Capacity of the candidate list (k plus dedup slack).
   std::size_t CandidateCap() const;
   /// Cost above which a new combination cannot reach the top k distinct
@@ -115,28 +139,14 @@ class SubgraphExplorer {
   ExplorationOptions options_;
   CostFunction cost_fn_;
   ExplorationStats stats_;
-
-  std::vector<Cursor> cursors_;
-  /// Per keyword: min-heap of (cost, cursor index).
-  std::vector<std::vector<std::pair<double, std::uint32_t>>> queues_;
-  /// paths_at_[dense_element * m + keyword] = cursor indices, in insertion
-  /// (hence cost) order.
-  std::vector<std::vector<std::uint32_t>> paths_at_;
   std::size_t num_keywords_ = 0;
 
-  /// Candidate subgraphs: best cost per structure, capped to the k best.
-  /// candidate_keys_[i] caches candidates_[i].StructureKey().
-  std::vector<MatchingSubgraph> candidates_;
-  std::vector<std::string> candidate_keys_;
-  std::map<std::string, double> best_cost_by_key_;
-
-  /// Precomputed cheapest root cost per keyword (tightened bound).
-  std::vector<double> min_root_cost_;
+  /// Self-owned scratch for callers that did not pass one.
+  std::unique_ptr<ExplorationScratch> owned_scratch_;
+  ExplorationScratch* scratch_;
 
   /// Per-keyword BFS distances; built only when distance_pruning is on.
   std::unique_ptr<summary::KeywordDistanceIndex> distance_index_;
-
-  std::vector<double> pop_cost_trace_;
 };
 
 }  // namespace grasp::core

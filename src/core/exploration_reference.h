@@ -1,0 +1,82 @@
+#ifndef GRASP_CORE_EXPLORATION_REFERENCE_H_
+#define GRASP_CORE_EXPLORATION_REFERENCE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/exploration.h"
+#include "core/subgraph.h"
+#include "summary/augmented_graph.h"
+#include "summary/distance_index.h"
+
+namespace grasp::core {
+
+/// The straightforward pre-optimization top-k explorer: per-keyword binary
+/// heaps with a linear min-scan across queues, a dense per-(element,
+/// keyword) path matrix, string structure keys with a std::map dedup table,
+/// and a sorted-vector candidate list. Behaviorally identical to
+/// SubgraphExplorer (same pop order, tie-breaks, and results, byte for
+/// byte); retained as the oracle for the randomized differential tests and
+/// as the baseline the exploration microbenchmark compares against.
+class ReferenceExplorer {
+ public:
+  ReferenceExplorer(const summary::AugmentedGraph& graph,
+                    const ExplorationOptions& options);
+
+  ReferenceExplorer(const ReferenceExplorer&) = delete;
+  ReferenceExplorer& operator=(const ReferenceExplorer&) = delete;
+
+  std::vector<MatchingSubgraph> FindTopK();
+
+  const ExplorationStats& stats() const { return stats_; }
+  const std::vector<double>& pop_cost_trace() const { return pop_cost_trace_; }
+
+ private:
+  struct Cursor {
+    summary::ElementId element;
+    std::int32_t parent = -1;
+    std::uint32_t keyword = 0;
+    std::uint32_t distance = 0;
+    double cost = 0.0;
+  };
+
+  std::vector<std::uint32_t>& PathsAt(summary::ElementId element,
+                                      std::uint32_t keyword);
+  bool InAncestors(std::uint32_t cursor, summary::ElementId element) const;
+  void CollectNeighbors(summary::ElementId element,
+                        std::vector<summary::ElementId>* out) const;
+  std::vector<summary::ElementId> ReconstructPath(std::uint32_t cursor) const;
+  void GenerateCandidates(summary::ElementId n, std::uint32_t new_cursor);
+  void InsertCandidate(MatchingSubgraph subgraph);
+  std::size_t CandidateCap() const;
+  double CandidatePruneCost() const;
+  double RemainingLowerBound() const;
+  double KthCandidateCost() const;
+
+  const summary::AugmentedGraph* graph_;
+  ExplorationOptions options_;
+  CostFunction cost_fn_;
+  ExplorationStats stats_;
+
+  std::vector<Cursor> cursors_;
+  std::vector<std::vector<std::pair<double, std::uint32_t>>> queues_;
+  std::vector<std::vector<std::uint32_t>> paths_at_;
+  std::size_t num_keywords_ = 0;
+
+  std::vector<MatchingSubgraph> candidates_;
+  std::vector<std::string> candidate_keys_;
+  std::map<std::string, double> best_cost_by_key_;
+
+  std::vector<double> min_root_cost_;
+  std::unique_ptr<summary::KeywordDistanceIndex> distance_index_;
+  std::vector<double> pop_cost_trace_;
+};
+
+}  // namespace grasp::core
+
+#endif  // GRASP_CORE_EXPLORATION_REFERENCE_H_

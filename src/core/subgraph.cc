@@ -1,8 +1,20 @@
 #include "core/subgraph.h"
 
+#include "common/hash.h"
 #include "common/string_util.h"
 
 namespace grasp::core {
+
+std::uint64_t StructureHashOf(std::span<const summary::NodeId> nodes,
+                              std::span<const summary::EdgeId> edges) {
+  // Sequence-sensitive chain over the sorted sets; nodes and edges are
+  // salted differently so {n1}|{} and {}|{e1} cannot collide trivially.
+  std::uint64_t h = 0x6b7a5c3d2e1f0908ULL;
+  for (summary::NodeId n : nodes) h = Mix64(h ^ (n | 0x100000000ULL));
+  h = Mix64(h ^ 0xa5a5a5a5a5a5a5a5ULL);  // set separator
+  for (summary::EdgeId e : edges) h = Mix64(h ^ (e | 0x200000000ULL));
+  return h;
+}
 
 std::string MatchingSubgraph::StructureKey() const {
   std::string key;
@@ -11,6 +23,10 @@ std::string MatchingSubgraph::StructureKey() const {
   key.push_back('|');
   for (summary::EdgeId e : edges) key += StrFormat("e%u,", e);
   return key;
+}
+
+std::uint64_t MatchingSubgraph::StructureHash() const {
+  return StructureHashOf(nodes, edges);
 }
 
 }  // namespace grasp::core

@@ -1,12 +1,21 @@
 #ifndef GRASP_CORE_SUBGRAPH_H_
 #define GRASP_CORE_SUBGRAPH_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "summary/augmented_graph.h"
 
 namespace grasp::core {
+
+/// 64-bit canonical hash of a structure given its sorted, deduplicated
+/// element sets. The exploration hot path deduplicates candidates on this
+/// hash instead of materializing per-candidate key strings; a collision
+/// between distinct structures within one query is a ~n^2/2^64 event.
+std::uint64_t StructureHashOf(std::span<const summary::NodeId> nodes,
+                              std::span<const summary::EdgeId> edges);
 
 /// A K-matching subgraph (Definition 6) of the augmented summary graph: the
 /// merge of one path per keyword, all ending at a common connecting element.
@@ -29,9 +38,12 @@ struct MatchingSubgraph {
   std::vector<std::vector<summary::ElementId>> paths;
 
   /// Identity of the subgraph as a structure (independent of path
-  /// decomposition and cost): the sorted element sets. Used to deduplicate
-  /// candidates that different cursor combinations rediscover.
+  /// decomposition and cost): the sorted element sets. Used by tests and
+  /// differential harnesses; the hot path dedups on StructureHash().
   std::string StructureKey() const;
+
+  /// StructureHashOf() over this subgraph's element sets.
+  std::uint64_t StructureHash() const;
 };
 
 }  // namespace grasp::core

@@ -28,13 +28,22 @@ class ChainedIds {
     iterator(const std::uint32_t* first, const std::uint32_t* first_end,
              const std::uint32_t* second)
         : cur_(first), first_end_(first_end), second_(second) {
-      if (cur_ == first_end_) cur_ = second_;
+      if (cur_ == first_end_) {
+        cur_ = second_;
+        in_second_ = true;
+      }
     }
 
     std::uint32_t operator*() const { return *cur_; }
     iterator& operator++() {
       ++cur_;
-      if (cur_ == first_end_) cur_ = second_;
+      // The span flag keeps the end-of-first check from comparing pointers
+      // of unrelated allocations: without it, a second-span element whose
+      // address aliases first's one-past-end pointer would reset iteration.
+      if (!in_second_ && cur_ == first_end_) {
+        cur_ = second_;
+        in_second_ = true;
+      }
       return *this;
     }
     iterator operator++(int) {
@@ -43,16 +52,17 @@ class ChainedIds {
       return copy;
     }
     friend bool operator==(const iterator& a, const iterator& b) {
-      return a.cur_ == b.cur_;
+      return a.cur_ == b.cur_ && a.in_second_ == b.in_second_;
     }
     friend bool operator!=(const iterator& a, const iterator& b) {
-      return a.cur_ != b.cur_;
+      return !(a == b);
     }
 
    private:
     const std::uint32_t* cur_;
     const std::uint32_t* first_end_;
     const std::uint32_t* second_;
+    bool in_second_ = false;
   };
 
   ChainedIds() = default;

@@ -135,6 +135,13 @@ class AugmentedGraph {
 
   std::size_t num_elements() const { return NumNodes() + NumEdges(); }
 
+  /// Dense [0, num_elements) index of an element: nodes first, then edges.
+  /// The exploration's flat per-element state (path lists, BFS distances)
+  /// is addressed through this.
+  std::size_t DenseIndex(ElementId element) const {
+    return element.is_edge() ? NumNodes() + element.index() : element.index();
+  }
+
   /// Bytes owned by this graph: overlay extension + per-query maps, plus the
   /// deep-copied base for BuildMaterialized (a borrowed base contributes
   /// nothing). The augmentation microbenchmark tracks this to show the

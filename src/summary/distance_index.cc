@@ -13,7 +13,7 @@ KeywordDistanceIndex KeywordDistanceIndex::Build(const AugmentedGraph& graph) {
     std::vector<std::uint32_t> dist(num_elements, kUnreachable);
     std::deque<ElementId> frontier;
     for (const ScoredElement& se : graph.keyword_elements()[kw]) {
-      const std::size_t at = index.DenseIndex(se.element);
+      const std::size_t at = graph.DenseIndex(se.element);
       if (dist[at] == 0) continue;  // duplicate source
       dist[at] = 0;
       frontier.push_back(se.element);

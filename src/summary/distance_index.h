@@ -54,6 +54,8 @@ class KeywordDistanceIndex {
   explicit KeywordDistanceIndex(std::size_t num_nodes)
       : num_nodes_(num_nodes) {}
 
+  /// Same layout as AugmentedGraph::DenseIndex, without needing the graph
+  /// alive at query time.
   std::size_t DenseIndex(ElementId element) const {
     return element.is_edge() ? num_nodes_ + element.index() : element.index();
   }

@@ -158,6 +158,19 @@ TEST_F(EngineTest, RelationKeywordMapsToPredicate) {
   EXPECT_TRUE(has_author_atom);
 }
 
+TEST_F(EngineTest, ExplorationScratchReusedAcrossSearches) {
+  // Steady state: the first Search sizes the engine-owned scratch; repeated
+  // identical searches reuse every pooled allocation (no further growth).
+  engine_.Search({"2006", "cimiano", "aifb"}, 5);
+  const auto& scratch = engine_.exploration_scratch();
+  const std::size_t grow_after_first = scratch.grow_events;
+  EXPECT_EQ(scratch.queries_run, 1u);
+  engine_.Search({"2006", "cimiano", "aifb"}, 5);
+  engine_.Search({"2006", "cimiano"}, 3);  // smaller query: fits the pools
+  EXPECT_EQ(scratch.queries_run, 3u);
+  EXPECT_EQ(scratch.grow_events, grow_after_first);
+}
+
 TEST_F(EngineTest, IndexStatsPopulated) {
   const auto& stats = engine_.index_stats();
   EXPECT_GT(stats.keyword_index_bytes, 0u);

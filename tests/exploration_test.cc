@@ -216,12 +216,37 @@ TEST_F(Fig1ExplorationTest, TopSubgraphIsPaperQueryShape) {
 TEST_F(Fig1ExplorationTest, PopTraceNondecreasing) {
   ExplorationOptions options;
   options.k = 5;
+  options.record_pop_trace = true;  // off by default: hot-loop cost
   SubgraphExplorer explorer(*pipeline_.augmented, options);
   explorer.FindTopK();
   const auto& trace = explorer.pop_cost_trace();
   ASSERT_FALSE(trace.empty());
   for (std::size_t i = 1; i < trace.size(); ++i) {
     EXPECT_LE(trace[i - 1], trace[i] + 1e-12);
+  }
+}
+
+TEST_F(Fig1ExplorationTest, ScratchReuseIsAllocationStable) {
+  // A shared ExplorationScratch must reach a steady state: after the first
+  // run sized every pool, repeated identical queries may not grow any of
+  // them (grow_events freezes), and results stay identical.
+  ExplorationOptions options;
+  options.k = 5;
+  ExplorationScratch scratch;
+  auto run = [&] {
+    SubgraphExplorer explorer(*pipeline_.augmented, options, &scratch);
+    return explorer.FindTopK();
+  };
+  const auto first = run();
+  const std::size_t grow_after_first = scratch.grow_events;
+  run();
+  const auto third = run();
+  EXPECT_EQ(scratch.queries_run, 3u);
+  EXPECT_EQ(scratch.grow_events, grow_after_first);
+  ASSERT_EQ(first.size(), third.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].cost, third[i].cost);
+    EXPECT_EQ(first[i].StructureKey(), third[i].StructureKey());
   }
 }
 
@@ -505,6 +530,7 @@ TEST_P(Theorem1Test, PopsNondecreasing) {
     ExplorationOptions options;
     options.k = 4;
     options.cost_model = model;
+    options.record_pop_trace = true;  // the property under test
     SubgraphExplorer explorer(*p.augmented, options);
     explorer.FindTopK();
     const auto& trace = explorer.pop_cost_trace();
