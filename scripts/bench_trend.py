@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Cross-run benchmark trend check for google-benchmark JSON output.
+
+Compares the current run's benchmarks against a previous run's artifact and
+emits GitHub Actions `::warning::` annotations for real_time regressions
+beyond a threshold (default 10%). Fail-soft by design: the step must never
+break CI — benchmark noise on shared runners is real, the annotations are
+the trend dashboard — so every exit path is status 0.
+
+Usage: bench_trend.py PREVIOUS.json CURRENT.json [--threshold 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+# real_time is reported in each entry's own time_unit; normalize to ns so
+# runs recorded with different --benchmark_time_unit settings compare.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """name -> real_time (normalized to ns) per non-aggregate benchmark."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"::warning::benchmark trend: cannot read {path}: {e}")
+        return None
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        time = b.get("real_time")
+        unit = _UNIT_NS.get(b.get("time_unit", "ns"))
+        if name is not None and isinstance(time, (int, float)) and unit:
+            out[name] = float(time) * unit
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("previous")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10)
+    args = parser.parse_args()
+
+    prev = load_benchmarks(args.previous)
+    cur = load_benchmarks(args.current)
+    if prev is None or cur is None or not prev:
+        print("benchmark trend: no usable baseline, skipping comparison")
+        return 0
+
+    regressions = []
+    improvements = []
+    for name, now in sorted(cur.items()):
+        before = prev.get(name)
+        if before is None or before <= 0:
+            continue
+        ratio = now / before
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, before, now, ratio))
+        elif ratio < 1.0 - args.threshold:
+            improvements.append((name, before, now, ratio))
+
+    print(
+        f"benchmark trend: compared {len(cur)} benchmarks against "
+        f"{len(prev)} baseline entries "
+        f"({len(regressions)} slower, {len(improvements)} faster beyond "
+        f"{args.threshold:.0%})"
+    )
+    for name, before, now, ratio in improvements:
+        print(f"  faster: {name}: {before:.0f}ns -> {now:.0f}ns ({ratio:.2f}x)")
+    for name, before, now, ratio in regressions:
+        # One annotation per regression; visible on the run summary page.
+        print(
+            f"::warning title=benchmark regression::{name} real_time "
+            f"{before:.0f}ns -> {now:.0f}ns ({ratio:.2f}x, threshold "
+            f"{1 + args.threshold:.2f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+#ifndef GRASP_COMMON_FREE_LIST_POOL_H_
+#define GRASP_COMMON_FREE_LIST_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace grasp {
+
+/// A lock-free LIFO free list of reusable objects, for per-query state that
+/// is expensive to re-create (exploration scratch, augmentation overlays).
+///
+/// Design: a fixed slot table (sized at construction, never reallocated, so
+/// slot addresses are stable and unsynchronized readers of *other* slots
+/// are impossible) plus a Treiber stack of free slot indices. The stack
+/// head packs (tag << 32 | slot + 1); the tag increments on every
+/// successful push/pop, which defeats the classic ABA interleaving where a
+/// slot is popped, recycled and re-pushed between another thread's load and
+/// CAS. Acquire pops LIFO — serial callers keep hitting the same warm slot,
+/// which is what makes pooled steady-state reuse (grow_events freezing)
+/// observable.
+///
+/// Slots are created lazily: the first Acquire that finds the free list
+/// empty claims a fresh slot index via fetch_add and runs the caller's
+/// factory. Once every slot is live and busy, Acquire degrades to a
+/// transient heap object (released leases delete it), so the pool bounds
+/// pooled memory without ever failing a caller.
+template <typename T>
+class FreeListPool {
+ public:
+  static constexpr std::uint32_t kTransient = 0xffffffffu;
+
+  /// A checked-out object. `slot == kTransient` marks an overflow object
+  /// the pool does not own. Return it with Release().
+  struct Lease {
+    T* object = nullptr;
+    std::uint32_t slot = kTransient;
+  };
+
+  explicit FreeListPool(std::size_t capacity = 256) : slots_(capacity) {}
+
+  FreeListPool(const FreeListPool&) = delete;
+  FreeListPool& operator=(const FreeListPool&) = delete;
+
+  ~FreeListPool() = default;  // slots own their objects; leases must be back
+
+  /// Pops a pooled object, creating one via `make()` (returning
+  /// std::unique_ptr<T>) when the free list is empty. Exception-safe: a
+  /// throwing factory pushes the claimed slot back (object still null) and
+  /// propagates; the next Acquire of that slot retries the factory — a
+  /// bad_alloc storm must not ratchet slots out of the pool for good.
+  template <typename Factory>
+  Lease Acquire(Factory&& make) {
+    const std::uint32_t popped = Pop();
+    if (popped != kTransient) {
+      if (slots_[popped].object == nullptr) FillSlot(popped, make);
+      // Checked out: the slot's footprint is unknown until release (the
+      // holder mutates the object freely), so it reports zero meanwhile.
+      slots_[popped].bytes_hint.store(0, std::memory_order_relaxed);
+      return Lease{slots_[popped].object.get(), popped};
+    }
+    const std::uint32_t fresh =
+        created_.fetch_add(1, std::memory_order_relaxed);
+    if (fresh < slots_.size()) {
+      // This thread owns slot `fresh` exclusively until it is released, so
+      // the plain unique_ptr store cannot race; the Release/Acquire CAS
+      // pair publishes it to later owners.
+      FillSlot(fresh, make);
+      return Lease{slots_[fresh].object.get(), fresh};
+    }
+    created_.store(static_cast<std::uint32_t>(slots_.size()),
+                   std::memory_order_relaxed);
+    return Lease{std::forward<Factory>(make)().release(), kTransient};
+  }
+
+  /// Returns a lease to the pool (transient leases are destroyed).
+  /// `bytes_hint` is the object's footprint as measured by the caller —
+  /// release is the one moment the object is exclusively owned and
+  /// quiescent, so measuring it here lets PooledBytes() stay race-free.
+  void Release(Lease lease, std::size_t bytes_hint = 0) {
+    if (lease.slot == kTransient) {
+      delete lease.object;
+      return;
+    }
+    slots_[lease.slot].bytes_hint.store(bytes_hint,
+                                        std::memory_order_relaxed);
+    Push(lease.slot);
+  }
+
+  /// Sum of the byte hints recorded at release time. Safe to call from any
+  /// thread at any time (plain atomic reads); checked-out slots contribute
+  /// zero until their next release, so the figure lags in-flight work.
+  std::size_t PooledBytes() const {
+    std::size_t total = 0;
+    const std::size_t n = created();
+    for (std::size_t i = 0; i < n; ++i) {
+      total += slots_[i].bytes_hint.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Objects the pool has materialized (never exceeds the capacity).
+  std::size_t created() const {
+    return std::min<std::size_t>(created_.load(std::memory_order_acquire),
+                                 slots_.size());
+  }
+
+  /// The object in `slot`, or nullptr while the slot was never created.
+  /// Unsynchronized: only meaningful while no Acquire/Release is in flight
+  /// (tests, idle-time stats).
+  const T* PeekSlot(std::size_t slot) const {
+    return slot < created() ? slots_[slot].object.get() : nullptr;
+  }
+
+ private:
+  /// Runs the factory for an exclusively-owned slot, returning the slot to
+  /// the free list (empty) if the factory throws.
+  template <typename Factory>
+  void FillSlot(std::uint32_t slot, Factory& make) {
+    try {
+      slots_[slot].object = make();
+    } catch (...) {
+      Push(slot);
+      throw;
+    }
+  }
+
+  struct Slot {
+    std::unique_ptr<T> object;
+    /// Next free slot + 1 (0 = end of list); written only while the slot is
+    /// being pushed, but racing poppers may still read it — the tagged CAS
+    /// discards their stale value, the atomic keeps the read defined.
+    std::atomic<std::uint32_t> next{0};
+    /// Footprint recorded at release; 0 while checked out (see Release).
+    std::atomic<std::size_t> bytes_hint{0};
+  };
+
+  static std::uint64_t PackHead(std::uint64_t tag, std::uint32_t index_plus_1) {
+    return (tag << 32) | index_plus_1;
+  }
+
+  std::uint32_t Pop() {
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    while ((head & 0xffffffffu) != 0) {
+      const std::uint32_t slot = static_cast<std::uint32_t>(head & 0xffffffffu) - 1;
+      const std::uint32_t next = slots_[slot].next.load(std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(head, PackHead((head >> 32) + 1, next),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return slot;
+      }
+    }
+    return kTransient;
+  }
+
+  void Push(std::uint32_t slot) {
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      slots_[slot].next.store(static_cast<std::uint32_t>(head & 0xffffffffu),
+                              std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(head, PackHead((head >> 32) + 1, slot + 1),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint32_t> created_{0};
+};
+
+}  // namespace grasp
+
+#endif  // GRASP_COMMON_FREE_LIST_POOL_H_

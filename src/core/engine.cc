@@ -1,8 +1,14 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "common/filter_op.h"
 #include "common/timer.h"
@@ -37,13 +43,80 @@ KeywordSearchEngine::KeywordSearchEngine(const rdf::TripleStore& store,
       thesaurus_(text::Thesaurus::BuiltIn()),
       data_graph_(std::move(prebuilt.graph)),
       summary_(std::move(prebuilt.summary)),
-      keyword_index_(std::move(prebuilt.index)) {
+      keyword_index_(std::move(prebuilt.index)),
+      augmentation_cache_(
+          options.augmentation_cache_bytes > 0
+              ? std::make_unique<summary::AugmentationCache>(
+                    options.augmentation_cache_bytes, kPoolCapacity / 2)
+              : nullptr) {
   index_stats_.keyword_index_bytes = keyword_index_.MemoryUsageBytes();
   index_stats_.summary_graph_bytes = summary_.MemoryUsageBytes();
   index_stats_.summary_nodes = summary_.NumNodes();
   index_stats_.summary_edges = summary_.NumEdges();
   index_stats_.keyword_elements = keyword_index_.num_elements();
   index_stats_.build_millis = prebuilt.millis;
+  // Pre-warm slot 0 so exploration_scratch() is valid before the first
+  // query and serial searches land on a created slot immediately.
+  scratch_pool_.Release(
+      scratch_pool_.Acquire([] { return std::make_unique<ExplorationScratch>(); }));
+}
+
+KeywordSearchEngine::IndexStats KeywordSearchEngine::index_stats() const {
+  // Race-free against in-flight Search() calls: the pools sum atomic byte
+  // hints recorded at release time and the cache counts under its mutex —
+  // no pooled object is ever inspected while another thread may mutate it.
+  IndexStats stats = index_stats_;
+  stats.scratch_pool_bytes = scratch_pool_.PooledBytes();
+  stats.overlay_pool_bytes = overlay_pool_.PooledBytes();
+  stats.augmentation_cache_bytes =
+      augmentation_cache_ != nullptr ? augmentation_cache_->MemoryUsageBytes()
+                                     : 0;
+  return stats;
+}
+
+std::shared_ptr<const summary::AugmentedGraph>
+KeywordSearchEngine::AcquireAugmentation(
+    const std::vector<std::vector<keyword::KeywordMatch>>& matches,
+    bool* cache_hit) const {
+  auto build_pooled = [this,
+                       &matches]() -> std::shared_ptr<const summary::AugmentedGraph> {
+    // RAII over the lease until ownership transfers to the shared_ptr:
+    // a throwing Rebuild (bad_alloc) must hand the slot back, not leak it
+    // out of the 256-slot pool forever.
+    struct LeaseGuard {
+      FreeListPool<summary::AugmentedGraph>& pool;
+      FreeListPool<summary::AugmentedGraph>::Lease lease;
+      bool armed = true;
+      ~LeaseGuard() {
+        if (armed) pool.Release(lease);
+      }
+    };
+    LeaseGuard guard{overlay_pool_, overlay_pool_.Acquire([this] {
+                       return std::make_unique<summary::AugmentedGraph>(
+                           summary::AugmentedGraph::MakeOverlayShell(summary_));
+                     })};
+    guard.lease.object->Rebuild(matches);
+    // The deleter runs when the last user is done: the query itself on the
+    // uncached path, or the final pin of an evicted cache entry. Either way
+    // the shell (with all its warmed capacity) goes back to the pool. If
+    // the shared_ptr constructor itself throws, it invokes the deleter —
+    // hence the guard is disarmed first, so the slot is released exactly
+    // once on every path.
+    guard.armed = false;
+    return std::shared_ptr<const summary::AugmentedGraph>(
+        guard.lease.object,
+        [this, slot = guard.lease.slot](const summary::AugmentedGraph* g) {
+          overlay_pool_.Release(
+              {const_cast<summary::AugmentedGraph*>(g), slot},
+              g->OverlayMemoryUsageBytes());
+        });
+  };
+  if (augmentation_cache_ == nullptr) {
+    *cache_hit = false;
+    return build_pooled();
+  }
+  return augmentation_cache_->GetOrBuild(
+      summary::AugmentationCacheKey(matches), build_pooled, cache_hit);
 }
 
 KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
@@ -118,39 +191,38 @@ KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
   }
   result.keyword_millis = step.ElapsedMillis();
 
-  // Step 2: augmentation of the graph index (Def. 5).
+  // Step 2: augmentation of the graph index (Def. 5) — a cache hit for a
+  // repeated keyword-element set, otherwise a build into a pooled overlay.
   step.Reset();
-  summary::AugmentedGraph augmented =
-      summary::AugmentedGraph::Build(summary_, matches);
+  const std::shared_ptr<const summary::AugmentedGraph> augmented_ptr =
+      AcquireAugmentation(matches, &result.augmentation_cache_hit);
+  const summary::AugmentedGraph& augmented = *augmented_ptr;
   result.augmentation_millis = step.ElapsedMillis();
 
   // Step 3: top-k graph exploration (Alg. 1 + Alg. 2), with overfetch to
-  // absorb query-level deduplication. The engine's scratch is reused across
-  // queries so the steady state allocates nothing; if another thread holds
-  // it (Search is const and may run concurrently), fall back to a local one.
+  // absorb query-level deduplication. Exploration state is checked out of
+  // the lock-free scratch pool: concurrent Search() calls each run on their
+  // own pooled scratch, and the steady state allocates nothing.
   step.Reset();
   ExplorationOptions explore = exploration;
   explore.k = std::max<std::size_t>(
       k, static_cast<std::size_t>(
              std::ceil(static_cast<double>(k) * options_.subgraph_overfetch)));
-  struct ScratchLease {  // releases the flag on every exit path
-    std::atomic_flag& busy;
-    const bool acquired;
-    explicit ScratchLease(std::atomic_flag& busy)
-        : busy(busy), acquired(!busy.test_and_set(std::memory_order_acquire)) {}
-    ~ScratchLease() {
-      if (acquired) busy.clear(std::memory_order_release);
-    }
+  struct ScratchLease {  // returns the scratch to the pool on every exit path
+    FreeListPool<ExplorationScratch>& pool;
+    FreeListPool<ExplorationScratch>::Lease lease;
+    explicit ScratchLease(FreeListPool<ExplorationScratch>& pool)
+        : pool(pool), lease(pool.Acquire([] {
+            return std::make_unique<ExplorationScratch>();
+          })) {}
+    ~ScratchLease() { pool.Release(lease, lease.object->CapacityBytes()); }
   };
   std::vector<MatchingSubgraph> subgraphs;
   {
-    // The lease spans only the exploration, so a concurrent Search in the
-    // later mapping steps does not keep others off the pooled scratch.
-    ScratchLease lease(exploration_scratch_busy_);
-    ExplorationScratch local_scratch;
-    SubgraphExplorer explorer(
-        augmented, explore,
-        lease.acquired ? &exploration_scratch_ : &local_scratch);
+    // The lease spans only the exploration, so a long mapping step does not
+    // keep the warm scratch away from concurrent queries.
+    ScratchLease scratch(scratch_pool_);
+    SubgraphExplorer explorer(augmented, explore, scratch.lease.object);
     subgraphs = explorer.FindTopK();
     result.exploration_stats = explorer.stats();
   }
@@ -221,6 +293,59 @@ KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
   result.mapping_millis = step.ElapsedMillis();
   result.total_millis = total.ElapsedMillis();
   return result;
+}
+
+std::vector<KeywordSearchEngine::SearchResult>
+KeywordSearchEngine::SearchBatch(std::span<const KeywordQuery> queries,
+                                 std::size_t num_threads) const {
+  std::vector<SearchResult> results(queries.size());
+  if (queries.empty()) return results;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, queries.size());
+
+  auto run_one = [this, queries, &results](std::size_t i) {
+    const KeywordQuery& q = queries[i];
+    const std::size_t k = q.k > 0 ? q.k : options_.exploration.k;
+    results[i] = Search(q.keywords, k);
+  };
+  if (num_threads <= 1) {
+    for (std::size_t i = 0; i < queries.size(); ++i) run_one(i);
+    return results;
+  }
+
+  // Dynamic sharding over an atomic ticket: queries vary wildly in cost
+  // (cache hits vs cold augmentations, early-terminating vs exhaustive
+  // explorations), so static partitioning would straggle.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (;;) {
+      // Drain fast once any query failed: the batch is going to rethrow
+      // and drop all results, so serving the remainder is wasted work.
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queries.size()) return;
+      try {
+        run_one(i);
+      } catch (...) {
+        // An exception escaping a std::thread entry would std::terminate
+        // the whole process; capture it and rethrow like the serial path.
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  return results;
 }
 
 Result<query::EvalResult> KeywordSearchEngine::Answers(

@@ -1,11 +1,13 @@
 #ifndef GRASP_CORE_ENGINE_H_
 #define GRASP_CORE_ENGINE_H_
 
-#include <atomic>
 #include <cstddef>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/free_list_pool.h"
 #include "core/exploration.h"
 #include "core/exploration_scratch.h"
 #include "core/query_mapping.h"
@@ -15,6 +17,7 @@
 #include "query/evaluator.h"
 #include "rdf/data_graph.h"
 #include "rdf/triple_store.h"
+#include "summary/augmentation_cache.h"
 #include "summary/summary_graph.h"
 #include "text/thesaurus.h"
 
@@ -24,6 +27,12 @@ namespace grasp::core {
 /// preprocessing (data graph, keyword index, summary graph) at construction,
 /// then per query: keyword-to-element mapping, summary-graph augmentation,
 /// top-k exploration, and element-to-query mapping.
+///
+/// Search() is safe to call from any number of threads concurrently: the
+/// per-query mutable state (exploration scratch, augmentation overlays)
+/// comes from lock-free free-list pools over the shared immutable indexes,
+/// and repeated keyword-element sets share one cached augmentation.
+/// SearchBatch() shards a whole workload across a worker pool.
 class KeywordSearchEngine {
  public:
   struct Options {
@@ -43,6 +52,13 @@ class KeywordSearchEngine {
     /// (distinct subgraphs can map to isomorphic queries) still leaves k
     /// queries.
     double subgraph_overfetch = 2.0;
+    /// Byte budget of the augmentation cache (LRU over canonical matched
+    /// keyword-element sets). Queries repeating a keyword set skip
+    /// augmentation entirely on a hit; 0 disables caching, in which case
+    /// every query rebuilds into a pooled overlay. Hits and misses return
+    /// element-for-element identical graphs, so results never depend on
+    /// this setting.
+    std::size_t augmentation_cache_bytes = 8u << 20;
   };
 
   /// One computed interpretation: a conjunctive query with its subgraph.
@@ -57,6 +73,7 @@ class KeywordSearchEngine {
     std::vector<RankedQuery> queries;
     ExplorationStats exploration_stats;
     std::vector<std::size_t> matches_per_keyword;
+    bool augmentation_cache_hit = false;
     double keyword_millis = 0.0;
     double augmentation_millis = 0.0;
     double exploration_millis = 0.0;
@@ -64,7 +81,16 @@ class KeywordSearchEngine {
     double total_millis = 0.0;
   };
 
-  /// Index footprints and preprocessing time (Fig. 6b).
+  /// One entry of a SearchBatch workload.
+  struct KeywordQuery {
+    std::vector<std::string> keywords;
+    /// 0 falls back to the engine's options.exploration.k.
+    std::size_t k = 0;
+  };
+
+  /// Index footprints and preprocessing time (Fig. 6b). The serving-state
+  /// fields (pools, cache) track memory the engine accretes while running;
+  /// index_stats() refreshes them on access.
   struct IndexStats {
     std::size_t keyword_index_bytes = 0;
     std::size_t summary_graph_bytes = 0;
@@ -72,6 +98,19 @@ class KeywordSearchEngine {
     std::size_t summary_edges = 0;
     std::size_t keyword_elements = 0;
     double build_millis = 0.0;
+    /// ExplorationScratch capacity parked in the pool (as recorded at each
+    /// scratch's last release; scratches held by in-flight queries count
+    /// zero until released).
+    std::size_t scratch_pool_bytes = 0;
+    /// Augmentation-overlay shells parked in the pool. Shells checked out
+    /// or resident in the augmentation cache count zero here until
+    /// released; their marginal query content shows up in
+    /// augmentation_cache_bytes meanwhile, so the fields sum without
+    /// double-counting.
+    std::size_t overlay_pool_bytes = 0;
+    /// Bytes charged to the augmentation cache (resident entries' query
+    /// content + keys + LRU/index overhead).
+    std::size_t augmentation_cache_bytes = 0;
   };
 
   /// Preprocesses `store` (must be finalized and must outlive the engine).
@@ -86,7 +125,7 @@ class KeywordSearchEngine {
 
   /// Computes the top-k conjunctive queries for a keyword query. `k`
   /// overrides options.exploration.k. Queries are sorted by ascending cost
-  /// and deduplicated up to isomorphism.
+  /// and deduplicated up to isomorphism. Thread-safe.
   SearchResult Search(const std::vector<std::string>& keywords,
                       std::size_t k) const {
     return Search(keywords, k, options_.exploration);
@@ -100,6 +139,15 @@ class KeywordSearchEngine {
   SearchResult Search(const std::vector<std::string>& keywords, std::size_t k,
                       const ExplorationOptions& exploration) const;
 
+  /// Serves `queries` on `num_threads` workers (0 = hardware concurrency)
+  /// sharding independent queries over the shared immutable summary;
+  /// results[i] corresponds to queries[i] and is byte-identical to a serial
+  /// Search(queries[i]). The per-thread state comes from the engine's
+  /// scratch/overlay pools, so a steady-state batch allocates per result,
+  /// not per query step.
+  std::vector<SearchResult> SearchBatch(std::span<const KeywordQuery> queries,
+                                        std::size_t num_threads = 0) const;
+
   /// Evaluates a computed query against the store ("query processing" in
   /// Fig. 5): the step delegated to the underlying database engine.
   Result<query::EvalResult> Answers(const query::ConjunctiveQuery& query,
@@ -110,16 +158,27 @@ class KeywordSearchEngine {
   const keyword::KeywordIndex& keyword_index() const { return keyword_index_; }
   const rdf::Dictionary& dictionary() const { return *dictionary_; }
   const Options& options() const { return options_; }
-  const IndexStats& index_stats() const { return index_stats_; }
+  /// The construction-time index figures plus a snapshot of the
+  /// serving-state byte counters (pools, cache). Safe to call from any
+  /// thread while Search() calls are in flight (atomic release-time hints
+  /// + the cache mutex); the serving figures lag work still checked out
+  /// of the pools.
+  IndexStats index_stats() const;
 
-  /// The reusable exploration state: repeated Search() calls clear it
-  /// instead of reallocating (scratch.grow_events stops advancing once the
-  /// engine has seen the query shape). Concurrent Search() calls stay safe
-  /// among themselves — a call that finds the scratch busy runs on a
-  /// private one — but this accessor is unsynchronized: only read it when
-  /// no Search() is in flight (tests and single-threaded stats reporting).
+  /// The warmest pooled exploration scratch (slot 0 — the one serial
+  /// Search() calls keep reusing, LIFO). Repeated queries clear it instead
+  /// of reallocating: scratch.grow_events stops advancing once the engine
+  /// has seen the query shape. Unsynchronized: only read it when no
+  /// Search() is in flight (tests and single-threaded stats reporting).
   const ExplorationScratch& exploration_scratch() const {
-    return exploration_scratch_;
+    return *scratch_pool_.PeekSlot(0);
+  }
+
+  /// Augmentation-cache observability (hit/miss/eviction counters); zeros
+  /// when the cache is disabled.
+  summary::AugmentationCache::Stats augmentation_cache_stats() const {
+    return augmentation_cache_ != nullptr ? augmentation_cache_->stats()
+                                          : summary::AugmentationCache::Stats{};
   }
 
  private:
@@ -137,6 +196,14 @@ class KeywordSearchEngine {
                       const rdf::Dictionary& dictionary, Options options,
                       Prebuilt prebuilt);
 
+  /// The augmented graph for `matches`: a cache hit when enabled and seen
+  /// before, otherwise a build into a pooled overlay shell. The shared_ptr
+  /// keeps the graph alive across concurrent users; its deleter returns the
+  /// shell to the pool once the last user (query or cache entry) lets go.
+  std::shared_ptr<const summary::AugmentedGraph> AcquireAugmentation(
+      const std::vector<std::vector<keyword::KeywordMatch>>& matches,
+      bool* cache_hit) const;
+
   const rdf::TripleStore* store_;
   const rdf::Dictionary* dictionary_;
   Options options_;
@@ -144,9 +211,22 @@ class KeywordSearchEngine {
   rdf::DataGraph data_graph_;
   summary::SummaryGraph summary_;
   keyword::KeywordIndex keyword_index_;
-  IndexStats index_stats_;
-  mutable ExplorationScratch exploration_scratch_;
-  mutable std::atomic_flag exploration_scratch_busy_ = ATOMIC_FLAG_INIT;
+  IndexStats index_stats_;  ///< static fields only; set once at construction
+
+  /// Capacity of the per-query object pools. The cache's residency bound
+  /// is half of this (see the constructor): a resident cache entry pins
+  /// its overlay shell's pool slot until eviction, and the bound keeps a
+  /// byte budget worth thousands of tiny augmentations from exhausting the
+  /// pool and degrading every miss to a transient allocation.
+  static constexpr std::size_t kPoolCapacity = 256;
+
+  /// Per-query reusable state, checked out lock-free per Search() call.
+  /// Declaration order doubles as destruction order: the cache holds
+  /// shared_ptrs whose deleters return overlays to overlay_pool_, so the
+  /// pools must outlive (be declared before) the cache.
+  mutable FreeListPool<ExplorationScratch> scratch_pool_{kPoolCapacity};
+  mutable FreeListPool<summary::AugmentedGraph> overlay_pool_{kPoolCapacity};
+  std::unique_ptr<summary::AugmentationCache> augmentation_cache_;
 };
 
 }  // namespace grasp::core

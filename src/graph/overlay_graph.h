@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <iterator>
 #include <span>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -14,7 +13,10 @@ namespace grasp::graph {
 
 /// Concatenation of two id spans, iterable with range-for. Adjacency of an
 /// overlaid graph chains the base CSR run with the overlay extension list
-/// without copying either.
+/// without copying either. Hot loops that expand every neighbor should
+/// iterate `first()` and `second()` back-to-back instead: the chained
+/// iterator pays an end-of-first branch on every ++, which shows up at
+/// cursor-pop frequency in the exploration.
 class ChainedIds {
  public:
   class iterator {
@@ -82,6 +84,10 @@ class ChainedIds {
   std::size_t size() const { return first_.size() + second_.size(); }
   bool empty() const { return first_.empty() && second_.empty(); }
 
+  /// The two underlying spans, for callers that iterate them back-to-back.
+  std::span<const std::uint32_t> first() const { return first_; }
+  std::span<const std::uint32_t> second() const { return second_; }
+
  private:
   std::span<const std::uint32_t> first_;
   std::span<const std::uint32_t> second_;
@@ -97,6 +103,13 @@ class ChainedIds {
 /// self-loops once) is maintained: that is the iteration the summary-layer
 /// exploration uses. Overlay edges may connect base nodes, overlay nodes,
 /// or a mix.
+///
+/// Incidence extensions are epoch-stamped dense arrays indexed by node id:
+/// the exploration's per-pop IncidentEdges probe is one array load plus an
+/// epoch compare, never a hash. Reset() logically empties the overlay in
+/// O(1) (epoch bump) while keeping every allocation, so a pooled overlay
+/// reused across queries reaches a steady state with no per-query heap
+/// traffic.
 template <typename NodeT, typename EdgeT>
 class OverlayGraph {
  public:
@@ -131,7 +144,9 @@ class OverlayGraph {
     const std::uint32_t id =
         base_nodes_ + static_cast<std::uint32_t>(extra_nodes_.size());
     extra_nodes_.push_back(std::move(node));
-    overlay_incident_.emplace_back();
+    if (extra_nodes_.size() > overlay_incident_.size()) {
+      overlay_incident_.emplace_back();
+    }
     return id;
   }
 
@@ -143,57 +158,104 @@ class OverlayGraph {
     const std::uint32_t from = static_cast<std::uint32_t>(edge.from);
     const std::uint32_t to = static_cast<std::uint32_t>(edge.to);
     extra_edges_.push_back(std::move(edge));
-    ExtensionOf(from).push_back(id);
-    if (to != from) ExtensionOf(to).push_back(id);
+    AppendExtension(ExtensionOf(from), id);
+    if (to != from) AppendExtension(ExtensionOf(to), id);
     return id;
   }
 
   /// All edges touching `node`: the base run (for base nodes) chained with
-  /// the overlay extension list.
+  /// the overlay extension list. One array index + epoch compare; the hot
+  /// exploration pop never hashes.
   ChainedIds IncidentEdges(std::uint32_t node) const {
     if (node >= base_nodes_) {
-      return ChainedIds({}, overlay_incident_[node - base_nodes_]);
+      return ChainedIds({}, SpanOf(overlay_incident_[node - base_nodes_]));
     }
-    auto it = base_incident_extra_.find(node);
     return ChainedIds(base_->IncidentEdges(node),
-                      it == base_incident_extra_.end()
-                          ? std::span<const std::uint32_t>{}
-                          : std::span<const std::uint32_t>(it->second));
+                      base_extra_.empty() ? std::span<const std::uint32_t>{}
+                                          : SpanOf(base_extra_[node]));
   }
 
   std::span<const NodeT> overlay_nodes() const { return extra_nodes_; }
   std::span<const EdgeT> overlay_edges() const { return extra_edges_; }
 
+  /// Logically empties the overlay in O(1): element vectors are cleared
+  /// (capacity retained) and the epoch bump invalidates every extension
+  /// list without touching it. The base binding is unchanged, so a pooled
+  /// overlay can be rebuilt for the next query with zero steady-state
+  /// allocations.
+  void Reset() {
+    extra_nodes_.clear();
+    extra_edges_.clear();
+    ++epoch_;
+  }
+
   /// Footprint of the overlay itself (the base is shared and accounted for
-  /// where it is owned).
+  /// where it is owned). Pooled capacity counts: the dense extension arrays
+  /// are the price of the O(1) incidence probe and must show up in
+  /// Fig. 6b-style reporting. O(1) — the per-list item capacity is tracked
+  /// as lists grow, so release-time byte hints don't walk the dense arrays.
   std::size_t MemoryUsageBytes() const {
-    std::size_t bytes = extra_nodes_.capacity() * sizeof(NodeT) +
-                        extra_edges_.capacity() * sizeof(EdgeT);
-    for (const auto& v : overlay_incident_) {
-      bytes += v.capacity() * sizeof(std::uint32_t);
-    }
-    for (const auto& [node, v] : base_incident_extra_) {
-      bytes += sizeof(node) + v.capacity() * sizeof(std::uint32_t);
-    }
-    return bytes;
+    return extra_nodes_.capacity() * sizeof(NodeT) +
+           extra_edges_.capacity() * sizeof(EdgeT) +
+           base_extra_.capacity() * sizeof(ExtensionList) +
+           overlay_incident_.capacity() * sizeof(ExtensionList) +
+           extension_items_bytes_;
   }
 
  private:
+  /// A per-node incidence extension: `items` is valid only when `epoch`
+  /// matches the overlay's current epoch — stale lists read as empty and
+  /// are lazily recycled (capacity kept) on first append.
+  struct ExtensionList {
+    std::vector<std::uint32_t> items;
+    std::uint64_t epoch = 0;
+  };
+
+  std::span<const std::uint32_t> SpanOf(const ExtensionList& l) const {
+    return l.epoch == epoch_ ? std::span<const std::uint32_t>(l.items)
+                             : std::span<const std::uint32_t>{};
+  }
+
   std::vector<std::uint32_t>& ExtensionOf(std::uint32_t node) {
-    if (node >= base_nodes_) return overlay_incident_[node - base_nodes_];
-    return base_incident_extra_[node];
+    if (base_extra_.empty() && node < base_nodes_) {
+      // First base-node extension of this overlay's lifetime: materialize
+      // the dense array once; Reset() keeps it for every later query.
+      base_extra_.resize(base_nodes_);
+    }
+    ExtensionList& l = node >= base_nodes_
+                           ? overlay_incident_[node - base_nodes_]
+                           : base_extra_[node];
+    if (l.epoch != epoch_) {
+      l.items.clear();
+      l.epoch = epoch_;
+    }
+    return l.items;
+  }
+
+  /// push_back with capacity-growth tracking: list capacities only ever
+  /// grow (clear() keeps them), so a running byte counter keeps
+  /// MemoryUsageBytes O(1) instead of walking every dense-array entry.
+  void AppendExtension(std::vector<std::uint32_t>& items, std::uint32_t id) {
+    const std::size_t before = items.capacity();
+    items.push_back(id);
+    extension_items_bytes_ +=
+        (items.capacity() - before) * sizeof(std::uint32_t);
   }
 
   const Base* base_;
   std::uint32_t base_nodes_ = 0;
   std::uint32_t base_edges_ = 0;
+  std::uint64_t epoch_ = 1;  ///< 0 is the never-valid stamp of fresh lists
   std::vector<NodeT> extra_nodes_;
   std::vector<EdgeT> extra_edges_;
-  /// Incidence extension lists: dense for overlay nodes (indexed by
-  /// id - base_nodes_), sparse for the base nodes overlay edges touch.
-  std::vector<std::vector<std::uint32_t>> overlay_incident_;
-  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
-      base_incident_extra_;
+  /// Incidence extension lists, dense by id: overlay_incident_ is indexed
+  /// by id - base_nodes_ (high-water sized, entries outlive Reset), and
+  /// base_extra_ by base node id (allocated on first use).
+  std::vector<ExtensionList> overlay_incident_;
+  std::vector<ExtensionList> base_extra_;
+  /// Sum of item capacities across both extension arrays (monotone:
+  /// Reset() clears sizes, never capacities).
+  std::size_t extension_items_bytes_ = 0;
 };
 
 }  // namespace grasp::graph

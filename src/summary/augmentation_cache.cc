@@ -1,0 +1,134 @@
+#include "summary/augmentation_cache.h"
+
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace grasp::summary {
+namespace {
+
+/// Appends the raw bytes of a trivially-copyable value. Scores are doubles
+/// compared bit-exactly: the engine's coverage boost rescales them, and two
+/// match sets differing only in scores build different graphs.
+template <typename T>
+void AppendRaw(std::string* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const char* bytes = reinterpret_cast<const char*>(&value);
+  out->append(bytes, sizeof(T));
+}
+
+}  // namespace
+
+std::string AugmentationCacheKey(
+    const std::vector<std::vector<keyword::KeywordMatch>>& keyword_matches) {
+  std::string key;
+  // Rough pre-size: fixed header per match; contexts grow it as needed.
+  std::size_t matches = 0;
+  for (const auto& list : keyword_matches) matches += list.size();
+  key.reserve(16 + 48 * matches);
+
+  AppendRaw(&key, static_cast<std::uint32_t>(keyword_matches.size()));
+  for (const auto& list : keyword_matches) {
+    AppendRaw(&key, static_cast<std::uint32_t>(list.size()));
+    for (const keyword::KeywordMatch& m : list) {
+      AppendRaw(&key, static_cast<std::uint8_t>(m.kind));
+      AppendRaw(&key, m.term);
+      AppendRaw(&key, m.score);
+      AppendRaw(&key, static_cast<std::uint8_t>(m.is_filter));
+      if (m.is_filter) {
+        AppendRaw(&key, static_cast<std::uint8_t>(m.filter.op));
+        AppendRaw(&key, m.filter.value);
+      }
+      AppendRaw(&key, static_cast<std::uint32_t>(m.contexts.size()));
+      for (const keyword::AttrContext& ctx : m.contexts) {
+        AppendRaw(&key, ctx.attribute);
+        AppendRaw(&key, static_cast<std::uint32_t>(ctx.classes.size()));
+        for (rdf::TermId c : ctx.classes) AppendRaw(&key, c);
+        AppendRaw(&key, static_cast<std::uint32_t>(ctx.counts.size()));
+        for (std::uint64_t n : ctx.counts) AppendRaw(&key, n);
+      }
+    }
+  }
+  return key;
+}
+
+namespace {
+
+/// The key is stored twice (entry + index) and each index slot costs a
+/// node allocation; a fixed overhead constant keeps the accounting honest
+/// without chasing container internals.
+std::size_t BookkeepingBytes(const std::string& key) {
+  constexpr std::size_t kEntryOverhead =
+      sizeof(void*) * 8 + sizeof(AugmentedGraph);
+  return 2 * key.capacity() + kEntryOverhead;
+}
+
+}  // namespace
+
+AugmentationCache::GraphPtr AugmentationCache::GetOrBuild(
+    std::string key, const BuildFn& build, bool* hit) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      ++stats_.hits;
+      if (hit != nullptr) *hit = true;
+      return it->second->graph;
+    }
+    ++stats_.misses;
+    if (hit != nullptr) *hit = false;
+  }
+
+  // Build outside the lock: concurrent misses on distinct keys proceed in
+  // parallel. A racing build of the same key is possible; the second insert
+  // detects it and discards its own graph.
+  GraphPtr built = build();
+  // Charge the query's marginal footprint, not the pooled shell's
+  // high-water capacity: the shell's fixed arrays belong to the pool's
+  // accounting, and charging them here would both re-bill a fixed cost per
+  // entry and let one warmed-up shell trip the oversize rejection forever.
+  Entry entry{std::move(key), built, 0, built->QueryFootprintBytes()};
+  entry.bytes = entry.graph_bytes + BookkeepingBytes(entry.key);
+  if (entry.bytes > max_bytes_) {
+    // An entry that alone exceeds the budget is never admitted: inserting
+    // it would evict every resident entry on its way out and leave the
+    // cache flushed. The caller still gets its graph, just uncached.
+    return built;
+  }
+
+  // Victims are moved out of the lock scope before they destruct: dropping
+  // the last reference runs the pool-release deleter, which should not
+  // stall every concurrent hit probe behind this insert.
+  std::vector<GraphPtr> evicted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(entry.key);
+    if (it != index_.end()) {
+      // A racing builder of the same key won; serve its (shared) entry and
+      // drop our own build. The call stays a miss — it paid a full build —
+      // so hits + misses equals calls and hit-rate math stays honest.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->graph;
+    }
+    charged_bytes_ += entry.bytes;
+    graph_bytes_ += entry.graph_bytes;
+    lru_.push_front(std::move(entry));
+    index_.emplace(lru_.front().key, lru_.begin());
+    while ((charged_bytes_ > max_bytes_ || lru_.size() > max_entries_) &&
+           !lru_.empty()) {
+      // Evict least-recently-used. In-flight queries holding the
+      // shared_ptr keep the evicted graph alive until they end.
+      Entry& victim = lru_.back();
+      charged_bytes_ -= victim.bytes;
+      graph_bytes_ -= victim.graph_bytes;
+      index_.erase(victim.key);
+      evicted.push_back(std::move(victim.graph));
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+  return built;
+}
+
+}  // namespace grasp::summary

@@ -1,0 +1,129 @@
+#ifndef GRASP_SUMMARY_AUGMENTATION_CACHE_H_
+#define GRASP_SUMMARY_AUGMENTATION_CACHE_H_
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "keyword/keyword_index.h"
+#include "summary/augmented_graph.h"
+
+namespace grasp::summary {
+
+/// Canonical serialization of the matched keyword-element multiset: every
+/// field AugmentedGraph::Augment consumes (per keyword, in order: match
+/// kind, term, bit-exact score, filter spec, attribute contexts with class
+/// and count lists). Two match sets with equal keys therefore build
+/// element-for-element identical augmented graphs — including element ids,
+/// which depend on keyword order, so the key is order-sensitive by design.
+std::string AugmentationCacheKey(
+    const std::vector<std::vector<keyword::KeywordMatch>>& keyword_matches);
+
+/// A byte-bounded LRU cache in front of AugmentedGraph::Build. Queries
+/// sharing their matched keyword-element sets (repeated queries, shared
+/// keyword prefixes after per-keyword truncation) skip augmentation
+/// entirely on a hit and share one immutable graph — AugmentedGraph is
+/// read-only after construction, so concurrent explorations over a cached
+/// entry are safe.
+///
+/// Entries are held as shared_ptrs: eviction drops the cache's reference,
+/// and the graph is destroyed (or returned to its pool, if the builder
+/// attached a pooling deleter) once the last in-flight query releases it.
+class AugmentationCache {
+ public:
+  using GraphPtr = std::shared_ptr<const AugmentedGraph>;
+  using BuildFn = std::function<GraphPtr()>;
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t charged_bytes = 0;
+    /// Portion of charged_bytes that is the entries' marginal query
+    /// content (AugmentedGraph::QueryFootprintBytes); the rest is keys and
+    /// LRU/index bookkeeping.
+    std::size_t graph_bytes = 0;
+    std::size_t max_bytes = 0;
+  };
+
+  /// `max_bytes` bounds the sum of charged entry sizes (overlay footprint
+  /// plus key and bookkeeping overhead); `max_entries` bounds residency
+  /// count. The entry bound matters when entries are pooled overlay shells:
+  /// a resident entry pins its pool slot until eviction, so the bound keeps
+  /// a byte budget worth thousands of tiny augmentations from exhausting
+  /// the pool and degrading every miss to a transient allocation.
+  explicit AugmentationCache(std::size_t max_bytes,
+                             std::size_t max_entries = kNoEntryLimit)
+      : max_bytes_(max_bytes), max_entries_(max_entries) {}
+
+  static constexpr std::size_t kNoEntryLimit = ~std::size_t{0};
+
+  AugmentationCache(const AugmentationCache&) = delete;
+  AugmentationCache& operator=(const AugmentationCache&) = delete;
+
+  /// Returns the cached graph for `key`, or invokes `build` and inserts the
+  /// result. `build` runs outside the cache lock, so concurrent misses on
+  /// distinct keys augment in parallel; two racing builds of the same key
+  /// keep the first inserted graph (the loser's copy is simply released).
+  /// `hit` (optional) reports whether this call avoided running `build` —
+  /// a same-key race loser serves the winner's graph but still reports (and
+  /// counts as) a miss, since it paid the build; hits + misses == calls.
+  GraphPtr GetOrBuild(std::string key, const BuildFn& build,
+                      bool* hit = nullptr);
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s = stats_;
+    s.entries = lru_.size();
+    s.charged_bytes = charged_bytes_;
+    s.graph_bytes = graph_bytes_;
+    s.max_bytes = max_bytes_;
+    return s;
+  }
+
+  /// Bytes currently charged against the budget (resident entries'
+  /// marginal query content + keys + LRU/index overhead). Race-free: the
+  /// counters live under the cache mutex. Resident pooled shells report
+  /// zero to the overlay pool while checked out, so the engine's serving
+  /// fields sum without double-counting.
+  std::size_t MemoryUsageBytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return charged_bytes_;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    index_.clear();
+    lru_.clear();
+    charged_bytes_ = 0;
+    graph_bytes_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    GraphPtr graph;
+    std::size_t bytes = 0;
+    std::size_t graph_bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  const std::size_t max_bytes_;
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  std::size_t charged_bytes_ = 0;
+  std::size_t graph_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace grasp::summary
+
+#endif  // GRASP_SUMMARY_AUGMENTATION_CACHE_H_

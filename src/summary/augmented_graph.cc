@@ -79,6 +79,23 @@ AugmentedGraph AugmentedGraph::Build(
   return g;
 }
 
+void AugmentedGraph::Rebuild(
+    const std::vector<std::vector<keyword::KeywordMatch>>& keyword_matches) {
+  overlay_.Reset();
+  value_node_of_term_.clear();
+  attribute_edge_ids_.clear();
+  scores_.clear();
+  keyword_element_pos_.clear();
+  filter_of_node_.clear();
+  // Keep the inner K_i vectors' capacity: shrink the outer list only when a
+  // query has fewer keywords, clear (not destroy) the survivors.
+  if (keyword_elements_.size() > keyword_matches.size()) {
+    keyword_elements_.resize(keyword_matches.size());
+  }
+  for (auto& list : keyword_elements_) list.clear();
+  Augment(keyword_matches);
+}
+
 AugmentedGraph AugmentedGraph::BuildMaterialized(
     const SummaryGraph& base,
     const std::vector<std::vector<keyword::KeywordMatch>>& keyword_matches) {
@@ -222,6 +239,29 @@ std::size_t AugmentedGraph::OverlayMemoryUsageBytes() const {
            (sizeof(std::uint32_t) + sizeof(double) + 2 * sizeof(void*));
   for (const auto& list : keyword_elements_) {
     bytes += list.capacity() * sizeof(ScoredElement);
+  }
+  bytes += filter_of_node_.size() *
+           (sizeof(NodeId) + sizeof(FilterSpec) + 2 * sizeof(void*));
+  return bytes;
+}
+
+std::size_t AugmentedGraph::QueryFootprintBytes() const {
+  const std::size_t overlay_nodes = overlay_.overlay_nodes().size();
+  const std::size_t overlay_edges = overlay_.overlay_edges().size();
+  // Each overlay edge appears in at most two incidence extension lists.
+  std::size_t bytes =
+      overlay_nodes * sizeof(SummaryNode) +
+      overlay_edges * (sizeof(SummaryEdge) + 2 * sizeof(std::uint32_t));
+  bytes += value_node_of_term_.size() *
+           (sizeof(rdf::TermId) + sizeof(NodeId) + 2 * sizeof(void*));
+  bytes += attribute_edge_ids_.size() *
+           (2 * sizeof(std::uint64_t) + sizeof(EdgeId) + 2 * sizeof(void*));
+  bytes += scores_.size() *
+           (sizeof(std::uint32_t) + sizeof(double) + 2 * sizeof(void*));
+  bytes += keyword_element_pos_.size() *
+           (sizeof(std::uint64_t) + sizeof(std::size_t) + 2 * sizeof(void*));
+  for (const auto& list : keyword_elements_) {
+    bytes += list.size() * sizeof(ScoredElement);
   }
   bytes += filter_of_node_.size() *
            (sizeof(NodeId) + sizeof(FilterSpec) + 2 * sizeof(void*));

@@ -90,6 +90,21 @@ class AugmentedGraph {
       const SummaryGraph& base,
       const std::vector<std::vector<keyword::KeywordMatch>>& keyword_matches);
 
+  /// An empty, reusable overlay shell over `base`: call Rebuild() once per
+  /// query. A pooled shell keeps its allocations (overlay vectors, dense
+  /// incidence extensions, dedup tables) across queries, so steady-state
+  /// augmentation reuses memory instead of reconstructing it. The base
+  /// summary graph must outlive the shell.
+  static AugmentedGraph MakeOverlayShell(const SummaryGraph& base) {
+    return AugmentedGraph(base, /*materialize=*/false);
+  }
+
+  /// Resets the graph to the bare base (O(1) overlay epoch bump plus table
+  /// clears that keep capacity) and augments it for `keyword_matches`. The
+  /// result is element-for-element identical to a fresh Build().
+  void Rebuild(
+      const std::vector<std::vector<keyword::KeywordMatch>>& keyword_matches);
+
   AugmentedGraph(const AugmentedGraph&) = delete;
   AugmentedGraph& operator=(const AugmentedGraph&) = delete;
   AugmentedGraph(AugmentedGraph&&) = default;
@@ -147,6 +162,16 @@ class AugmentedGraph {
   /// nothing). The augmentation microbenchmark tracks this to show the
   /// copy-free per-query footprint is O(matches), not O(summary).
   std::size_t OverlayMemoryUsageBytes() const;
+
+  /// Bytes attributable to the *current query's* augmentation content
+  /// (element records, incidence entries, keyword sets, dedup map
+  /// entries) — sizes, not capacities. A pooled shell's high-water
+  /// capacity (dense incidence arrays, warmed vectors) is serving
+  /// infrastructure accounted by the engine's pool stats; the
+  /// augmentation cache charges this marginal figure so one big shell
+  /// can neither blow the budget for every later entry nor re-bill the
+  /// fixed arrays per cached keyword set.
+  std::size_t QueryFootprintBytes() const;
 
   /// Human-readable element description (for logging and examples).
   std::string DebugString(ElementId element,

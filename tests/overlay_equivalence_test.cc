@@ -221,6 +221,34 @@ TEST(OverlayEquivalenceTest, LubmSlice) {
   RunEquivalence(p, {"name", "course", "department"});
 }
 
+TEST(OverlayEquivalenceTest, PooledRebuildMatchesFreshBuild) {
+  // One overlay shell serving many queries (the engine's pooled path): every
+  // Rebuild must be element-for-element identical to a fresh Build — the
+  // epoch-bumped incidence extensions must never leak a previous query's
+  // edges — and the shell must stop allocating once it has seen the shapes.
+  Pipeline p = MakeFig1Pipeline();
+  AugmentedGraph pooled = AugmentedGraph::MakeOverlayShell(*p.summary);
+  const std::vector<std::vector<std::string>> queries = {
+      {"2006", "cimiano", "aifb"},
+      {"publication"},                  // shrinking keyword count
+      {"year", "2006"},
+      {"author", "name"},
+      {"2006", "cimiano", "aifb"},      // repeat of the first shape
+  };
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& keywords : queries) {
+      SCOPED_TRACE("round " + std::to_string(round) + " keywords: " +
+                   Join(keywords, ","));
+      const auto matches = Lookup(p, keywords);
+      pooled.Rebuild(matches);
+      AugmentedGraph fresh = AugmentedGraph::Build(*p.summary, matches);
+      ExpectSameGraph(pooled, fresh);
+      ExpectSameAsFlatRebuild(pooled);
+      ExpectSameExploration(p, pooled, fresh);
+    }
+  }
+}
+
 TEST(OverlayEquivalenceTest, OverlayFootprintIndependentOfBase) {
   // The per-query cost claim, structurally: the same keyword set against a
   // 1-university and a 3-university LUBM summary allocates overlay memory
