@@ -35,9 +35,9 @@ void DesummarizeInto(const grasp::rdf::TripleStore& input,
       grasp::rdf::DataGraph::Build(input, *dictionary);
   for (const auto& v : graph.vertices()) {
     if (v.kind != grasp::rdf::VertexKind::kEntity) continue;
-    const std::string& iri = dictionary->text(v.term);
+    const std::string_view iri = dictionary->text(v.term);
     const grasp::rdf::TermId singleton =
-        dictionary->InternIri(iri + "/SingletonClass");
+        dictionary->InternIri(std::string(iri) + "/SingletonClass");
     output->Add(v.term, type, singleton);
   }
   output->Finalize();

@@ -1,18 +1,26 @@
 // Reproduces Fig. 6b: index sizes and preprocessing time for DBLP, LUBM and
-// TAP.
+// TAP — extended with the cold-vs-warm start sweep the index snapshots buy:
+// `build(ms)` is the cold preprocessing pass, `warm(ms)` is mmap + validate
+// of a saved snapshot (ready to serve), and `x` their ratio.
 //
 // Expected shape (paper): DBLP's keyword index is the largest (most
 // V-vertices); TAP's graph index is the largest (most classes); indexing
-// time stays practical for all three.
+// time stays practical for all three. Extension: warm start is an order of
+// magnitude under cold build on every dataset.
+
+#include <unistd.h>
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
+#include "common/timer.h"
 #include "core/engine.h"
 
 namespace {
 
 void Report(grasp::bench::Dataset* dataset) {
+  grasp::WallTimer timer;
   grasp::core::KeywordSearchEngine engine(dataset->store,
                                           dataset->dictionary);
   // Warm the serving state (scratch pool, overlay pool, augmentation
@@ -21,10 +29,29 @@ void Report(grasp::bench::Dataset* dataset) {
   for (const char* kw : {"name", "publication", "city", "professor"}) {
     engine.Search({kw}, 3);
   }
+
+  // Snapshot round trip: save, then time a warm open of a fresh engine.
+  const std::string path = "/tmp/grasp_fig6b_" + dataset->name + "_" +
+                           std::to_string(::getpid()) + ".snap";
+  double warm_millis = -1.0;
+  if (engine.SaveIndex(path).ok()) {
+    // First open faults the file into the page cache; the timed second open
+    // is the steady warm start (restart of a serving process on a host that
+    // has the snapshot resident — the scenario snapshots exist for).
+    auto prewarm = grasp::core::KeywordSearchEngine::Open(path);
+    timer.Reset();
+    auto warm = grasp::core::KeywordSearchEngine::Open(path);
+    if (warm.ok()) warm_millis = timer.ElapsedMillis();
+  }
+  std::remove(path.c_str());
+
   const auto& stats = engine.index_stats();
   const auto& graph = engine.data_graph();
+  const double ratio =
+      warm_millis > 0 ? stats.build_millis / warm_millis : 0.0;
   std::printf(
-      "%-6s %9zu %9zu %9zu %9zu | %12s %12s %12s | %7zu %7zu %10.1f\n",
+      "%-6s %9zu %9zu %9zu %9zu | %12s %12s %12s | %7zu %7zu %10.1f %8.1f "
+      "%5.1fx\n",
       dataset->name.c_str(), dataset->store.size(), graph.NumEntities(),
       graph.NumClasses(), graph.NumValues(),
       grasp::HumanBytes(stats.keyword_index_bytes).c_str(),
@@ -32,27 +59,30 @@ void Report(grasp::bench::Dataset* dataset) {
       grasp::HumanBytes(stats.scratch_pool_bytes + stats.overlay_pool_bytes +
                         stats.augmentation_cache_bytes)
           .c_str(),
-      stats.summary_nodes, stats.summary_edges, stats.build_millis);
+      stats.summary_nodes, stats.summary_edges, stats.build_millis,
+      warm_millis, ratio);
 }
 
 }  // namespace
 
 int main() {
-  std::printf("Fig. 6b reproduction: index sizes and preprocessing time\n\n");
   std::printf(
-      "%-6s %9s %9s %9s %9s | %12s %12s %12s | %7s %7s %10s\n", "data",
-      "triples", "entities", "classes", "values", "kw-index", "graph-index",
-      "serving", "g-nodes", "g-edges", "build(ms)");
-  grasp::bench::Rule(123);
+      "Fig. 6b reproduction: index sizes, preprocessing time, warm start\n\n");
+  std::printf("%-6s %9s %9s %9s %9s | %12s %12s %12s | %7s %7s %10s %8s %6s\n",
+              "data", "triples", "entities", "classes", "values", "kw-index",
+              "graph-index", "serving", "g-nodes", "g-edges", "build(ms)",
+              "warm(ms)", "x");
+  grasp::bench::Rule(138);
   grasp::bench::Dataset dblp = grasp::bench::MakeDblp();
   Report(&dblp);
   grasp::bench::Dataset lubm = grasp::bench::MakeLubm();
   Report(&lubm);
   grasp::bench::Dataset tap = grasp::bench::MakeTap();
   Report(&tap);
-  grasp::bench::Rule(123);
+  grasp::bench::Rule(138);
   std::printf(
       "Expected shape: DBLP dominates the keyword index (V-vertices); TAP "
-      "dominates the graph index (classes).\n");
+      "dominates the graph index (classes);\nwarm start (mmap + validate) is "
+      ">= 10x under cold build.\n");
   return 0;
 }

@@ -12,9 +12,12 @@
 
 #include "common/filter_op.h"
 #include "common/timer.h"
+#include "snapshot/engine_snapshot.h"
 #include "summary/augmented_graph.h"
 
 namespace grasp::core {
+
+KeywordSearchEngine::~KeywordSearchEngine() = default;
 
 KeywordSearchEngine::Prebuilt KeywordSearchEngine::Preprocess(
     const rdf::TripleStore& store, const rdf::Dictionary& dictionary,
@@ -59,6 +62,34 @@ KeywordSearchEngine::KeywordSearchEngine(const rdf::TripleStore& store,
   // query and serial searches land on a created slot immediately.
   scratch_pool_.Release(
       scratch_pool_.Acquire([] { return std::make_unique<ExplorationScratch>(); }));
+}
+
+Status KeywordSearchEngine::SaveIndex(const std::string& path) const {
+  snapshot::EngineParts parts;
+  parts.dictionary = dictionary_;
+  parts.store = store_;
+  parts.data_graph = &data_graph_;
+  parts.summary = &summary_;
+  parts.keyword_index = &keyword_index_;
+  return snapshot::WriteEngineSnapshot(parts, path);
+}
+
+Result<std::unique_ptr<KeywordSearchEngine>> KeywordSearchEngine::Open(
+    const std::string& path, Options options) {
+  GRASP_ASSIGN_OR_RETURN(snapshot::LoadedEngineParts loaded,
+                         snapshot::ReadEngineSnapshot(path));
+  options.analyzer = loaded.analyzer_options;
+  Prebuilt prebuilt{std::move(*loaded.data_graph), std::move(*loaded.summary),
+                    std::move(*loaded.keyword_index), loaded.load_millis};
+  // Heap-pin the loaded state first: the engine keeps raw pointers to the
+  // store and dictionary and borrowed spans into the mapping, so their
+  // addresses must survive the move into the engine.
+  auto owned = std::make_unique<snapshot::LoadedEngineParts>(std::move(loaded));
+  std::unique_ptr<KeywordSearchEngine> engine(new KeywordSearchEngine(
+      *owned->store, *owned->dictionary, options, std::move(prebuilt)));
+  engine->index_stats_.mapped_snapshot_bytes = owned->mapping.size();
+  engine->loaded_ = std::move(owned);
+  return engine;
 }
 
 KeywordSearchEngine::IndexStats KeywordSearchEngine::index_stats() const {

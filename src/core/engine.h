@@ -21,6 +21,10 @@
 #include "summary/summary_graph.h"
 #include "text/thesaurus.h"
 
+namespace grasp::snapshot {
+struct LoadedEngineParts;
+}  // namespace grasp::snapshot
+
 namespace grasp::core {
 
 /// End-to-end facade implementing the pipeline of Fig. 2: off-line
@@ -111,6 +115,13 @@ class KeywordSearchEngine {
     /// Bytes charged to the augmentation cache (resident entries' query
     /// content + keys + LRU/index overhead).
     std::size_t augmentation_cache_bytes = 0;
+    /// Size of the mmap-ed snapshot a warm-started engine serves from
+    /// (0 for cold-built engines). Kept separate from the owned-heap
+    /// counters above: mapped pages are file-backed and evictable, so
+    /// folding them into the index byte counts would overstate resident
+    /// memory. In warm mode the flat arrays live here and the owned
+    /// counters shrink to the rebuilt hash maps and string tables.
+    std::size_t mapped_snapshot_bytes = 0;
   };
 
   /// Preprocesses `store` (must be finalized and must outlive the engine).
@@ -122,6 +133,28 @@ class KeywordSearchEngine {
 
   KeywordSearchEngine(const KeywordSearchEngine&) = delete;
   KeywordSearchEngine& operator=(const KeywordSearchEngine&) = delete;
+  ~KeywordSearchEngine();  // out-of-line: snapshot state is incomplete here
+
+  /// Serializes the engine's full immutable index state (dictionary, triple
+  /// table, data graph, summary graph, keyword index) into one mmap-able
+  /// snapshot image at `path`. A later Open() serves its first query
+  /// without re-parsing or rebuilding anything.
+  Status SaveIndex(const std::string& path) const;
+
+  /// Warm start: maps a SaveIndex() image and constructs an engine whose
+  /// flat index arrays point zero-copy into the mapping. The returned
+  /// engine owns the mapping and the loaded dictionary/store; its results
+  /// are byte-identical to a cold-built engine over the same data. The
+  /// analyzer options baked into the snapshot override `options.analyzer`
+  /// (querying with different lexical rules than the index was built with
+  /// would mis-tokenize keywords). Corrupt or truncated images are
+  /// rejected with a Status, never partial state.
+  static Result<std::unique_ptr<KeywordSearchEngine>> Open(
+      const std::string& path, Options options);
+  static Result<std::unique_ptr<KeywordSearchEngine>> Open(
+      const std::string& path) {
+    return Open(path, Options());
+  }
 
   /// Computes the top-k conjunctive queries for a keyword query. `k`
   /// overrides options.exploration.k. Queries are sorted by ascending cost
@@ -204,6 +237,11 @@ class KeywordSearchEngine {
       const std::vector<std::vector<keyword::KeywordMatch>>& matches,
       bool* cache_hit) const;
 
+  /// Warm-start state: the snapshot mapping plus the loaded dictionary and
+  /// store the engine's borrowed spans point into. Null for cold-built
+  /// engines. Declared first so it is destroyed last — every other member
+  /// may hold views into the mapping.
+  std::unique_ptr<snapshot::LoadedEngineParts> loaded_;
   const rdf::TripleStore* store_;
   const rdf::Dictionary* dictionary_;
   Options options_;

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_storage.h"
+
 namespace grasp::graph {
 
 /// One bucketed id list in compressed-sparse-row form: `offsets_` partitions
@@ -14,6 +16,10 @@ namespace grasp::graph {
 /// system (data-graph out/in edges, entity->class lists, summary incidence) —
 /// it replaces the three divergent copies that used to live in
 /// rdf::DataGraph, summary::SummaryGraph and summary::AugmentedGraph.
+///
+/// Both arrays live in FlatStorage, so a CsrArray can either own its data
+/// (built in memory) or borrow it zero-copy from an mmap-ed index snapshot
+/// (FromParts).
 class CsrArray {
  public:
   CsrArray() = default;
@@ -27,17 +33,34 @@ class CsrArray {
   ///   });
   template <typename EmitFn>
   static CsrArray Build(std::uint32_t num_buckets, EmitFn&& emit) {
-    CsrArray a;
-    a.offsets_.assign(static_cast<std::size_t>(num_buckets) + 1, 0);
-    emit([&a](std::uint32_t bucket, std::uint32_t) { ++a.offsets_[bucket + 1]; });
-    for (std::uint32_t b = 0; b < num_buckets; ++b) {
-      a.offsets_[b + 1] += a.offsets_[b];
-    }
-    a.values_.resize(a.offsets_[num_buckets]);
-    std::vector<std::uint32_t> fill(a.offsets_.begin(), a.offsets_.end() - 1);
-    emit([&a, &fill](std::uint32_t bucket, std::uint32_t value) {
-      a.values_[fill[bucket]++] = value;
+    std::vector<std::uint32_t> offsets(
+        static_cast<std::size_t>(num_buckets) + 1, 0);
+    emit([&offsets](std::uint32_t bucket, std::uint32_t) {
+      ++offsets[bucket + 1];
     });
+    for (std::uint32_t b = 0; b < num_buckets; ++b) {
+      offsets[b + 1] += offsets[b];
+    }
+    std::vector<std::uint32_t> values(offsets[num_buckets]);
+    std::vector<std::uint32_t> fill(offsets.begin(), offsets.end() - 1);
+    emit([&values, &fill](std::uint32_t bucket, std::uint32_t value) {
+      values[fill[bucket]++] = value;
+    });
+    CsrArray a;
+    a.offsets_ = FlatStorage<std::uint32_t>(std::move(offsets));
+    a.values_ = FlatStorage<std::uint32_t>(std::move(values));
+    return a;
+  }
+
+  /// Adopts prebuilt arrays (owned or borrowed from a snapshot mapping).
+  /// The caller is responsible for structural validity: offsets must be
+  /// monotone with offsets.back() == values.size() (the snapshot loader
+  /// verifies this before constructing).
+  static CsrArray FromParts(FlatStorage<std::uint32_t> offsets,
+                            FlatStorage<std::uint32_t> values) {
+    CsrArray a;
+    a.offsets_ = std::move(offsets);
+    a.values_ = std::move(values);
     return a;
   }
 
@@ -52,13 +75,19 @@ class CsrArray {
   }
   std::size_t num_values() const { return values_.size(); }
 
+  /// The raw arrays, for snapshot serialization.
+  std::span<const std::uint32_t> offsets() const { return offsets_.view(); }
+  std::span<const std::uint32_t> values() const { return values_.view(); }
+
+  /// Heap bytes owned by this array; borrowed (mmap-backed) storage counts
+  /// zero here and is reported as mapped-snapshot bytes instead.
   std::size_t MemoryUsageBytes() const {
-    return (offsets_.capacity() + values_.capacity()) * sizeof(std::uint32_t);
+    return offsets_.OwnedBytes() + values_.OwnedBytes();
   }
 
  private:
-  std::vector<std::uint32_t> offsets_;
-  std::vector<std::uint32_t> values_;
+  FlatStorage<std::uint32_t> offsets_;
+  FlatStorage<std::uint32_t> values_;
 };
 
 }  // namespace grasp::graph

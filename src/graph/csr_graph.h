@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_storage.h"
 #include "graph/csr.h"
 
 namespace grasp::graph {
@@ -30,6 +31,9 @@ enum AdjacencyMask : unsigned {
 /// Every storage layer of the system backs its topology with this one
 /// template (rdf::DataGraph, summary::SummaryGraph); per-query extensions
 /// layer an OverlayGraph on top instead of copying (summary::AugmentedGraph).
+/// All arrays live in FlatStorage, so a whole graph can be adopted zero-copy
+/// from an mmap-ed index snapshot (FromParts) — a warm engine's topology is
+/// the file mapping itself.
 template <typename NodeT, typename EdgeT>
 class CsrGraph {
  public:
@@ -38,8 +42,8 @@ class CsrGraph {
   static CsrGraph Build(std::vector<NodeT> nodes, std::vector<EdgeT> edges,
                         unsigned adjacency) {
     CsrGraph g;
-    g.nodes_ = std::move(nodes);
-    g.edges_ = std::move(edges);
+    g.nodes_ = FlatStorage<NodeT>(std::move(nodes));
+    g.edges_ = FlatStorage<EdgeT>(std::move(edges));
     const std::uint32_t n = static_cast<std::uint32_t>(g.nodes_.size());
     if (adjacency & kOutAdjacency) {
       g.out_ = CsrArray::Build(n, [&g](auto&& sink) {
@@ -68,13 +72,29 @@ class CsrGraph {
     return g;
   }
 
+  /// Adopts prebuilt node/edge records and adjacency arrays (owned or
+  /// borrowed from a snapshot mapping). Adjacency kinds that were not built
+  /// at save time stay empty, exactly as after Build with the same mask.
+  /// The snapshot loader validates structural invariants (id bounds, CSR
+  /// offset monotonicity) before calling this.
+  static CsrGraph FromParts(FlatStorage<NodeT> nodes, FlatStorage<EdgeT> edges,
+                            CsrArray out, CsrArray in, CsrArray incident) {
+    CsrGraph g;
+    g.nodes_ = std::move(nodes);
+    g.edges_ = std::move(edges);
+    g.out_ = std::move(out);
+    g.in_ = std::move(in);
+    g.incident_ = std::move(incident);
+    return g;
+  }
+
   std::size_t NumNodes() const { return nodes_.size(); }
   std::size_t NumEdges() const { return edges_.size(); }
 
   const NodeT& node(std::uint32_t id) const { return nodes_[id]; }
   const EdgeT& edge(std::uint32_t id) const { return edges_[id]; }
-  const std::vector<NodeT>& nodes() const { return nodes_; }
-  const std::vector<EdgeT>& edges() const { return edges_; }
+  std::span<const NodeT> nodes() const { return nodes_.view(); }
+  std::span<const EdgeT> edges() const { return edges_.view(); }
 
   /// Edge ids leaving / entering / touching a node. Valid only for the
   /// adjacency kinds requested at Build time (empty otherwise).
@@ -88,15 +108,21 @@ class CsrGraph {
     return incident_[node];
   }
 
+  /// The raw adjacency arrays, for snapshot serialization.
+  const CsrArray& out_csr() const { return out_; }
+  const CsrArray& in_csr() const { return in_; }
+  const CsrArray& incident_csr() const { return incident_; }
+
+  /// Heap bytes owned by this graph; mmap-backed storage counts zero here
+  /// (see IndexStats::mapped_snapshot_bytes).
   std::size_t MemoryUsageBytes() const {
-    return nodes_.capacity() * sizeof(NodeT) +
-           edges_.capacity() * sizeof(EdgeT) + out_.MemoryUsageBytes() +
+    return nodes_.OwnedBytes() + edges_.OwnedBytes() + out_.MemoryUsageBytes() +
            in_.MemoryUsageBytes() + incident_.MemoryUsageBytes();
   }
 
  private:
-  std::vector<NodeT> nodes_;
-  std::vector<EdgeT> edges_;
+  FlatStorage<NodeT> nodes_;
+  FlatStorage<EdgeT> edges_;
   CsrArray out_, in_, incident_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "common/logging.h"
 #include "rdf/term.h"
@@ -67,69 +68,119 @@ KeywordIndex KeywordIndex::Build(const rdf::DataGraph& graph,
     }
   }
 
-  auto add = [&ki](std::string_view label, Element element) {
+  // The flat element/context tables, built in document-id order.
+  std::vector<ElementRecord> elements;
+  std::vector<ContextRecord> contexts;
+  std::vector<TermId> ctx_classes;
+  std::vector<std::uint64_t> ctx_counts;
+  std::vector<NumericValueRecord> numerics;
+
+  auto add = [&](std::string_view label, KeywordMatch::Kind kind,
+                 TermId term) {
     const auto doc = ki.index_.AddDocument(label);
-    GRASP_CHECK_EQ(static_cast<std::size_t>(doc), ki.elements_.size());
-    ki.elements_.push_back(std::move(element));
+    GRASP_CHECK_EQ(static_cast<std::size_t>(doc), elements.size());
+    const std::uint32_t at = static_cast<std::uint32_t>(contexts.size());
+    elements.push_back(
+        ElementRecord{static_cast<std::uint32_t>(kind), term, at, at});
   };
+  auto append_context =
+      [&](TermId attribute,
+          const std::map<TermId, std::uint64_t>& class_counts) {
+        ContextRecord ctx{attribute,
+                          static_cast<std::uint32_t>(ctx_classes.size()), 0,
+                          0};
+        for (const auto& [cls, count] : class_counts) {
+          ctx_classes.push_back(cls);
+          ctx_counts.push_back(count);
+        }
+        ctx.entry_end = static_cast<std::uint32_t>(ctx_classes.size());
+        contexts.push_back(ctx);
+        elements.back().ctx_end = static_cast<std::uint32_t>(contexts.size());
+      };
 
   // C-vertices, indexed by the local name of their IRI.
   for (const rdf::Vertex& v : graph.vertices()) {
     if (v.kind != rdf::VertexKind::kClass) continue;
-    add(rdf::IriLocalName(dict.text(v.term)),
-        Element{KeywordMatch::Kind::kClass, v.term, {}});
+    add(rdf::IriLocalName(dict.text(v.term)), KeywordMatch::Kind::kClass,
+        v.term);
   }
 
   // R-edge labels.
   for (const auto& [label, unused] : relation_labels) {
     (void)unused;
     add(rdf::IriLocalName(dict.text(label)),
-        Element{KeywordMatch::Kind::kRelationLabel, label, {}});
+        KeywordMatch::Kind::kRelationLabel, label);
   }
-
-  auto make_context = [](TermId attribute,
-                         const std::map<TermId, std::uint64_t>& class_counts) {
-    AttrContext ctx;
-    ctx.attribute = attribute;
-    ctx.classes.reserve(class_counts.size());
-    ctx.counts.reserve(class_counts.size());
-    for (const auto& [cls, count] : class_counts) {
-      ctx.classes.push_back(cls);
-      ctx.counts.push_back(count);
-    }
-    return ctx;
-  };
 
   // A-edge labels, with the classes of their subjects attached
   // ([A-edge, (C-vertex_1..n)]).
   for (const auto& [label, class_counts] : attribute_classes) {
     add(rdf::IriLocalName(dict.text(label)),
-        Element{KeywordMatch::Kind::kAttributeLabel, label,
-                {make_context(label, class_counts)}});
+        KeywordMatch::Kind::kAttributeLabel, label);
+    append_context(label, class_counts);
   }
 
   // V-vertices, indexed by literal text, with their
   // [V-vertex, A-edge, (C-vertex_1..n)] contexts. Numeric values also enter
   // the sorted range index behind the filter-operator extension.
   for (const auto& [value_vertex, per_attr] : value_contexts) {
-    std::vector<AttrContext> contexts;
-    contexts.reserve(per_attr.size());
-    for (const auto& [attr, class_counts] : per_attr) {
-      contexts.push_back(make_context(attr, class_counts));
-    }
     const TermId value_term = graph.vertex(value_vertex).term;
     const std::uint32_t element_index =
-        static_cast<std::uint32_t>(ki.elements_.size());
-    add(dict.text(value_term), Element{KeywordMatch::Kind::kValue, value_term,
-                                       std::move(contexts)});
+        static_cast<std::uint32_t>(elements.size());
+    add(dict.text(value_term), KeywordMatch::Kind::kValue, value_term);
+    for (const auto& [attr, class_counts] : per_attr) {
+      append_context(attr, class_counts);
+    }
     if (const auto numeric = ParseNumericLiteral(dict.text(value_term))) {
-      ki.numeric_values_.emplace_back(*numeric, element_index);
+      numerics.push_back(NumericValueRecord{*numeric, element_index, 0});
     }
   }
-  std::sort(ki.numeric_values_.begin(), ki.numeric_values_.end());
+  std::sort(numerics.begin(), numerics.end(),
+            [](const NumericValueRecord& a, const NumericValueRecord& b) {
+              if (a.value != b.value) return a.value < b.value;
+              return a.element < b.element;
+            });
 
+  ki.elements_ = FlatStorage<ElementRecord>(std::move(elements));
+  ki.contexts_ = FlatStorage<ContextRecord>(std::move(contexts));
+  ki.context_classes_ = FlatStorage<TermId>(std::move(ctx_classes));
+  ki.context_counts_ = FlatStorage<std::uint64_t>(std::move(ctx_counts));
+  ki.numeric_values_ = FlatStorage<NumericValueRecord>(std::move(numerics));
   ki.index_.Finalize();
   return ki;
+}
+
+KeywordIndex KeywordIndex::FromSnapshotParts(
+    text::InvertedIndex index, FlatStorage<ElementRecord> elements,
+    FlatStorage<ContextRecord> contexts, FlatStorage<TermId> context_classes,
+    FlatStorage<std::uint64_t> context_counts,
+    FlatStorage<NumericValueRecord> numeric_values) {
+  GRASP_CHECK_EQ(index.num_documents(), elements.size());
+  KeywordIndex ki;
+  ki.index_ = std::move(index);
+  ki.elements_ = std::move(elements);
+  ki.contexts_ = std::move(contexts);
+  ki.context_classes_ = std::move(context_classes);
+  ki.context_counts_ = std::move(context_counts);
+  ki.numeric_values_ = std::move(numeric_values);
+  return ki;
+}
+
+std::vector<AttrContext> KeywordIndex::ContextsOf(
+    const ElementRecord& element) const {
+  std::vector<AttrContext> result;
+  result.reserve(element.ctx_end - element.ctx_begin);
+  for (std::uint32_t c = element.ctx_begin; c < element.ctx_end; ++c) {
+    const ContextRecord& rec = contexts_[c];
+    AttrContext ctx;
+    ctx.attribute = rec.attribute;
+    ctx.classes.assign(context_classes_.begin() + rec.entry_begin,
+                       context_classes_.begin() + rec.entry_end);
+    ctx.counts.assign(context_counts_.begin() + rec.entry_begin,
+                      context_counts_.begin() + rec.entry_end);
+    result.push_back(std::move(ctx));
+  }
+  return result;
 }
 
 std::optional<KeywordMatch> KeywordIndex::LookupFilter(
@@ -138,15 +189,15 @@ std::optional<KeywordMatch> KeywordIndex::LookupFilter(
   // (attribute, class) pair.
   std::map<TermId, std::map<TermId, std::uint64_t>> merged;
   bool any = false;
-  for (const auto& [value, element_index] : numeric_values_) {
-    if (!EvalFilterOp(filter.op, value, filter.value)) continue;
+  for (const NumericValueRecord& numeric : numeric_values_) {
+    if (!EvalFilterOp(filter.op, numeric.value, filter.value)) continue;
     any = true;
-    const Element& element = elements_[element_index];
-    for (const AttrContext& ctx : element.contexts) {
-      auto& class_counts = merged[ctx.attribute];
-      for (std::size_t i = 0; i < ctx.classes.size(); ++i) {
-        class_counts[ctx.classes[i]] +=
-            i < ctx.counts.size() ? ctx.counts[i] : 1;
+    const ElementRecord& element = elements_[numeric.element];
+    for (std::uint32_t c = element.ctx_begin; c < element.ctx_end; ++c) {
+      const ContextRecord& rec = contexts_[c];
+      auto& class_counts = merged[rec.attribute];
+      for (std::uint32_t i = rec.entry_begin; i < rec.entry_end; ++i) {
+        class_counts[context_classes_[i]] += context_counts_[i];
       }
     }
   }
@@ -175,26 +226,21 @@ std::vector<KeywordMatch> KeywordIndex::Lookup(
     const text::InvertedIndex::SearchOptions& options) const {
   std::vector<KeywordMatch> matches;
   for (const text::InvertedIndex::Hit& hit : index_.Search(keyword, options)) {
-    const Element& element = elements_[hit.doc];
+    const ElementRecord& element = elements_[hit.doc];
     KeywordMatch match;
-    match.kind = element.kind;
+    match.kind = static_cast<KeywordMatch::Kind>(element.kind);
     match.term = element.term;
     match.score = hit.score;
-    match.contexts = element.contexts;
+    match.contexts = ContextsOf(element);
     matches.push_back(std::move(match));
   }
   return matches;
 }
 
 std::size_t KeywordIndex::MemoryUsageBytes() const {
-  std::size_t bytes = index_.MemoryUsageBytes();
-  for (const Element& e : elements_) {
-    bytes += sizeof(Element);
-    for (const AttrContext& ctx : e.contexts) {
-      bytes += sizeof(AttrContext) + ctx.classes.capacity() * sizeof(TermId);
-    }
-  }
-  return bytes;
+  return index_.MemoryUsageBytes() + elements_.OwnedBytes() +
+         contexts_.OwnedBytes() + context_classes_.OwnedBytes() +
+         context_counts_.OwnedBytes() + numeric_values_.OwnedBytes();
 }
 
 }  // namespace grasp::keyword

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/filter_op.h"
+#include "common/flat_storage.h"
 #include "rdf/data_graph.h"
 #include "text/inverted_index.h"
 
@@ -58,11 +60,55 @@ struct KeywordMatch {
 /// The keyword index of Sec. IV-A: an IR engine over the labels of
 /// C-vertices, V-vertices and edge labels (E-vertices are deliberately not
 /// indexed — users refer to entities via attribute values, not URIs).
+///
+/// The element/context tables are flat POD arrays (CSR-style ranges instead
+/// of nested vectors), so the whole index can be serialized as-is into an
+/// index snapshot and mapped back zero-copy on warm start. These records
+/// are part of the snapshot format — never reorder their fields.
 class KeywordIndex {
  public:
+  /// One indexed element, parallel to InvertedIndex document ids;
+  /// [ctx_begin, ctx_end) indexes the context table.
+  struct ElementRecord {
+    std::uint32_t kind;  ///< KeywordMatch::Kind
+    rdf::TermId term;
+    std::uint32_t ctx_begin;
+    std::uint32_t ctx_end;
+  };
+  static_assert(sizeof(ElementRecord) == 16);
+
+  /// One attribute context; [entry_begin, entry_end) indexes the parallel
+  /// class/count arrays.
+  struct ContextRecord {
+    rdf::TermId attribute;
+    std::uint32_t entry_begin;
+    std::uint32_t entry_end;
+    std::uint32_t pad;
+  };
+  static_assert(sizeof(ContextRecord) == 16);
+
+  /// One numeric V-vertex value, sorted by (value, element): the range-scan
+  /// table behind the filter-operator extension.
+  struct NumericValueRecord {
+    double value;
+    std::uint32_t element;
+    std::uint32_t pad;
+  };
+  static_assert(sizeof(NumericValueRecord) == 16);
+
   /// Builds the index over a data graph. The graph must outlive the index.
   static KeywordIndex Build(const rdf::DataGraph& graph,
                             text::AnalyzerOptions analyzer_options = {});
+
+  /// Rebuilds an index from snapshot parts (the flat tables are typically
+  /// borrowed straight from the mapping; see InvertedIndex
+  /// ::FromSnapshotParts for the IR-engine half).
+  static KeywordIndex FromSnapshotParts(
+      text::InvertedIndex index, FlatStorage<ElementRecord> elements,
+      FlatStorage<ContextRecord> contexts,
+      FlatStorage<rdf::TermId> context_classes,
+      FlatStorage<std::uint64_t> context_counts,
+      FlatStorage<NumericValueRecord> numeric_values);
 
   KeywordIndex(const KeywordIndex&) = delete;
   KeywordIndex& operator=(const KeywordIndex&) = delete;
@@ -84,24 +130,38 @@ class KeywordIndex {
   std::size_t num_elements() const { return elements_.size(); }
   std::size_t vocabulary_size() const { return index_.vocabulary_size(); }
 
-  /// Approximate heap footprint in bytes (Fig. 6b keyword-index size).
+  /// Raw index contents, for snapshot serialization.
+  const text::InvertedIndex& inverted_index() const { return index_; }
+  std::span<const ElementRecord> elements() const { return elements_.view(); }
+  std::span<const ContextRecord> contexts() const { return contexts_.view(); }
+  std::span<const rdf::TermId> context_classes() const {
+    return context_classes_.view();
+  }
+  std::span<const std::uint64_t> context_counts() const {
+    return context_counts_.view();
+  }
+  std::span<const NumericValueRecord> numeric_values() const {
+    return numeric_values_.view();
+  }
+
+  /// Approximate owned heap footprint in bytes (Fig. 6b keyword-index
+  /// size); mmap-backed snapshot storage counts zero here.
   std::size_t MemoryUsageBytes() const;
 
  private:
   KeywordIndex() : index_(text::AnalyzerOptions{}) {}
 
-  /// Indexed element: parallel to InvertedIndex document ids.
-  struct Element {
-    KeywordMatch::Kind kind;
-    rdf::TermId term;
-    std::vector<AttrContext> contexts;
-  };
+  /// Materializes the AttrContext list of one element from the flat tables
+  /// (the per-match copy Lookup always made; the flat layout just changes
+  /// where the data is copied from).
+  std::vector<AttrContext> ContextsOf(const ElementRecord& element) const;
 
   text::InvertedIndex index_;
-  std::vector<Element> elements_;
-  /// (numeric value, kValue element index), sorted by value; the range scan
-  /// behind LookupFilter.
-  std::vector<std::pair<double, std::uint32_t>> numeric_values_;
+  FlatStorage<ElementRecord> elements_;
+  FlatStorage<ContextRecord> contexts_;
+  FlatStorage<rdf::TermId> context_classes_;
+  FlatStorage<std::uint64_t> context_counts_;
+  FlatStorage<NumericValueRecord> numeric_values_;
 };
 
 }  // namespace grasp::keyword

@@ -16,14 +16,14 @@ std::string RenderTermSparql(const QueryTerm& t,
   if (dictionary.kind(t.term) == rdf::TermKind::kLiteral) {
     return "\"" + rdf::EscapeLiteral(dictionary.text(t.term)) + "\"";
   }
-  return "<" + dictionary.text(t.term) + ">";
+  return "<" + std::string(dictionary.text(t.term)) + ">";
 }
 
 std::string RenderTermShort(const QueryTerm& t,
                             const rdf::Dictionary& dictionary) {
   if (t.is_variable) return StrFormat("?x%u", t.var);
   if (dictionary.kind(t.term) == rdf::TermKind::kLiteral) {
-    return "'" + dictionary.text(t.term) + "'";
+    return "'" + std::string(dictionary.text(t.term)) + "'";
   }
   return std::string(rdf::IriLocalName(dictionary.text(t.term)));
 }
@@ -80,7 +80,7 @@ std::string ConjunctiveQuery::ToSparql(
   out += " WHERE {\n";
   for (const Atom& a : atoms_) {
     out += "  " + RenderTermSparql(a.subject, dictionary) + " <" +
-           dictionary.text(a.predicate) + "> " +
+           std::string(dictionary.text(a.predicate)) + "> " +
            RenderTermSparql(a.object, dictionary) + " .\n";
   }
   for (const FilterCondition& f : filters_) {

@@ -28,12 +28,15 @@ DataGraph DataGraph::Build(const TripleStore& store,
     }
   }
 
-  // Pass 2: create vertices and edges.
+  // Pass 2: create vertices and edges. The term->vertex table is a dense
+  // direct-address array (term ids are contiguous), doubling as the
+  // snapshot-mappable lookup structure.
   std::vector<Vertex> vertices;
   std::vector<Edge> edges;
+  std::vector<VertexId> vertex_of_term(dictionary.size(), kInvalidVertexId);
   auto vertex_for = [&](TermId term) -> VertexId {
-    auto it = g.vertex_of_term_.find(term);
-    if (it != g.vertex_of_term_.end()) return it->second;
+    VertexId& slot = vertex_of_term[term];
+    if (slot != kInvalidVertexId) return slot;
     VertexKind kind;
     if (dictionary.kind(term) == TermKind::kLiteral) {
       kind = VertexKind::kValue;
@@ -45,10 +48,9 @@ DataGraph DataGraph::Build(const TripleStore& store,
       kind = VertexKind::kEntity;
       ++g.num_entities_;
     }
-    const VertexId id = static_cast<VertexId>(vertices.size());
+    slot = static_cast<VertexId>(vertices.size());
     vertices.push_back(Vertex{term, kind});
-    g.vertex_of_term_.emplace(term, id);
-    return id;
+    return slot;
   };
 
   for (const Triple& t : store.triples()) {
@@ -69,6 +71,7 @@ DataGraph DataGraph::Build(const TripleStore& store,
   }
 
   const std::uint32_t num_vertices = static_cast<std::uint32_t>(vertices.size());
+  g.vertex_of_term_ = FlatStorage<VertexId>(std::move(vertex_of_term));
   g.csr_ = graph::CsrGraph<Vertex, Edge>::Build(
       std::move(vertices), std::move(edges),
       graph::kOutAdjacency | graph::kInAdjacency);
@@ -81,15 +84,26 @@ DataGraph DataGraph::Build(const TripleStore& store,
   return g;
 }
 
-VertexId DataGraph::VertexOf(TermId term) const {
-  auto it = vertex_of_term_.find(term);
-  return it == vertex_of_term_.end() ? kInvalidVertexId : it->second;
+DataGraph DataGraph::FromSnapshotParts(const Dictionary& dictionary,
+                                       graph::CsrGraph<Vertex, Edge> csr,
+                                       graph::CsrArray classes,
+                                       FlatStorage<VertexId> vertex_of_term,
+                                       const SnapshotScalars& scalars) {
+  DataGraph g(dictionary);
+  g.csr_ = std::move(csr);
+  g.classes_ = std::move(classes);
+  g.vertex_of_term_ = std::move(vertex_of_term);
+  g.num_entities_ = scalars.num_entities;
+  g.num_classes_ = scalars.num_classes;
+  g.num_values_ = scalars.num_values;
+  g.type_term_ = scalars.type_term;
+  g.subclass_term_ = scalars.subclass_term;
+  return g;
 }
 
 std::size_t DataGraph::MemoryUsageBytes() const {
   return csr_.MemoryUsageBytes() + classes_.MemoryUsageBytes() +
-         vertex_of_term_.size() *
-             (sizeof(TermId) + sizeof(VertexId) + 2 * sizeof(void*));
+         vertex_of_term_.OwnedBytes();
 }
 
 }  // namespace grasp::rdf

@@ -4,9 +4,10 @@
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "common/flat_storage.h"
 #include "graph/csr.h"
 #include "graph/csr_graph.h"
 #include "rdf/dictionary.h"
@@ -71,13 +72,42 @@ class DataGraph {
   static DataGraph Build(const TripleStore& store, const Dictionary& dictionary,
                          const Vocabulary& vocabulary = Vocabulary());
 
+  /// Counts of the vertex partition, serialized alongside the topology in
+  /// index snapshots (recomputing them would need a full vertex sweep).
+  struct SnapshotScalars {
+    std::size_t num_entities = 0;
+    std::size_t num_classes = 0;
+    std::size_t num_values = 0;
+    TermId type_term = kInvalidTermId;
+    TermId subclass_term = kInvalidTermId;
+  };
+
+  /// Adopts a prebuilt topology from an index snapshot: the CSR core, the
+  /// entity->class array and the term->vertex table all point (zero-copy)
+  /// into the mapping — nothing is rebuilt. Produces a graph
+  /// indistinguishable from Build() on the same data.
+  static DataGraph FromSnapshotParts(const Dictionary& dictionary,
+                                     graph::CsrGraph<Vertex, Edge> csr,
+                                     graph::CsrArray classes,
+                                     FlatStorage<VertexId> vertex_of_term,
+                                     const SnapshotScalars& scalars);
+
+  /// The scalar fields an index snapshot must persist.
+  SnapshotScalars snapshot_scalars() const {
+    return SnapshotScalars{num_entities_, num_classes_, num_values_,
+                           type_term_, subclass_term_};
+  }
+
+  /// Entity -> class-vertex CSR array, for snapshot serialization.
+  const graph::CsrArray& classes_csr() const { return classes_; }
+
   DataGraph(const DataGraph&) = delete;
   DataGraph& operator=(const DataGraph&) = delete;
   DataGraph(DataGraph&&) = default;
   DataGraph& operator=(DataGraph&&) = default;
 
-  const std::vector<Vertex>& vertices() const { return csr_.nodes(); }
-  const std::vector<Edge>& edges() const { return csr_.edges(); }
+  std::span<const Vertex> vertices() const { return csr_.nodes(); }
+  std::span<const Edge> edges() const { return csr_.edges(); }
   const Dictionary& dictionary() const { return *dictionary_; }
 
   const Vertex& vertex(VertexId v) const { return csr_.node(v); }
@@ -87,8 +117,18 @@ class DataGraph {
   const graph::CsrGraph<Vertex, Edge>& csr() const { return csr_; }
 
   /// Vertex for a term, or kInvalidVertexId if the term does not occur as a
-  /// subject or object.
-  VertexId VertexOf(TermId term) const;
+  /// subject or object. O(1): term ids are dense, so the table is a direct-
+  /// address array (which also makes it snapshot-mappable as-is).
+  VertexId VertexOf(TermId term) const {
+    return term < vertex_of_term_.size() ? vertex_of_term_[term]
+                                         : kInvalidVertexId;
+  }
+
+  /// The term->vertex table, for snapshot serialization (one entry per
+  /// dictionary term; kInvalidVertexId for terms without a vertex).
+  std::span<const VertexId> vertex_of_term() const {
+    return vertex_of_term_.view();
+  }
 
   /// Edges leaving / entering a vertex.
   std::span<const EdgeId> OutEdges(VertexId v) const { return csr_.OutEdges(v); }
@@ -99,10 +139,10 @@ class DataGraph {
   std::span<const VertexId> ClassesOf(VertexId v) const { return classes_[v]; }
 
   /// Label text helpers.
-  const std::string& VertexText(VertexId v) const {
+  std::string_view VertexText(VertexId v) const {
     return dictionary_->text(csr_.node(v).term);
   }
-  const std::string& EdgeLabelText(EdgeId e) const {
+  std::string_view EdgeLabelText(EdgeId e) const {
     return dictionary_->text(csr_.edge(e).label);
   }
 
@@ -126,7 +166,8 @@ class DataGraph {
   const Dictionary* dictionary_;
   /// Shared immutable topology core: vertex/edge records + out/in CSR.
   graph::CsrGraph<Vertex, Edge> csr_;
-  std::unordered_map<TermId, VertexId> vertex_of_term_;
+  /// Dense term -> vertex table (see VertexOf).
+  FlatStorage<VertexId> vertex_of_term_;
   /// Entity -> class vertices (targets of `type` edges).
   graph::CsrArray classes_;
 

@@ -1,31 +1,64 @@
 #include "rdf/dictionary.h"
 
+#include <utility>
+
 #include "common/logging.h"
 
 namespace grasp::rdf {
 
+Dictionary Dictionary::FromSnapshotParts(FlatStorage<std::uint8_t> kinds,
+                                         FlatStorage<std::uint64_t> offsets,
+                                         FlatStorage<char> text) {
+  Dictionary d;
+  d.borrowed_ = true;
+  d.bor_kinds_ = std::move(kinds);
+  d.bor_offsets_ = std::move(offsets);
+  d.bor_text_ = std::move(text);
+  return d;
+}
+
 TermId Dictionary::Intern(TermKind kind, std::string_view text) {
+  GRASP_CHECK(!borrowed_) << "Intern into a snapshot-backed dictionary";
   Key key{kind, std::string(text)};
-  auto it = ids_.find(key);
-  if (it != ids_.end()) return it->second;
-  GRASP_CHECK_LT(terms_.size(), static_cast<std::size_t>(kInvalidTermId));
-  const TermId id = static_cast<TermId>(terms_.size());
-  terms_.push_back(Term{kind, key.text});
-  ids_.emplace(std::move(key), id);
+  auto it = ids_->map.find(key);
+  if (it != ids_->map.end()) return it->second;
+  // Keep both sentinels (kInvalidTermId and the Thing pseudo-term right
+  // below it) unreachable as real ids.
+  GRASP_CHECK_LT(own_kinds_.size(),
+                 static_cast<std::size_t>(kInvalidTermId) - 1);
+  const TermId id = static_cast<TermId>(own_kinds_.size());
+  own_kinds_.push_back(static_cast<std::uint8_t>(kind));
+  own_text_.insert(own_text_.end(), text.begin(), text.end());
+  own_offsets_.push_back(own_text_.size());
+  ids_->map.emplace(std::move(key), id);
   return id;
 }
 
+void Dictionary::BuildIdsFromStorage() const {
+  ids_->map.reserve(size());
+  for (TermId id = 0; id < size(); ++id) {
+    ids_->map.emplace(Key{kind(id), std::string(text(id))}, id);
+  }
+}
+
 TermId Dictionary::Find(TermKind kind, std::string_view text) const {
-  auto it = ids_.find(Key{kind, std::string(text)});
-  return it == ids_.end() ? kInvalidTermId : it->second;
+  // Interning maintains the map eagerly (it needs it for deduplication); a
+  // snapshot-backed dictionary materializes it here, once, on the first
+  // lookup-by-text — warm start itself never pays for it.
+  std::call_once(ids_->once, [this] {
+    if (borrowed_) BuildIdsFromStorage();
+  });
+  auto it = ids_->map.find(Key{kind, std::string(text)});
+  return it == ids_->map.end() ? kInvalidTermId : it->second;
 }
 
 std::size_t Dictionary::MemoryUsageBytes() const {
-  std::size_t bytes = terms_.capacity() * sizeof(Term);
-  for (const Term& t : terms_) bytes += t.text.capacity();
-  // Each map entry stores the key string again plus bucket overhead.
-  bytes += ids_.size() * (sizeof(Key) + sizeof(TermId) + 2 * sizeof(void*));
-  for (const auto& [key, id] : ids_) bytes += key.text.capacity();
+  std::size_t bytes = own_kinds_.capacity() +
+                      own_offsets_.capacity() * sizeof(std::uint64_t) +
+                      own_text_.capacity();
+  // Each map entry stores the key string plus bucket overhead.
+  bytes += ids_->map.size() * (sizeof(Key) + sizeof(TermId) + 2 * sizeof(void*));
+  for (const auto& [key, id] : ids_->map) bytes += key.text.capacity();
   return bytes;
 }
 

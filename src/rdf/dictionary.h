@@ -2,11 +2,16 @@
 #define GRASP_RDF_DICTIONARY_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_storage.h"
 #include "rdf/term.h"
 
 namespace grasp::rdf {
@@ -14,16 +19,30 @@ namespace grasp::rdf {
 /// Bidirectional string interner for RDF terms. Every distinct (kind, text)
 /// pair receives one dense TermId; lookups in both directions are O(1).
 /// Not thread-safe for concurrent mutation (index builds are single-threaded).
+///
+/// Term text lives in one arena blob delimited by an offsets array, so a
+/// dictionary can either own its storage (built by Intern) or borrow it
+/// zero-copy from an mmap-ed index snapshot. In the borrowed case the
+/// text->id hash is built lazily on the first Find() — warm engine start
+/// pays nothing for terms it only ever reads by id.
 class Dictionary {
  public:
-  Dictionary() = default;
+  Dictionary() : ids_(std::make_unique<LazyIds>()) {}
 
   Dictionary(const Dictionary&) = delete;
   Dictionary& operator=(const Dictionary&) = delete;
   Dictionary(Dictionary&&) = default;
   Dictionary& operator=(Dictionary&&) = default;
 
-  /// Interns a term, returning its id (existing or freshly assigned).
+  /// Adopts snapshot storage: per-term kinds, the n+1 offsets delimiting
+  /// the text blob, and the blob itself (all typically borrowed from the
+  /// mapping). The loader validates offsets/kinds before calling this.
+  static Dictionary FromSnapshotParts(FlatStorage<std::uint8_t> kinds,
+                                      FlatStorage<std::uint64_t> offsets,
+                                      FlatStorage<char> text);
+
+  /// Interns a term, returning its id (existing or freshly assigned). Must
+  /// not be called on a snapshot-backed dictionary.
   TermId Intern(TermKind kind, std::string_view text);
   TermId InternIri(std::string_view iri) { return Intern(TermKind::kIri, iri); }
   TermId InternLiteral(std::string_view value) {
@@ -31,17 +50,44 @@ class Dictionary {
   }
 
   /// Returns the id of an already-interned term, or kInvalidTermId.
+  /// Thread-safe (the lazy reverse map builds under a once-flag).
   TermId Find(TermKind kind, std::string_view text) const;
 
-  /// Term for an id. `id` must be valid.
-  const Term& term(TermId id) const { return terms_[id]; }
-  TermKind kind(TermId id) const { return terms_[id].kind; }
-  const std::string& text(TermId id) const { return terms_[id].text; }
+  /// Kind / text for an id. `id` must be valid. The view stays valid for
+  /// the dictionary's lifetime.
+  TermKind kind(TermId id) const {
+    return static_cast<TermKind>(borrowed_ ? bor_kinds_[id] : own_kinds_[id]);
+  }
+  std::string_view text(TermId id) const {
+    if (borrowed_) {
+      return {bor_text_.data() + bor_offsets_[id],
+              static_cast<std::size_t>(bor_offsets_[id + 1] -
+                                       bor_offsets_[id])};
+    }
+    return {own_text_.data() + own_offsets_[id],
+            static_cast<std::size_t>(own_offsets_[id + 1] - own_offsets_[id])};
+  }
 
-  std::size_t size() const { return terms_.size(); }
+  std::size_t size() const {
+    return borrowed_ ? bor_kinds_.size() : own_kinds_.size();
+  }
 
-  /// Approximate heap footprint in bytes (term text + hash buckets); used by
-  /// the Fig. 6b index-size report.
+  /// Raw storage, for snapshot serialization.
+  std::span<const std::uint8_t> kinds_span() const {
+    return borrowed_ ? bor_kinds_.view()
+                     : std::span<const std::uint8_t>(own_kinds_);
+  }
+  std::span<const std::uint64_t> offsets_span() const {
+    return borrowed_ ? bor_offsets_.view()
+                     : std::span<const std::uint64_t>(own_offsets_);
+  }
+  std::span<const char> text_span() const {
+    return borrowed_ ? bor_text_.view() : std::span<const char>(own_text_);
+  }
+
+  /// Approximate owned heap footprint in bytes (term text + hash buckets);
+  /// used by the Fig. 6b index-size report. Borrowed snapshot storage
+  /// counts zero here.
   std::size_t MemoryUsageBytes() const;
 
  private:
@@ -58,9 +104,28 @@ class Dictionary {
              static_cast<std::size_t>(k.kind);
     }
   };
+  /// The reverse map, heap-pinned so the dictionary stays movable despite
+  /// the once-flag. Maintained eagerly while interning; built lazily from
+  /// the arena on the first Find() of a snapshot-backed dictionary.
+  struct LazyIds {
+    std::once_flag once;
+    std::unordered_map<Key, TermId, KeyHash> map;
+  };
 
-  std::vector<Term> terms_;
-  std::unordered_map<Key, TermId, KeyHash> ids_;
+  void BuildIdsFromStorage() const;
+
+  bool borrowed_ = false;
+  // Owned growable arena (build mode). own_offsets_ always has size()+1
+  // entries, starting at 0.
+  std::vector<std::uint8_t> own_kinds_;
+  std::vector<std::uint64_t> own_offsets_{0};
+  std::vector<char> own_text_;
+  // Borrowed snapshot arena.
+  FlatStorage<std::uint8_t> bor_kinds_;
+  FlatStorage<std::uint64_t> bor_offsets_;
+  FlatStorage<char> bor_text_;
+
+  std::unique_ptr<LazyIds> ids_;
 };
 
 }  // namespace grasp::rdf

@@ -247,7 +247,7 @@ std::string EscapeLiteral(std::string_view value) {
 void WriteNTriples(const TripleStore& store, const Dictionary& dictionary,
                    std::ostream* out) {
   auto write_resource = [&](TermId id) {
-    const std::string& text = dictionary.text(id);
+    const std::string_view text = dictionary.text(id);
     if (StartsWith(text, "_:")) {
       *out << text;
     } else {

@@ -47,11 +47,10 @@ Status WriteSnapshot(const TripleStore& store, const Dictionary& dictionary,
 
   WriteVarint(out, dictionary.size());
   for (TermId id = 0; id < dictionary.size(); ++id) {
-    const Term& term = dictionary.term(id);
-    out->put(static_cast<char>(term.kind));
-    WriteVarint(out, term.text.size());
-    out->write(term.text.data(),
-               static_cast<std::streamsize>(term.text.size()));
+    const std::string_view text = dictionary.text(id);
+    out->put(static_cast<char>(dictionary.kind(id)));
+    WriteVarint(out, text.size());
+    out->write(text.data(), static_cast<std::streamsize>(text.size()));
   }
 
   WriteVarint(out, store.size());

@@ -43,26 +43,26 @@ void TripleStore::Add(const Triple& triple) {
   GRASP_CHECK_NE(triple.subject, kInvalidTermId);
   GRASP_CHECK_NE(triple.predicate, kInvalidTermId);
   GRASP_CHECK_NE(triple.object, kInvalidTermId);
-  triples_.push_back(triple);
+  building_.push_back(triple);
 }
 
 void TripleStore::Finalize() {
   if (finalized_) return;
-  std::sort(triples_.begin(), triples_.end());
-  triples_.erase(std::unique(triples_.begin(), triples_.end()),
-                 triples_.end());
-  const std::size_t n = triples_.size();
+  std::vector<Triple> triples = std::move(building_);
+  building_.clear();
+  std::sort(triples.begin(), triples.end());
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+  const std::size_t n = triples.size();
   GRASP_CHECK_LE(n, static_cast<std::size_t>(UINT32_MAX));
-  pos_.resize(n);
-  osp_.resize(n);
+  std::vector<std::uint32_t> pos(n), osp(n);
   for (std::size_t i = 0; i < n; ++i) {
-    pos_[i] = static_cast<std::uint32_t>(i);
-    osp_[i] = static_cast<std::uint32_t>(i);
+    pos[i] = static_cast<std::uint32_t>(i);
+    osp[i] = static_cast<std::uint32_t>(i);
   }
-  auto by = [this](const std::array<int, 3>& order) {
-    return [this, order](std::uint32_t a, std::uint32_t b) {
-      const Triple& ta = triples_[a];
-      const Triple& tb = triples_[b];
+  auto by = [&triples](const std::array<int, 3>& order) {
+    return [&triples, order](std::uint32_t a, std::uint32_t b) {
+      const Triple& ta = triples[a];
+      const Triple& tb = triples[b];
       for (int which : order) {
         const TermId ca = Component(ta, which);
         const TermId cb = Component(tb, which);
@@ -71,8 +71,8 @@ void TripleStore::Finalize() {
       return false;
     };
   };
-  std::sort(pos_.begin(), pos_.end(), by(kPosOrder));
-  std::sort(osp_.begin(), osp_.end(), by(kOspOrder));
+  std::sort(pos.begin(), pos.end(), by(kPosOrder));
+  std::sort(osp.begin(), osp.end(), by(kOspOrder));
 
   // Per-predicate fan-out statistics for the evaluator's join planner. One
   // pass over the POS permutation groups triples by predicate (and, within
@@ -82,13 +82,13 @@ void TripleStore::Finalize() {
   std::size_t group_begin = 0;
   std::vector<TermId> subjects;
   while (group_begin < n) {
-    const TermId predicate = triples_[pos_[group_begin]].predicate;
+    const TermId predicate = triples[pos[group_begin]].predicate;
     std::size_t group_end = group_begin;
     std::size_t distinct_objects = 0;
     TermId prev_object = kInvalidTermId;
     subjects.clear();
-    while (group_end < n && triples_[pos_[group_end]].predicate == predicate) {
-      const Triple& t = triples_[pos_[group_end]];
+    while (group_end < n && triples[pos[group_end]].predicate == predicate) {
+      const Triple& t = triples[pos[group_end]];
       if (group_end == group_begin || t.object != prev_object) {
         ++distinct_objects;  // POS order groups equal objects together
         prev_object = t.object;
@@ -108,7 +108,26 @@ void TripleStore::Finalize() {
                                    1, distinct_objects))});
     group_begin = group_end;
   }
+  triples_ = FlatStorage<Triple>(std::move(triples));
+  pos_ = FlatStorage<std::uint32_t>(std::move(pos));
+  osp_ = FlatStorage<std::uint32_t>(std::move(osp));
   finalized_ = true;
+}
+
+TripleStore TripleStore::FromSnapshotParts(
+    FlatStorage<Triple> triples, FlatStorage<std::uint32_t> pos,
+    FlatStorage<std::uint32_t> osp,
+    std::vector<std::pair<TermId, PredicateStats>> predicate_stats) {
+  TripleStore store;
+  store.triples_ = std::move(triples);
+  store.pos_ = std::move(pos);
+  store.osp_ = std::move(osp);
+  store.predicate_stats_.reserve(predicate_stats.size());
+  for (auto& [predicate, stats] : predicate_stats) {
+    store.predicate_stats_.emplace(predicate, stats);
+  }
+  store.finalized_ = true;
+  return store;
 }
 
 double TripleStore::AvgTriplesPerSubject(TermId predicate) const {
@@ -230,9 +249,8 @@ std::size_t TripleStore::PredicateCardinality(TermId predicate) const {
 }
 
 std::size_t TripleStore::MemoryUsageBytes() const {
-  return triples_.capacity() * sizeof(Triple) +
-         pos_.capacity() * sizeof(std::uint32_t) +
-         osp_.capacity() * sizeof(std::uint32_t);
+  return building_.capacity() * sizeof(Triple) + triples_.OwnedBytes() +
+         pos_.OwnedBytes() + osp_.OwnedBytes();
 }
 
 }  // namespace grasp::rdf

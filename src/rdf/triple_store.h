@@ -4,9 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/flat_storage.h"
 #include "common/status.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple.h"
@@ -19,7 +22,9 @@ namespace grasp::rdf {
 ///
 /// Usage: Add() triples (duplicates allowed), then Finalize() once; after
 /// finalization the store is immutable and all scan patterns are O(log n)
-/// seek + linear in the result size.
+/// seek + linear in the result size. The finalized table and permutations
+/// live in FlatStorage, so a store can also be adopted zero-copy from an
+/// mmap-ed index snapshot (FromSnapshotParts).
 class TripleStore {
  public:
   TripleStore() = default;
@@ -37,8 +42,29 @@ class TripleStore {
   void Finalize();
 
   bool finalized() const { return finalized_; }
-  std::size_t size() const { return triples_.size(); }
-  const std::vector<Triple>& triples() const { return triples_; }
+  std::size_t size() const { return triples().size(); }
+  std::span<const Triple> triples() const {
+    return finalized_ ? triples_.view()
+                      : std::span<const Triple>(building_);
+  }
+
+  /// Per-predicate statistics for the evaluator's join planning: the average
+  /// number of triples per distinct subject (object) under this predicate —
+  /// the expected fan-out once the subject (object) variable is bound.
+  struct PredicateStats {
+    double per_subject = 1.0;  // avg triples per distinct subject
+    double per_object = 1.0;   // avg triples per distinct object
+  };
+
+  /// Adopts a finalized table from an index snapshot: triples and the POS /
+  /// OSP permutations point (zero-copy) into the mapping; the predicate
+  /// statistics come pre-aggregated from the snapshot. The loader validates
+  /// sortedness-independent safety invariants (permutation values in range)
+  /// before calling this.
+  static TripleStore FromSnapshotParts(
+      FlatStorage<Triple> triples, FlatStorage<std::uint32_t> pos,
+      FlatStorage<std::uint32_t> osp,
+      std::vector<std::pair<TermId, PredicateStats>> predicate_stats);
 
   /// Triple pattern: kInvalidTermId acts as a wildcard in any position.
   struct Pattern {
@@ -63,14 +89,19 @@ class TripleStore {
   /// evaluator's selectivity ordering). Requires Finalize().
   std::size_t PredicateCardinality(TermId predicate) const;
 
-  /// Per-predicate statistics for the evaluator's join planning: the average
-  /// number of triples per distinct subject (object) under this predicate —
-  /// the expected fan-out once the subject (object) variable is bound.
   /// Returns 1.0 for unknown predicates. Requires Finalize().
   double AvgTriplesPerSubject(TermId predicate) const;
   double AvgTriplesPerObject(TermId predicate) const;
 
-  /// Approximate heap footprint in bytes.
+  /// The raw permutations and statistics, for snapshot serialization.
+  std::span<const std::uint32_t> pos_permutation() const { return pos_.view(); }
+  std::span<const std::uint32_t> osp_permutation() const { return osp_.view(); }
+  const std::unordered_map<TermId, PredicateStats>& predicate_stats() const {
+    return predicate_stats_;
+  }
+
+  /// Approximate heap footprint in bytes (owned storage only; mmap-backed
+  /// snapshot storage is accounted separately).
   std::size_t MemoryUsageBytes() const;
 
  private:
@@ -83,14 +114,10 @@ class TripleStore {
 
   const Triple& TripleAt(Order order, std::size_t pos) const;
 
-  struct PredicateStats {
-    double per_subject = 1.0;  // avg triples per distinct subject
-    double per_object = 1.0;   // avg triples per distinct object
-  };
-
-  std::vector<Triple> triples_;       // sorted (s, p, o) after Finalize
-  std::vector<std::uint32_t> pos_;    // permutation sorted by (p, o, s)
-  std::vector<std::uint32_t> osp_;    // permutation sorted by (o, s, p)
+  std::vector<Triple> building_;       // staging area before Finalize
+  FlatStorage<Triple> triples_;        // sorted (s, p, o) after Finalize
+  FlatStorage<std::uint32_t> pos_;     // permutation sorted by (p, o, s)
+  FlatStorage<std::uint32_t> osp_;     // permutation sorted by (o, s, p)
   std::unordered_map<TermId, PredicateStats> predicate_stats_;
   bool finalized_ = false;
 };

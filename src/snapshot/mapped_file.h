@@ -1,0 +1,51 @@
+#ifndef GRASP_SNAPSHOT_MAPPED_FILE_H_
+#define GRASP_SNAPSHOT_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace grasp::snapshot {
+
+/// RAII read-only memory mapping of a whole file. The mapping address is
+/// stable for the lifetime of the object (moves transfer ownership without
+/// remapping), so borrowed FlatStorage views into it survive as long as the
+/// MappedFile does.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+
+  MappedFile(MappedFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. An empty file yields an empty mapping (data()
+  /// == nullptr, size() == 0), which header validation then rejects.
+  static Result<MappedFile> Open(const std::string& path);
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  void Reset();
+
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace grasp::snapshot
+
+#endif  // GRASP_SNAPSHOT_MAPPED_FILE_H_

@@ -1,0 +1,84 @@
+#include "snapshot/reader.h"
+
+#include <cstring>
+
+namespace grasp::snapshot {
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
+  SnapshotReader reader;
+  GRASP_ASSIGN_OR_RETURN(reader.mapping_, MappedFile::Open(path));
+  const unsigned char* base = reader.mapping_.data();
+  const std::uint64_t size = reader.mapping_.size();
+
+  // Envelope. Each check only relies on facts established by the previous
+  // ones, so no read ever leaves the mapping.
+  if (size < sizeof(FileHeader)) {
+    return Status::InvalidArgument("snapshot: file smaller than header");
+  }
+  FileHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("snapshot: bad magic");
+  }
+  if (header.format_version != kFormatVersion) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot: unsupported format version %u (expected %u)",
+                  header.format_version, kFormatVersion));
+  }
+  if (header.file_size != size) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot: header says %llu bytes, file has %llu",
+                  static_cast<unsigned long long>(header.file_size),
+                  static_cast<unsigned long long>(size)));
+  }
+  if (header.section_count > kMaxSections) {
+    return Status::InvalidArgument("snapshot: section count out of range");
+  }
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(header.section_count) * sizeof(SectionEntry);
+  if (table_bytes > size - sizeof(FileHeader)) {
+    return Status::InvalidArgument("snapshot: section table truncated");
+  }
+  const unsigned char* table_base = base + sizeof(FileHeader);
+  if (Checksum64(table_base, table_bytes) != header.table_checksum) {
+    return Status::InvalidArgument("snapshot: section table checksum mismatch");
+  }
+
+  // The table is now trusted bytes; its *fields* still are not.
+  reader.table_.resize(header.section_count);
+  std::memcpy(reader.table_.data(), table_base, table_bytes);
+  for (std::size_t i = 0; i < reader.table_.size(); ++i) {
+    const SectionEntry& e = reader.table_[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      if (reader.table_[j].id == e.id) {
+        return Status::InvalidArgument(
+            StrFormat("snapshot: duplicate section %u", e.id));
+      }
+    }
+    if (e.elem_size == 0 || e.elem_size > kPageSize) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot: section %u element size out of range", e.id));
+    }
+    if (e.offset % kPageSize != 0) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot: section %u offset not page-aligned", e.id));
+    }
+    // Overflow-safe containment: offset and length are checked against the
+    // real size separately before their sum is formed.
+    if (e.offset > size || e.byte_length > size - e.offset) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot: section %u exceeds file bounds", e.id));
+    }
+    if (e.byte_length % e.elem_size != 0) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot: section %u length not a multiple of element size", e.id));
+    }
+    if (Checksum64(base + e.offset, e.byte_length) != e.checksum) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot: section %u checksum mismatch", e.id));
+    }
+  }
+  return reader;
+}
+
+}  // namespace grasp::snapshot

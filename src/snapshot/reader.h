@@ -1,0 +1,75 @@
+#ifndef GRASP_SNAPSHOT_READER_H_
+#define GRASP_SNAPSHOT_READER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "snapshot/format.h"
+#include "snapshot/mapped_file.h"
+
+namespace grasp::snapshot {
+
+/// Maps a snapshot file and validates its envelope: magic, version, file
+/// size, section-table checksum, and — for every section — offset/length
+/// bounds against the real file size, element-size sanity, and the payload
+/// checksum. Nothing read from the file is trusted until it has been
+/// checked, so corrupt or truncated images fail Open() with a clean Status
+/// and can never produce out-of-bounds spans.
+///
+/// Structural validation of the *contents* (CSR offset monotonicity, id
+/// ranges) is the caller's job — see engine_snapshot.cc.
+class SnapshotReader {
+ public:
+  static Result<SnapshotReader> Open(const std::string& path);
+
+  bool HasSection(std::uint32_t id) const { return Find(id) != nullptr; }
+
+  /// Typed view of one section's payload, pointing into the mapping. The
+  /// stored element size must equal sizeof(T) — a mismatch (foreign ABI or
+  /// corrupted entry) is an error, not a reinterpretation.
+  template <typename T>
+  Result<std::span<const T>> Section(std::uint32_t id) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const SectionEntry* entry = Find(id);
+    if (entry == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot: missing section %u", id));
+    }
+    if (entry->elem_size != sizeof(T)) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot: section %u element size %u does not match expected %zu",
+          id, entry->elem_size, sizeof(T)));
+    }
+    return std::span<const T>(
+        reinterpret_cast<const T*>(mapping_.data() + entry->offset),
+        static_cast<std::size_t>(entry->byte_length / sizeof(T)));
+  }
+
+  std::size_t mapped_bytes() const { return mapping_.size(); }
+
+  /// Transfers the mapping out (the reader is unusable afterwards); the
+  /// loader stores it next to the structures whose spans point into it.
+  MappedFile TakeMapping() && { return std::move(mapping_); }
+
+ private:
+  const SectionEntry* Find(std::uint32_t id) const {
+    for (const SectionEntry& e : table_) {
+      if (e.id == id) return &e;
+    }
+    return nullptr;
+  }
+
+  MappedFile mapping_;
+  std::vector<SectionEntry> table_;
+};
+
+}  // namespace grasp::snapshot
+
+#endif  // GRASP_SNAPSHOT_READER_H_

@@ -1,0 +1,79 @@
+#include "snapshot/writer.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace grasp::snapshot {
+
+void SnapshotWriter::AddRaw(std::uint32_t id, std::uint32_t elem_size,
+                            const void* data, std::uint64_t bytes) {
+  for (const Pending& p : sections_) {
+    GRASP_CHECK_NE(p.id, id) << "duplicate snapshot section";
+  }
+  GRASP_CHECK_LT(sections_.size(), static_cast<std::size_t>(kMaxSections));
+  sections_.push_back(Pending{id, elem_size, data, bytes});
+}
+
+Status SnapshotWriter::WriteFile(const std::string& path) const {
+  // Lay out: header, section table, then payloads each on a page boundary.
+  const std::uint64_t table_begin = sizeof(FileHeader);
+  const std::uint64_t table_bytes = sections_.size() * sizeof(SectionEntry);
+  std::uint64_t cursor = table_begin + table_bytes;
+  std::vector<SectionEntry> table;
+  table.reserve(sections_.size());
+  for (const Pending& p : sections_) {
+    cursor = (cursor + kPageSize - 1) / kPageSize * kPageSize;
+    table.push_back(SectionEntry{p.id, p.elem_size, cursor, p.bytes,
+                                 Checksum64(p.data, p.bytes)});
+    cursor += p.bytes;
+  }
+
+  FileHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.format_version = kFormatVersion;
+  header.section_count = static_cast<std::uint32_t>(sections_.size());
+  header.file_size = cursor;
+  header.table_checksum = Checksum64(table.data(), table_bytes);
+  header.reserved = 0;
+
+  // Write to a scratch file and rename into place: a crash, full disk or
+  // concurrent Open() mid-write must never destroy the previous good image
+  // at `path` (rename on the same filesystem is atomic on POSIX).
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open " + tmp_path + " for writing");
+    }
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(reinterpret_cast<const char*>(table.data()),
+              static_cast<std::streamsize>(table_bytes));
+    std::uint64_t written = table_begin + table_bytes;
+    static constexpr char kZeros[kPageSize] = {};
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+      const std::uint64_t pad = table[i].offset - written;
+      out.write(kZeros, static_cast<std::streamsize>(pad));
+      out.write(static_cast<const char*>(sections_[i].data),
+                static_cast<std::streamsize>(sections_[i].bytes));
+      written = table[i].offset + table[i].byte_length;
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      return Status::IoError("short write to " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace grasp::snapshot

@@ -1,0 +1,52 @@
+#ifndef GRASP_SNAPSHOT_WRITER_H_
+#define GRASP_SNAPSHOT_WRITER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "snapshot/format.h"
+
+namespace grasp::snapshot {
+
+/// Serializes a set of flat arrays into one snapshot image. Sections are
+/// registered as spans (the writer does not copy — the buffers must stay
+/// alive until WriteFile returns) and laid out page-aligned with per-section
+/// checksums, so the reader can mmap the file and hand the arrays back
+/// zero-copy.
+class SnapshotWriter {
+ public:
+  /// Registers a section. `id` must be unique; elements must be trivially
+  /// copyable (they are reinterpreted from the mapping on load).
+  template <typename T>
+  void AddSection(std::uint32_t id, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    AddRaw(id, static_cast<std::uint32_t>(sizeof(T)), data.data(),
+           data.size_bytes());
+  }
+
+  /// Writes the image to `path` (truncating any existing file). Returns
+  /// IoError on filesystem failures.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Pending {
+    std::uint32_t id;
+    std::uint32_t elem_size;
+    const void* data;
+    std::uint64_t bytes;
+  };
+
+  void AddRaw(std::uint32_t id, std::uint32_t elem_size, const void* data,
+              std::uint64_t bytes);
+
+  std::vector<Pending> sections_;
+};
+
+}  // namespace grasp::snapshot
+
+#endif  // GRASP_SNAPSHOT_WRITER_H_

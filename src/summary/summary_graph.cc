@@ -116,6 +116,27 @@ SummaryGraph SummaryGraph::Build(const rdf::DataGraph& graph) {
   return s;
 }
 
+SummaryGraph SummaryGraph::FromSnapshotParts(Csr csr,
+                                             const SnapshotScalars& scalars) {
+  SummaryGraph s;
+  s.csr_ = std::move(csr);
+  s.thing_node_ = scalars.thing_node;
+  s.total_entities_ = scalars.total_entities;
+  s.total_relation_edges_ = scalars.total_relation_edges;
+  s.node_of_term_.reserve(s.csr_.NumNodes());
+  for (NodeId n = 0; n < s.csr_.NumNodes(); ++n) {
+    s.node_of_term_.try_emplace(s.csr_.node(n).term, n);
+  }
+  // Same incremental run-extension Build uses when emitting edges in label
+  // order, so the rebuilt ranges are identical.
+  for (EdgeId e = 0; e < s.csr_.NumEdges(); ++e) {
+    auto [it, inserted] =
+        s.edges_of_label_.try_emplace(s.csr_.edge(e).label, e, e + 1);
+    if (!inserted) it->second.second = e + 1;
+  }
+  return s;
+}
+
 NodeId SummaryGraph::NodeOfTerm(rdf::TermId term) const {
   auto it = node_of_term_.find(term);
   return it == node_of_term_.end() ? kInvalidNodeId : it->second;

@@ -70,6 +70,26 @@ class SummaryGraph {
   /// untyped entities exist.
   static SummaryGraph Build(const rdf::DataGraph& graph);
 
+  /// Scalar fields an index snapshot must persist next to the topology.
+  struct SnapshotScalars {
+    NodeId thing_node = kInvalidNodeId;
+    std::uint64_t total_entities = 0;
+    std::uint64_t total_relation_edges = 0;
+  };
+
+  /// Adopts a prebuilt topology from an index snapshot: the CSR core points
+  /// (zero-copy) into the mapping; the term->node and label-range hashes are
+  /// rebuilt in one linear sweep over the mapped records. Produces a summary
+  /// indistinguishable from Build() on the same data (edges are stored in
+  /// label-contiguous build order, which is what EdgesWithLabel relies on).
+  static SummaryGraph FromSnapshotParts(Csr csr,
+                                        const SnapshotScalars& scalars);
+
+  SnapshotScalars snapshot_scalars() const {
+    return SnapshotScalars{thing_node_, total_entities_,
+                           total_relation_edges_};
+  }
+
   SummaryGraph(const SummaryGraph&) = delete;
   SummaryGraph& operator=(const SummaryGraph&) = delete;
   SummaryGraph(SummaryGraph&&) = default;
@@ -78,8 +98,8 @@ class SummaryGraph {
   /// The shared immutable topology core (incident adjacency).
   const Csr& csr() const { return csr_; }
 
-  const std::vector<SummaryNode>& nodes() const { return csr_.nodes(); }
-  const std::vector<SummaryEdge>& edges() const { return csr_.edges(); }
+  std::span<const SummaryNode> nodes() const { return csr_.nodes(); }
+  std::span<const SummaryEdge> edges() const { return csr_.edges(); }
   std::size_t NumNodes() const { return csr_.NumNodes(); }
   std::size_t NumEdges() const { return csr_.NumEdges(); }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
 #include "text/levenshtein.h"
@@ -11,22 +12,22 @@ namespace grasp::text {
 InvertedIndex::TermIdx InvertedIndex::InternTerm(const std::string& term) {
   auto it = term_ids_.find(term);
   if (it != term_ids_.end()) return it->second;
-  const TermIdx idx = static_cast<TermIdx>(term_texts_.size());
+  const TermIdx idx = static_cast<TermIdx>(building_terms_.size());
   term_ids_.emplace(term, idx);
-  term_texts_.push_back(term);
-  postings_.emplace_back();
+  building_terms_.push_back(term);
+  building_postings_.emplace_back();
   return idx;
 }
 
 InvertedIndex::DocId InvertedIndex::AddDocument(std::string_view label) {
   GRASP_CHECK(!finalized_) << "AddDocument after Finalize";
-  const DocId doc = static_cast<DocId>(doc_term_counts_.size());
+  const DocId doc = static_cast<DocId>(building_doc_term_counts_.size());
   std::vector<std::string> terms = Analyze(label, analyzer_options_);
   // The label length used by the coverage factor excludes the synthetic
   // compound term, which exists only as an extra way to hit the label.
   AnalyzerOptions without_compound = analyzer_options_;
   without_compound.emit_compound = false;
-  doc_term_counts_.push_back(static_cast<std::uint32_t>(
+  building_doc_term_counts_.push_back(static_cast<std::uint32_t>(
       Analyze(label, without_compound).size()));
   // Aggregate term frequencies within the label.
   std::sort(terms.begin(), terms.end());
@@ -34,29 +35,118 @@ InvertedIndex::DocId InvertedIndex::AddDocument(std::string_view label) {
     std::size_t j = i;
     while (j < terms.size() && terms[j] == terms[i]) ++j;
     const TermIdx idx = InternTerm(terms[i]);
-    postings_[idx].push_back(
+    building_postings_[idx].push_back(
         Posting{doc, static_cast<std::uint32_t>(j - i)});
     i = j;
   }
   return doc;
 }
 
+InvertedIndex InvertedIndex::FromSnapshotParts(
+    AnalyzerOptions analyzer_options, FlatStorage<std::uint32_t> term_offsets,
+    FlatStorage<char> term_blob, FlatStorage<std::uint32_t> sorted_terms,
+    FlatStorage<std::uint32_t> posting_offsets, FlatStorage<Posting> postings,
+    FlatStorage<std::uint32_t> doc_term_counts) {
+  GRASP_CHECK_EQ(term_offsets.size(), posting_offsets.size());
+  GRASP_CHECK_EQ(sorted_terms.size() + 1, term_offsets.size());
+  InvertedIndex index(analyzer_options);
+  index.term_offsets_ = std::move(term_offsets);
+  index.term_blob_ = std::move(term_blob);
+  index.sorted_terms_ = std::move(sorted_terms);
+  index.posting_offsets_ = std::move(posting_offsets);
+  index.postings_ = std::move(postings);
+  index.doc_term_counts_ = std::move(doc_term_counts);
+  index.finalized_ = true;
+  index.BuildLengthBuckets();
+  return index;
+}
+
+void InvertedIndex::BuildLengthBuckets() {
+  const std::size_t vocab = vocabulary_size();
+  std::size_t max_len = 0;
+  for (TermIdx t = 0; t < vocab; ++t) {
+    max_len = std::max(max_len, TermText(t).size());
+  }
+  length_buckets_.assign(max_len + 1, {});
+  for (TermIdx t = 0; t < vocab; ++t) {
+    length_buckets_[TermText(t).size()].push_back(t);
+  }
+}
+
 void InvertedIndex::Finalize() {
   if (finalized_) return;
-  std::size_t max_len = 0;
-  for (const std::string& t : term_texts_) max_len = std::max(max_len, t.size());
-  length_buckets_.assign(max_len + 1, {});
-  for (TermIdx i = 0; i < term_texts_.size(); ++i) {
-    length_buckets_[term_texts_[i].size()].push_back(i);
+  // Flatten the vocabulary into blob + offsets + sorted permutation, and
+  // the per-term postings into one CSR array. Lookups then binary-search /
+  // scan contiguous memory, and a snapshot can serialize (and mmap back)
+  // every array without per-term indirection.
+  const std::size_t vocab = building_terms_.size();
+  std::vector<std::uint32_t> term_offsets(vocab + 1, 0);
+  std::size_t blob_bytes = 0;
+  for (const std::string& t : building_terms_) blob_bytes += t.size();
+  GRASP_CHECK_LE(blob_bytes, static_cast<std::size_t>(UINT32_MAX));
+  std::vector<char> blob;
+  blob.reserve(blob_bytes);
+  for (TermIdx t = 0; t < vocab; ++t) {
+    term_offsets[t] = static_cast<std::uint32_t>(blob.size());
+    blob.insert(blob.end(), building_terms_[t].begin(),
+                building_terms_[t].end());
   }
+  term_offsets[vocab] = static_cast<std::uint32_t>(blob.size());
+
+  std::vector<std::uint32_t> sorted(vocab);
+  std::iota(sorted.begin(), sorted.end(), 0u);
+  std::sort(sorted.begin(), sorted.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return building_terms_[a] < building_terms_[b];
+            });
+
+  std::vector<std::uint32_t> posting_offsets(vocab + 1, 0);
+  std::size_t total = 0;
+  for (const auto& plist : building_postings_) total += plist.size();
+  GRASP_CHECK_LE(total, static_cast<std::size_t>(UINT32_MAX));
+  std::vector<Posting> flat;
+  flat.reserve(total);
+  for (TermIdx t = 0; t < building_postings_.size(); ++t) {
+    posting_offsets[t] = static_cast<std::uint32_t>(flat.size());
+    flat.insert(flat.end(), building_postings_[t].begin(),
+                building_postings_[t].end());
+  }
+  posting_offsets[vocab] = static_cast<std::uint32_t>(flat.size());
+
+  term_offsets_ = FlatStorage<std::uint32_t>(std::move(term_offsets));
+  term_blob_ = FlatStorage<char>(std::move(blob));
+  sorted_terms_ = FlatStorage<std::uint32_t>(std::move(sorted));
+  posting_offsets_ = FlatStorage<std::uint32_t>(std::move(posting_offsets));
+  postings_ = FlatStorage<Posting>(std::move(flat));
+  doc_term_counts_ =
+      FlatStorage<std::uint32_t>(std::move(building_doc_term_counts_));
+  term_ids_.clear();
+  building_terms_.clear();
+  building_terms_.shrink_to_fit();
+  building_postings_.clear();
+  building_postings_.shrink_to_fit();
+  building_doc_term_counts_.clear();
+  building_doc_term_counts_.shrink_to_fit();
   finalized_ = true;
+  BuildLengthBuckets();
+}
+
+InvertedIndex::TermIdx InvertedIndex::ExactTerm(std::string_view token) const {
+  const auto begin = sorted_terms_.begin();
+  const auto end = sorted_terms_.end();
+  auto it = std::lower_bound(begin, end, token,
+                             [this](TermIdx term, std::string_view t) {
+                               return TermText(term) < t;
+                             });
+  if (it != end && TermText(*it) == token) return *it;
+  return static_cast<TermIdx>(vocabulary_size());
 }
 
 double InvertedIndex::TermWeight(TermIdx term,
                                  const SearchOptions& options) const {
   if (!options.use_idf) return 1.0;
   const double n = static_cast<double>(std::max<std::size_t>(1, num_documents()));
-  const double df = static_cast<double>(postings_[term].size());
+  const double df = static_cast<double>(PostingsOf(term).size());
   // Mild IDF in (0.5, 1]: discriminative terms score higher without letting
   // frequency dominate the syntactic/semantic similarity.
   const double idf = std::log(1.0 + n / df) / std::log(1.0 + n);
@@ -66,6 +156,7 @@ double InvertedIndex::TermWeight(TermIdx term,
 void InvertedIndex::CollectCandidates(const std::string& token,
                                       const SearchOptions& options,
                                       std::vector<Candidate>* candidates) const {
+  const TermIdx absent = static_cast<TermIdx>(vocabulary_size());
   auto add = [&](TermIdx term, double similarity) {
     if (similarity < options.min_similarity) return;
     for (Candidate& c : *candidates) {
@@ -78,14 +169,14 @@ void InvertedIndex::CollectCandidates(const std::string& token,
   };
 
   // 1) Exact vocabulary match.
-  auto exact = term_ids_.find(token);
-  if (exact != term_ids_.end()) add(exact->second, 1.0);
+  const TermIdx exact = ExactTerm(token);
+  if (exact != absent) add(exact, 1.0);
 
   // 2) Semantic expansion via the thesaurus (WordNet stand-in).
   if (options.thesaurus != nullptr) {
     for (const Thesaurus::Entry& entry : options.thesaurus->Lookup(token)) {
-      auto it = term_ids_.find(entry.term);
-      if (it != term_ids_.end()) add(it->second, entry.weight);
+      const TermIdx term = ExactTerm(entry.term);
+      if (term != absent) add(term, entry.weight);
     }
   }
 
@@ -102,7 +193,7 @@ void InvertedIndex::CollectCandidates(const std::string& token,
       for (std::size_t l = lo; l <= hi; ++l) {
         for (TermIdx term : length_buckets_[l]) {
           const std::size_t dist =
-              BoundedLevenshtein(token, term_texts_[term], max_dist);
+              BoundedLevenshtein(token, TermText(term), max_dist);
           if (dist == 0 || dist > max_dist) continue;
           const double sim =
               1.0 - static_cast<double>(dist) /
@@ -139,7 +230,7 @@ std::vector<InvertedIndex::Hit> InvertedIndex::Search(
     token_best.clear();
     for (const Candidate& c : candidates) {
       const double weight = c.similarity * TermWeight(c.term, options);
-      for (const Posting& p : postings_[c.term]) {
+      for (const Posting& p : PostingsOf(c.term)) {
         double& best = token_best[p.doc];
         best = std::max(best, weight);
       }
@@ -183,14 +274,17 @@ std::vector<InvertedIndex::Hit> InvertedIndex::Search(
 
 std::size_t InvertedIndex::MemoryUsageBytes() const {
   std::size_t bytes = 0;
-  for (const std::string& t : term_texts_) {
+  for (const std::string& t : building_terms_) {
     bytes += sizeof(std::string) + t.capacity();
   }
   bytes += term_ids_.size() * (sizeof(TermIdx) + 2 * sizeof(void*) + 16);
-  for (const auto& plist : postings_) {
+  for (const auto& plist : building_postings_) {
     bytes += sizeof(plist) + plist.capacity() * sizeof(Posting);
   }
-  bytes += doc_term_counts_.capacity() * sizeof(std::uint32_t);
+  bytes += building_doc_term_counts_.capacity() * sizeof(std::uint32_t);
+  bytes += term_offsets_.OwnedBytes() + term_blob_.OwnedBytes() +
+           sorted_terms_.OwnedBytes() + posting_offsets_.OwnedBytes() +
+           postings_.OwnedBytes() + doc_term_counts_.OwnedBytes();
   for (const auto& bucket : length_buckets_) {
     bytes += sizeof(bucket) + bucket.capacity() * sizeof(TermIdx);
   }

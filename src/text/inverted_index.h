@@ -2,11 +2,13 @@
 #define GRASP_TEXT_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_storage.h"
 #include "text/thesaurus.h"
 #include "text/tokenizer.h"
 
@@ -17,6 +19,12 @@ namespace grasp::text {
 /// combines exact term matching, thesaurus expansion (semantic similarity)
 /// and Levenshtein-based fuzzy matching (syntactic similarity) into one
 /// score per document in (0, 1].
+///
+/// After Finalize the whole index is flat: the vocabulary is one text blob
+/// with offsets plus a lexicographically sorted permutation (exact lookups
+/// binary-search it — no string hash to rebuild), and postings are one CSR
+/// array. Every one of these arrays can be serialized as-is and mapped back
+/// zero-copy from an index snapshot.
 class InvertedIndex {
  public:
   using DocId = std::uint32_t;
@@ -33,8 +41,9 @@ class InvertedIndex {
   /// be called after Finalize().
   DocId AddDocument(std::string_view label);
 
-  /// Freezes the index: sorts postings and builds the fuzzy-scan length
-  /// buckets. Idempotent.
+  /// Freezes the index: flattens the vocabulary and postings into their
+  /// snapshot-ready form and builds the fuzzy-scan length buckets.
+  /// Idempotent.
   void Finalize();
 
   struct SearchOptions {
@@ -62,6 +71,24 @@ class InvertedIndex {
     double score;  ///< in (0, 1]
   };
 
+  /// One postings entry: the document and the term's frequency within it.
+  struct Posting {
+    DocId doc;
+    std::uint32_t tf;
+  };
+
+  /// Rebuilds a finalized index from snapshot parts, all typically borrowed
+  /// straight from the mapping: the vocabulary blob/offsets, its sorted
+  /// permutation, the flat postings CSR and the per-document token counts.
+  /// Only the fuzzy-scan length buckets are re-derived (one linear sweep);
+  /// no tokenization, hashing, stemming or sorting happens.
+  static InvertedIndex FromSnapshotParts(
+      AnalyzerOptions analyzer_options,
+      FlatStorage<std::uint32_t> term_offsets, FlatStorage<char> term_blob,
+      FlatStorage<std::uint32_t> sorted_terms,
+      FlatStorage<std::uint32_t> posting_offsets, FlatStorage<Posting> postings,
+      FlatStorage<std::uint32_t> doc_term_counts);
+
   /// Scores documents against a (possibly multi-token) keyword. A document's
   /// score averages its per-token best similarity; tokens without any match
   /// contribute 0, so partial matches are penalized proportionally. Results
@@ -72,20 +99,37 @@ class InvertedIndex {
     return Search(keyword, SearchOptions{});
   }
 
-  std::size_t num_documents() const { return doc_term_counts_.size(); }
-  std::size_t vocabulary_size() const { return term_texts_.size(); }
+  std::size_t num_documents() const {
+    return finalized_ ? doc_term_counts_.size()
+                      : building_doc_term_counts_.size();
+  }
+  std::size_t vocabulary_size() const {
+    return finalized_ ? term_offsets_.size() - 1 : building_terms_.size();
+  }
   const AnalyzerOptions& analyzer_options() const { return analyzer_options_; }
 
-  /// Approximate heap footprint in bytes (Fig. 6b keyword-index size).
+  /// Raw finalized contents, for snapshot serialization.
+  std::span<const std::uint32_t> term_offsets() const {
+    return term_offsets_.view();
+  }
+  std::span<const char> term_blob() const { return term_blob_.view(); }
+  std::span<const std::uint32_t> sorted_terms() const {
+    return sorted_terms_.view();
+  }
+  std::span<const std::uint32_t> posting_offsets() const {
+    return posting_offsets_.view();
+  }
+  std::span<const Posting> postings() const { return postings_.view(); }
+  std::span<const std::uint32_t> doc_term_counts() const {
+    return doc_term_counts_.view();
+  }
+
+  /// Approximate owned heap footprint in bytes (Fig. 6b keyword-index
+  /// size); mmap-backed snapshot storage counts zero here.
   std::size_t MemoryUsageBytes() const;
 
  private:
   using TermIdx = std::uint32_t;
-
-  struct Posting {
-    DocId doc;
-    std::uint32_t tf;
-  };
 
   /// Candidate vocabulary term matched by one query token.
   struct Candidate {
@@ -94,16 +138,40 @@ class InvertedIndex {
   };
 
   TermIdx InternTerm(const std::string& term);
+  void BuildLengthBuckets();
+  std::string_view TermText(TermIdx term) const {
+    return {term_blob_.data() + term_offsets_[term],
+            static_cast<std::size_t>(term_offsets_[term + 1] -
+                                     term_offsets_[term])};
+  }
+  /// Binary search over the sorted vocabulary permutation; returns
+  /// vocabulary_size() when absent. Requires Finalize().
+  TermIdx ExactTerm(std::string_view token) const;
+  std::span<const Posting> PostingsOf(TermIdx term) const {
+    return postings_.view().subspan(
+        posting_offsets_[term],
+        posting_offsets_[term + 1] - posting_offsets_[term]);
+  }
   void CollectCandidates(const std::string& token,
                          const SearchOptions& options,
                          std::vector<Candidate>* candidates) const;
   double TermWeight(TermIdx term, const SearchOptions& options) const;
 
   AnalyzerOptions analyzer_options_;
+  /// Build-time state, cleared by Finalize (the flat arrays replace it).
   std::unordered_map<std::string, TermIdx> term_ids_;
-  std::vector<std::string> term_texts_;
-  std::vector<std::vector<Posting>> postings_;
-  std::vector<std::uint32_t> doc_term_counts_;
+  std::vector<std::string> building_terms_;
+  std::vector<std::vector<Posting>> building_postings_;
+  std::vector<std::uint32_t> building_doc_term_counts_;
+  /// Finalized vocabulary: blob + offsets (vocabulary_size() + 1 entries)
+  /// + lexicographically sorted term permutation.
+  FlatStorage<std::uint32_t> term_offsets_;
+  FlatStorage<char> term_blob_;
+  FlatStorage<std::uint32_t> sorted_terms_;
+  /// Flat postings CSR (offsets has vocabulary_size() + 1 entries).
+  FlatStorage<std::uint32_t> posting_offsets_;
+  FlatStorage<Posting> postings_;
+  FlatStorage<std::uint32_t> doc_term_counts_;
   /// term indexes bucketed by term length, for the banded fuzzy scan.
   std::vector<std::vector<TermIdx>> length_buckets_;
   bool finalized_ = false;

@@ -71,7 +71,9 @@ TEST_F(EngineTest, AnswersOfTopQueryAreCorrect) {
   ASSERT_FALSE(answers->rows.empty());
   std::set<std::string> bound;
   for (const auto& row : answers->rows) {
-    for (rdf::TermId t : row) bound.insert(dataset_.dictionary.text(t));
+    for (rdf::TermId t : row) {
+      bound.insert(std::string(dataset_.dictionary.text(t)));
+    }
   }
   EXPECT_TRUE(bound.count(std::string(grasp::testing::kEx) + "pub1") > 0);
   EXPECT_TRUE(bound.count(std::string(grasp::testing::kEx) + "re2") > 0);

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/filter_op.h"
 #include "common/rng.h"
 #include "core/exploration.h"
 #include "core/exploration_reference.h"
@@ -68,6 +69,14 @@ AugmentedGraph Augment(const Pipeline& p,
     matches.push_back(p.index->Lookup(kw, options));
   }
   return AugmentedGraph::Build(*p.summary, matches);
+}
+
+/// Corpus replay resolves operator keywords (">2000") through the filter
+/// extension, exactly like the engine's keyword step.
+AugmentedGraph AugmentCorpus(const Pipeline& p,
+                             const std::vector<std::string>& keywords) {
+  return AugmentedGraph::Build(
+      *p.summary, grasp::testing::CorpusLookup(*p.index, keywords, 8));
 }
 
 /// Runs both explorers and asserts byte-identical top-k results. The flat
@@ -154,6 +163,51 @@ TEST(ExplorationDifferentialTest, LubmFixture) {
           augmented, explore, &scratch,
           StrFormat("lubm %s k=%zu model=%d", Join(keywords, "+").c_str(),
                     explore.k, static_cast<int>(explore.cost_model)));
+    }
+  }
+}
+
+// Checked-in fuzzing seed corpus (tests/corpus/): keyword-set shapes that
+// randomized runs surfaced, replayed forever through both explorers.
+TEST(ExplorationDifferentialTest, CorpusReplayFigure1) {
+  Pipeline p = FromDataset(grasp::testing::MakeFigure1Dataset());
+  ExplorationScratch scratch;
+  for (const auto& keywords :
+       grasp::testing::LoadKeywordCorpus("fig1_keyword_sets.txt")) {
+    const AugmentedGraph augmented = AugmentCorpus(p, keywords);
+    for (bool prune : {true, false}) {
+      ExplorationOptions options;
+      options.k = prune ? 5 : 20;
+      options.prune_paths_per_element = prune;
+      ExpectIdenticalTopK(
+          augmented, options, &scratch,
+          StrFormat("fig1 corpus %s prune=%d", Join(keywords, "+").c_str(),
+                    prune ? 1 : 0));
+    }
+  }
+}
+
+TEST(ExplorationDifferentialTest, CorpusReplayRandomGraphs) {
+  for (std::uint64_t seed : {std::uint64_t{101}, std::uint64_t{202}}) {
+    auto dataset = grasp::testing::MakeRandomDataset(
+        seed, /*num_classes=*/4, /*num_entities=*/14, /*num_relations=*/18,
+        /*num_predicates=*/3, /*num_attributes=*/10, /*value_pool=*/4);
+    Pipeline p = FromDataset(std::move(dataset));
+    ExplorationScratch scratch;
+    for (const auto& keywords :
+         grasp::testing::LoadKeywordCorpus("generic_keyword_sets.txt")) {
+      const AugmentedGraph augmented = AugmentCorpus(p, keywords);
+      for (CostModel model : {CostModel::kPathLength, CostModel::kMatching}) {
+        ExplorationOptions options;
+        options.k = 8;
+        options.cost_model = model;
+        ExpectIdenticalTopK(
+            augmented, options, &scratch,
+            StrFormat("random seed=%llu corpus %s model=%d",
+                      static_cast<unsigned long long>(seed),
+                      Join(keywords, "+").c_str(),
+                      static_cast<int>(model)));
+      }
     }
   }
 }

@@ -28,7 +28,7 @@ class KeywordIndexTest : public ::testing::Test {
     const auto& dict = dataset_.dictionary;
     return std::any_of(matches.begin(), matches.end(), [&](const auto& m) {
       if (m.kind != kind) return false;
-      const std::string& full = dict.text(m.term);
+      const std::string_view full = dict.text(m.term);
       return full == text || rdf::IriLocalName(full) == text;
     });
   }

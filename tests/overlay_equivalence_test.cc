@@ -160,10 +160,9 @@ void ExpectSameExploration(const Pipeline& p, const AugmentedGraph& a,
   }
 }
 
-void RunEquivalence(const Pipeline& p,
-                    const std::vector<std::string>& keywords) {
-  SCOPED_TRACE("keywords: " + Join(keywords, ","));
-  const auto matches = Lookup(p, keywords);
+void RunEquivalenceOnMatches(
+    const Pipeline& p,
+    const std::vector<std::vector<keyword::KeywordMatch>>& matches) {
   AugmentedGraph overlay = AugmentedGraph::Build(*p.summary, matches);
   AugmentedGraph materialized =
       AugmentedGraph::BuildMaterialized(*p.summary, matches);
@@ -174,6 +173,13 @@ void RunEquivalence(const Pipeline& p,
   ExpectSameAsFlatRebuild(overlay);
   ExpectSameExploration(p, overlay, materialized);
 }
+
+void RunEquivalence(const Pipeline& p,
+                    const std::vector<std::string>& keywords) {
+  SCOPED_TRACE("keywords: " + Join(keywords, ","));
+  RunEquivalenceOnMatches(p, Lookup(p, keywords));
+}
+
 
 TEST(OverlayEquivalenceTest, Figure1RunningExample) {
   Pipeline p = MakeFig1Pipeline();
@@ -212,6 +218,41 @@ TEST(OverlayEquivalenceTest, Figure1FilterKeyword) {
   ExpectSameGraph(overlay, materialized);
   ExpectSameAsFlatRebuild(overlay);
   ExpectSameExploration(p, overlay, materialized);
+}
+
+// Checked-in fuzzing seed corpus (tests/corpus/): keyword-set shapes that
+// randomized runs surfaced, replayed forever against both builders.
+TEST(OverlayEquivalenceTest, CorpusReplayFigure1) {
+  Pipeline p = MakeFig1Pipeline();
+  for (const auto& keywords :
+       grasp::testing::LoadKeywordCorpus("fig1_keyword_sets.txt")) {
+    SCOPED_TRACE("corpus keywords: " + Join(keywords, ","));
+    RunEquivalenceOnMatches(
+        p, grasp::testing::CorpusLookup(*p.index, keywords, 16));
+  }
+}
+
+TEST(OverlayEquivalenceTest, CorpusReplayRandomGraphs) {
+  for (std::uint64_t seed : {std::uint64_t{101}, std::uint64_t{202}}) {
+    auto dataset = grasp::testing::MakeRandomDataset(
+        seed, /*num_classes=*/4, /*num_entities=*/14, /*num_relations=*/18,
+        /*num_predicates=*/3, /*num_attributes=*/10, /*value_pool=*/4);
+    Pipeline p;
+    p.dictionary = std::move(dataset.dictionary);
+    p.store = std::move(dataset.store);
+    p.graph = std::make_unique<rdf::DataGraph>(
+        rdf::DataGraph::Build(p.store, p.dictionary));
+    p.summary = std::make_unique<SummaryGraph>(SummaryGraph::Build(*p.graph));
+    p.index = std::make_unique<keyword::KeywordIndex>(
+        keyword::KeywordIndex::Build(*p.graph));
+    for (const auto& keywords :
+         grasp::testing::LoadKeywordCorpus("generic_keyword_sets.txt")) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " corpus keywords: " +
+                   Join(keywords, ","));
+      RunEquivalenceOnMatches(
+        p, grasp::testing::CorpusLookup(*p.index, keywords, 16));
+    }
+  }
 }
 
 TEST(OverlayEquivalenceTest, LubmSlice) {

@@ -209,7 +209,7 @@ TEST_F(EvaluatorTest, SingleAtomBindings) {
   ASSERT_TRUE(result.ok());
   std::set<std::string> names;
   for (const auto& row : result->rows) {
-    names.insert(dataset_.dictionary.text(row[0]));
+    names.insert(std::string(dataset_.dictionary.text(row[0])));
   }
   EXPECT_EQ(names, (std::set<std::string>{
                        std::string(grasp::testing::kEx) + "re1",

@@ -1,15 +1,21 @@
 #ifndef GRASP_TESTS_TEST_UTIL_H_
 #define GRASP_TESTS_TEST_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/filter_op.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "keyword/keyword_index.h"
 #include "rdf/dictionary.h"
 #include "rdf/ntriples.h"
 #include "rdf/triple_store.h"
+#include "text/inverted_index.h"
 
 namespace grasp::testing {
 
@@ -118,6 +124,57 @@ inline Dataset MakeRandomDataset(std::uint64_t seed, std::size_t num_classes,
         static_cast<unsigned long long>(rng.NextBelow(value_pool))));
   }
   return MakeDataset(lines);
+}
+
+/// Resolves one corpus keyword set to per-keyword match lists exactly like
+/// the engine's keyword step: operator keywords (">2000") go through the
+/// filter extension, everything else through the inverted index.
+inline std::vector<std::vector<keyword::KeywordMatch>> CorpusLookup(
+    const keyword::KeywordIndex& index,
+    const std::vector<std::string>& keywords, std::size_t max_results) {
+  text::InvertedIndex::SearchOptions options;
+  options.max_results = max_results;
+  std::vector<std::vector<keyword::KeywordMatch>> matches;
+  for (const std::string& kw : keywords) {
+    if (const auto filter = ParseFilterKeyword(kw)) {
+      auto match = index.LookupFilter(*filter);
+      matches.push_back(match.has_value()
+                            ? std::vector<keyword::KeywordMatch>{*match}
+                            : std::vector<keyword::KeywordMatch>{});
+    } else {
+      matches.push_back(index.Lookup(kw, options));
+    }
+  }
+  return matches;
+}
+
+/// Loads a keyword-set seed corpus (see tests/corpus/README.md): one
+/// whitespace-separated keyword set per line, '#' starts a comment. Aborts
+/// loudly on a missing or empty file — a silently skipped corpus would
+/// look like passing coverage.
+inline std::vector<std::vector<std::string>> LoadKeywordCorpus(
+    const std::string& filename) {
+#ifndef GRASP_TEST_CORPUS_DIR
+#define GRASP_TEST_CORPUS_DIR "tests/corpus"
+#endif
+  const std::string path = std::string(GRASP_TEST_CORPUS_DIR) + "/" + filename;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open corpus %s\n", path.c_str());
+    std::abort();
+  }
+  std::vector<std::vector<std::string>> sets;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.front() == '#') continue;
+    std::vector<std::string> keywords = SplitWhitespace(line);
+    if (!keywords.empty()) sets.push_back(std::move(keywords));
+  }
+  if (sets.empty()) {
+    std::fprintf(stderr, "corpus %s has no keyword sets\n", path.c_str());
+    std::abort();
+  }
+  return sets;
 }
 
 }  // namespace grasp::testing
