@@ -11,9 +11,12 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "graph/edge_filter.h"
 
 #include "core/engine.h"
 #include "core/exploration.h"
@@ -623,6 +626,122 @@ void BM_ExplorationSweepReference(benchmark::State& state) {
 BENCHMARK(BM_ExplorationSweepReference)
     ->ArgNames({"classes", "m", "k"})
     ->ArgsProduct({{64, 256, 1024}, {2, 3}, {1, 10}});
+
+// --------------------------------------------- filtered exploration sweep --
+// Predicate-scoped exploration through graph::OverlayEdgeFilter views vs
+// the same query on the full graph, plus the cost of building the scope
+// mask itself (base summary sweep + per-query overlay compose). The scoped
+// row should pop fewer cursors and run no slower per pop than full; the
+// mask-build row prices what a scope-cache miss costs. CI exports all
+// three to BENCH_exploration.json for trend tracking.
+
+std::vector<grasp::rdf::TermId> FilteredSweepScopeTerms(TapFixture& f) {
+  // Every other distinct relation/attribute label, deterministic in the
+  // fixture: a scope that admits roughly half the summary's edges.
+  std::set<grasp::rdf::TermId> labels;
+  for (const grasp::rdf::Edge& e : f.graph->edges()) {
+    if (e.kind == grasp::rdf::EdgeKind::kRelation ||
+        e.kind == grasp::rdf::EdgeKind::kAttribute) {
+      labels.insert(e.label);
+    }
+  }
+  std::vector<grasp::rdf::TermId> all(labels.begin(), labels.end());
+  std::vector<grasp::rdf::TermId> half;
+  for (std::size_t i = 0; i < all.size(); i += 2) half.push_back(all[i]);
+  return half;
+}
+
+void RunFilteredExplorationSweep(benchmark::State& state, bool scoped) {
+  TapFixture& f = ScaledTapFixture(static_cast<int>(state.range(0)));
+  const int m = static_cast<int>(state.range(1));
+  auto matches = ExplorationSweepMatches(f, m);
+  for (const auto& list : matches) {
+    if (list.empty()) {
+      state.SkipWithError("sweep keyword without matches");
+      return;
+    }
+  }
+  grasp::summary::AugmentedGraph augmented =
+      grasp::summary::AugmentedGraph::Build(*f.summary, matches);
+  const std::vector<grasp::rdf::TermId> scope_terms =
+      FilteredSweepScopeTerms(f);
+  const grasp::graph::EdgeFilter base =
+      f.summary->PredicateScopeFilter(scope_terms);
+  const grasp::graph::OverlayEdgeFilter scoped_view =
+      augmented.ScopedFilter(&base, scope_terms);
+
+  grasp::core::ExplorationOptions explore;
+  explore.k = static_cast<std::size_t>(state.range(2));
+  if (scoped) explore.edge_filter = &scoped_view;
+
+  // Differential guard: the word-scanned filtered path must reproduce the
+  // inline-reject reference byte for byte before its speed means anything.
+  {
+    grasp::core::SubgraphExplorer flat(augmented, explore);
+    grasp::core::ReferenceExplorer reference(augmented, explore);
+    const auto a = flat.FindTopK();
+    const auto b = reference.FindTopK();
+    bool identical = a.size() == b.size();
+    for (std::size_t i = 0; identical && i < a.size(); ++i) {
+      identical = a[i].cost == b[i].cost &&
+                  a[i].StructureKey() == b[i].StructureKey();
+    }
+    if (!identical) {
+      state.SkipWithError("scoped flat and reference explorers diverge");
+      return;
+    }
+  }
+
+  grasp::core::ExplorationScratch scratch;
+  grasp::core::ExplorationStats stats;
+  for (auto _ : state) {
+    grasp::core::SubgraphExplorer explorer(augmented, explore, &scratch);
+    benchmark::DoNotOptimize(explorer.FindTopK());
+    stats = explorer.stats();
+  }
+  state.counters["summary_edges"] = static_cast<double>(f.summary->NumEdges());
+  state.counters["in_scope_edges"] = static_cast<double>(base.CountSet());
+  state.counters["cursors_popped"] = static_cast<double>(stats.cursors_popped);
+}
+
+void BM_FilteredExplorationSweepScoped(benchmark::State& state) {
+  RunFilteredExplorationSweep(state, /*scoped=*/true);
+}
+BENCHMARK(BM_FilteredExplorationSweepScoped)
+    ->ArgNames({"classes", "m", "k"})
+    ->ArgsProduct({{64, 256, 1024}, {2, 3}, {10}});
+
+void BM_FilteredExplorationSweepFull(benchmark::State& state) {
+  RunFilteredExplorationSweep(state, /*scoped=*/false);
+}
+BENCHMARK(BM_FilteredExplorationSweepFull)
+    ->ArgNames({"classes", "m", "k"})
+    ->ArgsProduct({{64, 256, 1024}, {2, 3}, {10}});
+
+void BM_FilteredExplorationSweepMaskBuild(benchmark::State& state) {
+  TapFixture& f = ScaledTapFixture(static_cast<int>(state.range(0)));
+  auto matches = ExplorationSweepMatches(f, 2);
+  grasp::summary::AugmentedGraph augmented =
+      grasp::summary::AugmentedGraph::Build(*f.summary, matches);
+  const std::vector<grasp::rdf::TermId> scope_terms =
+      FilteredSweepScopeTerms(f);
+  for (auto _ : state) {
+    // What a scope-cache miss pays: one word-per-64-edges base sweep over
+    // the summary plus the O(augmentation) overlay compose.
+    grasp::graph::EdgeFilter base =
+        f.summary->PredicateScopeFilter(scope_terms);
+    grasp::graph::OverlayEdgeFilter scoped =
+        augmented.ScopedFilter(&base, scope_terms);
+    benchmark::DoNotOptimize(scoped.Contains(0));
+  }
+  state.counters["summary_edges"] = static_cast<double>(f.summary->NumEdges());
+  state.counters["scope_terms"] = static_cast<double>(scope_terms.size());
+}
+BENCHMARK(BM_FilteredExplorationSweepMaskBuild)
+    ->ArgName("classes")
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024);
 
 void BM_TopKExploration(benchmark::State& state) {
   DblpFixture& f = Fixture();

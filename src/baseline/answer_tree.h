@@ -2,8 +2,10 @@
 #define GRASP_BASELINE_ANSWER_TREE_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "graph/edge_filter.h"
 #include "rdf/data_graph.h"
 
 namespace grasp::baseline {
@@ -27,12 +29,48 @@ struct BaselineResult {
   double millis = 0.0;
 };
 
+/// How a baseline search consumes its edge filter.
+enum class EdgeFilterMode {
+  /// Word-scanned filtered adjacency views (graph::FilteredIds) — the
+  /// production path.
+  kFilteredView,
+  /// A per-edge branch over the raw adjacency run, retained as the
+  /// conformance reference the view path is pinned against in tests.
+  kInlineCheck,
+};
+
 /// Common knobs of the baseline searches.
 struct BaselineOptions {
   std::size_t k = 10;
   /// Stop after visiting this many nodes (0 = unlimited).
   std::size_t max_visits = 0;
+  /// Restrict traversal to edges whose mask bit is set — the honest Fig. 5
+  /// configuration runs the answer-tree baselines on the R-edge partition
+  /// (rdf::DataGraph::KindFilter) instead of hopping through type/subclass
+  /// hubs. nullptr = the full graph. Must outlive the search. BLINKS is
+  /// the exception: its scope is fixed at index build time
+  /// (BlinksIndex::BuildOptions::edge_filter), and its Search checks that
+  /// this field is null or the very same filter.
+  const graph::EdgeFilter* edge_filter = nullptr;
+  EdgeFilterMode filter_mode = EdgeFilterMode::kFilteredView;
 };
+
+/// Applies `fn` to every edge id of `run` admitted by the options' filter
+/// configuration; with no filter the raw run is iterated branch-free.
+template <typename Fn>
+inline void ForEachAdmissibleEdge(std::span<const rdf::EdgeId> run,
+                                  const graph::EdgeFilter* filter,
+                                  EdgeFilterMode mode, Fn&& fn) {
+  if (filter == nullptr) {
+    for (rdf::EdgeId e : run) fn(e);
+  } else if (mode == EdgeFilterMode::kInlineCheck) {
+    for (rdf::EdgeId e : run) {
+      if (filter->Contains(e)) fn(e);
+    }
+  } else {
+    for (rdf::EdgeId e : graph::FilteredIds(run, *filter)) fn(e);
+  }
+}
 
 }  // namespace grasp::baseline
 

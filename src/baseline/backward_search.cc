@@ -108,16 +108,20 @@ BaselineResult BackwardSearch::Search(const std::vector<std::string>& keywords,
       break;
     }
 
-    // Backward expansion: follow incoming edges to their sources.
-    for (rdf::EdgeId e : graph_->InEdges(top.vertex)) {
-      const rdf::VertexId u = graph_->edge(e).from;
-      const double nd = top.dist + 1.0;
-      auto it = tentative[top.group].find(u);
-      if (it != tentative[top.group].end() && it->second <= nd) continue;
-      tentative[top.group][u] = nd;
-      groups[top.group].origin[u] = groups[top.group].origin.at(top.vertex);
-      frontier.push(Frontier{nd, u, top.group});
-    }
+    // Backward expansion: follow incoming (in-scope) edges to their
+    // sources — a directed filtered view when options.edge_filter is set.
+    ForEachAdmissibleEdge(
+        graph_->InEdges(top.vertex), options.edge_filter, options.filter_mode,
+        [&](rdf::EdgeId e) {
+          const rdf::VertexId u = graph_->edge(e).from;
+          const double nd = top.dist + 1.0;
+          auto it = tentative[top.group].find(u);
+          if (it != tentative[top.group].end() && it->second <= nd) return;
+          tentative[top.group][u] = nd;
+          groups[top.group].origin[u] =
+              groups[top.group].origin.at(top.vertex);
+          frontier.push(Frontier{nd, u, top.group});
+        });
   }
 
   result.answers.reserve(roots.size());

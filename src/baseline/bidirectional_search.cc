@@ -120,12 +120,12 @@ BaselineResult BidirectionalSearch::Search(
       // Higher activation -> lower priority value -> expanded earlier.
       frontier.push(Frontier{nd / std::max(1e-6, act), nd, u, top.group});
     };
-    for (rdf::EdgeId e : graph_->InEdges(top.vertex)) {
-      relax(graph_->edge(e).from);
-    }
-    for (rdf::EdgeId e : graph_->OutEdges(top.vertex)) {
-      relax(graph_->edge(e).to);
-    }
+    ForEachAdmissibleEdge(
+        graph_->InEdges(top.vertex), options.edge_filter, options.filter_mode,
+        [&](rdf::EdgeId e) { relax(graph_->edge(e).from); });
+    ForEachAdmissibleEdge(
+        graph_->OutEdges(top.vertex), options.edge_filter, options.filter_mode,
+        [&](rdf::EdgeId e) { relax(graph_->edge(e).to); });
   }
 
   result.answers.reserve(roots.size());

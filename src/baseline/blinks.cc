@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "common/logging.h"
 #include "common/timer.h"
 
 namespace grasp::baseline {
@@ -25,7 +26,8 @@ struct Frontier {
 
 std::unordered_map<rdf::VertexId, double> BlinksIndex::IntraBlockDistances(
     rdf::VertexId source) const {
-  // Unit weights: BFS restricted to the source's block.
+  // Unit weights: BFS restricted to the source's block, over the index's
+  // (possibly filtered) edge view.
   std::unordered_map<rdf::VertexId, double> dist;
   const BlockId home = partition_.block_of[source];
   std::deque<rdf::VertexId> queue{source};
@@ -40,8 +42,10 @@ std::unordered_map<rdf::VertexId, double> BlinksIndex::IntraBlockDistances(
       dist[u] = d + 1.0;
       queue.push_back(u);
     };
-    for (rdf::EdgeId e : graph_->OutEdges(v)) visit(graph_->edge(e).to);
-    for (rdf::EdgeId e : graph_->InEdges(v)) visit(graph_->edge(e).from);
+    ForEachAdmissibleEdge(graph_->OutEdges(v), edge_filter_, filter_mode_,
+                          [&](rdf::EdgeId e) { visit(graph_->edge(e).to); });
+    ForEachAdmissibleEdge(graph_->InEdges(v), edge_filter_, filter_mode_,
+                          [&](rdf::EdgeId e) { visit(graph_->edge(e).from); });
   }
   return dist;
 }
@@ -49,18 +53,35 @@ std::unordered_map<rdf::VertexId, double> BlinksIndex::IntraBlockDistances(
 BlinksIndex::BlinksIndex(const rdf::DataGraph& graph,
                          const VertexKeywordMap& keyword_map,
                          const BuildOptions& options)
-    : graph_(&graph), keyword_map_(&keyword_map) {
+    : graph_(&graph),
+      keyword_map_(&keyword_map),
+      edge_filter_(options.edge_filter),
+      filter_mode_(options.filter_mode) {
   WallTimer timer;
   partition_ = PartitionGraph(graph, options.num_blocks, options.method);
   cut_size_ = partition_.CutSize(graph);
 
   const std::size_t n = graph.NumVertices();
   is_portal_.assign(n, false);
-  for (const rdf::Edge& e : graph.edges()) {
+  // Only in-scope cross-block edges mint portals: a vertex whose every
+  // cross edge is masked is interior to its block in the filtered view.
+  // View mode sweeps the mask word-at-a-time (ForEachSet); inline mode is
+  // the per-edge-branch conformance reference.
+  auto mark_portals = [&](std::uint32_t e_idx) {
+    const rdf::Edge& e = graph.edges()[e_idx];
     if (partition_.block_of[e.from] != partition_.block_of[e.to]) {
       is_portal_[e.from] = true;
       is_portal_[e.to] = true;
     }
+  };
+  if (edge_filter_ == nullptr) {
+    for (std::uint32_t e = 0; e < graph.NumEdges(); ++e) mark_portals(e);
+  } else if (filter_mode_ == EdgeFilterMode::kInlineCheck) {
+    for (std::uint32_t e = 0; e < graph.NumEdges(); ++e) {
+      if (edge_filter_->Contains(e)) mark_portals(e);
+    }
+  } else {
+    edge_filter_->ForEachSet(mark_portals);
   }
   block_portals_.assign(partition_.num_blocks, {});
   for (rdf::VertexId v = 0; v < n; ++v) {
@@ -85,14 +106,23 @@ BlinksIndex::BlinksIndex(const rdf::DataGraph& graph,
         edges.emplace_back(u, 1.0);
       }
     };
-    for (rdf::EdgeId e : graph.OutEdges(p)) add_cross(graph.edge(e).to);
-    for (rdf::EdgeId e : graph.InEdges(p)) add_cross(graph.edge(e).from);
+    ForEachAdmissibleEdge(graph.OutEdges(p), edge_filter_, filter_mode_,
+                          [&](rdf::EdgeId e) { add_cross(graph.edge(e).to); });
+    ForEachAdmissibleEdge(
+        graph.InEdges(p), edge_filter_, filter_mode_,
+        [&](rdf::EdgeId e) { add_cross(graph.edge(e).from); });
   }
   build_millis_ = timer.ElapsedMillis();
 }
 
 BaselineResult BlinksIndex::Search(const std::vector<std::string>& keywords,
                                    const BaselineOptions& options) const {
+  // The edge scope is part of the *index* (BuildOptions::edge_filter):
+  // portal sets and intra-block distances were precomputed over it, so a
+  // different search-time filter would contradict them. Fail loudly on a
+  // mismatch instead of silently traversing the wrong view.
+  GRASP_CHECK(options.edge_filter == nullptr ||
+              options.edge_filter == edge_filter_);
   WallTimer timer;
   BaselineResult result;
   const std::size_t m = keywords.size();

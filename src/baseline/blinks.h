@@ -29,6 +29,15 @@ class BlinksIndex {
   struct BuildOptions {
     std::size_t num_blocks = 300;
     PartitionMethod method = PartitionMethod::kBfs;
+    /// Restrict the indexed graph to edges whose mask bit is set. The scope
+    /// is fixed at *build* time — portal sets and intra-block distances are
+    /// precomputed over the filtered view, and Search() traverses the same
+    /// view, so a search-time BaselineOptions::edge_filter is ignored here
+    /// (a mismatched one would contradict the precomputed distances). The
+    /// block partition itself stays a full-graph layout heuristic; only
+    /// reachability honors the filter. Must outlive the index.
+    const graph::EdgeFilter* edge_filter = nullptr;
+    EdgeFilterMode filter_mode = EdgeFilterMode::kFilteredView;
   };
 
   /// Builds the block index. `graph` and `keyword_map` must outlive it.
@@ -52,6 +61,8 @@ class BlinksIndex {
 
   const rdf::DataGraph* graph_;
   const VertexKeywordMap* keyword_map_;
+  const graph::EdgeFilter* edge_filter_ = nullptr;  ///< build-time scope
+  EdgeFilterMode filter_mode_ = EdgeFilterMode::kFilteredView;
   Partition partition_;
   std::vector<rdf::VertexId> portal_ids_;         // all portal vertices
   std::vector<bool> is_portal_;                   // per vertex

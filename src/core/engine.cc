@@ -10,8 +10,13 @@
 #include <thread>
 #include <utility>
 
+#include <optional>
+#include <set>
+#include <string_view>
+
 #include "common/filter_op.h"
 #include "common/timer.h"
+#include "rdf/term.h"
 #include "snapshot/engine_snapshot.h"
 #include "summary/augmented_graph.h"
 
@@ -102,7 +107,72 @@ KeywordSearchEngine::IndexStats KeywordSearchEngine::index_stats() const {
   stats.augmentation_cache_bytes =
       augmentation_cache_ != nullptr ? augmentation_cache_->MemoryUsageBytes()
                                      : 0;
+  {
+    std::lock_guard<std::mutex> lock(scope_mutex_);
+    for (const auto& [key, filter] : scope_cache_) {
+      stats.scope_cache_bytes += key.capacity() + filter->MemoryUsageBytes();
+    }
+  }
   return stats;
+}
+
+std::shared_ptr<const KeywordSearchEngine::ScopeFilter>
+KeywordSearchEngine::AcquireScopeFilter(
+    std::span<const std::string> scope) const {
+  // Canonical key: sorted, deduplicated scope strings, length-prefixed so
+  // no concatenation of components can collide with a different set.
+  // Views into the caller's strings, not copies — a repeated scope's
+  // cache hit costs the key build plus one hash lookup, no per-string
+  // allocations. Resolution depends only on the immutable
+  // dictionary/summary, so equal keys always produce equal masks.
+  std::vector<std::string_view> canonical(scope.begin(), scope.end());
+  std::sort(canonical.begin(), canonical.end());
+  canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                  canonical.end());
+  std::string key;
+  for (std::string_view s : canonical) {
+    key += std::to_string(s.size());
+    key += ':';
+    key += s;
+  }
+  {
+    std::lock_guard<std::mutex> lock(scope_mutex_);
+    auto it = scope_cache_.find(key);
+    if (it != scope_cache_.end()) return it->second;
+  }
+
+  // Miss: resolve outside the lock (a racing same-scope build produces an
+  // identical filter; the loser's copy is simply dropped). Exact-IRI
+  // lookups are O(1); all local-name fallbacks of the scope share one
+  // dictionary sweep, paid once per cached scope.
+  auto filter = std::make_shared<ScopeFilter>();
+  std::set<std::string_view> unresolved;
+  for (std::string_view s : canonical) {
+    const rdf::TermId exact = dictionary_->Find(rdf::TermKind::kIri, s);
+    if (exact != rdf::kInvalidTermId) {
+      filter->terms.push_back(exact);
+    } else {
+      unresolved.insert(s);
+    }
+  }
+  if (!unresolved.empty()) {
+    for (rdf::TermId t = 0; t < dictionary_->size(); ++t) {
+      if (dictionary_->kind(t) == rdf::TermKind::kIri &&
+          unresolved.count(rdf::IriLocalName(dictionary_->text(t))) > 0) {
+        filter->terms.push_back(t);
+      }
+    }
+  }
+  std::sort(filter->terms.begin(), filter->terms.end());
+  filter->terms.erase(
+      std::unique(filter->terms.begin(), filter->terms.end()),
+      filter->terms.end());
+  filter->summary_mask = summary_.PredicateScopeFilter(filter->terms);
+
+  std::lock_guard<std::mutex> lock(scope_mutex_);
+  if (scope_cache_.size() >= kScopeCacheCap) scope_cache_.clear();
+  auto [it, inserted] = scope_cache_.emplace(std::move(key), std::move(filter));
+  return it->second;
 }
 
 std::shared_ptr<const summary::AugmentedGraph>
@@ -152,7 +222,8 @@ KeywordSearchEngine::AcquireAugmentation(
 
 KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
     const std::vector<std::string>& keywords, std::size_t k,
-    const ExplorationOptions& exploration) const {
+    const ExplorationOptions& exploration,
+    std::span<const std::string> predicate_scope) const {
   SearchResult result;
   WallTimer total;
 
@@ -228,6 +299,20 @@ KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
   const std::shared_ptr<const summary::AugmentedGraph> augmented_ptr =
       AcquireAugmentation(matches, &result.augmentation_cache_hit);
   const summary::AugmentedGraph& augmented = *augmented_ptr;
+
+  // Predicate scope: the base summary mask comes from the per-scope cache
+  // (the shared_ptr pins it for the exploration's lifetime); only the
+  // O(augmentation) overlay bits are built per query. Scope does not enter
+  // the augmentation-cache key: the augmented graph itself is
+  // scope-independent — the scope restricts traversal, not construction —
+  // so a cached augmentation serves scoped and unscoped queries alike.
+  std::shared_ptr<const ScopeFilter> scope_filter;
+  std::optional<graph::OverlayEdgeFilter> scoped_view;
+  if (!predicate_scope.empty()) {
+    scope_filter = AcquireScopeFilter(predicate_scope);
+    scoped_view.emplace(augmented.ScopedFilter(&scope_filter->summary_mask,
+                                               scope_filter->terms));
+  }
   result.augmentation_millis = step.ElapsedMillis();
 
   // Step 3: top-k graph exploration (Alg. 1 + Alg. 2), with overfetch to
@@ -236,6 +321,7 @@ KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
   // own pooled scratch, and the steady state allocates nothing.
   step.Reset();
   ExplorationOptions explore = exploration;
+  if (scoped_view.has_value()) explore.edge_filter = &*scoped_view;
   explore.k = std::max<std::size_t>(
       k, static_cast<std::size_t>(
              std::ceil(static_cast<double>(k) * options_.subgraph_overfetch)));
@@ -337,9 +423,7 @@ KeywordSearchEngine::SearchBatch(std::span<const KeywordQuery> queries,
   num_threads = std::min(num_threads, queries.size());
 
   auto run_one = [this, queries, &results](std::size_t i) {
-    const KeywordQuery& q = queries[i];
-    const std::size_t k = q.k > 0 ? q.k : options_.exploration.k;
-    results[i] = Search(q.keywords, k);
+    results[i] = Search(queries[i]);
   };
   if (num_threads <= 1) {
     for (std::size_t i = 0; i < queries.size(); ++i) run_one(i);

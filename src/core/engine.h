@@ -3,12 +3,15 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/free_list_pool.h"
 #include "core/exploration.h"
+#include "graph/edge_filter.h"
 #include "core/exploration_scratch.h"
 #include "core/query_mapping.h"
 #include "core/subgraph.h"
@@ -90,6 +93,12 @@ class KeywordSearchEngine {
     std::vector<std::string> keywords;
     /// 0 falls back to the engine's options.exploration.k.
     std::size_t k = 0;
+    /// Optional predicate scope: interpretations may only traverse edges
+    /// whose predicate resolves from these strings (exact IRI first, then
+    /// IRI local name), plus subclass edges (schema structure). Empty =
+    /// unscoped. The resolved scope mask is cached across queries, so a
+    /// repeated scope costs one hash lookup.
+    std::vector<std::string> predicate_scope;
   };
 
   /// Index footprints and preprocessing time (Fig. 6b). The serving-state
@@ -115,6 +124,9 @@ class KeywordSearchEngine {
     /// Bytes charged to the augmentation cache (resident entries' query
     /// content + keys + LRU/index overhead).
     std::size_t augmentation_cache_bytes = 0;
+    /// Resolved predicate-scope masks cached for reuse (summary-edge mask
+    /// words + resolved term lists + keys).
+    std::size_t scope_cache_bytes = 0;
     /// Size of the mmap-ed snapshot a warm-started engine serves from
     /// (0 for cold-built engines). Kept separate from the owned-heap
     /// counters above: mapped pages are file-backed and evictable, so
@@ -168,9 +180,21 @@ class KeywordSearchEngine {
   }
   /// Full-control variant: per-call exploration parameters (cost model,
   /// dmax, pruning, ...) without rebuilding the engine's indexes. Used by
-  /// the benchmark harness to sweep configurations.
+  /// the benchmark harness to sweep configurations. A non-empty
+  /// `predicate_scope` restricts the exploration to a filtered view of the
+  /// (augmented) summary — see KeywordQuery::predicate_scope.
   SearchResult Search(const std::vector<std::string>& keywords, std::size_t k,
-                      const ExplorationOptions& exploration) const;
+                      const ExplorationOptions& exploration,
+                      std::span<const std::string> predicate_scope = {}) const;
+
+  /// Scope-aware entry point: runs `query` with its predicate scope (and
+  /// its per-query k). SearchBatch serves every workload entry through
+  /// this, so scoped and unscoped queries mix freely in one batch.
+  SearchResult Search(const KeywordQuery& query) const {
+    const std::size_t k = query.k > 0 ? query.k : options_.exploration.k;
+    return Search(query.keywords, k, options_.exploration,
+                  query.predicate_scope);
+  }
 
   /// Serves `queries` on `num_threads` workers (0 = hardware concurrency)
   /// sharding independent queries over the shared immutable summary;
@@ -237,6 +261,26 @@ class KeywordSearchEngine {
       const std::vector<std::vector<keyword::KeywordMatch>>& matches,
       bool* cache_hit) const;
 
+  /// A resolved predicate scope: the terms the scope strings name and the
+  /// base mask over the summary's edges. Immutable once built; shared by
+  /// every query repeating the scope (the shared_ptr also pins the base
+  /// mask while a scoped exploration is in flight).
+  struct ScopeFilter {
+    std::vector<rdf::TermId> terms;  ///< sorted ascending, deduplicated
+    graph::EdgeFilter summary_mask;
+    std::size_t MemoryUsageBytes() const {
+      return terms.capacity() * sizeof(rdf::TermId) +
+             summary_mask.MemoryUsageBytes();
+    }
+  };
+
+  /// Resolves `scope` (cached per canonical scope-string set). Scope
+  /// strings resolve by exact IRI, falling back to a one-time dictionary
+  /// scan for IRI local names; unresolvable strings contribute no terms,
+  /// which scopes their predicate out entirely.
+  std::shared_ptr<const ScopeFilter> AcquireScopeFilter(
+      std::span<const std::string> scope) const;
+
   /// Warm-start state: the snapshot mapping plus the loaded dictionary and
   /// store the engine's borrowed spans point into. Null for cold-built
   /// engines. Declared first so it is destroyed last — every other member
@@ -265,6 +309,17 @@ class KeywordSearchEngine {
   mutable FreeListPool<ExplorationScratch> scratch_pool_{kPoolCapacity};
   mutable FreeListPool<summary::AugmentedGraph> overlay_pool_{kPoolCapacity};
   std::unique_ptr<summary::AugmentationCache> augmentation_cache_;
+
+  /// Resolved scope masks, keyed by the canonical (sorted, deduplicated)
+  /// scope-string set — the mask-per-scope cache that keeps repeated
+  /// scoped queries from re-resolving predicates or re-sweeping the
+  /// summary's edges. Real workloads use a handful of scopes; if churn
+  /// ever exceeds kScopeCacheCap distinct scopes the cache resets
+  /// wholesale (in-flight queries keep their entries via shared_ptr).
+  static constexpr std::size_t kScopeCacheCap = 64;
+  mutable std::mutex scope_mutex_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const ScopeFilter>>
+      scope_cache_;
 };
 
 }  // namespace grasp::core

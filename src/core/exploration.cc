@@ -356,10 +356,21 @@ std::vector<MatchingSubgraph> SubgraphExplorer::FindTopK() {
     scratch_->element_cost.resize(graph_->num_elements(), 0.0);
   }
 
-  // Alg. 1, lines 1-6: one root cursor per keyword element.
+  // Alg. 1, lines 1-6: one root cursor per keyword element. Under an edge
+  // scope, keyword elements that are masked edges are not part of the
+  // scoped graph: they neither root a cursor nor contribute to the
+  // min-root bound, and a keyword whose every element is scoped out makes
+  // the query unanswerable (mirrored exactly by ReferenceExplorer).
+  const graph::OverlayEdgeFilter* scope = options_.edge_filter;
   scratch_->min_root_cost.assign(num_keywords_, kInf);
   for (std::uint32_t i = 0; i < num_keywords_; ++i) {
+    bool any_in_scope = false;
     for (const summary::ScoredElement& se : keyword_elements[i]) {
+      if (scope != nullptr && se.element.is_edge() &&
+          !scope->Contains(se.element.index())) {
+        continue;
+      }
+      any_in_scope = true;
       const double w = CachedElementCost(se.element);
       scratch_->min_root_cost[i] = std::min(scratch_->min_root_cost[i], w);
       if (!distance_admissible(i, se.element, 0)) continue;
@@ -369,7 +380,15 @@ std::vector<MatchingSubgraph> SubgraphExplorer::FindTopK() {
       heap.Push(w, idx);
       ++stats_.cursors_created;
     }
+    if (!any_in_scope) return {};
   }
+
+  // Word-caching probe over the shared base mask: CSR incident runs are
+  // ascending edge ids, so each pop's scan loads one mask word per 64-id
+  // window instead of branching per edge (the scan persists across pops).
+  graph::EdgeFilter::Cursor base_scope_bits =
+      scope != nullptr ? graph::EdgeFilter::Cursor(scope->base())
+                       : graph::EdgeFilter::Cursor();
 
   while (true) {
     // Alg. 1, line 8: cheapest cursor overall — the global heap top.
@@ -428,11 +447,22 @@ std::vector<MatchingSubgraph> SubgraphExplorer::FindTopK() {
           // branches on every ++, which is measurable at pop frequency.
           const graph::ChainedIds incident =
               graph_->IncidentEdges(n.index());
-          for (summary::EdgeId e : incident.first()) {
-            try_expand(summary::ElementId::Edge(e));
-          }
-          for (summary::EdgeId e : incident.second()) {
-            try_expand(summary::ElementId::Edge(e));
+          if (scope == nullptr) {
+            for (summary::EdgeId e : incident.first()) {
+              try_expand(summary::ElementId::Edge(e));
+            }
+            for (summary::EdgeId e : incident.second()) {
+              try_expand(summary::ElementId::Edge(e));
+            }
+          } else {
+            for (summary::EdgeId e : incident.first()) {
+              if (!base_scope_bits.Contains(e)) continue;
+              try_expand(summary::ElementId::Edge(e));
+            }
+            for (summary::EdgeId e : incident.second()) {
+              if (!scope->ContainsOverlay(e)) continue;
+              try_expand(summary::ElementId::Edge(e));
+            }
           }
         } else {
           const summary::SummaryEdge& e = graph_->edge(n.index());

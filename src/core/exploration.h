@@ -8,6 +8,7 @@
 #include "core/cost_model.h"
 #include "core/exploration_scratch.h"
 #include "core/subgraph.h"
+#include "graph/edge_filter.h"
 #include "summary/augmented_graph.h"
 #include "summary/distance_index.h"
 
@@ -38,6 +39,16 @@ struct ExplorationOptions {
   /// the hot loop does not grow a vector on every pop; the Theorem 1
   /// property tests switch it on.
   bool record_pop_trace = false;
+  /// Optional edge scope over the augmented graph (predicate- or
+  /// kind-restricted search): only edges whose mask bit is set are
+  /// traversable, and keyword elements that are masked edges never root a
+  /// cursor — they are not part of the scoped graph at all. The mask spans
+  /// base summary edges (shared, cacheable) plus per-query overlay bits
+  /// (see summary::AugmentedGraph::ScopedFilter) and must outlive the
+  /// exploration. The distance-pruning index stays unfiltered: unfiltered
+  /// distances lower-bound scoped ones, so pruning remains sound and both
+  /// explorers remain byte-identical. nullptr = full graph.
+  const graph::OverlayEdgeFilter* edge_filter = nullptr;
   /// Safety valve: stop after this many cursor pops (0 = unlimited).
   std::size_t max_cursor_pops = 0;
   /// Safety valve: cap on path combinations generated per connecting-element

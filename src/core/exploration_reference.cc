@@ -54,6 +54,14 @@ void ReferenceExplorer::CollectNeighbors(
   out->clear();
   if (element.is_node()) {
     for (summary::EdgeId e : graph_->IncidentEdges(element.index())) {
+      // Edge-scope reference semantics: explore the full incident chain
+      // and reject masked edges with a plain per-edge branch — the
+      // formulation the flat explorer's word-scanned path is pinned
+      // against by the filtered differential suite.
+      if (options_.edge_filter != nullptr &&
+          !options_.edge_filter->Contains(e)) {
+        continue;
+      }
       out->push_back(summary::ElementId::Edge(e));
     }
   } else {
@@ -302,10 +310,18 @@ std::vector<MatchingSubgraph> ReferenceExplorer::FindTopK() {
     return false;
   };
 
-  // Alg. 1, lines 1-6: one root cursor per keyword element.
+  // Alg. 1, lines 1-6: one root cursor per keyword element. Keyword
+  // elements that are scope-masked edges are not part of the scoped graph
+  // (same rule as SubgraphExplorer, which the differential suite pins).
   min_root_cost_.assign(num_keywords_, kInf);
   for (std::uint32_t i = 0; i < num_keywords_; ++i) {
+    bool any_in_scope = false;
     for (const summary::ScoredElement& se : keyword_elements[i]) {
+      if (options_.edge_filter != nullptr && se.element.is_edge() &&
+          !options_.edge_filter->Contains(se.element.index())) {
+        continue;
+      }
+      any_in_scope = true;
       const double w = cost_fn_.ElementCost(se.element);
       min_root_cost_[i] = std::min(min_root_cost_[i], w);
       if (!distance_admissible(i, se.element, 0)) continue;
@@ -315,6 +331,7 @@ std::vector<MatchingSubgraph> ReferenceExplorer::FindTopK() {
       std::push_heap(queues_[i].begin(), queues_[i].end(), HeapGreater{});
       ++stats_.cursors_created;
     }
+    if (!any_in_scope) return {};
   }
 
   std::vector<summary::ElementId> neighbors;

@@ -1,0 +1,65 @@
+#ifndef GRASP_GRAPH_FILTERED_GRAPH_H_
+#define GRASP_GRAPH_FILTERED_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+
+#include "graph/csr_graph.h"
+#include "graph/edge_filter.h"
+
+namespace grasp::graph {
+
+/// A copy-free restricted view over a CsrGraph: the node and edge records
+/// are the base graph's, and every adjacency accessor yields only the edge
+/// ids admitted by the bound EdgeFilter (the osrm FilteredGraph idiom over
+/// our CSR core). Construction is O(1) — the mask is built elsewhere, once
+/// per filter shape, and can be shared by any number of views and threads.
+///
+/// Both the base graph and the filter must outlive the view. Adjacency
+/// kinds not built on the base stay empty here too.
+template <typename NodeT, typename EdgeT>
+class FilteredGraph {
+ public:
+  using Base = CsrGraph<NodeT, EdgeT>;
+
+  FilteredGraph(const Base& base, const EdgeFilter& filter)
+      : base_(&base), filter_(&filter) {}
+
+  const Base& base() const { return *base_; }
+  const EdgeFilter& filter() const { return *filter_; }
+
+  /// Base counts: ids keep their meaning across the view, so masked edges
+  /// still exist — they are just never yielded by the adjacency accessors.
+  std::size_t NumNodes() const { return base_->NumNodes(); }
+  std::size_t NumEdges() const { return base_->NumEdges(); }
+  /// Edges admitted by the filter (one popcount per mask word).
+  std::size_t NumAdmittedEdges() const { return filter_->CountSet(); }
+
+  const NodeT& node(std::uint32_t id) const { return base_->node(id); }
+  const EdgeT& edge(std::uint32_t id) const { return base_->edge(id); }
+
+  FilteredIds OutEdges(std::uint32_t node) const {
+    return FilteredIds(base_->OutEdges(node), *filter_);
+  }
+  FilteredIds InEdges(std::uint32_t node) const {
+    return FilteredIds(base_->InEdges(node), *filter_);
+  }
+  FilteredIds IncidentEdges(std::uint32_t node) const {
+    return FilteredIds(base_->IncidentEdges(node), *filter_);
+  }
+
+  std::size_t OutDegree(std::uint32_t node) const {
+    return OutEdges(node).count();
+  }
+  std::size_t InDegree(std::uint32_t node) const {
+    return InEdges(node).count();
+  }
+
+ private:
+  const Base* base_;
+  const EdgeFilter* filter_;
+};
+
+}  // namespace grasp::graph
+
+#endif  // GRASP_GRAPH_FILTERED_GRAPH_H_

@@ -101,6 +101,24 @@ DataGraph DataGraph::FromSnapshotParts(const Dictionary& dictionary,
   return g;
 }
 
+graph::EdgeFilter DataGraph::KindFilter(unsigned kind_mask) const {
+  return graph::EdgeFilter::Build(
+      static_cast<std::uint32_t>(csr_.NumEdges()), [&](std::uint32_t e) {
+        return (EdgeKindBit(csr_.edge(e).kind) & kind_mask) != 0;
+      });
+}
+
+graph::EdgeFilter DataGraph::PredicateFilter(
+    std::span<const TermId> sorted_predicates, unsigned extra_kind_mask) const {
+  return graph::EdgeFilter::Build(
+      static_cast<std::uint32_t>(csr_.NumEdges()), [&](std::uint32_t e) {
+        const Edge& edge = csr_.edge(e);
+        if ((EdgeKindBit(edge.kind) & extra_kind_mask) != 0) return true;
+        return std::binary_search(sorted_predicates.begin(),
+                                  sorted_predicates.end(), edge.label);
+      });
+}
+
 std::size_t DataGraph::MemoryUsageBytes() const {
   return csr_.MemoryUsageBytes() + classes_.MemoryUsageBytes() +
          vertex_of_term_.OwnedBytes();

@@ -10,6 +10,8 @@
 #include "common/flat_storage.h"
 #include "graph/csr.h"
 #include "graph/csr_graph.h"
+#include "graph/edge_filter.h"
+#include "graph/filtered_graph.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple_store.h"
 
@@ -54,6 +56,11 @@ struct Edge {
   VertexId to = kInvalidVertexId;
   EdgeKind kind = EdgeKind::kRelation;
 };
+
+/// Bit of an EdgeKind in a kind mask (KindFilter).
+inline constexpr unsigned EdgeKindBit(EdgeKind kind) {
+  return 1u << static_cast<unsigned>(kind);
+}
 
 /// The data graph G of Definition 1, derived from a finalized TripleStore by
 /// classifying vertices and edges:
@@ -133,6 +140,26 @@ class DataGraph {
   /// Edges leaving / entering a vertex.
   std::span<const EdgeId> OutEdges(VertexId v) const { return csr_.OutEdges(v); }
   std::span<const EdgeId> InEdges(VertexId v) const { return csr_.InEdges(v); }
+
+  /// Edge mask admitting the kinds whose EdgeKindBit is set in `kind_mask`
+  /// — e.g. EdgeKindBit(EdgeKind::kRelation) restricts traversal to the
+  /// R-edge partition of Definition 1. One linear sweep over the edge
+  /// records; share the result across queries and threads.
+  graph::EdgeFilter KindFilter(unsigned kind_mask) const;
+
+  /// Edge mask admitting edges whose label is in `sorted_predicates`
+  /// (ascending TermIds). Kinds in `extra_kind_mask` are admitted
+  /// regardless of label (pass EdgeKindBit(EdgeKind::kType) etc. to keep
+  /// structural edges traversable under a predicate scope).
+  graph::EdgeFilter PredicateFilter(std::span<const TermId> sorted_predicates,
+                                    unsigned extra_kind_mask = 0) const;
+
+  /// Copy-free restricted adjacency view over this graph's CSR core. The
+  /// filter must outlive the view (and this graph must outlive both).
+  graph::FilteredGraph<Vertex, Edge> Filtered(
+      const graph::EdgeFilter& filter) const {
+    return graph::FilteredGraph<Vertex, Edge>(csr_, filter);
+  }
 
   /// Class vertices an entity is typed with (targets of its `type` edges).
   /// Empty for untyped entities (they aggregate into `Thing` in the summary).

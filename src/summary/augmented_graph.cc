@@ -221,6 +221,17 @@ void AugmentedGraph::Augment(
   }
 }
 
+graph::EdgeFilter AugmentedGraph::OverlayScopeBits(
+    std::span<const rdf::TermId> sorted_predicates) const {
+  const std::span<const SummaryEdge> overlay_edges = overlay_.overlay_edges();
+  return graph::EdgeFilter::Build(
+      static_cast<std::uint32_t>(overlay_edges.size()), [&](std::uint32_t i) {
+        return std::binary_search(sorted_predicates.begin(),
+                                  sorted_predicates.end(),
+                                  overlay_edges[i].label);
+      });
+}
+
 double AugmentedGraph::MatchScore(ElementId element) const {
   auto it = scores_.find(element.raw());
   return it == scores_.end() ? 1.0 : it->second;

@@ -9,6 +9,7 @@
 
 #include "common/filter_op.h"
 #include "common/hash.h"
+#include "graph/edge_filter.h"
 #include "graph/overlay_graph.h"
 #include "keyword/keyword_index.h"
 #include "summary/summary_graph.h"
@@ -124,6 +125,24 @@ class AugmentedGraph {
   /// overlay extension list.
   graph::ChainedIds IncidentEdges(NodeId node) const {
     return overlay_.IncidentEdges(node);
+  }
+
+  /// Overlay half of a predicate-scope mask: one bit per augmentation
+  /// (overlay) edge, set iff its label is in `sorted_predicates`
+  /// (ascending). Overlay edges are the A-edges Def. 5 adds, so a scope
+  /// that excludes an attribute predicate masks its augmented edges too.
+  /// O(augmentation size), built per query; the base half is the
+  /// long-lived SummaryGraph::PredicateScopeFilter the engine caches.
+  graph::EdgeFilter OverlayScopeBits(
+      std::span<const rdf::TermId> sorted_predicates) const;
+
+  /// Composes the cached base mask with this augmentation's overlay bits.
+  /// `base` must cover exactly base_edges() edges and outlive the result.
+  graph::OverlayEdgeFilter ScopedFilter(
+      const graph::EdgeFilter* base,
+      std::span<const rdf::TermId> sorted_predicates) const {
+    return graph::OverlayEdgeFilter(base, OverlayScopeBits(sorted_predicates),
+                                    base_edges());
   }
 
   /// K_i per keyword (deduplicated, best score kept).

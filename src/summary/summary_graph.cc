@@ -1,5 +1,6 @@
 #include "summary/summary_graph.h"
 
+#include <algorithm>
 #include <map>
 #include <tuple>
 #include <utility>
@@ -152,6 +153,17 @@ std::span<const SummaryEdge> SummaryGraph::EdgesWithLabel(
   const auto [first, last] = it->second;
   if (first_id != nullptr) *first_id = first;
   return {csr_.edges().data() + first, csr_.edges().data() + last};
+}
+
+graph::EdgeFilter SummaryGraph::PredicateScopeFilter(
+    std::span<const rdf::TermId> sorted_predicates) const {
+  return graph::EdgeFilter::Build(
+      static_cast<std::uint32_t>(csr_.NumEdges()), [&](std::uint32_t e) {
+        const SummaryEdge& edge = csr_.edge(e);
+        if (edge.kind == SummaryEdgeKind::kSubclass) return true;
+        return std::binary_search(sorted_predicates.begin(),
+                                  sorted_predicates.end(), edge.label);
+      });
 }
 
 std::size_t SummaryGraph::MemoryUsageBytes() const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "graph/edge_filter.h"
 #include "rdf/data_graph.h"
 
 namespace grasp::summary {
@@ -113,6 +114,15 @@ class SummaryGraph {
                                               EdgeId* first_id) const;
 
   NodeId thing_node() const { return thing_node_; }
+
+  /// Base half of a predicate-scope mask: admits edges whose label is in
+  /// `sorted_predicates` (ascending TermIds). Subclass edges stay
+  /// traversable — they are schema structure, and scoping them out would
+  /// disconnect the class hierarchy rather than restrict the predicates an
+  /// interpretation may use. Build once per scope shape (the engine caches
+  /// these) and compose with AugmentedGraph::OverlayScopeBits per query.
+  graph::EdgeFilter PredicateScopeFilter(
+      std::span<const rdf::TermId> sorted_predicates) const;
 
   /// Total number of E-vertices (resp. R-edges) in the underlying data
   /// graph: the popularity denominators of cost model C2.

@@ -1,0 +1,219 @@
+// Baseline conformance under filtered edge views: backward search,
+// bidirectional search and BLINKS traversing word-scanned FilteredIds
+// adjacency (EdgeFilterMode::kFilteredView) must produce answer trees
+// byte-identical to the inline per-edge-branch formulation
+// (EdgeFilterMode::kInlineCheck) for every filter shape, and an all-ones
+// filter must reproduce the unfiltered legacy path exactly. Runs on Fig. 1
+// and a LUBM slice under the regular and sanitizer CI jobs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline/backward_search.h"
+#include "baseline/bidirectional_search.h"
+#include "baseline/blinks.h"
+#include "baseline/keyword_map.h"
+#include "datagen/lubm_gen.h"
+#include "graph/edge_filter.h"
+#include "rdf/data_graph.h"
+#include "test_util.h"
+
+namespace grasp::baseline {
+namespace {
+
+using graph::EdgeFilter;
+
+struct Fixture {
+  grasp::testing::Dataset dataset;
+  std::unique_ptr<rdf::DataGraph> graph;
+  std::unique_ptr<VertexKeywordMap> keyword_map;
+};
+
+Fixture MakeFixture(grasp::testing::Dataset dataset) {
+  Fixture f;
+  f.dataset = std::move(dataset);
+  f.graph = std::make_unique<rdf::DataGraph>(
+      rdf::DataGraph::Build(f.dataset.store, f.dataset.dictionary));
+  f.keyword_map = std::make_unique<VertexKeywordMap>(*f.graph);
+  return f;
+}
+
+Fixture Figure1Fixture() {
+  return MakeFixture(grasp::testing::MakeFigure1Dataset());
+}
+
+Fixture LubmFixture() {
+  grasp::testing::Dataset dataset;
+  datagen::LubmOptions options;
+  options.num_universities = 1;
+  options.departments_per_university = 2;
+  datagen::GenerateLubm(options, &dataset.dictionary, &dataset.store);
+  dataset.store.Finalize();
+  return MakeFixture(std::move(dataset));
+}
+
+void ExpectSameAnswers(const BaselineResult& a, const BaselineResult& b,
+                       const std::string& context) {
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited) << context;
+  ASSERT_EQ(a.answers.size(), b.answers.size()) << context;
+  for (std::size_t i = 0; i < a.answers.size(); ++i) {
+    EXPECT_EQ(a.answers[i].root, b.answers[i].root) << context << " #" << i;
+    EXPECT_EQ(a.answers[i].score, b.answers[i].score) << context << " #" << i;
+    EXPECT_EQ(a.answers[i].keyword_vertices, b.answers[i].keyword_vertices)
+        << context << " #" << i;
+    EXPECT_EQ(a.answers[i].distances, b.answers[i].distances)
+        << context << " #" << i;
+  }
+}
+
+/// The filter shapes every searcher is swept over; built per graph.
+std::vector<std::pair<std::string, EdgeFilter>> FilterShapes(
+    const rdf::DataGraph& graph) {
+  std::vector<std::pair<std::string, EdgeFilter>> shapes;
+  shapes.emplace_back(
+      "all", EdgeFilter::MakeFull(static_cast<std::uint32_t>(graph.NumEdges())));
+  shapes.emplace_back("relations",
+                      graph.KindFilter(rdf::EdgeKindBit(rdf::EdgeKind::kRelation)));
+  shapes.emplace_back(
+      "relations+attributes",
+      graph.KindFilter(rdf::EdgeKindBit(rdf::EdgeKind::kRelation) |
+                       rdf::EdgeKindBit(rdf::EdgeKind::kAttribute)));
+  shapes.emplace_back(
+      "no-type",
+      graph.KindFilter(rdf::EdgeKindBit(rdf::EdgeKind::kRelation) |
+                       rdf::EdgeKindBit(rdf::EdgeKind::kAttribute) |
+                       rdf::EdgeKindBit(rdf::EdgeKind::kSubclass)));
+  return shapes;
+}
+
+void RunBackwardConformance(const Fixture& f,
+                            const std::vector<std::string>& keywords,
+                            const std::string& tag) {
+  BackwardSearch search(*f.graph, *f.keyword_map);
+  BaselineOptions unfiltered;
+  unfiltered.k = 5;
+  const BaselineResult legacy = search.Search(keywords, unfiltered);
+
+  for (const auto& [name, filter] : FilterShapes(*f.graph)) {
+    BaselineOptions view = unfiltered;
+    view.edge_filter = &filter;
+    view.filter_mode = EdgeFilterMode::kFilteredView;
+    BaselineOptions inline_check = view;
+    inline_check.filter_mode = EdgeFilterMode::kInlineCheck;
+    const BaselineResult a = search.Search(keywords, view);
+    const BaselineResult b = search.Search(keywords, inline_check);
+    ExpectSameAnswers(a, b, tag + " backward " + name);
+    if (name == "all") {
+      ExpectSameAnswers(a, legacy, tag + " backward all-vs-legacy");
+    }
+  }
+}
+
+void RunBidirectionalConformance(const Fixture& f,
+                                 const std::vector<std::string>& keywords,
+                                 const std::string& tag) {
+  BidirectionalSearch search(*f.graph, *f.keyword_map);
+  BidirectionalSearch::Options unfiltered;
+  unfiltered.k = 5;
+  const BaselineResult legacy = search.Search(keywords, unfiltered);
+
+  for (const auto& [name, filter] : FilterShapes(*f.graph)) {
+    BidirectionalSearch::Options view = unfiltered;
+    view.edge_filter = &filter;
+    view.filter_mode = EdgeFilterMode::kFilteredView;
+    BidirectionalSearch::Options inline_check = view;
+    inline_check.filter_mode = EdgeFilterMode::kInlineCheck;
+    const BaselineResult a = search.Search(keywords, view);
+    const BaselineResult b = search.Search(keywords, inline_check);
+    ExpectSameAnswers(a, b, tag + " bidirectional " + name);
+    if (name == "all") {
+      ExpectSameAnswers(a, legacy, tag + " bidirectional all-vs-legacy");
+    }
+  }
+}
+
+void RunBlinksConformance(const Fixture& f,
+                          const std::vector<std::string>& keywords,
+                          const std::string& tag) {
+  BaselineOptions search_options;
+  search_options.k = 5;
+
+  BlinksIndex::BuildOptions unfiltered;
+  unfiltered.num_blocks = 4;
+  const BlinksIndex legacy_index(*f.graph, *f.keyword_map, unfiltered);
+  const BaselineResult legacy = legacy_index.Search(keywords, search_options);
+
+  for (const auto& [name, filter] : FilterShapes(*f.graph)) {
+    BlinksIndex::BuildOptions view = unfiltered;
+    view.edge_filter = &filter;
+    view.filter_mode = EdgeFilterMode::kFilteredView;
+    BlinksIndex::BuildOptions inline_check = view;
+    inline_check.filter_mode = EdgeFilterMode::kInlineCheck;
+    // The scope is part of the *index*: both the portal precomputation and
+    // the search traverse the filtered view.
+    const BlinksIndex view_index(*f.graph, *f.keyword_map, view);
+    const BlinksIndex inline_index(*f.graph, *f.keyword_map, inline_check);
+    const BaselineResult a = view_index.Search(keywords, search_options);
+    const BaselineResult b = inline_index.Search(keywords, search_options);
+    EXPECT_EQ(view_index.num_portals(), inline_index.num_portals())
+        << tag << " blinks " << name;
+    ExpectSameAnswers(a, b, tag + " blinks " + name);
+    if (name == "all") {
+      EXPECT_EQ(view_index.num_portals(), legacy_index.num_portals())
+          << tag << " blinks all-vs-legacy portals";
+      ExpectSameAnswers(a, legacy, tag + " blinks all-vs-legacy");
+    }
+  }
+}
+
+TEST(BaselineFilterTest, BackwardSearchConformance) {
+  const Fixture fig1 = Figure1Fixture();
+  RunBackwardConformance(fig1, {"cimiano", "aifb"}, "fig1");
+  RunBackwardConformance(fig1, {"publication", "institute"}, "fig1");
+  const Fixture lubm = LubmFixture();
+  RunBackwardConformance(lubm, {"publication", "professor"}, "lubm");
+}
+
+TEST(BaselineFilterTest, BidirectionalSearchConformance) {
+  const Fixture fig1 = Figure1Fixture();
+  RunBidirectionalConformance(fig1, {"cimiano", "aifb"}, "fig1");
+  RunBidirectionalConformance(fig1, {"publication", "institute"}, "fig1");
+  const Fixture lubm = LubmFixture();
+  RunBidirectionalConformance(lubm, {"publication", "professor"}, "lubm");
+}
+
+TEST(BaselineFilterTest, BlinksConformance) {
+  const Fixture fig1 = Figure1Fixture();
+  RunBlinksConformance(fig1, {"cimiano", "aifb"}, "fig1");
+  const Fixture lubm = LubmFixture();
+  RunBlinksConformance(lubm, {"publication", "professor"}, "lubm");
+}
+
+/// A filter that severs the only connection must make the answer set empty
+/// rather than leak a masked edge into a path — the semantic guarantee.
+TEST(BaselineFilterTest, SeveringFilterYieldsNoAnswers) {
+  const Fixture f = Figure1Fixture();
+  // Only subclass/type edges: keyword vertices (value literals) have no
+  // in-scope incident edges, so no root can collect both groups.
+  const EdgeFilter structural_only =
+      f.graph->KindFilter(rdf::EdgeKindBit(rdf::EdgeKind::kType) |
+                          rdf::EdgeKindBit(rdf::EdgeKind::kSubclass));
+  BaselineOptions options;
+  options.k = 5;
+  options.edge_filter = &structural_only;
+
+  BackwardSearch backward(*f.graph, *f.keyword_map);
+  EXPECT_TRUE(backward.Search({"cimiano", "aifb"}, options).answers.empty());
+
+  BidirectionalSearch::Options bi_options;
+  bi_options.k = 5;
+  bi_options.edge_filter = &structural_only;
+  BidirectionalSearch bidirectional(*f.graph, *f.keyword_map);
+  EXPECT_TRUE(
+      bidirectional.Search({"cimiano", "aifb"}, bi_options).answers.empty());
+}
+
+}  // namespace
+}  // namespace grasp::baseline

@@ -280,6 +280,33 @@ TEST_F(ConcurrencyTest, SearchBatchMatchesSerialSearch) {
   }
 }
 
+TEST_F(ConcurrencyTest, ScopedSearchBatchMatchesSerialSearch) {
+  // Scoped and unscoped queries mixed in one batch: concurrent workers
+  // share the scope-mask cache (first resolution races are benign — equal
+  // keys build equal masks) and every result must equal its serial run.
+  KeywordSearchEngine engine(dataset_.store, dataset_.dictionary);
+  std::vector<KeywordQuery> workload = MixedWorkload();
+  workload[0].predicate_scope = {"name", "author", "year", "worksAt"};
+  workload[1].predicate_scope = {"name"};
+  workload[2].predicate_scope = {"name", "author", "year", "worksAt"};  // repeat
+  workload[4].predicate_scope = {"author", "hasProject"};
+  workload[6].predicate_scope = {"no-such-predicate"};
+
+  std::vector<SearchResult> serial;
+  for (const auto& q : workload) serial.push_back(engine.Search(q));
+
+  for (int round = 0; round < 3; ++round) {
+    const auto batch = engine.SearchBatch(workload, 4);
+    ASSERT_EQ(batch.size(), workload.size());
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+      ExpectSameResults(batch[i], serial[i],
+                        "scoped batch round " + std::to_string(round) +
+                            " query " + std::to_string(i));
+    }
+  }
+  EXPECT_GT(engine.index_stats().scope_cache_bytes, 0u);
+}
+
 TEST_F(ConcurrencyTest, SearchBatchSingleThreadAndEmptyInput) {
   KeywordSearchEngine engine(dataset_.store, dataset_.dictionary);
   EXPECT_TRUE(engine.SearchBatch({}, 4).empty());

@@ -8,6 +8,7 @@
 
 #include "core/cost_model.h"
 #include "core/exploration.h"
+#include "core/exploration_reference.h"
 #include "keyword/keyword_index.h"
 #include "rdf/data_graph.h"
 #include "summary/augmented_graph.h"
@@ -357,6 +358,67 @@ TEST(ExplorationShapesTest, MaxPopsBudgetStops) {
   explorer.FindTopK();
   EXPECT_TRUE(explorer.stats().budget_exceeded);
   EXPECT_LE(explorer.stats().cursors_popped, 4u);
+}
+
+// Regression pin for the max_cursor_pops safety valve: the cap must
+// terminate the exploration at a deterministic point — exactly cap+1 pops
+// (the (cap+1)-th pop trips the valve before being processed) — with the
+// budget_exceeded partial-result status set and neither of the natural
+// end states claimed, identically in the flat and reference explorers and
+// across repeated runs on a shared scratch.
+TEST(ExplorationShapesTest, MaxPopsBudgetIsDeterministicPartialResult) {
+  Pipeline p = MakePipeline(grasp::testing::MakeFigure1Dataset(),
+                            {"2006", "cimiano", "aifb"});
+
+  // Uncapped baseline: how much work the full run does, and its result.
+  ExplorationOptions unlimited;
+  unlimited.k = 5;
+  SubgraphExplorer full(*p.augmented, unlimited);
+  const auto full_results = full.FindTopK();
+  ASSERT_FALSE(full_results.empty());
+  ASSERT_GT(full.stats().cursors_popped, 4u);
+
+  ExplorationOptions capped = unlimited;
+  capped.max_cursor_pops = full.stats().cursors_popped / 2;
+
+  ExplorationScratch scratch;
+  std::vector<MatchingSubgraph> first_run;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    SubgraphExplorer flat(*p.augmented, capped, &scratch);
+    const auto flat_results = flat.FindTopK();
+    EXPECT_TRUE(flat.stats().budget_exceeded);
+    EXPECT_FALSE(flat.stats().early_terminated);
+    EXPECT_FALSE(flat.stats().exhausted);
+    EXPECT_EQ(flat.stats().cursors_popped, capped.max_cursor_pops + 1);
+
+    ReferenceExplorer reference(*p.augmented, capped);
+    const auto ref_results = reference.FindTopK();
+    EXPECT_TRUE(reference.stats().budget_exceeded);
+    EXPECT_EQ(reference.stats().cursors_popped, capped.max_cursor_pops + 1);
+
+    // The partial result is still a valid (sorted) prefix answer, and the
+    // two explorers agree on it byte for byte.
+    ASSERT_EQ(flat_results.size(), ref_results.size());
+    for (std::size_t i = 0; i < flat_results.size(); ++i) {
+      EXPECT_EQ(flat_results[i].cost, ref_results[i].cost) << i;
+      EXPECT_EQ(flat_results[i].StructureKey(), ref_results[i].StructureKey())
+          << i;
+      if (i > 0) {
+        EXPECT_GE(flat_results[i].cost, flat_results[i - 1].cost) << i;
+      }
+    }
+    if (repeat == 0) {
+      first_run = flat_results;
+    } else {
+      // Deterministic across runs (scratch reuse included).
+      ASSERT_EQ(flat_results.size(), first_run.size());
+      for (std::size_t i = 0; i < flat_results.size(); ++i) {
+        EXPECT_EQ(flat_results[i].cost, first_run[i].cost) << i;
+        EXPECT_EQ(flat_results[i].StructureKey(), first_run[i].StructureKey())
+            << i;
+      }
+    }
+  }
 }
 
 // -------------------------------------------- top-k vs brute-force oracle --

@@ -151,6 +151,39 @@ TEST_P(RandomizedWarmStartTest, RandomDatasetAndKeywords) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedWarmStartTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
 
+// Predicate-scoped queries against a warm-started engine: the scope masks
+// are rebuilt lazily over the mapped summary (zero index rebuild) and the
+// filtered results must be byte-identical to the cold-built engine's, on
+// the first scoped query and on cache-hit repeats.
+TEST(SnapshotWarmStartTest, ScopedQueriesMatchColdByteIdentical) {
+  Dataset dataset = grasp::testing::MakeFigure1Dataset();
+  KeywordSearchEngine cold(dataset.store, dataset.dictionary);
+  std::unique_ptr<KeywordSearchEngine> warm = Reopen(cold, "fig1_scoped");
+  ASSERT_NE(warm, nullptr);
+
+  std::vector<KeywordSearchEngine::KeywordQuery> queries;
+  for (const auto& [keywords, scope] :
+       std::vector<std::pair<std::vector<std::string>,
+                             std::vector<std::string>>>{
+           {{"2006", "cimiano", "aifb"}, {"name", "author", "year", "worksAt"}},
+           {{"2006", "cimiano", "aifb"}, {"name", "author", "year"}},
+           {{"publication", "project"}, {"hasProject", "name"}},
+           {{"cimiano", "aifb"}, {"name"}},
+           {{"2006", "cimiano"}, {"no-such-predicate"}}}) {
+    KeywordSearchEngine::KeywordQuery q;
+    q.keywords = keywords;
+    q.k = 5;
+    q.predicate_scope = scope;
+    queries.push_back(std::move(q));
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ExpectSameResult(cold.Search(queries[i]), warm->Search(queries[i]),
+                       StrFormat("scoped round %d query %zu", round, i));
+    }
+  }
+}
+
 TEST(SnapshotWarmStartTest, SearchBatchConcurrencyMatchesColdSerial) {
   Dataset dataset;
   datagen::LubmOptions options;
