@@ -18,6 +18,7 @@
 
 #include "graph/edge_filter.h"
 
+#include "common/aligned.h"
 #include "core/engine.h"
 #include "core/exploration.h"
 #include "core/exploration_reference.h"
@@ -27,6 +28,8 @@
 #include "rdf/data_graph.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple_store.h"
+#include "simd/cpu.h"
+#include "simd/kernels.h"
 #include "summary/augmentation_cache.h"
 #include "summary/augmented_graph.h"
 #include "summary/summary_graph.h"
@@ -113,6 +116,128 @@ void BM_BoundedLevenshtein(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BoundedLevenshtein);
+
+// ------------------------------------------------------ SIMD kernel tiers --
+// The dispatched hot-path kernels, benchmarked per ISA tier (Arg 0=scalar,
+// 1=sse42, 2=avx2) through the same function-pointer table the engine
+// dispatches through. Tiers the host CPU (or a non-x86 build) cannot run
+// are skipped. The acceptance bar is >=1.5x over scalar on at least one
+// kernel on an AVX2 host; the scalar rows double as the regression
+// baseline for the trend tracker.
+
+const grasp::simd::KernelTable* KernelTableForArg(benchmark::State& state) {
+  const auto level = static_cast<grasp::simd::Level>(state.range(0));
+  const grasp::simd::KernelTable* table = grasp::simd::TableFor(level);
+  if (table == nullptr) {
+    state.SkipWithError("SIMD tier unavailable on this CPU/build");
+  }
+  return table;
+}
+
+void BM_KernelMaskCompose(benchmark::State& state) {
+  const grasp::simd::KernelTable* table = KernelTableForArg(state);
+  if (table == nullptr) return;
+  constexpr std::size_t kWords = 4096;  // a 256Ki-edge scope mask
+  grasp::AlignedVector<std::uint64_t> a(kWords), b(kWords), out(kWords);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < kWords; ++i) {
+    a[i] = x = x * 6364136223846793005ull + 1442695040888963407ull;
+    b[i] = x = x * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  for (auto _ : state) {
+    table->mask_and(a.data(), b.data(), out.data(), kWords);
+    table->mask_or(a.data(), out.data(), out.data(), kWords);
+    table->mask_andnot(out.data(), b.data(), out.data(), kWords);
+    benchmark::DoNotOptimize(table->popcount_words(out.data(), kWords));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * kWords * 8));
+  state.SetLabel(table->name);
+}
+BENCHMARK(BM_KernelMaskCompose)->ArgName("level")->Arg(0)->Arg(1)->Arg(2);
+
+void BM_KernelPostingsIntersect(benchmark::State& state) {
+  const grasp::simd::KernelTable* table = KernelTableForArg(state);
+  if (table == nullptr) return;
+  // Three overlapping candidate runs folded into one dense best[] array —
+  // the shape of a fuzzy keyword with several close variants.
+  constexpr std::size_t kNumDocs = 1 << 15;
+  constexpr std::size_t kRun = 8192;
+  grasp::AlignedVector<std::uint32_t> pairs;
+  pairs.reserve(3 * 2 * kRun);
+  for (std::uint32_t run = 0; run < 3; ++run) {
+    for (std::uint32_t i = 0; i < kRun; ++i) {
+      pairs.push_back((run * 1031 + i * 3) % kNumDocs);  // doc
+      pairs.push_back(1 + (i & 7));                      // tf
+    }
+  }
+  grasp::AlignedVector<double> best(kNumDocs, -1.0);
+  grasp::AlignedVector<std::uint32_t> touched(3 * kRun);
+  for (auto _ : state) {
+    std::size_t appended = 0;
+    for (std::uint32_t run = 0; run < 3; ++run) {
+      appended += table->postings_best_update(
+          pairs.data() + run * 2 * kRun, kRun, 0.25 + 0.5 * run,
+          best.data(), touched.data() + appended);
+    }
+    // The engine's epilogue: restore the -1.0 resting state, O(touched).
+    for (std::size_t i = 0; i < appended; ++i) best[touched[i]] = -1.0;
+    benchmark::DoNotOptimize(appended);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(3 * kRun));
+  state.SetLabel(table->name);
+}
+BENCHMARK(BM_KernelPostingsIntersect)->ArgName("level")->Arg(0)->Arg(1)->Arg(2);
+
+void BM_KernelFuzzyScan(benchmark::State& state) {
+  const grasp::simd::KernelTable* table = KernelTableForArg(state);
+  if (table == nullptr) return;
+  // A vocabulary slice the size of a large length-bucket range.
+  constexpr std::size_t kTerms = 4096;
+  grasp::AlignedVector<unsigned char> first(kTerms), last(kTerms);
+  grasp::AlignedVector<std::uint32_t> sigs(kTerms), out(kTerms);
+  std::uint64_t x = 0x2545f4914f6cdd1dull;
+  for (std::size_t i = 0; i < kTerms; ++i) {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    first[i] = static_cast<unsigned char>('a' + x % 26);
+    last[i] = static_cast<unsigned char>('a' + (x >> 8) % 26);
+    std::uint32_t sig = 0;
+    for (unsigned c = 0; c < 5; ++c) sig |= 1u << ((x >> (16 + 5 * c)) % 26);
+    sigs[i] = sig;
+  }
+  const std::uint32_t query_sig =
+      (1u << ('c' - 'a')) | (1u << ('i' - 'a')) | (1u << ('m' - 'a')) |
+      (1u << ('a' - 'a')) | (1u << ('n' - 'a')) | (1u << ('o' - 'a'));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table->fuzzy_prefilter(first.data(), last.data(), sigs.data(), kTerms,
+                               'c', 'o', query_sig, /*max_dist=*/2,
+                               out.data()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTerms));
+  state.SetLabel(table->name);
+}
+BENCHMARK(BM_KernelFuzzyScan)->ArgName("level")->Arg(0)->Arg(1)->Arg(2);
+
+void BM_KernelStructHash(benchmark::State& state) {
+  const grasp::simd::KernelTable* table = KernelTableForArg(state);
+  if (table == nullptr) return;
+  // A generated-subgraph signature at dedup time: tens of nodes/edges.
+  constexpr std::size_t kNodes = 48, kEdges = 96;
+  grasp::AlignedVector<std::uint32_t> nodes(kNodes), edges(kEdges);
+  for (std::size_t i = 0; i < kNodes; ++i) nodes[i] = 7919u * (i + 1);
+  for (std::size_t i = 0; i < kEdges; ++i) edges[i] = 104729u * (i + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table->struct_hash(nodes.data(), kNodes, edges.data(), kEdges));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kNodes + kEdges));
+  state.SetLabel(table->name);
+}
+BENCHMARK(BM_KernelStructHash)->ArgName("level")->Arg(0)->Arg(1)->Arg(2);
 
 void BM_KeywordLookup(benchmark::State& state) {
   DblpFixture& f = Fixture();

@@ -40,6 +40,31 @@ def load_benchmarks(path):
     return out
 
 
+# Benchmark families CI is expected to export every run. A family that
+# vanishes from the current JSON (renamed benchmark, filter typo, kernel
+# bench silently skipped) would otherwise just shrink the comparison set
+# with no signal at all.
+_EXPECTED_FAMILIES = (
+    "BM_ExplorationSweep",
+    "BM_FilteredExplorationSweep",
+    "BM_KeywordLookup",
+    "BM_KernelMaskCompose",
+    "BM_KernelPostingsIntersect",
+    "BM_KernelFuzzyScan",
+    "BM_KernelStructHash",
+)
+
+
+def warn_missing_families(cur):
+    for family in _EXPECTED_FAMILIES:
+        if not any(name.startswith(family) for name in cur):
+            print(
+                f"::warning title=benchmark family missing::{family} has no "
+                f"entries in the current run's output (renamed, filtered "
+                f"out, or skipped?)"
+            )
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("previous")
@@ -49,6 +74,8 @@ def main():
 
     prev = load_benchmarks(args.previous)
     cur = load_benchmarks(args.current)
+    if cur is not None:
+        warn_missing_families(cur)
     if prev is None or cur is None or not prev:
         print("benchmark trend: no usable baseline, skipping comparison")
         return 0

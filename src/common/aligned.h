@@ -1,0 +1,60 @@
+#ifndef GRASP_COMMON_ALIGNED_H_
+#define GRASP_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace grasp {
+
+/// Cache-line / vector-register alignment for every owned flat array. One
+/// constant shared by the allocator and the SIMD kernels: 64 bytes covers a
+/// full AVX-512 register and exactly one cache line, so kernels never split
+/// a load across lines at the start of a buffer.
+inline constexpr std::size_t kFlatAlignment = 64;
+
+/// Minimal aligned allocator (C++17 aligned operator new). All instances
+/// compare equal, so containers can move buffers between them freely.
+template <typename T, std::size_t Alignment = kFlatAlignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{
+      Alignment > alignof(T) ? Alignment : alignof(T)};
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, kAlign);
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// A std::vector whose heap buffer starts on a kFlatAlignment boundary.
+/// This is the owned-storage type behind FlatStorage and the pooled scratch
+/// arrays the SIMD kernels sweep; mapped snapshot sections are page-aligned
+/// already, so with this every kernel input is at least 64-byte aligned at
+/// the buffer start (interior subspans can still start anywhere — kernels
+/// use unaligned loads and win from the alignment via full-line prefetch).
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace grasp
+
+#endif  // GRASP_COMMON_ALIGNED_H_

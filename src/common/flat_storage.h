@@ -5,12 +5,13 @@
 #include <span>
 #include <type_traits>
 #include <utility>
-#include <vector>
+
+#include "common/aligned.h"
 
 namespace grasp {
 
-/// Storage for a flat immutable array that is either *owned* (a
-/// `std::vector` built in memory) or *borrowed* (a `std::span` over an
+/// Storage for a flat immutable array that is either *owned* (an
+/// `AlignedVector` built in memory) or *borrowed* (a `std::span` over an
 /// external buffer, typically an mmap-ed index snapshot). All reads go
 /// through one span, so the owning and borrowed cases are indistinguishable
 /// to callers; the distinction only shows up in memory accounting
@@ -18,6 +19,8 @@ namespace grasp {
 ///
 /// This is the storage abstraction that lets every CSR array in the system
 /// point straight into a snapshot file instead of copying it at load time.
+/// Owned buffers start on a kFlatAlignment (64-byte) boundary, which the
+/// SIMD kernels rely on for full-cache-line sweeps.
 template <typename T>
 class FlatStorage {
   static_assert(std::is_trivially_copyable_v<T>,
@@ -28,7 +31,7 @@ class FlatStorage {
   FlatStorage() = default;
 
   /// Takes ownership of `owned`.
-  explicit FlatStorage(std::vector<T> owned)
+  explicit FlatStorage(AlignedVector<T> owned)
       : owned_(std::move(owned)), view_(owned_) {}
 
   /// Borrows `view`; the underlying buffer must outlive this object.
@@ -76,7 +79,7 @@ class FlatStorage {
   std::size_t OwnedBytes() const { return owned_.capacity() * sizeof(T); }
 
  private:
-  std::vector<T> owned_;
+  AlignedVector<T> owned_;
   std::span<const T> view_;
 };
 

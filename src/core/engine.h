@@ -134,6 +134,10 @@ class KeywordSearchEngine {
     /// memory. In warm mode the flat arrays live here and the owned
     /// counters shrink to the rebuilt hash maps and string tables.
     std::size_t mapped_snapshot_bytes = 0;
+    /// Name of the SIMD kernel tier the engine dispatches its hot loops to
+    /// ("scalar", "sse42", "avx2"), resolved at construction from the CPU
+    /// and the GRASP_SIMD override.
+    const char* simd_kernel_level = "";
   };
 
   /// Preprocesses `store` (must be finalized and must outlive the engine).

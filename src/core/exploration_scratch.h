@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "core/subgraph.h"
@@ -422,8 +423,8 @@ struct ExplorationScratch {
   };
   std::vector<Combo> frontier;
   std::vector<std::uint32_t> choice_arena;
-  std::vector<summary::NodeId> cand_nodes;
-  std::vector<summary::EdgeId> cand_edges;
+  AlignedVector<summary::NodeId> cand_nodes;  ///< 64-byte aligned: struct_hash input
+  AlignedVector<summary::EdgeId> cand_edges;
 
   std::vector<double> pop_trace;  ///< recorded only when record_pop_trace
   std::vector<double> min_root_cost;

@@ -1,19 +1,25 @@
 #include "core/subgraph.h"
 
-#include "common/hash.h"
+#include <cstdint>
+#include <type_traits>
+
 #include "common/string_util.h"
+#include "simd/kernels.h"
 
 namespace grasp::core {
 
 std::uint64_t StructureHashOf(std::span<const summary::NodeId> nodes,
                               std::span<const summary::EdgeId> edges) {
-  // Sequence-sensitive chain over the sorted sets; nodes and edges are
-  // salted differently so {n1}|{} and {}|{e1} cannot collide trivially.
-  std::uint64_t h = 0x6b7a5c3d2e1f0908ULL;
-  for (summary::NodeId n : nodes) h = Mix64(h ^ (n | 0x100000000ULL));
-  h = Mix64(h ^ 0xa5a5a5a5a5a5a5a5ULL);  // set separator
-  for (summary::EdgeId e : edges) h = Mix64(h ^ (e | 0x200000000ULL));
-  return h;
+  // Sequence-sensitive digest of the sorted sets: four interleaved splitmix
+  // lanes with per-stream salts (so {n1}|{} and {}|{e1} cannot collide
+  // trivially), folded with both counts. The lane scheme exists so the
+  // 4-wide kernel tier computes the identical value; this hash is purely an
+  // in-memory dedup key (candidate store, augmentation cache), never
+  // serialized, so its definition is free to follow the kernels.
+  static_assert(std::is_same_v<summary::NodeId, std::uint32_t>);
+  static_assert(std::is_same_v<summary::EdgeId, std::uint32_t>);
+  return simd::ActiveKernels().struct_hash(nodes.data(), nodes.size(),
+                                           edges.data(), edges.size());
 }
 
 std::string MatchingSubgraph::StructureKey() const {

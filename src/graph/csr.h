@@ -33,7 +33,7 @@ class CsrArray {
   ///   });
   template <typename EmitFn>
   static CsrArray Build(std::uint32_t num_buckets, EmitFn&& emit) {
-    std::vector<std::uint32_t> offsets(
+    AlignedVector<std::uint32_t> offsets(
         static_cast<std::size_t>(num_buckets) + 1, 0);
     emit([&offsets](std::uint32_t bucket, std::uint32_t) {
       ++offsets[bucket + 1];
@@ -41,7 +41,7 @@ class CsrArray {
     for (std::uint32_t b = 0; b < num_buckets; ++b) {
       offsets[b + 1] += offsets[b];
     }
-    std::vector<std::uint32_t> values(offsets[num_buckets]);
+    AlignedVector<std::uint32_t> values(offsets[num_buckets]);
     std::vector<std::uint32_t> fill(offsets.begin(), offsets.end() - 1);
     emit([&values, &fill](std::uint32_t bucket, std::uint32_t value) {
       values[fill[bucket]++] = value;

@@ -39,7 +39,7 @@ class CsrGraph {
  public:
   CsrGraph() = default;
 
-  static CsrGraph Build(std::vector<NodeT> nodes, std::vector<EdgeT> edges,
+  static CsrGraph Build(AlignedVector<NodeT> nodes, AlignedVector<EdgeT> edges,
                         unsigned adjacency) {
     CsrGraph g;
     g.nodes_ = FlatStorage<NodeT>(std::move(nodes));

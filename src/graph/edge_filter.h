@@ -1,13 +1,15 @@
 #ifndef GRASP_GRAPH_EDGE_FILTER_H_
 #define GRASP_GRAPH_EDGE_FILTER_H_
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <span>
 #include <utility>
-#include <vector>
 
 #include "common/flat_storage.h"
+#include "common/logging.h"
+#include "simd/kernels.h"
 
 namespace grasp::graph {
 
@@ -24,13 +26,17 @@ class EdgeFilter {
  public:
   EdgeFilter() = default;
 
-  /// Builds the mask by evaluating `admit` once per edge id in order.
+  /// Builds the mask by evaluating `admit` once per edge id in order. The
+  /// final word is explicitly tail-masked, so padding bits past num_edges
+  /// are zero regardless of the predicate — the invariant every word-wise
+  /// sweep (CountSet, ForEachSet, the compose ops) relies on.
   template <typename Pred>
   static EdgeFilter Build(std::uint32_t num_edges, Pred&& admit) {
-    std::vector<std::uint64_t> words(NumWords(num_edges), 0);
+    AlignedVector<std::uint64_t> words(NumWords(num_edges), 0);
     for (std::uint32_t e = 0; e < num_edges; ++e) {
       if (admit(e)) words[e >> 6] |= std::uint64_t{1} << (e & 63);
     }
+    if (!words.empty()) words.back() &= TailMask(num_edges);
     return EdgeFilter(FlatStorage<std::uint64_t>(std::move(words)), num_edges);
   }
 
@@ -49,6 +55,20 @@ class EdgeFilter {
     return EdgeFilter(std::move(words), num_edges);
   }
 
+  /// Word-wise mask composition over two filters of the same edge-id space.
+  /// The result owns its words and is tail-masked explicitly, so composed
+  /// masks uphold the zero-padding invariant even if an input violated it.
+  static EdgeFilter And(const EdgeFilter& a, const EdgeFilter& b) {
+    return Compose(a, b, simd::ActiveKernels().mask_and);
+  }
+  static EdgeFilter Or(const EdgeFilter& a, const EdgeFilter& b) {
+    return Compose(a, b, simd::ActiveKernels().mask_or);
+  }
+  /// Edges admitted by `a` but not `b`.
+  static EdgeFilter AndNot(const EdgeFilter& a, const EdgeFilter& b) {
+    return Compose(a, b, simd::ActiveKernels().mask_andnot);
+  }
+
   std::uint32_t num_edges() const { return num_edges_; }
   bool empty() const { return num_edges_ == 0; }
 
@@ -56,27 +76,29 @@ class EdgeFilter {
     return (words_[e >> 6] >> (e & 63)) & 1u;
   }
 
-  /// Number of admitted edges, one popcount per word.
+  /// Number of admitted edges; dispatched word-popcount sweep.
   std::size_t CountSet() const {
-    std::size_t count = 0;
-    for (std::uint64_t w : words_.view()) count += std::popcount(w);
-    return count;
+    return static_cast<std::size_t>(simd::ActiveKernels().popcount_words(
+        words_.data(), words_.size()));
   }
 
-  /// Word-at-a-time enumeration of every admitted edge id: zero words cost
-  /// one load, set bits are extracted with countr_zero. This is the sweep
-  /// the mask builders and the view-mode baseline index construction use
-  /// instead of a per-edge branch over the full edge array.
+  /// Enumeration of every admitted edge id, ascending. The dispatched
+  /// collect_set kernel extracts each 8-word chunk's set bits into a stack
+  /// buffer (zero blocks cost one vector test), and `fn` consumes the ids
+  /// from there. This is the sweep the mask builders and the view-mode
+  /// baseline index construction use instead of a per-edge branch over the
+  /// full edge array.
   template <typename Fn>
   void ForEachSet(Fn&& fn) const {
     const std::span<const std::uint64_t> words = words_.view();
-    for (std::size_t w = 0; w < words.size(); ++w) {
-      std::uint64_t bits = words[w];
-      while (bits != 0) {
-        const int b = std::countr_zero(bits);
-        fn(static_cast<std::uint32_t>((w << 6) + static_cast<std::size_t>(b)));
-        bits &= bits - 1;
-      }
+    const auto collect = simd::ActiveKernels().collect_set;
+    constexpr std::size_t kChunkWords = 8;
+    std::uint32_t ids[kChunkWords * 64];
+    for (std::size_t w = 0; w < words.size(); w += kChunkWords) {
+      const std::size_t chunk = std::min(kChunkWords, words.size() - w);
+      const std::size_t got = collect(words.data() + w, chunk,
+                                      static_cast<std::uint32_t>(w << 6), ids);
+      for (std::size_t i = 0; i < got; ++i) fn(ids[i]);
     }
   }
 
@@ -111,12 +133,32 @@ class EdgeFilter {
     return (static_cast<std::size_t>(num_edges) + 63) / 64;
   }
 
+  /// Mask of the valid bits in the final word: all-ones when num_edges is a
+  /// multiple of 64, otherwise just the low num_edges % 64 bits.
+  static std::uint64_t TailMask(std::uint32_t num_edges) {
+    const std::uint32_t rem = num_edges & 63;
+    return rem == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1;
+  }
+
   /// Heap bytes owned by this mask; borrowed (mapped) words count zero.
   std::size_t MemoryUsageBytes() const { return words_.OwnedBytes(); }
 
  private:
   EdgeFilter(FlatStorage<std::uint64_t> words, std::uint32_t num_edges)
       : words_(std::move(words)), num_edges_(num_edges) {}
+
+  using ComposeFn = void (*)(const std::uint64_t*, const std::uint64_t*,
+                             std::uint64_t*, std::size_t);
+  static EdgeFilter Compose(const EdgeFilter& a, const EdgeFilter& b,
+                            ComposeFn op) {
+    GRASP_CHECK_EQ(a.num_edges_, b.num_edges_)
+        << "EdgeFilter compose over mismatched edge-id spaces";
+    AlignedVector<std::uint64_t> out(NumWords(a.num_edges_));
+    op(a.words_.data(), b.words_.data(), out.data(), out.size());
+    if (!out.empty()) out.back() &= TailMask(a.num_edges_);
+    return EdgeFilter(FlatStorage<std::uint64_t>(std::move(out)),
+                      a.num_edges_);
+  }
 
   FlatStorage<std::uint64_t> words_;
   std::uint32_t num_edges_ = 0;

@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "common/aligned.h"
 #include "common/logging.h"
 #include "rdf/term.h"
 
@@ -69,11 +70,11 @@ KeywordIndex KeywordIndex::Build(const rdf::DataGraph& graph,
   }
 
   // The flat element/context tables, built in document-id order.
-  std::vector<ElementRecord> elements;
-  std::vector<ContextRecord> contexts;
-  std::vector<TermId> ctx_classes;
-  std::vector<std::uint64_t> ctx_counts;
-  std::vector<NumericValueRecord> numerics;
+  AlignedVector<ElementRecord> elements;
+  AlignedVector<ContextRecord> contexts;
+  AlignedVector<TermId> ctx_classes;
+  AlignedVector<std::uint64_t> ctx_counts;
+  AlignedVector<NumericValueRecord> numerics;
 
   auto add = [&](std::string_view label, KeywordMatch::Kind kind,
                  TermId term) {

@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/aligned.h"
 #include "common/logging.h"
 
 namespace grasp::rdf {
@@ -31,9 +32,9 @@ DataGraph DataGraph::Build(const TripleStore& store,
   // Pass 2: create vertices and edges. The term->vertex table is a dense
   // direct-address array (term ids are contiguous), doubling as the
   // snapshot-mappable lookup structure.
-  std::vector<Vertex> vertices;
-  std::vector<Edge> edges;
-  std::vector<VertexId> vertex_of_term(dictionary.size(), kInvalidVertexId);
+  AlignedVector<Vertex> vertices;
+  AlignedVector<Edge> edges;
+  AlignedVector<VertexId> vertex_of_term(dictionary.size(), kInvalidVertexId);
   auto vertex_for = [&](TermId term) -> VertexId {
     VertexId& slot = vertex_of_term[term];
     if (slot != kInvalidVertexId) return slot;

@@ -48,13 +48,13 @@ void TripleStore::Add(const Triple& triple) {
 
 void TripleStore::Finalize() {
   if (finalized_) return;
-  std::vector<Triple> triples = std::move(building_);
+  AlignedVector<Triple> triples = std::move(building_);
   building_.clear();
   std::sort(triples.begin(), triples.end());
   triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
   const std::size_t n = triples.size();
   GRASP_CHECK_LE(n, static_cast<std::size_t>(UINT32_MAX));
-  std::vector<std::uint32_t> pos(n), osp(n);
+  AlignedVector<std::uint32_t> pos(n), osp(n);
   for (std::size_t i = 0; i < n; ++i) {
     pos[i] = static_cast<std::uint32_t>(i);
     osp[i] = static_cast<std::uint32_t>(i);

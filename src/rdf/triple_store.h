@@ -114,7 +114,7 @@ class TripleStore {
 
   const Triple& TripleAt(Order order, std::size_t pos) const;
 
-  std::vector<Triple> building_;       // staging area before Finalize
+  AlignedVector<Triple> building_;     // staging area before Finalize
   FlatStorage<Triple> triples_;        // sorted (s, p, o) after Finalize
   FlatStorage<std::uint32_t> pos_;     // permutation sorted by (p, o, s)
   FlatStorage<std::uint32_t> osp_;     // permutation sorted by (o, s, p)

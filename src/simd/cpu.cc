@@ -1,0 +1,42 @@
+#include "simd/cpu.h"
+
+namespace grasp::simd {
+
+Level DetectBestLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports goes through libgcc's cpu-model probe, which
+  // already masks AVX2 off when the OS does not enable ymm state in XCR0
+  // (the xgetbv check), so a positive answer means the instructions are
+  // actually executable, not just advertised by CPUID.
+  static const Level detected = [] {
+    if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+    if (__builtin_cpu_supports("sse4.2")) return Level::kSse42;
+    return Level::kScalar;
+  }();
+  return detected;
+#else
+  return Level::kScalar;
+#endif
+}
+
+std::optional<Level> ParseLevel(std::string_view name) {
+  if (name.empty() || name == "native") return DetectBestLevel();
+  if (name == "scalar") return Level::kScalar;
+  if (name == "sse42") return Level::kSse42;
+  if (name == "avx2") return Level::kAvx2;
+  return std::nullopt;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse42:
+      return "sse42";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+}  // namespace grasp::simd

@@ -1,0 +1,33 @@
+#ifndef GRASP_SIMD_CPU_H_
+#define GRASP_SIMD_CPU_H_
+
+#include <optional>
+#include <string_view>
+
+namespace grasp::simd {
+
+/// Instruction-set tiers the kernel subsystem can dispatch to, ordered so a
+/// higher value strictly implies every lower one on the same machine. The
+/// generic scalar tier is always available and is the conformance reference
+/// every vector variant is pinned byte-identical to.
+enum class Level : int {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+};
+
+/// Best tier the running CPU (and OS, for AVX state) supports. Detection
+/// runs once and is cached; non-x86 builds always report kScalar.
+Level DetectBestLevel();
+
+/// Parses a GRASP_SIMD value: "scalar" | "sse42" | "avx2" | "native".
+/// "native" (and empty) mean DetectBestLevel(); unknown strings return
+/// nullopt so the caller can warn and fall back.
+std::optional<Level> ParseLevel(std::string_view name);
+
+/// Stable lowercase name for logs, stats and test output.
+const char* LevelName(Level level);
+
+}  // namespace grasp::simd
+
+#endif  // GRASP_SIMD_CPU_H_

@@ -1,0 +1,91 @@
+// Runtime kernel dispatch: resolves the active tier once from GRASP_SIMD
+// and CPU detection, and lets tests re-pin it between queries.
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+
+#include "common/logging.h"
+#include "simd/cpu.h"
+#include "simd/kernels.h"
+
+namespace grasp::simd {
+namespace {
+
+// Highest tier at or below `want` whose table this build can execute.
+// ScalarTable() always exists, so this never returns nullptr.
+const KernelTable* BestTableAtOrBelow(Level want) {
+  if (want >= Level::kAvx2 && DetectBestLevel() >= Level::kAvx2) {
+    if (const KernelTable* t = Avx2Table()) return t;
+  }
+  if (want >= Level::kSse42 && DetectBestLevel() >= Level::kSse42) {
+    if (const KernelTable* t = Sse42Table()) return t;
+  }
+  return ScalarTable();
+}
+
+Level LevelOf(const KernelTable* table) {
+  if (table == Avx2Table()) return Level::kAvx2;
+  if (table == Sse42Table()) return Level::kSse42;
+  return Level::kScalar;
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+std::once_flag g_resolve_once;
+
+void ResolveFromEnvironment() {
+  Level want = DetectBestLevel();
+  const char* env = std::getenv("GRASP_SIMD");
+  if (env != nullptr && *env != '\0') {
+    if (auto parsed = ParseLevel(env)) {
+      want = *parsed;
+    } else {
+      GRASP_LOG(Warning) << "GRASP_SIMD=" << env
+                          << " is not scalar|sse42|avx2|native; using native";
+    }
+  }
+  const KernelTable* table = BestTableAtOrBelow(want);
+  if (LevelOf(table) != want) {
+    GRASP_LOG(Warning) << "SIMD tier " << LevelName(want)
+                        << " unavailable on this CPU/build; using "
+                        << table->name;
+  }
+  g_active.store(table, std::memory_order_release);
+}
+
+}  // namespace
+
+const KernelTable* TableFor(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return ScalarTable();
+    case Level::kSse42:
+      return DetectBestLevel() >= Level::kSse42 ? Sse42Table() : nullptr;
+    case Level::kAvx2:
+      return DetectBestLevel() >= Level::kAvx2 ? Avx2Table() : nullptr;
+  }
+  return nullptr;
+}
+
+const KernelTable& ActiveKernels() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    std::call_once(g_resolve_once, ResolveFromEnvironment);
+    table = g_active.load(std::memory_order_acquire);
+  }
+  return *table;
+}
+
+Level ActiveLevel() {
+  ActiveKernels();
+  return LevelOf(g_active.load(std::memory_order_acquire));
+}
+
+Level SetActiveLevel(Level level) {
+  const KernelTable* table = BestTableAtOrBelow(level);
+  g_active.store(table, std::memory_order_release);
+  return LevelOf(table);
+}
+
+}  // namespace grasp::simd

@@ -1,0 +1,123 @@
+#ifndef GRASP_SIMD_KERNELS_H_
+#define GRASP_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/cpu.h"
+
+namespace grasp::simd {
+
+/// The vectorizable hot-path primitives, zimg-style: one function-pointer
+/// table per instruction-set tier, each tier living in its own translation
+/// unit compiled with only that tier's -m flags. The generic scalar table is
+/// the semantic definition; every vector variant must be byte-identical to
+/// it on every input (the per-ISA differential suite pins this).
+///
+/// Kernels speak raw pointers + element counts, never engine types: the call
+/// sites static_assert their layouts down to these signatures, so the simd/
+/// layer has no dependency on graph/, text/ or core/.
+///
+/// Alignment contract: callers pass buffers whose *start* is 64-byte aligned
+/// when they own them (common::AlignedVector) and at least page-aligned when
+/// mapped from a snapshot, but interior subspans (postings runs, bucket
+/// ranges) can start anywhere — kernels therefore use unaligned loads and
+/// must not assume more than natural element alignment.
+struct KernelTable {
+  /// out[i] = a[i] & b[i] over `words` 64-bit words (out may alias a or b).
+  void (*mask_and)(const std::uint64_t* a, const std::uint64_t* b,
+                   std::uint64_t* out, std::size_t words);
+  /// out[i] = a[i] | b[i].
+  void (*mask_or)(const std::uint64_t* a, const std::uint64_t* b,
+                  std::uint64_t* out, std::size_t words);
+  /// out[i] = a[i] & ~b[i].
+  void (*mask_andnot)(const std::uint64_t* a, const std::uint64_t* b,
+                      std::uint64_t* out, std::size_t words);
+  /// Total set bits across `words` words.
+  std::uint64_t (*popcount_words)(const std::uint64_t* w, std::size_t words);
+  /// Extracts every set bit of `words` words as an absolute index
+  /// `base + word*64 + bit`, ascending, into `out` (caller sizes it for the
+  /// worst case, words * 64). Returns the number written. This is the
+  /// chunked core of EdgeFilter::ForEachSet: zero words are skipped in
+  /// blocks so sparse masks cost loads, not branches.
+  std::size_t (*collect_set)(const std::uint64_t* w, std::size_t words,
+                             std::uint32_t base, std::uint32_t* out);
+
+  /// Postings sweep of one weighted term: `pairs` holds n interleaved
+  /// (doc, tf) uint32 records (text::InvertedIndex::Posting layout; docs
+  /// strictly ascending within the run). For each record:
+  ///   best[doc] < 0   -> first touch: append doc to `touched`, best = weight
+  ///   otherwise       -> best[doc] = max(best[doc], weight)
+  /// Returns the number of docs appended. The -1.0 sentinel convention is
+  /// what makes the dense `best` array O(touched) to maintain per query.
+  /// max() is order-independent, so vector lanes need no FP reassociation.
+  std::size_t (*postings_best_update)(const std::uint32_t* pairs,
+                                      std::size_t n, double weight,
+                                      double* best, std::uint32_t* touched);
+
+  /// Banded-Levenshtein prefilter over one contiguous length-bucket range:
+  /// parallel arrays of each term's first byte, last byte and 32-bit
+  /// character-presence signature (bit = 1u << (c & 31)). Keeps position i
+  /// iff
+  ///   (first[i] != qf) + (last[i] != ql) <= max_dist
+  ///   && popcount(qsig & ~sigs[i]) <= max_dist
+  ///   && popcount(sigs[i] & ~qsig) <= max_dist
+  /// — all three are lower bounds on the true edit distance (each edit fixes
+  /// at most one boundary character / one presence-set element, and the &31
+  /// folding only merges classes, weakening the bound conservatively), so
+  /// no true candidate is ever rejected and the surviving set is exact for
+  /// every tier. Survivor positions are appended ascending to `out`
+  /// (caller sizes it for n); returns the count. Callers guarantee both
+  /// string lengths >= 2 (the bucket band does: len >= 3, lo >= 2), which
+  /// the first/last-character bound needs.
+  std::size_t (*fuzzy_prefilter)(const unsigned char* first,
+                                 const unsigned char* last,
+                                 const std::uint32_t* sigs, std::size_t n,
+                                 unsigned char qf, unsigned char ql,
+                                 std::uint32_t qsig, std::uint32_t max_dist,
+                                 std::uint32_t* out);
+
+  /// Canonical 64-bit structure hash over a sorted node set and a sorted
+  /// edge set (core::StructureHashOf). Four independent splitmix lanes in
+  /// strict element order (lane j mixes elements j, j+4, ...; nodes and
+  /// edges are salted differently; lane phase restarts at the edge stream),
+  /// finally folded with both counts — the same lane scheme as the snapshot
+  /// Checksum64, defined so scalar and 4-wide variants are bit-equal by
+  /// construction.
+  std::uint64_t (*struct_hash)(const std::uint32_t* nodes, std::size_t n,
+                               const std::uint32_t* edges, std::size_t m);
+
+  const char* name;  ///< LevelName of the tier this table implements
+};
+
+/// Per-tier tables. A tier's accessor returns nullptr when its translation
+/// unit was built without that tier's instructions (non-x86, or a toolchain
+/// without the -m flags); the dispatcher treats nullptr as unsupported.
+const KernelTable* ScalarTable();
+const KernelTable* Sse42Table();
+const KernelTable* Avx2Table();
+
+/// The table for exactly `level`, or nullptr when this build cannot execute
+/// it. For benchmarks and kernel unit tests that compare tiers side by side
+/// without touching the global dispatch state.
+const KernelTable* TableFor(Level level);
+
+/// The dispatched table: resolved once (thread-safe) from GRASP_SIMD and
+/// CPU detection on first use; engine construction calls this eagerly so
+/// the choice is logged before any query runs. GRASP_SIMD accepts
+/// scalar|sse42|avx2|native; an unsupported or unknown request clamps to
+/// the best supported tier with a warning.
+const KernelTable& ActiveKernels();
+
+/// The tier ActiveKernels() resolved to.
+Level ActiveLevel();
+
+/// Overrides the dispatched tier (clamped to the best supported one;
+/// returns the tier actually installed). For the differential test suites
+/// that sweep every reachable tier in-process. Not safe against concurrent
+/// queries — flip only while no search is in flight.
+Level SetActiveLevel(Level level);
+
+}  // namespace grasp::simd
+
+#endif  // GRASP_SIMD_KERNELS_H_

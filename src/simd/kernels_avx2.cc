@@ -1,0 +1,211 @@
+// AVX2 kernel tier, the widest this codebase ships (AVX-512 and NEON are
+// ROADMAP follow-ups). This translation unit is the only one compiled with
+// -mavx2 -mpopcnt; every kernel here must produce byte-identical results to
+// the generic bodies in kernels_scalar_impl.h — the differential suite
+// enforces it, the comments argue why.
+
+#include "simd/kernels.h"
+#include "simd/kernels_scalar_impl.h"
+
+#if defined(__AVX2__) && defined(__POPCNT__)
+#include <immintrin.h>
+
+namespace grasp::simd {
+namespace {
+
+void MaskAnd(const std::uint64_t* a, const std::uint64_t* b,
+             std::uint64_t* out, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_and_si256(va, vb));
+  }
+  detail::MaskAndScalar(a + i, b + i, out + i, words - i);
+}
+
+void MaskOr(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+            std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_or_si256(va, vb));
+  }
+  detail::MaskOrScalar(a + i, b + i, out + i, words - i);
+}
+
+void MaskAndNot(const std::uint64_t* a, const std::uint64_t* b,
+                std::uint64_t* out, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // andnot computes ~first & second.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_andnot_si256(vb, va));
+  }
+  detail::MaskAndNotScalar(a + i, b + i, out + i, words - i);
+}
+
+// Per-byte popcount via the classic 4-bit-nibble shuffle table; exact, so
+// summing bytes gives exactly the scalar count.
+inline __m256i PopcountBytes(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+std::uint64_t PopcountWords(const std::uint64_t* w, std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    // sad against zero sums 8 byte-counts into each 64-bit lane; each byte
+    // count is <= 8, so lanes cannot overflow for any input length.
+    acc = _mm256_add_epi64(acc,
+                           _mm256_sad_epu8(PopcountBytes(v),
+                                           _mm256_setzero_si256()));
+  }
+  std::uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < words; ++i) {
+    count += static_cast<std::uint64_t>(_mm_popcnt_u64(w[i]));
+  }
+  return count;
+}
+
+std::size_t CollectSet(const std::uint64_t* w, std::size_t words,
+                       std::uint32_t base, std::uint32_t* out) {
+  std::size_t written = 0;
+  std::size_t i = 0;
+  // One testz per 256-bit block makes sparse masks (narrow predicate
+  // scopes) cost a load per 256 edges; dense blocks fall through to the
+  // scalar bit extraction, which is store-bound anyway.
+  for (; i + 4 <= words; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    if (_mm256_testz_si256(v, v)) continue;
+    written += detail::CollectSetScalar(
+        w + i, 4, base + static_cast<std::uint32_t>(i << 6), out + written);
+  }
+  written += detail::CollectSetScalar(
+      w + i, words - i, base + static_cast<std::uint32_t>(i << 6),
+      out + written);
+  return written;
+}
+
+// No AVX2 body for postings_best_update: a gather-based variant
+// (permutevar8x32 to split out the doc lanes, i32gather_pd on best[], max
+// against the broadcast weight) measured ~6% SLOWER than the scalar body on
+// the postings-intersection microbench — the random-access gather is the
+// whole loop, and vgatherdpd's per-lane latency eats the vectorized score
+// math. The table dispatches the scalar body below.
+
+std::size_t FuzzyPrefilter(const unsigned char* first,
+                           const unsigned char* last,
+                           const std::uint32_t* sigs, std::size_t n,
+                           unsigned char qf, unsigned char ql,
+                           std::uint32_t qsig, std::uint32_t max_dist,
+                           std::uint32_t* out) {
+  std::size_t kept = 0;
+  std::size_t i = 0;
+  const __m256i qf_v = _mm256_set1_epi32(qf);
+  const __m256i ql_v = _mm256_set1_epi32(ql);
+  const __m256i qsig_v = _mm256_set1_epi32(static_cast<int>(qsig));
+  const __m256i max_v = _mm256_set1_epi32(static_cast<int>(max_dist));
+  const __m256i one_v = _mm256_set1_epi32(1);
+  const __m256i byte_mask = _mm256_set1_epi32(0xff);
+  // Exact per-32-bit-lane popcount: per-byte counts, then fold the four
+  // bytes of each lane with two shifted adds (sums <= 32, no carry).
+  const auto popcount_epi32 = [&](__m256i v) {
+    __m256i c = PopcountBytes(v);
+    c = _mm256_add_epi8(c, _mm256_srli_epi32(c, 16));
+    c = _mm256_add_epi8(c, _mm256_srli_epi32(c, 8));
+    return _mm256_and_si256(c, byte_mask);
+  };
+  for (; i + 8 <= n; i += 8) {
+    const __m256i f = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(first + i)));
+    const __m256i l = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(last + i)));
+    const __m256i boundary = _mm256_add_epi32(
+        _mm256_andnot_si256(_mm256_cmpeq_epi32(f, qf_v), one_v),
+        _mm256_andnot_si256(_mm256_cmpeq_epi32(l, ql_v), one_v));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sigs + i));
+    const __m256i missing = popcount_epi32(_mm256_andnot_si256(s, qsig_v));
+    const __m256i extra = popcount_epi32(_mm256_andnot_si256(qsig_v, s));
+    // All three counts are tiny non-negatives, so signed > is safe.
+    const __m256i reject = _mm256_or_si256(
+        _mm256_cmpgt_epi32(boundary, max_v),
+        _mm256_or_si256(_mm256_cmpgt_epi32(missing, max_v),
+                        _mm256_cmpgt_epi32(extra, max_v)));
+    int keep =
+        (~_mm256_movemask_ps(_mm256_castsi256_ps(reject))) & 0xff;
+    while (keep != 0) {
+      const int j = __builtin_ctz(static_cast<unsigned>(keep));
+      out[kept++] = static_cast<std::uint32_t>(i) + static_cast<std::uint32_t>(j);
+      keep &= keep - 1;
+    }
+  }
+  // The scalar tail emits positions relative to the tail start; rebase them.
+  const std::size_t tail =
+      detail::FuzzyPrefilterScalar(first + i, last + i, sigs + i, n - i, qf,
+                                   ql, qsig, max_dist, out + kept);
+  for (std::size_t k = 0; k < tail; ++k) {
+    out[kept + k] += static_cast<std::uint32_t>(i);
+  }
+  return kept + tail;
+}
+
+// No AVX2 body for struct_hash either: the 4-lane splitmix chains map
+// naturally onto 64-bit lanes, but AVX2 has no 64x64 multiply — each Mix64
+// round needs three mul_epu32 products plus shifts to emulate lo64(a*b),
+// and at dedup-typical subgraph sizes (tens of ids per stream) that
+// measured ~27% slower than four scalar imul chains. The scalar body below
+// already interleaves the four lanes for ILP; the table dispatches it.
+
+}  // namespace
+
+const KernelTable* Avx2Table() {
+  static constexpr KernelTable table = {
+      MaskAnd,
+      MaskOr,
+      MaskAndNot,
+      PopcountWords,
+      CollectSet,
+      detail::PostingsBestUpdateScalar,
+      FuzzyPrefilter,
+      detail::StructHashScalar,
+      "avx2",
+  };
+  return &table;
+}
+
+}  // namespace grasp::simd
+
+#else  // !(__AVX2__ && __POPCNT__)
+
+namespace grasp::simd {
+
+const KernelTable* Avx2Table() { return nullptr; }
+
+}  // namespace grasp::simd
+
+#endif

@@ -1,0 +1,25 @@
+#include "simd/kernels.h"
+#include "simd/kernels_scalar_impl.h"
+
+// The generic tier: plain C++ bodies from kernels_scalar_impl.h, compiled
+// with the project's baseline flags only. This table is the semantic
+// reference every vector tier is pinned against.
+
+namespace grasp::simd {
+
+const KernelTable* ScalarTable() {
+  static constexpr KernelTable table = {
+      detail::MaskAndScalar,
+      detail::MaskOrScalar,
+      detail::MaskAndNotScalar,
+      detail::PopcountWordsScalar,
+      detail::CollectSetScalar,
+      detail::PostingsBestUpdateScalar,
+      detail::FuzzyPrefilterScalar,
+      detail::StructHashScalar,
+      "scalar",
+  };
+  return &table;
+}
+
+}  // namespace grasp::simd

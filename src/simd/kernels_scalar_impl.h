@@ -1,0 +1,143 @@
+#ifndef GRASP_SIMD_KERNELS_SCALAR_IMPL_H_
+#define GRASP_SIMD_KERNELS_SCALAR_IMPL_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/hash.h"
+
+// The generic kernel bodies, as inline functions: kernels_scalar.cc exports
+// them as the reference table, and the per-ISA translation units reuse them
+// for the sub-vector-width tails so a tail element goes through exactly the
+// code the conformance suite pins.
+
+namespace grasp::simd::detail {
+
+inline void MaskAndScalar(const std::uint64_t* a, const std::uint64_t* b,
+                          std::uint64_t* out, std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) out[i] = a[i] & b[i];
+}
+
+inline void MaskOrScalar(const std::uint64_t* a, const std::uint64_t* b,
+                         std::uint64_t* out, std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) out[i] = a[i] | b[i];
+}
+
+inline void MaskAndNotScalar(const std::uint64_t* a, const std::uint64_t* b,
+                             std::uint64_t* out, std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) out[i] = a[i] & ~b[i];
+}
+
+inline std::uint64_t PopcountWordsScalar(const std::uint64_t* w,
+                                         std::size_t words) {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    count += static_cast<std::uint64_t>(std::popcount(w[i]));
+  }
+  return count;
+}
+
+inline std::size_t CollectSetScalar(const std::uint64_t* w, std::size_t words,
+                                    std::uint32_t base, std::uint32_t* out) {
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    std::uint64_t bits = w[i];
+    const std::uint32_t word_base =
+        base + static_cast<std::uint32_t>(i << 6);
+    while (bits != 0) {
+      out[written++] =
+          word_base + static_cast<std::uint32_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+    }
+  }
+  return written;
+}
+
+inline std::size_t PostingsBestUpdateScalar(const std::uint32_t* pairs,
+                                            std::size_t n, double weight,
+                                            double* best,
+                                            std::uint32_t* touched) {
+  std::size_t appended = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t doc = pairs[2 * i];
+    const double current = best[doc];
+    if (current < 0.0) {
+      touched[appended++] = doc;
+      best[doc] = weight;
+    } else if (weight > current) {
+      best[doc] = weight;
+    }
+  }
+  return appended;
+}
+
+inline bool FuzzyKeepScalar(unsigned char first, unsigned char last,
+                            std::uint32_t sig, unsigned char qf,
+                            unsigned char ql, std::uint32_t qsig,
+                            std::uint32_t max_dist) {
+  const std::uint32_t boundary = static_cast<std::uint32_t>(first != qf) +
+                                 static_cast<std::uint32_t>(last != ql);
+  if (boundary > max_dist) return false;
+  if (static_cast<std::uint32_t>(std::popcount(qsig & ~sig)) > max_dist) {
+    return false;
+  }
+  if (static_cast<std::uint32_t>(std::popcount(sig & ~qsig)) > max_dist) {
+    return false;
+  }
+  return true;
+}
+
+inline std::size_t FuzzyPrefilterScalar(const unsigned char* first,
+                                        const unsigned char* last,
+                                        const std::uint32_t* sigs,
+                                        std::size_t n, unsigned char qf,
+                                        unsigned char ql, std::uint32_t qsig,
+                                        std::uint32_t max_dist,
+                                        std::uint32_t* out) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (FuzzyKeepScalar(first[i], last[i], sigs[i], qf, ql, qsig, max_dist)) {
+      out[kept++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return kept;
+}
+
+// Structure-hash lane scheme. Four independent splitmix chains; lane j
+// mixes elements j, j+4, ... of its stream, the phase restarting at the
+// edge stream; both salts keep node and edge ids from colliding across
+// streams, and the final fold binds both counts.
+inline constexpr std::uint64_t kStructHashSeed[4] = {
+    0x6b7a5c3d2e1f0908ULL, 0x9e3779b97f4a7c15ULL, 0xbf58476d1ce4e5b9ULL,
+    0x94d049bb133111ebULL};
+inline constexpr std::uint64_t kStructHashNodeSalt = 0x100000000ULL;
+inline constexpr std::uint64_t kStructHashEdgeSalt = 0x200000000ULL;
+
+inline std::uint64_t StructHashFold(const std::uint64_t lane[4],
+                                    std::size_t n, std::size_t m) {
+  const std::uint64_t counts =
+      Mix64(static_cast<std::uint64_t>(n) * 0x9e3779b97f4a7c15ULL ^
+            static_cast<std::uint64_t>(m));
+  return Mix64(lane[0] ^ Mix64(lane[1] ^ Mix64(lane[2] ^
+                                               Mix64(lane[3] ^ counts))));
+}
+
+inline std::uint64_t StructHashScalar(const std::uint32_t* nodes,
+                                      std::size_t n,
+                                      const std::uint32_t* edges,
+                                      std::size_t m) {
+  std::uint64_t lane[4] = {kStructHashSeed[0], kStructHashSeed[1],
+                           kStructHashSeed[2], kStructHashSeed[3]};
+  for (std::size_t i = 0; i < n; ++i) {
+    lane[i & 3] = Mix64(lane[i & 3] ^ (nodes[i] | kStructHashNodeSalt));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    lane[i & 3] = Mix64(lane[i & 3] ^ (edges[i] | kStructHashEdgeSalt));
+  }
+  return StructHashFold(lane, n, m);
+}
+
+}  // namespace grasp::simd::detail
+
+#endif  // GRASP_SIMD_KERNELS_SCALAR_IMPL_H_

@@ -1,0 +1,141 @@
+// SSE4.2 kernel tier. This translation unit is the only one compiled with
+// -msse4.2 -mpopcnt (see CMakeLists), so vector intrinsics and hardware
+// popcount must not leak out of it; on non-x86 builds it degrades to an
+// unsupported (nullptr) table.
+
+#include "simd/kernels.h"
+#include "simd/kernels_scalar_impl.h"
+
+#if defined(__SSE4_2__) && defined(__POPCNT__)
+#include <nmmintrin.h>
+
+namespace grasp::simd {
+namespace {
+
+void MaskAnd(const std::uint64_t* a, const std::uint64_t* b,
+             std::uint64_t* out, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_and_si128(va, vb));
+  }
+  detail::MaskAndScalar(a + i, b + i, out + i, words - i);
+}
+
+void MaskOr(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+            std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_or_si128(va, vb));
+  }
+  detail::MaskOrScalar(a + i, b + i, out + i, words - i);
+}
+
+void MaskAndNot(const std::uint64_t* a, const std::uint64_t* b,
+                std::uint64_t* out, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    // andnot computes ~first & second.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_andnot_si128(vb, va));
+  }
+  detail::MaskAndNotScalar(a + i, b + i, out + i, words - i);
+}
+
+// The scalar bodies below recompile here with hardware POPCNT (this TU's
+// -mpopcnt), which is the whole win of this tier for the bit-counting
+// kernels: same code, one instruction per word instead of the baseline
+// bit-twiddling sequence.
+std::uint64_t PopcountWords(const std::uint64_t* w, std::size_t words) {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    count += static_cast<std::uint64_t>(_mm_popcnt_u64(w[i]));
+  }
+  return count;
+}
+
+std::size_t CollectSet(const std::uint64_t* w, std::size_t words,
+                       std::uint32_t base, std::uint32_t* out) {
+  std::size_t written = 0;
+  std::size_t i = 0;
+  // Skip all-zero 128-bit blocks with one test each; sparse masks are the
+  // common case for narrow predicate scopes.
+  for (; i + 2 <= words; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i));
+    if (_mm_test_all_zeros(v, v)) continue;
+    written += detail::CollectSetScalar(
+        w + i, 2, base + static_cast<std::uint32_t>(i << 6), out + written);
+  }
+  written += detail::CollectSetScalar(
+      w + i, words - i, base + static_cast<std::uint32_t>(i << 6),
+      out + written);
+  return written;
+}
+
+std::size_t FuzzyPrefilter(const unsigned char* first,
+                           const unsigned char* last,
+                           const std::uint32_t* sigs, std::size_t n,
+                           unsigned char qf, unsigned char ql,
+                           std::uint32_t qsig, std::uint32_t max_dist,
+                           std::uint32_t* out) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t boundary =
+        static_cast<std::uint32_t>(first[i] != qf) +
+        static_cast<std::uint32_t>(last[i] != ql);
+    if (boundary > max_dist) continue;
+    if (static_cast<std::uint32_t>(_mm_popcnt_u32(qsig & ~sigs[i])) >
+        max_dist) {
+      continue;
+    }
+    if (static_cast<std::uint32_t>(_mm_popcnt_u32(sigs[i] & ~qsig)) >
+        max_dist) {
+      continue;
+    }
+    out[kept++] = static_cast<std::uint32_t>(i);
+  }
+  return kept;
+}
+
+}  // namespace
+
+const KernelTable* Sse42Table() {
+  static constexpr KernelTable table = {
+      MaskAnd,
+      MaskOr,
+      MaskAndNot,
+      PopcountWords,
+      CollectSet,
+      detail::PostingsBestUpdateScalar,  // gathers need AVX2 to pay off
+      FuzzyPrefilter,
+      detail::StructHashScalar,  // 4-lane mul emulation needs AVX2
+      "sse42",
+  };
+  return &table;
+}
+
+}  // namespace grasp::simd
+
+#else  // !(__SSE4_2__ && __POPCNT__)
+
+namespace grasp::simd {
+
+const KernelTable* Sse42Table() { return nullptr; }
+
+}  // namespace grasp::simd
+
+#endif

@@ -202,6 +202,8 @@ Status WriteEngineSnapshot(const EngineParts& parts, const std::string& path) {
   writer.AddSection(kSectionIiPostingOffsets, ii.posting_offsets());
   writer.AddSection(kSectionIiPostings, ii.postings());
   writer.AddSection(kSectionIiDocTermCounts, ii.doc_term_counts());
+  writer.AddSection(kSectionIiBucketOffsets, ii.bucket_offsets());
+  writer.AddSection(kSectionIiBucketTerms, ii.bucket_terms());
   return writer.WriteFile(path);
 }
 
@@ -490,6 +492,41 @@ Result<LoadedEngineParts> ReadEngineSnapshot(const std::string& path) {
       return Status::InvalidArgument("snapshot: posting document out of range");
     }
   }
+  GRASP_ASSIGN_OR_RETURN(
+      std::span<const std::uint32_t> ii_bucket_offsets,
+      reader.Section<std::uint32_t>(kSectionIiBucketOffsets));
+  GRASP_ASSIGN_OR_RETURN(std::span<const std::uint32_t> ii_bucket_terms,
+                         reader.Section<std::uint32_t>(kSectionIiBucketTerms));
+  GRASP_RETURN_IF_ERROR(ValidateBlobOffsets(
+      ii_bucket_offsets, ii_bucket_terms.size(), "length-bucket"));
+  if (ii_bucket_terms.size() != vocab) {
+    return Status::InvalidArgument(
+        "snapshot: length-bucket terms do not match vocabulary");
+  }
+  {
+    // Each term index must appear exactly once, inside the bucket of its
+    // own text length — the fuzzy prefilter derives boundary bytes and
+    // signatures assuming exactly that placement.
+    std::vector<bool> seen(vocab, false);
+    std::size_t bucket = 0;
+    for (std::size_t i = 0; i < ii_bucket_terms.size(); ++i) {
+      const std::uint32_t t = ii_bucket_terms[i];
+      if (t >= vocab || seen[t]) {
+        return Status::InvalidArgument(
+            "snapshot: length-bucket terms are not a permutation");
+      }
+      seen[t] = true;
+      while (bucket + 2 < ii_bucket_offsets.size() &&
+             i >= ii_bucket_offsets[bucket + 1]) {
+        ++bucket;
+      }
+      const std::size_t term_len = ii_term_offsets[t + 1] - ii_term_offsets[t];
+      if (term_len != bucket) {
+        return Status::InvalidArgument(
+            "snapshot: term bucketed under the wrong length");
+      }
+    }
+  }
 
   // --- Materialize --------------------------------------------------------
   // Everything below is linear assembly of already-validated data; no
@@ -559,7 +596,9 @@ Result<LoadedEngineParts> ReadEngineSnapshot(const std::string& path) {
               FlatStorage<std::uint32_t>::Borrow(ii_sorted_terms),
               FlatStorage<std::uint32_t>::Borrow(ii_posting_offsets),
               FlatStorage<text::InvertedIndex::Posting>::Borrow(ii_postings),
-              FlatStorage<std::uint32_t>::Borrow(ii_doc_term_counts)),
+              FlatStorage<std::uint32_t>::Borrow(ii_doc_term_counts),
+              FlatStorage<std::uint32_t>::Borrow(ii_bucket_offsets),
+              FlatStorage<std::uint32_t>::Borrow(ii_bucket_terms)),
           FlatStorage<ElementRecord>::Borrow(kw_elements),
           FlatStorage<ContextRecord>::Borrow(kw_contexts),
           FlatStorage<TermId>::Borrow(kw_ctx_classes),

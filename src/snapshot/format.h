@@ -29,7 +29,9 @@ namespace grasp::snapshot {
 /// with a clean Status instead of undefined behavior.
 
 inline constexpr char kMagic[8] = {'G', 'R', 'S', 'P', 'I', 'D', 'X', '\n'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Version 2 added the inverted index's length-bucket CSR sections (32/33);
+/// the reader requires an exact version match, so older snapshots rebuild.
+inline constexpr std::uint32_t kFormatVersion = 2;
 /// Section payloads start on page boundaries; 4096 is safe for mmap on
 /// every platform the engine targets (mappings are page-granular).
 inline constexpr std::uint64_t kPageSize = 4096;
@@ -79,6 +81,10 @@ enum SectionId : std::uint32_t {
   kSectionIiSortedTerms = 30,
   /// rdf::DataGraph: dense term -> vertex table.
   kSectionDataTermVertex = 31,
+  /// text::InvertedIndex: fuzzy-scan length buckets (CSR over term
+  /// indexes; bucket = term length). Added in format version 2.
+  kSectionIiBucketOffsets = 32,
+  kSectionIiBucketTerms = 33,
 };
 
 struct FileHeader {

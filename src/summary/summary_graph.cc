@@ -5,6 +5,7 @@
 #include <tuple>
 #include <utility>
 
+#include "common/aligned.h"
 #include "common/logging.h"
 
 namespace grasp::summary {
@@ -14,7 +15,7 @@ SummaryGraph SummaryGraph::Build(const rdf::DataGraph& graph) {
   s.total_entities_ = graph.NumEntities();
 
   // One node per class vertex, in data-graph order (deterministic).
-  std::vector<SummaryNode> nodes;
+  AlignedVector<SummaryNode> nodes;
   for (const rdf::Vertex& v : graph.vertices()) {
     if (v.kind != rdf::VertexKind::kClass) continue;
     const NodeId id = static_cast<NodeId>(nodes.size());
@@ -102,7 +103,7 @@ SummaryGraph SummaryGraph::Build(const rdf::DataGraph& graph) {
   }
   // The aggregation map iterates in (label, from, to) order, so same-label
   // edges land contiguously — that ordering is what EdgesWithLabel serves.
-  std::vector<SummaryEdge> edges;
+  AlignedVector<SummaryEdge> edges;
   edges.reserve(aggregated.size());
   for (const auto& [key, value] : aggregated) {
     const auto& [label, from, to] = key;

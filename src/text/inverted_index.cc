@@ -2,12 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <numeric>
 
 #include "common/logging.h"
+#include "simd/kernels.h"
 #include "text/levenshtein.h"
 
 namespace grasp::text {
+namespace {
+
+// The postings kernel reads Posting runs as interleaved (doc, tf) uint32
+// records; pin the layout it assumes.
+static_assert(sizeof(InvertedIndex::Posting) == 2 * sizeof(std::uint32_t));
+static_assert(offsetof(InvertedIndex::Posting, doc) == 0);
+static_assert(offsetof(InvertedIndex::Posting, tf) == sizeof(std::uint32_t));
+
+// 32-bit character-presence signature for the fuzzy prefilter: bit
+// 1u << (c & 31) per byte. Folding distinct characters into one class only
+// weakens the derived edit-distance lower bound, never strengthens it.
+std::uint32_t CharSignature(std::string_view text) {
+  std::uint32_t sig = 0;
+  for (const char c : text) {
+    sig |= 1u << (static_cast<unsigned char>(c) & 31);
+  }
+  return sig;
+}
+
+}  // namespace
 
 InvertedIndex::TermIdx InvertedIndex::InternTerm(const std::string& term) {
   auto it = term_ids_.find(term);
@@ -46,9 +68,12 @@ InvertedIndex InvertedIndex::FromSnapshotParts(
     AnalyzerOptions analyzer_options, FlatStorage<std::uint32_t> term_offsets,
     FlatStorage<char> term_blob, FlatStorage<std::uint32_t> sorted_terms,
     FlatStorage<std::uint32_t> posting_offsets, FlatStorage<Posting> postings,
-    FlatStorage<std::uint32_t> doc_term_counts) {
+    FlatStorage<std::uint32_t> doc_term_counts,
+    FlatStorage<std::uint32_t> bucket_offsets,
+    FlatStorage<std::uint32_t> bucket_terms) {
   GRASP_CHECK_EQ(term_offsets.size(), posting_offsets.size());
   GRASP_CHECK_EQ(sorted_terms.size() + 1, term_offsets.size());
+  GRASP_CHECK_EQ(bucket_terms.size() + 1, term_offsets.size());
   InvertedIndex index(analyzer_options);
   index.term_offsets_ = std::move(term_offsets);
   index.term_blob_ = std::move(term_blob);
@@ -56,20 +81,52 @@ InvertedIndex InvertedIndex::FromSnapshotParts(
   index.posting_offsets_ = std::move(posting_offsets);
   index.postings_ = std::move(postings);
   index.doc_term_counts_ = std::move(doc_term_counts);
+  index.bucket_offsets_ = std::move(bucket_offsets);
+  index.bucket_terms_ = std::move(bucket_terms);
   index.finalized_ = true;
-  index.BuildLengthBuckets();
+  index.BuildBucketPrefilter();
   return index;
 }
 
 void InvertedIndex::BuildLengthBuckets() {
+  // Counting sort of term indexes by term length into CSR form; iterating
+  // term indexes in ascending order keeps each bucket's terms ascending.
   const std::size_t vocab = vocabulary_size();
   std::size_t max_len = 0;
   for (TermIdx t = 0; t < vocab; ++t) {
     max_len = std::max(max_len, TermText(t).size());
   }
-  length_buckets_.assign(max_len + 1, {});
+  AlignedVector<std::uint32_t> offsets(max_len + 2, 0);
   for (TermIdx t = 0; t < vocab; ++t) {
-    length_buckets_[TermText(t).size()].push_back(t);
+    ++offsets[TermText(t).size() + 1];
+  }
+  for (std::size_t l = 0; l + 1 < offsets.size(); ++l) {
+    offsets[l + 1] += offsets[l];
+  }
+  AlignedVector<std::uint32_t> terms(vocab);
+  std::vector<std::uint32_t> fill(offsets.begin(), offsets.end() - 1);
+  for (TermIdx t = 0; t < vocab; ++t) {
+    terms[fill[TermText(t).size()]++] = t;
+  }
+  bucket_offsets_ = FlatStorage<std::uint32_t>(std::move(offsets));
+  bucket_terms_ = FlatStorage<std::uint32_t>(std::move(terms));
+  BuildBucketPrefilter();
+}
+
+void InvertedIndex::BuildBucketPrefilter() {
+  // Per-term boundary bytes and character signatures, in bucket_terms_
+  // order so the fuzzy sweep reads all three arrays contiguously. Cheap to
+  // derive, so snapshots store only the CSR buckets.
+  const std::size_t vocab = bucket_terms_.size();
+  bucket_first_.assign(vocab, 0);
+  bucket_last_.assign(vocab, 0);
+  bucket_sigs_.assign(vocab, 0);
+  for (std::size_t i = 0; i < vocab; ++i) {
+    const std::string_view text = TermText(bucket_terms_[i]);
+    if (text.empty()) continue;
+    bucket_first_[i] = static_cast<unsigned char>(text.front());
+    bucket_last_[i] = static_cast<unsigned char>(text.back());
+    bucket_sigs_[i] = CharSignature(text);
   }
 }
 
@@ -80,11 +137,11 @@ void InvertedIndex::Finalize() {
   // scan contiguous memory, and a snapshot can serialize (and mmap back)
   // every array without per-term indirection.
   const std::size_t vocab = building_terms_.size();
-  std::vector<std::uint32_t> term_offsets(vocab + 1, 0);
+  AlignedVector<std::uint32_t> term_offsets(vocab + 1, 0);
   std::size_t blob_bytes = 0;
   for (const std::string& t : building_terms_) blob_bytes += t.size();
   GRASP_CHECK_LE(blob_bytes, static_cast<std::size_t>(UINT32_MAX));
-  std::vector<char> blob;
+  AlignedVector<char> blob;
   blob.reserve(blob_bytes);
   for (TermIdx t = 0; t < vocab; ++t) {
     term_offsets[t] = static_cast<std::uint32_t>(blob.size());
@@ -93,18 +150,18 @@ void InvertedIndex::Finalize() {
   }
   term_offsets[vocab] = static_cast<std::uint32_t>(blob.size());
 
-  std::vector<std::uint32_t> sorted(vocab);
+  AlignedVector<std::uint32_t> sorted(vocab);
   std::iota(sorted.begin(), sorted.end(), 0u);
   std::sort(sorted.begin(), sorted.end(),
             [this](std::uint32_t a, std::uint32_t b) {
               return building_terms_[a] < building_terms_[b];
             });
 
-  std::vector<std::uint32_t> posting_offsets(vocab + 1, 0);
+  AlignedVector<std::uint32_t> posting_offsets(vocab + 1, 0);
   std::size_t total = 0;
   for (const auto& plist : building_postings_) total += plist.size();
   GRASP_CHECK_LE(total, static_cast<std::size_t>(UINT32_MAX));
-  std::vector<Posting> flat;
+  AlignedVector<Posting> flat;
   flat.reserve(total);
   for (TermIdx t = 0; t < building_postings_.size(); ++t) {
     posting_offsets[t] = static_cast<std::uint32_t>(flat.size());
@@ -155,7 +212,8 @@ double InvertedIndex::TermWeight(TermIdx term,
 
 void InvertedIndex::CollectCandidates(const std::string& token,
                                       const SearchOptions& options,
-                                      std::vector<Candidate>* candidates) const {
+                                      SearchScratch* scratch) const {
+  std::vector<Candidate>* candidates = &scratch->candidates;
   const TermIdx absent = static_cast<TermIdx>(vocabulary_size());
   auto add = [&](TermIdx term, double similarity) {
     if (similarity < options.min_similarity) return;
@@ -181,23 +239,47 @@ void InvertedIndex::CollectCandidates(const std::string& token,
   }
 
   // 3) Syntactic (fuzzy) matching over the vocabulary, banded by length.
+  // The length band [lo, hi] is one contiguous run of the CSR bucket array,
+  // so one kernel sweep over the per-term prefilter arrays rejects the bulk
+  // of the band on conservative edit-distance lower bounds, and only the
+  // survivors pay for banded-Levenshtein DP. The prefilter never drops a
+  // true candidate (every bound is exact-conservative), so the resulting
+  // candidate set — and with it every query result — is identical to the
+  // full scan's, on every kernel tier.
   if (options.fuzzy && !token.empty()) {
     const std::size_t len = token.size();
     const std::size_t max_dist =
         std::min(options.max_edit_distance, len / 3);
-    if (max_dist > 0) {
+    const std::size_t max_bucket =
+        bucket_offsets_.size() > 1 ? bucket_offsets_.size() - 2 : 0;
+    if (max_dist > 0 && bucket_offsets_.size() > 1) {
+      // max_dist > 0 implies len >= 3, so lo >= len - len/3 >= 2: both the
+      // query token and every banded term are at least two characters, as
+      // the kernel's first/last-character bound requires.
       const std::size_t lo = len > max_dist ? len - max_dist : 1;
-      const std::size_t hi =
-          std::min(length_buckets_.empty() ? 0 : length_buckets_.size() - 1,
-                   len + max_dist);
-      for (std::size_t l = lo; l <= hi; ++l) {
-        for (TermIdx term : length_buckets_[l]) {
+      const std::size_t hi = std::min(max_bucket, len + max_dist);
+      if (lo <= hi) {
+        const std::uint32_t begin = bucket_offsets_[lo];
+        const std::uint32_t end = bucket_offsets_[hi + 1];
+        const std::size_t n = end - begin;
+        scratch->prefilter_out.resize(n);
+        const std::size_t kept = simd::ActiveKernels().fuzzy_prefilter(
+            bucket_first_.data() + begin, bucket_last_.data() + begin,
+            bucket_sigs_.data() + begin, n,
+            static_cast<unsigned char>(token.front()),
+            static_cast<unsigned char>(token.back()), CharSignature(token),
+            static_cast<std::uint32_t>(max_dist),
+            scratch->prefilter_out.data());
+        for (std::size_t k = 0; k < kept; ++k) {
+          const TermIdx term =
+              bucket_terms_[begin + scratch->prefilter_out[k]];
+          const std::string_view text = TermText(term);
           const std::size_t dist =
-              BoundedLevenshtein(token, TermText(term), max_dist);
+              BoundedLevenshtein(token, text, max_dist);
           if (dist == 0 || dist > max_dist) continue;
           const double sim =
               1.0 - static_cast<double>(dist) /
-                        static_cast<double>(std::max(len, l));
+                        static_cast<double>(std::max(len, text.size()));
           add(term, sim);
         }
       }
@@ -216,52 +298,70 @@ std::vector<InvertedIndex::Hit> InvertedIndex::Search(
   const std::vector<std::string> tokens = Analyze(keyword, query_options);
   if (tokens.empty()) return {};
 
-  // doc -> (summed best-per-token score, number of matched tokens).
-  struct DocScore {
-    double sum = 0.0;
-    std::uint32_t matched = 0;
-  };
-  std::unordered_map<DocId, DocScore> scores;
-  std::vector<Candidate> candidates;
-  std::unordered_map<DocId, double> token_best;
+  // Pooled dense scoring state: `best` holds each document's best weight
+  // for the current token (-1.0 = untouched), `sum`/`matched` accumulate
+  // across tokens. All three rest at their sentinel values between queries
+  // and are restored via the touched lists before release, so steady-state
+  // queries allocate nothing and touch O(matched docs) memory.
+  const std::size_t num_docs = num_documents();
+  auto lease = scratch_pool_->Acquire(
+      [] { return std::make_unique<SearchScratch>(); });
+  SearchScratch& s = *lease.object;
+  if (s.best.size() < num_docs) {
+    s.best.resize(num_docs, -1.0);
+    s.sum.resize(num_docs, 0.0);
+    s.matched.resize(num_docs, 0);
+  }
+
+  const auto postings_update = simd::ActiveKernels().postings_best_update;
   for (const std::string& token : tokens) {
-    candidates.clear();
-    CollectCandidates(token, options, &candidates);
-    token_best.clear();
-    for (const Candidate& c : candidates) {
+    s.candidates.clear();
+    CollectCandidates(token, options, &s);
+    s.token_touched.clear();
+    for (const Candidate& c : s.candidates) {
       const double weight = c.similarity * TermWeight(c.term, options);
-      for (const Posting& p : PostingsOf(c.term)) {
-        double& best = token_best[p.doc];
-        best = std::max(best, weight);
-      }
+      const std::span<const Posting> run = PostingsOf(c.term);
+      const std::size_t before = s.token_touched.size();
+      s.token_touched.resize(before + run.size());
+      const std::size_t appended = postings_update(
+          reinterpret_cast<const std::uint32_t*>(run.data()), run.size(),
+          weight, s.best.data(), s.token_touched.data() + before);
+      s.token_touched.resize(before + appended);
     }
-    for (const auto& [doc, best] : token_best) {
-      DocScore& ds = scores[doc];
-      ds.sum += best;
-      ++ds.matched;
+    for (const std::uint32_t doc : s.token_touched) {
+      if (s.matched[doc] == 0) s.all_touched.push_back(doc);
+      s.sum[doc] += s.best[doc];
+      ++s.matched[doc];
+      s.best[doc] = -1.0;  // restore the sentinel for the next token
     }
   }
 
   std::vector<Hit> hits;
-  hits.reserve(scores.size());
+  hits.reserve(s.all_touched.size());
   const double denom = static_cast<double>(tokens.size());
-  for (const auto& [doc, ds] : scores) {
+  for (const std::uint32_t doc : s.all_touched) {
     // The relevance filter uses the raw per-token average; the coverage
     // factor then discounts hits that touch only a fraction of a long label
     // so that e.g. a three-word title outranks a six-word one for the same
     // single-keyword hit.
-    const double raw = ds.sum / denom;
+    const double raw = s.sum[doc] / denom;
     if (raw >= options.min_similarity || (tokens.size() > 1 && raw > 0.0)) {
       double score = raw;
       if (options.length_normalize) {
         const double label_len = static_cast<double>(
             std::max<std::uint32_t>(1, doc_term_counts_[doc]));
         score *= std::min(
-            1.0, std::sqrt(static_cast<double>(ds.matched) / label_len));
+            1.0,
+            std::sqrt(static_cast<double>(s.matched[doc]) / label_len));
       }
       hits.push_back(Hit{doc, std::min(1.0, score)});
     }
+    s.sum[doc] = 0.0;  // restore resting state for the next query
+    s.matched[doc] = 0;
   }
+  s.all_touched.clear();
+  scratch_pool_->Release(lease, s.OwnedBytes());
+
   std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
     if (a.score != b.score) return a.score > b.score;
     return a.doc < b.doc;
@@ -285,9 +385,10 @@ std::size_t InvertedIndex::MemoryUsageBytes() const {
   bytes += term_offsets_.OwnedBytes() + term_blob_.OwnedBytes() +
            sorted_terms_.OwnedBytes() + posting_offsets_.OwnedBytes() +
            postings_.OwnedBytes() + doc_term_counts_.OwnedBytes();
-  for (const auto& bucket : length_buckets_) {
-    bytes += sizeof(bucket) + bucket.capacity() * sizeof(TermIdx);
-  }
+  bytes += bucket_offsets_.OwnedBytes() + bucket_terms_.OwnedBytes();
+  bytes += bucket_first_.capacity() + bucket_last_.capacity() +
+           bucket_sigs_.capacity() * sizeof(std::uint32_t);
+  bytes += scratch_pool_->PooledBytes();
   return bytes;
 }
 

@@ -2,13 +2,16 @@
 #define GRASP_TEXT_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/flat_storage.h"
+#include "common/free_list_pool.h"
 #include "text/thesaurus.h"
 #include "text/tokenizer.h"
 
@@ -30,7 +33,8 @@ class InvertedIndex {
   using DocId = std::uint32_t;
 
   explicit InvertedIndex(AnalyzerOptions options = {})
-      : analyzer_options_(options) {}
+      : analyzer_options_(options),
+        scratch_pool_(std::make_unique<FreeListPool<SearchScratch>>()) {}
 
   InvertedIndex(const InvertedIndex&) = delete;
   InvertedIndex& operator=(const InvertedIndex&) = delete;
@@ -79,15 +83,18 @@ class InvertedIndex {
 
   /// Rebuilds a finalized index from snapshot parts, all typically borrowed
   /// straight from the mapping: the vocabulary blob/offsets, its sorted
-  /// permutation, the flat postings CSR and the per-document token counts.
-  /// Only the fuzzy-scan length buckets are re-derived (one linear sweep);
-  /// no tokenization, hashing, stemming or sorting happens.
+  /// permutation, the flat postings CSR, the per-document token counts and
+  /// the fuzzy-scan length buckets (CSR over term indexes, bucket = term
+  /// length). Only the small per-term prefilter arrays are re-derived (one
+  /// linear sweep); no tokenization, hashing, stemming or sorting happens.
   static InvertedIndex FromSnapshotParts(
       AnalyzerOptions analyzer_options,
       FlatStorage<std::uint32_t> term_offsets, FlatStorage<char> term_blob,
       FlatStorage<std::uint32_t> sorted_terms,
       FlatStorage<std::uint32_t> posting_offsets, FlatStorage<Posting> postings,
-      FlatStorage<std::uint32_t> doc_term_counts);
+      FlatStorage<std::uint32_t> doc_term_counts,
+      FlatStorage<std::uint32_t> bucket_offsets,
+      FlatStorage<std::uint32_t> bucket_terms);
 
   /// Scores documents against a (possibly multi-token) keyword. A document's
   /// score averages its per-token best similarity; tokens without any match
@@ -123,6 +130,12 @@ class InvertedIndex {
   std::span<const std::uint32_t> doc_term_counts() const {
     return doc_term_counts_.view();
   }
+  std::span<const std::uint32_t> bucket_offsets() const {
+    return bucket_offsets_.view();
+  }
+  std::span<const std::uint32_t> bucket_terms() const {
+    return bucket_terms_.view();
+  }
 
   /// Approximate owned heap footprint in bytes (Fig. 6b keyword-index
   /// size); mmap-backed snapshot storage counts zero here.
@@ -137,8 +150,32 @@ class InvertedIndex {
     double similarity;
   };
 
+  /// Pooled per-query state. The dense per-document arrays use sentinel /
+  /// zero resting values (`best` all -1.0, `sum` all 0.0, `matched` all 0)
+  /// that each query restores via its touched lists before releasing the
+  /// scratch, so a query costs O(docs touched), not O(num_documents), after
+  /// the first acquisition sized the arrays.
+  struct SearchScratch {
+    AlignedVector<double> best;            ///< per-doc best this token; -1 = untouched
+    AlignedVector<double> sum;             ///< per-doc summed best over tokens
+    AlignedVector<std::uint32_t> matched;  ///< per-doc count of matched tokens
+    AlignedVector<std::uint32_t> token_touched;  ///< docs touched by this token
+    AlignedVector<std::uint32_t> all_touched;    ///< docs touched by any token
+    AlignedVector<std::uint32_t> prefilter_out;  ///< fuzzy-prefilter survivors
+    std::vector<Candidate> candidates;
+
+    std::size_t OwnedBytes() const {
+      return best.capacity() * sizeof(double) + sum.capacity() * sizeof(double) +
+             (matched.capacity() + token_touched.capacity() +
+              all_touched.capacity() + prefilter_out.capacity()) *
+                 sizeof(std::uint32_t) +
+             candidates.capacity() * sizeof(Candidate);
+    }
+  };
+
   TermIdx InternTerm(const std::string& term);
   void BuildLengthBuckets();
+  void BuildBucketPrefilter();
   std::string_view TermText(TermIdx term) const {
     return {term_blob_.data() + term_offsets_[term],
             static_cast<std::size_t>(term_offsets_[term + 1] -
@@ -154,7 +191,7 @@ class InvertedIndex {
   }
   void CollectCandidates(const std::string& token,
                          const SearchOptions& options,
-                         std::vector<Candidate>* candidates) const;
+                         SearchScratch* scratch) const;
   double TermWeight(TermIdx term, const SearchOptions& options) const;
 
   AnalyzerOptions analyzer_options_;
@@ -162,7 +199,7 @@ class InvertedIndex {
   std::unordered_map<std::string, TermIdx> term_ids_;
   std::vector<std::string> building_terms_;
   std::vector<std::vector<Posting>> building_postings_;
-  std::vector<std::uint32_t> building_doc_term_counts_;
+  AlignedVector<std::uint32_t> building_doc_term_counts_;
   /// Finalized vocabulary: blob + offsets (vocabulary_size() + 1 entries)
   /// + lexicographically sorted term permutation.
   FlatStorage<std::uint32_t> term_offsets_;
@@ -172,8 +209,20 @@ class InvertedIndex {
   FlatStorage<std::uint32_t> posting_offsets_;
   FlatStorage<Posting> postings_;
   FlatStorage<std::uint32_t> doc_term_counts_;
-  /// term indexes bucketed by term length, for the banded fuzzy scan.
-  std::vector<std::vector<TermIdx>> length_buckets_;
+  /// Term indexes bucketed by term length in CSR form (bucket_offsets_ has
+  /// max_term_len + 2 entries; bucket_terms_ lists every term index once,
+  /// ascending within each bucket), snapshot-serialized as-is. The parallel
+  /// per-term prefilter arrays — first byte, last byte, character-presence
+  /// signature, in bucket_terms_ order — are derived locally on (re)build
+  /// and feed the vectorized fuzzy-reject sweep.
+  FlatStorage<std::uint32_t> bucket_offsets_;
+  FlatStorage<std::uint32_t> bucket_terms_;
+  AlignedVector<unsigned char> bucket_first_;
+  AlignedVector<unsigned char> bucket_last_;
+  AlignedVector<std::uint32_t> bucket_sigs_;
+  /// Reusable per-query scratch; a unique_ptr because the pool itself is
+  /// neither copyable nor movable while InvertedIndex must stay movable.
+  mutable std::unique_ptr<FreeListPool<SearchScratch>> scratch_pool_;
   bool finalized_ = false;
 };
 

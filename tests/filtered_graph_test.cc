@@ -46,7 +46,7 @@ using summary::SummaryGraph;
 // ------------------------------------------------------ EdgeFilter units --
 
 TEST(EdgeFilterTest, BuildContainsAndCountAcrossWordBoundaries) {
-  for (std::uint32_t n : {0u, 1u, 63u, 64u, 65u, 130u, 200u}) {
+  for (std::uint32_t n : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 130u, 200u}) {
     const EdgeFilter f =
         EdgeFilter::Build(n, [](std::uint32_t e) { return e % 3 == 0; });
     EXPECT_EQ(f.num_edges(), n);
@@ -81,12 +81,70 @@ TEST(EdgeFilterTest, FullAndEmptyMasks) {
 TEST(EdgeFilterTest, FromPartsRoundTripsWords) {
   const EdgeFilter built =
       EdgeFilter::Build(70, [](std::uint32_t e) { return (e & 1) == 0; });
-  std::vector<std::uint64_t> words(built.words().begin(), built.words().end());
+  AlignedVector<std::uint64_t> words(built.words().begin(), built.words().end());
   const EdgeFilter adopted = EdgeFilter::FromParts(
       FlatStorage<std::uint64_t>(std::move(words)), built.num_edges());
   ASSERT_EQ(adopted.num_edges(), built.num_edges());
   for (std::uint32_t e = 0; e < built.num_edges(); ++e) {
     EXPECT_EQ(adopted.Contains(e), built.Contains(e)) << e;
+  }
+}
+
+TEST(EdgeFilterTest, ComposeOpsMatchPerBitAcrossWordBoundaries) {
+  for (std::uint32_t n : {0u, 63u, 64u, 65u, 127u, 128u, 513u}) {
+    const EdgeFilter a =
+        EdgeFilter::Build(n, [](std::uint32_t e) { return e % 3 == 0; });
+    const EdgeFilter b =
+        EdgeFilter::Build(n, [](std::uint32_t e) { return e % 5 < 2; });
+    const EdgeFilter both = EdgeFilter::And(a, b);
+    const EdgeFilter either = EdgeFilter::Or(a, b);
+    const EdgeFilter only_a = EdgeFilter::AndNot(a, b);
+    std::size_t expect_and = 0, expect_or = 0, expect_andnot = 0;
+    for (std::uint32_t e = 0; e < n; ++e) {
+      const bool in_a = e % 3 == 0;
+      const bool in_b = e % 5 < 2;
+      EXPECT_EQ(both.Contains(e), in_a && in_b) << "n=" << n << " e=" << e;
+      EXPECT_EQ(either.Contains(e), in_a || in_b) << "n=" << n << " e=" << e;
+      EXPECT_EQ(only_a.Contains(e), in_a && !in_b) << "n=" << n << " e=" << e;
+      expect_and += in_a && in_b;
+      expect_or += in_a || in_b;
+      expect_andnot += in_a && !in_b;
+    }
+    // CountSet is a whole-word popcount, so these only hold if composition
+    // re-applied the tail mask (Or's padding would otherwise survive the
+    // word-level op whenever both inputs were built full).
+    EXPECT_EQ(both.CountSet(), expect_and) << "n=" << n;
+    EXPECT_EQ(either.CountSet(), expect_or) << "n=" << n;
+    EXPECT_EQ(only_a.CountSet(), expect_andnot) << "n=" << n;
+    if (n % 64 != 0) {
+      const EdgeFilter full_or =
+          EdgeFilter::Or(EdgeFilter::MakeFull(n), EdgeFilter::MakeFull(n));
+      ASSERT_FALSE(full_or.words().empty());
+      EXPECT_EQ(full_or.words().back() & ~EdgeFilter::TailMask(n), 0u)
+          << "n=" << n;
+      EXPECT_EQ(full_or.CountSet(), n);
+    }
+  }
+}
+
+TEST(EdgeFilterTest, ForEachSetCrossesCollectChunkBoundaries) {
+  // Sizes straddling the enumerator's internal word-chunking: one bit per
+  // word, plus dense words, over >8 words.
+  for (std::uint32_t n : {511u, 512u, 513u, 1025u}) {
+    const EdgeFilter sparse = EdgeFilter::Build(
+        n, [](std::uint32_t e) { return e % 64 == 63 || e % 97 == 0; });
+    std::vector<std::uint32_t> enumerated;
+    sparse.ForEachSet([&](std::uint32_t e) { enumerated.push_back(e); });
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t e = 0; e < n; ++e) {
+      if (e % 64 == 63 || e % 97 == 0) expected.push_back(e);
+    }
+    EXPECT_EQ(enumerated, expected) << "n=" << n;
+
+    const EdgeFilter full = EdgeFilter::MakeFull(n);
+    std::uint32_t next = 0;
+    full.ForEachSet([&](std::uint32_t e) { EXPECT_EQ(e, next++); });
+    EXPECT_EQ(next, n);
   }
 }
 

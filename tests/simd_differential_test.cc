@@ -1,0 +1,225 @@
+// Per-ISA differential suite: the engine must produce byte-identical
+// results (ranked queries, costs, structure keys, counters) no matter which
+// SIMD kernel tier the dispatcher installs. Each reachable tier gets its
+// own engine — so index construction, mask building, keyword lookup and
+// exploration all run under that tier — and is pinned against the scalar
+// engine on the Fig. 1 running example, a LUBM slice, TAP-style data,
+// seeded random datasets and the checked-in keyword corpus. Snapshots cross
+// tiers too: an index saved under one tier is opened and queried under
+// another.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "datagen/lubm_gen.h"
+#include "datagen/tap_gen.h"
+#include "simd/cpu.h"
+#include "simd/kernels.h"
+#include "test_util.h"
+
+namespace grasp::core {
+namespace {
+
+using grasp::testing::Dataset;
+
+std::vector<simd::Level> ReachableLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::TableFor(simd::Level::kSse42) != nullptr) {
+    levels.push_back(simd::Level::kSse42);
+  }
+  if (simd::TableFor(simd::Level::kAvx2) != nullptr) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+/// Restores the dispatched tier no matter how the test exits.
+class LevelGuard {
+ public:
+  LevelGuard() : original_(simd::ActiveLevel()) {}
+  ~LevelGuard() { simd::SetActiveLevel(original_); }
+
+ private:
+  simd::Level original_;
+};
+
+void ExpectSameResult(const KeywordSearchEngine::SearchResult& expect,
+                      const KeywordSearchEngine::SearchResult& got,
+                      const std::string& context) {
+  ASSERT_EQ(expect.queries.size(), got.queries.size()) << context;
+  for (std::size_t i = 0; i < expect.queries.size(); ++i) {
+    EXPECT_EQ(expect.queries[i].query.CanonicalString(),
+              got.queries[i].query.CanonicalString())
+        << context << " rank " << i;
+    EXPECT_EQ(expect.queries[i].cost, got.queries[i].cost)
+        << context << " rank " << i;
+    EXPECT_EQ(expect.queries[i].subgraph.StructureKey(),
+              got.queries[i].subgraph.StructureKey())
+        << context << " rank " << i;
+  }
+  EXPECT_EQ(expect.matches_per_keyword, got.matches_per_keyword) << context;
+  EXPECT_EQ(expect.exploration_stats.cursors_created,
+            got.exploration_stats.cursors_created)
+      << context;
+  EXPECT_EQ(expect.exploration_stats.cursors_popped,
+            got.exploration_stats.cursors_popped)
+      << context;
+  EXPECT_EQ(expect.exploration_stats.subgraphs_generated,
+            got.exploration_stats.subgraphs_generated)
+      << context;
+  EXPECT_EQ(expect.exploration_stats.subgraphs_deduplicated,
+            got.exploration_stats.subgraphs_deduplicated)
+      << context;
+}
+
+/// Builds one engine per reachable tier (construction itself runs under the
+/// tier) and pins every tier's results to the scalar engine's. Two rounds
+/// per keyword set so the augmentation-cache hit path is covered too.
+void ExpectTiersAgree(const Dataset& dataset, const std::string& tag,
+                      const std::vector<std::vector<std::string>>& keyword_sets,
+                      std::size_t k = 5) {
+  LevelGuard guard;
+  simd::SetActiveLevel(simd::Level::kScalar);
+  KeywordSearchEngine scalar_engine(dataset.store, dataset.dictionary);
+  std::vector<KeywordSearchEngine::SearchResult> scalar_results;
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& keywords : keyword_sets) {
+      scalar_results.push_back(scalar_engine.Search(keywords, k));
+    }
+  }
+  for (simd::Level level : ReachableLevels()) {
+    if (level == simd::Level::kScalar) continue;
+    ASSERT_EQ(simd::SetActiveLevel(level), level);
+    KeywordSearchEngine engine(dataset.store, dataset.dictionary);
+    EXPECT_STREQ(engine.index_stats().simd_kernel_level,
+                 simd::LevelName(level));
+    std::size_t i = 0;
+    for (int round = 0; round < 2; ++round) {
+      for (const auto& keywords : keyword_sets) {
+        ExpectSameResult(
+            scalar_results[i++], engine.Search(keywords, k),
+            StrFormat("%s %s round %d %s", tag.c_str(),
+                      simd::LevelName(level), round,
+                      Join(keywords, "+").c_str()));
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, Figure1RunningExample) {
+  ExpectTiersAgree(grasp::testing::MakeFigure1Dataset(), "fig1",
+                   {{"2006", "cimiano", "aifb"},
+                    {"name"},
+                    {"publication", "project"},
+                    {"researcher", "institute"},
+                    {">2000", "publication"},
+                    {"resercher"},  // fuzzy: one edit from "researcher"
+                    {"cimano", "aifb"}});
+}
+
+TEST(SimdDifferentialTest, Figure1CorpusReplay) {
+  const Dataset dataset = grasp::testing::MakeFigure1Dataset();
+  ExpectTiersAgree(dataset, "fig1_corpus",
+                   grasp::testing::LoadKeywordCorpus("fig1_keyword_sets.txt"));
+}
+
+TEST(SimdDifferentialTest, LubmSlice) {
+  Dataset dataset;
+  datagen::LubmOptions options;
+  options.num_universities = 1;
+  options.departments_per_university = 2;
+  datagen::GenerateLubm(options, &dataset.dictionary, &dataset.store);
+  dataset.store.Finalize();
+  ExpectTiersAgree(dataset, "lubm",
+                   {{"publication", "professor"},
+                    {"course", "student", "name"},
+                    {"departmant"},  // fuzzy hit
+                    {"department"}});
+}
+
+TEST(SimdDifferentialTest, TapStyle) {
+  Dataset dataset;
+  datagen::TapOptions options;
+  options.num_classes = 32;
+  datagen::GenerateTap(options, &dataset.dictionary, &dataset.store);
+  dataset.store.Finalize();
+  ExpectTiersAgree(dataset, "tap",
+                   {{"album", "team"}, {"city", "player", "name"}});
+}
+
+class RandomizedSimdDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizedSimdDifferentialTest, RandomDatasetAndKeywords) {
+  Rng rng(GetParam() * 9199 + 3);
+  Dataset dataset = grasp::testing::MakeRandomDataset(
+      GetParam(), /*num_classes=*/4, /*num_entities=*/16,
+      /*num_relations=*/20, /*num_predicates=*/3, /*num_attributes=*/12,
+      /*value_pool=*/5);
+  std::vector<std::string> vocabulary = {"class0", "class1", "class2",
+                                         "class3", "rel0",   "rel1",
+                                         "value0", "value1", "attr0"};
+  std::vector<std::vector<std::string>> keyword_sets;
+  for (int round = 0; round < 4; ++round) {
+    rng.Shuffle(&vocabulary);
+    const std::size_t m = 1 + rng.NextBelow(3);
+    keyword_sets.emplace_back(vocabulary.begin(), vocabulary.begin() + m);
+  }
+  ExpectTiersAgree(dataset,
+                   StrFormat("random%llu",
+                             static_cast<unsigned long long>(GetParam())),
+                   keyword_sets, /*k=*/1 + rng.NextBelow(8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedSimdDifferentialTest,
+                         ::testing::Values(1, 2, 3));
+
+// Snapshots cross tiers: the on-disk format is tier-independent, so an
+// index saved while one tier was dispatched must open and serve byte-
+// identical results under every other tier (including the re-derived
+// fuzzy-prefilter arrays over the mapped bucket sections).
+TEST(SimdDifferentialTest, SnapshotCrossesTiers) {
+  LevelGuard guard;
+  const Dataset dataset = grasp::testing::MakeFigure1Dataset();
+  const std::vector<std::vector<std::string>> keyword_sets = {
+      {"2006", "cimiano", "aifb"}, {"publication", "project"}, {"resercher"}};
+
+  simd::SetActiveLevel(simd::Level::kScalar);
+  KeywordSearchEngine scalar_engine(dataset.store, dataset.dictionary);
+  std::vector<KeywordSearchEngine::SearchResult> scalar_results;
+  for (const auto& keywords : keyword_sets) {
+    scalar_results.push_back(scalar_engine.Search(keywords, 5));
+  }
+
+  const std::vector<simd::Level> levels = ReachableLevels();
+  for (simd::Level save_level : levels) {
+    simd::SetActiveLevel(save_level);
+    const std::string path =
+        ::testing::TempDir() + "grasp_simd_cross_" +
+        simd::LevelName(save_level) + ".snap";
+    const Status saved = scalar_engine.SaveIndex(path);
+    ASSERT_TRUE(saved.ok()) << saved.ToString();
+    for (simd::Level open_level : levels) {
+      simd::SetActiveLevel(open_level);
+      auto warm = KeywordSearchEngine::Open(path);
+      ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+      for (std::size_t i = 0; i < keyword_sets.size(); ++i) {
+        ExpectSameResult(
+            scalar_results[i], (*warm)->Search(keyword_sets[i], 5),
+            StrFormat("save=%s open=%s set %zu", simd::LevelName(save_level),
+                      simd::LevelName(open_level), i));
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace grasp::core

@@ -1,0 +1,311 @@
+// Conformance suite for the SIMD kernel tiers: every table reachable on the
+// build/host (sse42, avx2) must be byte-identical to the generic scalar
+// table on every input, including the word- and vector-width boundaries
+// where tail handling lives. The scalar table is the semantic reference;
+// these tests are what make the per-ISA implementations interchangeable.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simd/cpu.h"
+#include "simd/kernels.h"
+#include "text/levenshtein.h"
+
+namespace grasp::simd {
+namespace {
+
+std::vector<Level> ReachableLevels() {
+  std::vector<Level> levels = {Level::kScalar};
+  if (TableFor(Level::kSse42) != nullptr) levels.push_back(Level::kSse42);
+  if (TableFor(Level::kAvx2) != nullptr) levels.push_back(Level::kAvx2);
+  return levels;
+}
+
+// Word counts straddling the scalar/SSE/AVX2 block widths (2 and 4 words)
+// and the ForEachSet chunk width (8 words).
+const std::size_t kWordCounts[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 33};
+
+std::vector<std::uint64_t> RandomWords(std::mt19937_64& rng, std::size_t n,
+                                       int density_shift) {
+  std::vector<std::uint64_t> words(n);
+  for (std::uint64_t& w : words) {
+    w = rng();
+    // density_shift > 0 sparsifies (AND of shifted draws), < 0 densifies.
+    for (int i = 0; i < density_shift; ++i) w &= rng();
+    for (int i = 0; i < -density_shift; ++i) w |= rng();
+  }
+  return words;
+}
+
+std::vector<std::uint64_t> expect_and(const std::vector<std::uint64_t>& a,
+                                      const std::vector<std::uint64_t>& b) {
+  std::vector<std::uint64_t> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] & b[i];
+  return out;
+}
+
+TEST(SimdKernelTest, MaskOpsMatchScalarIncludingAliasedOutput) {
+  std::mt19937_64 rng(0x5eed0001);
+  const KernelTable* scalar = ScalarTable();
+  for (Level level : ReachableLevels()) {
+    const KernelTable* table = TableFor(level);
+    for (std::size_t n : kWordCounts) {
+      for (int density : {-1, 0, 2}) {
+        const std::vector<std::uint64_t> a = RandomWords(rng, n, density);
+        const std::vector<std::uint64_t> b = RandomWords(rng, n, density);
+        std::vector<std::uint64_t> expect(n), got(n);
+        scalar->mask_and(a.data(), b.data(), expect.data(), n);
+        table->mask_and(a.data(), b.data(), got.data(), n);
+        EXPECT_EQ(expect, got) << table->name << " and n=" << n;
+        scalar->mask_or(a.data(), b.data(), expect.data(), n);
+        table->mask_or(a.data(), b.data(), got.data(), n);
+        EXPECT_EQ(expect, got) << table->name << " or n=" << n;
+        scalar->mask_andnot(a.data(), b.data(), expect.data(), n);
+        table->mask_andnot(a.data(), b.data(), got.data(), n);
+        EXPECT_EQ(expect, got) << table->name << " andnot n=" << n;
+        // The contract allows out to alias an input.
+        std::vector<std::uint64_t> aliased = a;
+        table->mask_and(aliased.data(), b.data(), aliased.data(), n);
+        EXPECT_EQ(expect_and(a, b), aliased) << table->name << " alias n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, PopcountWordsMatchesScalar) {
+  std::mt19937_64 rng(0x5eed0002);
+  const KernelTable* scalar = ScalarTable();
+  for (Level level : ReachableLevels()) {
+    const KernelTable* table = TableFor(level);
+    for (std::size_t n : kWordCounts) {
+      for (int density : {-1, 0, 3}) {
+        const std::vector<std::uint64_t> w = RandomWords(rng, n, density);
+        EXPECT_EQ(scalar->popcount_words(w.data(), n),
+                  table->popcount_words(w.data(), n))
+            << table->name << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, CollectSetMatchesScalarAcrossDensities) {
+  std::mt19937_64 rng(0x5eed0003);
+  const KernelTable* scalar = ScalarTable();
+  for (Level level : ReachableLevels()) {
+    const KernelTable* table = TableFor(level);
+    for (std::size_t n : kWordCounts) {
+      for (int density : {-1, 0, 4, 64}) {  // 64 => effectively all-zero
+        const std::vector<std::uint64_t> w = RandomWords(rng, n, density);
+        std::vector<std::uint32_t> expect(n * 64 + 1), got(n * 64 + 1);
+        const std::size_t ne = scalar->collect_set(w.data(), n, 1000, expect.data());
+        const std::size_t ng = table->collect_set(w.data(), n, 1000, got.data());
+        ASSERT_EQ(ne, ng) << table->name << " n=" << n;
+        expect.resize(ne);
+        got.resize(ng);
+        EXPECT_EQ(expect, got) << table->name << " n=" << n;
+        EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, CollectSetHitsExactWordBoundaryBits) {
+  // Bits at the classic off-by-one positions: 0, 63, 64, 65, 127, 128.
+  std::vector<std::uint64_t> w(3, 0);
+  for (std::uint32_t bit : {0u, 63u, 64u, 65u, 127u, 128u}) {
+    w[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  }
+  for (Level level : ReachableLevels()) {
+    const KernelTable* table = TableFor(level);
+    std::vector<std::uint32_t> out(3 * 64);
+    const std::size_t n = table->collect_set(w.data(), w.size(), 10, out.data());
+    out.resize(n);
+    EXPECT_EQ(out, (std::vector<std::uint32_t>{10, 73, 74, 75, 137, 138}))
+        << table->name;
+  }
+}
+
+TEST(SimdKernelTest, PostingsBestUpdateMatchesScalar) {
+  std::mt19937_64 rng(0x5eed0004);
+  const KernelTable* scalar = ScalarTable();
+  const std::size_t kNumDocs = 300;
+  for (Level level : ReachableLevels()) {
+    const KernelTable* table = TableFor(level);
+    for (std::size_t run_len : {0u, 1u, 3u, 4u, 5u, 8u, 9u, 100u}) {
+      // Several overlapping runs applied in sequence, so both the
+      // first-touch arm and the max arm execute.
+      std::vector<double> best_e(kNumDocs, -1.0), best_g(kNumDocs, -1.0);
+      std::vector<std::uint32_t> touched_e, touched_g;
+      for (int round = 0; round < 3; ++round) {
+        std::vector<std::uint32_t> pairs;  // interleaved (doc, tf)
+        std::uint32_t doc = static_cast<std::uint32_t>(rng() % 3);
+        for (std::size_t i = 0; i < run_len && doc < kNumDocs; ++i) {
+          pairs.push_back(doc);
+          pairs.push_back(static_cast<std::uint32_t>(1 + rng() % 4));
+          doc += 1 + static_cast<std::uint32_t>(rng() % 5);
+        }
+        const std::size_t n = pairs.size() / 2;
+        const double weight = 0.25 * (round + 1);
+        touched_e.resize(touched_e.size() + n);
+        touched_g.resize(touched_g.size() + n);
+        const std::size_t base_e = touched_e.size() - n;
+        const std::size_t base_g = touched_g.size() - n;
+        const std::size_t ae = scalar->postings_best_update(
+            pairs.data(), n, weight, best_e.data(), touched_e.data() + base_e);
+        const std::size_t ag = table->postings_best_update(
+            pairs.data(), n, weight, best_g.data(), touched_g.data() + base_g);
+        touched_e.resize(base_e + ae);
+        touched_g.resize(base_g + ag);
+      }
+      EXPECT_EQ(touched_e, touched_g) << table->name << " run=" << run_len;
+      EXPECT_EQ(best_e, best_g) << table->name << " run=" << run_len;
+    }
+  }
+}
+
+struct FuzzyFixture {
+  std::vector<std::string> terms;
+  std::vector<unsigned char> first, last;
+  std::vector<std::uint32_t> sigs;
+};
+
+std::uint32_t Signature(const std::string& s) {
+  std::uint32_t sig = 0;
+  for (char c : s) sig |= 1u << (static_cast<unsigned char>(c) & 31);
+  return sig;
+}
+
+FuzzyFixture MakeFuzzyFixture(std::mt19937_64& rng, std::size_t n) {
+  FuzzyFixture f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = 2 + rng() % 10;
+    std::string term;
+    for (std::size_t j = 0; j < len; ++j) {
+      term.push_back(static_cast<char>('a' + rng() % 26));
+    }
+    f.first.push_back(static_cast<unsigned char>(term.front()));
+    f.last.push_back(static_cast<unsigned char>(term.back()));
+    f.sigs.push_back(Signature(term));
+    f.terms.push_back(std::move(term));
+  }
+  return f;
+}
+
+TEST(SimdKernelTest, FuzzyPrefilterMatchesScalar) {
+  std::mt19937_64 rng(0x5eed0005);
+  const KernelTable* scalar = ScalarTable();
+  for (Level level : ReachableLevels()) {
+    const KernelTable* table = TableFor(level);
+    for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 200u}) {
+      const FuzzyFixture f = MakeFuzzyFixture(rng, n);
+      for (std::uint32_t max_dist : {1u, 2u, 3u}) {
+        const std::string query = n > 0 ? f.terms[rng() % n] : "query";
+        std::vector<std::uint32_t> expect(n + 1), got(n + 1);
+        const std::size_t ne = scalar->fuzzy_prefilter(
+            f.first.data(), f.last.data(), f.sigs.data(), n,
+            static_cast<unsigned char>(query.front()),
+            static_cast<unsigned char>(query.back()), Signature(query),
+            max_dist, expect.data());
+        const std::size_t ng = table->fuzzy_prefilter(
+            f.first.data(), f.last.data(), f.sigs.data(), n,
+            static_cast<unsigned char>(query.front()),
+            static_cast<unsigned char>(query.back()), Signature(query),
+            max_dist, got.data());
+        ASSERT_EQ(ne, ng) << table->name << " n=" << n << " d=" << max_dist;
+        expect.resize(ne);
+        got.resize(ng);
+        EXPECT_EQ(expect, got) << table->name << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, FuzzyPrefilterNeverRejectsTrueMatch) {
+  // The prefilter's bounds must be conservative: any term within true edit
+  // distance max_dist of the query must survive, on every tier.
+  std::mt19937_64 rng(0x5eed0006);
+  const FuzzyFixture f = MakeFuzzyFixture(rng, 500);
+  for (Level level : ReachableLevels()) {
+    const KernelTable* table = TableFor(level);
+    for (int q = 0; q < 40; ++q) {
+      const std::string query = f.terms[rng() % f.terms.size()];
+      for (std::uint32_t max_dist : {1u, 2u}) {
+        std::vector<std::uint32_t> kept(f.terms.size());
+        const std::size_t n = table->fuzzy_prefilter(
+            f.first.data(), f.last.data(), f.sigs.data(), f.terms.size(),
+            static_cast<unsigned char>(query.front()),
+            static_cast<unsigned char>(query.back()), Signature(query),
+            max_dist, kept.data());
+        kept.resize(n);
+        for (std::size_t i = 0; i < f.terms.size(); ++i) {
+          const std::size_t dist =
+              text::BoundedLevenshtein(query, f.terms[i], max_dist);
+          if (dist <= max_dist) {
+            EXPECT_TRUE(std::binary_search(kept.begin(), kept.end(),
+                                           static_cast<std::uint32_t>(i)))
+                << table->name << " dropped true match \"" << f.terms[i]
+                << "\" for query \"" << query << "\" at dist " << dist;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, StructHashMatchesScalar) {
+  std::mt19937_64 rng(0x5eed0007);
+  const KernelTable* scalar = ScalarTable();
+  for (Level level : ReachableLevels()) {
+    const KernelTable* table = TableFor(level);
+    for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 100u}) {
+      for (std::size_t m : {0u, 1u, 3u, 4u, 6u, 8u, 33u}) {
+        std::vector<std::uint32_t> nodes(n), edges(m);
+        for (auto& v : nodes) v = static_cast<std::uint32_t>(rng());
+        for (auto& v : edges) v = static_cast<std::uint32_t>(rng());
+        EXPECT_EQ(scalar->struct_hash(nodes.data(), n, edges.data(), m),
+                  table->struct_hash(nodes.data(), n, edges.data(), m))
+            << table->name << " n=" << n << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, StructHashSeparatesStreamsAndCounts) {
+  // {n1}|{} vs {}|{e1} with the same id must differ (per-stream salts), and
+  // shifting an element across the stream boundary must change the hash.
+  const KernelTable* scalar = ScalarTable();
+  const std::uint32_t id = 42;
+  EXPECT_NE(scalar->struct_hash(&id, 1, nullptr, 0),
+            scalar->struct_hash(nullptr, 0, &id, 1));
+  const std::uint32_t two[] = {1, 2};
+  EXPECT_NE(scalar->struct_hash(two, 2, nullptr, 0),
+            scalar->struct_hash(two, 1, two + 1, 1));
+}
+
+TEST(SimdDispatchTest, SetActiveLevelClampsToSupported) {
+  const Level original = ActiveLevel();
+  const Level best = DetectBestLevel();
+  EXPECT_EQ(SetActiveLevel(Level::kScalar), Level::kScalar);
+  EXPECT_STREQ(ActiveKernels().name, "scalar");
+  const Level installed = SetActiveLevel(Level::kAvx2);
+  EXPECT_LE(static_cast<int>(installed), static_cast<int>(best));
+  EXPECT_STREQ(ActiveKernels().name, LevelName(installed));
+  SetActiveLevel(original);
+}
+
+TEST(SimdDispatchTest, ParseLevelHandlesAllSpellings) {
+  EXPECT_EQ(ParseLevel("scalar"), Level::kScalar);
+  EXPECT_EQ(ParseLevel("sse42"), Level::kSse42);
+  EXPECT_EQ(ParseLevel("avx2"), Level::kAvx2);
+  EXPECT_EQ(ParseLevel("native"), DetectBestLevel());
+  EXPECT_EQ(ParseLevel(""), DetectBestLevel());
+  EXPECT_FALSE(ParseLevel("mmx").has_value());
+}
+
+}  // namespace
+}  // namespace grasp::simd
