@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark JSON files into one.
+
+    bench_merge.py BASE.json EXTRA.json [EXTRA2.json ...]
+
+Appends every `benchmarks` entry from the EXTRA files to BASE's list and
+rewrites BASE in place. Later files win on duplicate names (the earlier
+entry is dropped), so re-running a harness and re-merging is idempotent.
+Used in CI to fold grasp_loadgen's serving-latency/shed-rate entries into
+BENCH_exploration.json so one artifact feeds the cross-PR trend check.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "benchmarks" not in doc or not isinstance(doc["benchmarks"], list):
+        raise SystemExit(f"{path}: not a google-benchmark JSON file "
+                         "(no 'benchmarks' list)")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("base")
+    parser.add_argument("extras", nargs="+")
+    args = parser.parse_args()
+
+    base = load(args.base)
+    merged = list(base["benchmarks"])
+    for path in args.extras:
+        extra = load(path)
+        incoming = {b.get("name") for b in extra["benchmarks"]}
+        merged = [b for b in merged if b.get("name") not in incoming]
+        merged.extend(extra["benchmarks"])
+        print(f"merged {len(extra['benchmarks'])} entries from {path}",
+              file=sys.stderr)
+
+    base["benchmarks"] = merged
+    with open(args.base, "w") as f:
+        json.dump(base, f, indent=2)
+        f.write("\n")
+
+
+if __name__ == "__main__":
+    main()

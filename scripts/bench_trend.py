@@ -52,6 +52,9 @@ _EXPECTED_FAMILIES = (
     "BM_KernelPostingsIntersect",
     "BM_KernelFuzzyScan",
     "BM_KernelStructHash",
+    # Serving-layer load-generator families merged in by bench_merge.py.
+    "LG_ServeLatency",
+    "LG_ShedRate",
 )
 
 

@@ -1,0 +1,131 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+namespace grasp::failpoint {
+namespace internal {
+std::atomic<int> armed_sites{0};
+}  // namespace internal
+
+namespace {
+
+struct Site {
+  int remaining = 0;  ///< fire budget; kAlways = unbounded
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Site> sites;
+  bool env_loaded = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+/// Number of sites with a non-zero fire budget; mirrored into the atomic
+/// fast-path counter. Caller holds the registry mutex.
+void RecountArmedLocked(Registry& r) {
+  int armed = 0;
+  for (const auto& [name, site] : r.sites) {
+    if (site.remaining != 0) ++armed;
+  }
+  internal::armed_sites.store(armed, std::memory_order_relaxed);
+}
+
+void ParseEnvLocked(Registry& r) {
+  r.env_loaded = true;
+  const char* env = std::getenv("GRASP_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string_view spec(env);
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view entry = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view()
+                                           : spec.substr(comma + 1);
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;  // malformed
+    const std::string name(entry.substr(0, eq));
+    const std::string_view value = entry.substr(eq + 1);
+    int count = 0;
+    if (value == "always") {
+      count = kAlways;
+    } else {
+      count = std::atoi(std::string(value).c_str());
+      if (count <= 0) continue;
+    }
+    r.sites[name].remaining = count;
+  }
+  RecountArmedLocked(r);
+}
+
+void EnsureEnvLocked(Registry& r) {
+  if (!r.env_loaded) ParseEnvLocked(r);
+}
+
+/// Eager bootstrap: GRASP_FAILPOINTS must arm sites before the first
+/// ShouldFail(), whose unarmed fast path would otherwise never reach the
+/// lazy parse — env-armed failpoints in a binary that only uses
+/// ShouldFail() would silently never fire.
+[[maybe_unused]] const bool env_bootstrapped = [] {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  EnsureEnvLocked(r);
+  return true;
+}();
+
+}  // namespace
+
+bool Fire(const char* name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  EnsureEnvLocked(r);
+  Site& site = r.sites[name];
+  ++site.hits;
+  if (site.remaining == 0) return false;
+  if (site.remaining > 0 && --site.remaining == 0) RecountArmedLocked(r);
+  return true;
+}
+
+void Arm(const std::string& name, int count) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  EnsureEnvLocked(r);
+  r.sites[name].remaining = count;
+  RecountArmedLocked(r);
+}
+
+void Disarm(const std::string& name) { Arm(name, 0); }
+
+void DisarmAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.env_loaded = true;  // an explicit reset also discards pending env spec
+  r.sites.clear();
+  internal::armed_sites.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t HitCount(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  EnsureEnvLocked(r);
+  auto it = r.sites.find(name);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+void ReloadFromEnv() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  // "Replacing all current arming": budgets reset (hit counters survive),
+  // then whatever the variable says now — including nothing — applies.
+  for (auto& [name, site] : r.sites) site.remaining = 0;
+  ParseEnvLocked(r);
+  RecountArmedLocked(r);
+}
+
+}  // namespace grasp::failpoint

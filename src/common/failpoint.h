@@ -1,0 +1,66 @@
+#ifndef GRASP_COMMON_FAILPOINT_H_
+#define GRASP_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace grasp::failpoint {
+
+/// Deterministic fault injection for robustness tests: named sites in
+/// production code ask Fire("name") whether they should fail this time, and
+/// tests (or the GRASP_FAILPOINTS environment variable) arm sites with a
+/// fire budget. Unarmed cost is one relaxed atomic load — the global armed
+/// count is zero, so Fire() returns before touching any table — which is
+/// cheap enough to leave the hooks compiled into release builds; failure
+/// paths that only ever run in tests are failure paths that don't work.
+///
+/// Arming:
+///   failpoint::Arm("snapshot.mmap", 2);     // fail the next 2 hits
+///   failpoint::Arm("pool.acquire", kAlways);  // fail every hit
+///   GRASP_FAILPOINTS="snapshot.mmap=2,pool.acquire=always" grasp_tool ...
+///
+/// The environment variable is parsed once, on the first Fire()/Arm()/
+/// HitCount() call; ReloadFromEnv() re-reads it for tests that set it after
+/// startup. All functions are thread-safe.
+
+/// Arm count meaning "fire on every hit until disarmed".
+inline constexpr int kAlways = -1;
+
+/// True when the site named `name` should fail this call. Decrements the
+/// armed budget; counts the hit either way (see HitCount).
+bool Fire(const char* name);
+
+/// Arms `name` to fire on its next `count` hits (kAlways = until disarmed).
+/// count = 0 disarms.
+void Arm(const std::string& name, int count);
+
+/// Disarms one site / all sites. Hit counters survive (DisarmAll resets
+/// them too, so test fixtures get a clean slate in one call).
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// Number of times Fire(name) was called (fired or not) since the site was
+/// first seen. Zero for never-hit sites. Sites reached through ShouldFail()
+/// are only counted while at least one site is armed — the unarmed fast
+/// path skips the registry entirely.
+std::uint64_t HitCount(const std::string& name);
+
+/// Re-parses GRASP_FAILPOINTS, replacing all current arming. Entries are
+/// comma-separated name=count pairs; count "always" arms forever.
+void ReloadFromEnv();
+
+namespace internal {
+/// Non-zero while any site is armed; the Fire() fast path.
+extern std::atomic<int> armed_sites;
+}  // namespace internal
+
+/// Fast-path wrapper: callers pay one relaxed load when nothing is armed.
+inline bool ShouldFail(const char* name) {
+  if (internal::armed_sites.load(std::memory_order_relaxed) == 0) return false;
+  return Fire(name);
+}
+
+}  // namespace grasp::failpoint
+
+#endif  // GRASP_COMMON_FAILPOINT_H_

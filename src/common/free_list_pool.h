@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace grasp {
 
 /// A lock-free LIFO free list of reusable objects, for per-query state that
@@ -54,6 +56,13 @@ class FreeListPool {
   /// bad_alloc storm must not ratchet slots out of the pool for good.
   template <typename Factory>
   Lease Acquire(Factory&& make) {
+    // Failpoint: pretend the free list and the slot table are exhausted, so
+    // tests can force the transient-overflow path (and the overflow counter
+    // it feeds) without actually saturating a 256-slot pool.
+    if (failpoint::ShouldFail("pool.acquire")) {
+      overflows_.fetch_add(1, std::memory_order_relaxed);
+      return Lease{std::forward<Factory>(make)().release(), kTransient};
+    }
     const std::uint32_t popped = Pop();
     if (popped != kTransient) {
       if (slots_[popped].object == nullptr) FillSlot(popped, make);
@@ -73,6 +82,11 @@ class FreeListPool {
     }
     created_.store(static_cast<std::uint32_t>(slots_.size()),
                    std::memory_order_relaxed);
+    // Transient overflow: every slot is live and checked out. Counted
+    // because sustained overflow is the serving layer's early-warning
+    // signal that concurrency has outgrown the pool (each overflow acquire
+    // pays a real allocation instead of reuse).
+    overflows_.fetch_add(1, std::memory_order_relaxed);
     return Lease{std::forward<Factory>(make)().release(), kTransient};
   }
 
@@ -100,6 +114,13 @@ class FreeListPool {
       total += slots_[i].bytes_hint.load(std::memory_order_relaxed);
     }
     return total;
+  }
+
+  /// Number of Acquire() calls served by a transient heap allocation
+  /// because the pool was exhausted (all slots live and checked out).
+  /// Monotonic; safe to read from any thread.
+  std::uint64_t overflow_count() const {
+    return overflows_.load(std::memory_order_relaxed);
   }
 
   /// Objects the pool has materialized (never exceeds the capacity).
@@ -172,6 +193,7 @@ class FreeListPool {
   std::vector<Slot> slots_;
   std::atomic<std::uint64_t> head_{0};
   std::atomic<std::uint32_t> created_{0};
+  std::atomic<std::uint64_t> overflows_{0};
 };
 
 }  // namespace grasp

@@ -29,6 +29,12 @@ std::string_view StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,15 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kUnimplemented,
+  /// The caller (or the serving layer on its behalf) abandoned the work
+  /// before it finished; partial results may still accompany this code.
+  kCancelled,
+  /// A per-query deadline expired before the work could finish.
+  kDeadlineExceeded,
+  /// Admission control shed the request: the serving queue is full. Retry
+  /// later (responses carry a retry-after hint) — shedding is deliberate
+  /// load protection, not a fault.
+  kOverloaded,
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
@@ -70,6 +79,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <exception>
 #include <map>
@@ -86,8 +87,26 @@ Status KeywordSearchEngine::SaveIndex(const std::string& path) const {
 
 Result<std::unique_ptr<KeywordSearchEngine>> KeywordSearchEngine::Open(
     const std::string& path, Options options) {
-  GRASP_ASSIGN_OR_RETURN(snapshot::LoadedEngineParts loaded,
-                         snapshot::ReadEngineSnapshot(path));
+  // Transient I/O failures (a file momentarily unavailable, an interrupted
+  // mmap) retry with exponential backoff; anything else — above all a
+  // corrupt or truncated image — fails immediately, since re-reading the
+  // same bytes cannot change the outcome.
+  const int attempts = std::max(1, options.snapshot_open_attempts);
+  Result<snapshot::LoadedEngineParts> loaded_result =
+      snapshot::ReadEngineSnapshot(path);
+  for (int attempt = 1;
+       attempt < attempts && !loaded_result.ok() &&
+       loaded_result.status().code() == StatusCode::kIoError;
+       ++attempt) {
+    const double backoff_ms =
+        options.snapshot_open_backoff_millis *
+        static_cast<double>(1 << (attempt - 1));
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::max(0.0, backoff_ms)));
+    loaded_result = snapshot::ReadEngineSnapshot(path);
+  }
+  if (!loaded_result.ok()) return loaded_result.status();
+  snapshot::LoadedEngineParts loaded = std::move(loaded_result).value();
   options.analyzer = loaded.analyzer_options;
   Prebuilt prebuilt{std::move(*loaded.data_graph), std::move(*loaded.summary),
                     std::move(*loaded.keyword_index), loaded.load_millis};
@@ -109,6 +128,8 @@ KeywordSearchEngine::IndexStats KeywordSearchEngine::index_stats() const {
   IndexStats stats = index_stats_;
   stats.scratch_pool_bytes = scratch_pool_.PooledBytes();
   stats.overlay_pool_bytes = overlay_pool_.PooledBytes();
+  stats.scratch_pool_overflows = scratch_pool_.overflow_count();
+  stats.overlay_pool_overflows = overlay_pool_.overflow_count();
   stats.augmentation_cache_bytes =
       augmentation_cache_ != nullptr ? augmentation_cache_->MemoryUsageBytes()
                                      : 0;
@@ -349,6 +370,23 @@ KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
     result.exploration_stats = explorer.stats();
   }
   result.exploration_millis = step.ElapsedMillis();
+
+  // Graceful degradation: a stopped exploration yields a verified prefix of
+  // the full ranking, never a silent hole. Deadline and budget stops stay
+  // OK — the partial result is a successful answer to a bounded question —
+  // while a caller-cancelled query is marked as such. The flag also covers
+  // the combination safety valve, whose clamped events may or may not have
+  // altered the ranking (no prefix guarantee there; the status message says
+  // which valve fired via exploration_stats).
+  {
+    const ExplorationStats& es = result.exploration_stats;
+    result.degraded = es.cancelled || es.deadline_expired || es.budget_exceeded;
+    if (es.cancelled) {
+      result.status = Status::Cancelled(
+          "query cancelled during exploration; results are the verified "
+          "prefix computed before the stop");
+    }
+  }
 
   // Step 4: element-to-query mapping + isomorphism-level deduplication.
   step.Reset();

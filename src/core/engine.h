@@ -66,6 +66,14 @@ class KeywordSearchEngine {
     /// element-for-element identical graphs, so results never depend on
     /// this setting.
     std::size_t augmentation_cache_bytes = 8u << 20;
+    /// Open() retries transient snapshot failures (kIoError — a file
+    /// temporarily unavailable, an interrupted mmap) this many times in
+    /// total, with exponential backoff between attempts. Corrupt images
+    /// (parse/validation failures) never retry: re-reading the same bytes
+    /// cannot fix them.
+    int snapshot_open_attempts = 3;
+    /// Backoff before the first retry; doubles per subsequent attempt.
+    double snapshot_open_backoff_millis = 1.0;
   };
 
   /// One computed interpretation: a conjunctive query with its subgraph.
@@ -78,6 +86,19 @@ class KeywordSearchEngine {
   /// Search output plus step timings (the quantities Figs. 5/6a measure).
   struct SearchResult {
     std::vector<RankedQuery> queries;
+    /// OK for complete and deadline/budget-degraded runs alike (partial
+    /// results are a successful, verified prefix — see `degraded`);
+    /// kCancelled when the query's control was cancelled mid-run. The
+    /// serving layer layers queue-level codes (kOverloaded,
+    /// kDeadlineExceeded for queries that never ran) on top of this.
+    Status status;
+    /// True when exploration stopped before its natural end — deadline,
+    /// cancellation, or a safety-valve budget — so `queries` is a verified
+    /// prefix of the full ranking (every entry is exactly what the
+    /// unbounded run would have returned in that position), possibly
+    /// shorter than k and possibly empty. Never silently dropped:
+    /// SearchBatch propagates it per entry.
+    bool degraded = false;
     ExplorationStats exploration_stats;
     std::vector<std::size_t> matches_per_keyword;
     bool augmentation_cache_hit = false;
@@ -99,6 +120,11 @@ class KeywordSearchEngine {
     /// unscoped. The resolved scope mask is cached across queries, so a
     /// repeated scope costs one hash lookup.
     std::vector<std::string> predicate_scope;
+    /// Optional cooperative control (deadline + cancel) polled by the
+    /// exploration; must outlive the query. Shared by serving: the
+    /// admission layer sets the deadline, the caller may cancel. nullptr =
+    /// uncontrolled.
+    const serve::QueryControl* control = nullptr;
   };
 
   /// Index footprints and preprocessing time (Fig. 6b). The serving-state
@@ -138,6 +164,14 @@ class KeywordSearchEngine {
     /// ("scalar", "sse42", "avx2"), resolved at construction from the CPU
     /// and the GRASP_SIMD override.
     const char* simd_kernel_level = "";
+    /// Acquire() calls the per-query pools served by a transient heap
+    /// allocation because every pooled slot was live and checked out.
+    /// Monotonic since construction; a steadily climbing figure means
+    /// concurrency has outgrown kPoolCapacity and each overflow pays an
+    /// allocation instead of reuse — the serving layer's early-warning
+    /// overload signal.
+    std::uint64_t scratch_pool_overflows = 0;
+    std::uint64_t overlay_pool_overflows = 0;
   };
 
   /// Preprocesses `store` (must be finalized and must outlive the engine).
@@ -196,8 +230,9 @@ class KeywordSearchEngine {
   /// this, so scoped and unscoped queries mix freely in one batch.
   SearchResult Search(const KeywordQuery& query) const {
     const std::size_t k = query.k > 0 ? query.k : options_.exploration.k;
-    return Search(query.keywords, k, options_.exploration,
-                  query.predicate_scope);
+    ExplorationOptions exploration = options_.exploration;
+    exploration.control = query.control;
+    return Search(query.keywords, k, exploration, query.predicate_scope);
   }
 
   /// Serves `queries` on `num_threads` workers (0 = hardware concurrency)

@@ -94,6 +94,23 @@ double SubgraphExplorer::RemainingLowerBound() const {
   return min_cursor + (sum - worst);
 }
 
+double SubgraphExplorer::StopBound(double pending_cost) const {
+  // Same reasoning as RemainingLowerBound, but anchored on the cursor whose
+  // pop the stop interrupted: it is at least as cheap as everything still on
+  // the heap, so any candidate the continued run could produce costs at
+  // least this much. Element costs are clamped strictly positive and
+  // re-ranking requires a strictly cheaper decomposition, so ranked
+  // candidates strictly below the bound are already in their final order —
+  // the verified prefix of the unbounded ranking.
+  if (!options_.tightened_bound) return pending_cost;
+  double sum = 0.0, worst = 0.0;
+  for (double r : scratch_->min_root_cost) {
+    sum += r;
+    worst = std::max(worst, r);
+  }
+  return pending_cost + (sum - worst);
+}
+
 std::size_t SubgraphExplorer::CandidateCap() const {
   // k-best(LG') of Alg. 2, line 8, with a slack factor so that structures
   // evicted here can still reappear with a cheaper decomposition.
@@ -322,6 +339,7 @@ void SubgraphExplorer::GenerateCandidates(summary::ElementId n,
 std::vector<MatchingSubgraph> SubgraphExplorer::FindTopK() {
   scratch_->Reset();
   ++scratch_->queries_run;
+  stop_bound_ = kInf;
   GrowTracker grow_tracker(scratch_);
 
   const auto& keyword_elements = graph_->keyword_elements();
@@ -404,7 +422,26 @@ std::vector<MatchingSubgraph> SubgraphExplorer::FindTopK() {
     if (options_.max_cursor_pops > 0 &&
         stats_.cursors_popped > options_.max_cursor_pops) {
       stats_.budget_exceeded = true;
+      stop_bound_ = StopBound(cursor.cost);
       break;
+    }
+    // Cooperative cancel/deadline poll, before the cursor is processed: on a
+    // stop the popped cursor is the cheapest unprocessed work, so its cost
+    // anchors the verified-prefix bound. Checked only every N-th pop — for a
+    // pre-cancelled (or pre-expired) control the stop lands at exactly pop
+    // N, independent of wall-clock, which the differential suite relies on.
+    if (options_.control != nullptr && options_.control_poll_interval != 0 &&
+        stats_.cursors_popped % options_.control_poll_interval == 0) {
+      if (options_.control->cancel_requested()) {
+        stats_.cancelled = true;
+        stop_bound_ = StopBound(cursor.cost);
+        break;
+      }
+      if (options_.control->Expired()) {
+        stats_.deadline_expired = true;
+        stop_bound_ = StopBound(cursor.cost);
+        break;
+      }
     }
 
     const summary::ElementId n = cursor.element;
@@ -480,7 +517,11 @@ std::vector<MatchingSubgraph> SubgraphExplorer::FindTopK() {
   }
 
   const auto& ranked = scratch_->candidates.ranked();
-  const std::size_t count = std::min(options_.k, ranked.size());
+  std::size_t count = std::min(options_.k, ranked.size());
+  // Early stop: keep only the verified prefix — candidates provably cheaper
+  // than anything the interrupted run could still have produced. A complete
+  // run leaves stop_bound_ at +inf, so nothing is dropped.
+  while (count > 0 && ranked[count - 1].cost >= stop_bound_) --count;
   std::vector<MatchingSubgraph> results;
   results.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {

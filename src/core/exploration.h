@@ -2,6 +2,7 @@
 #define GRASP_CORE_EXPLORATION_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "core/exploration_scratch.h"
 #include "core/subgraph.h"
 #include "graph/edge_filter.h"
+#include "serve/query_control.h"
 #include "summary/augmented_graph.h"
 #include "summary/distance_index.h"
 
@@ -54,6 +56,18 @@ struct ExplorationOptions {
   /// Safety valve: cap on path combinations generated per connecting-element
   /// event, relevant only when prune_paths_per_element is off.
   std::size_t max_combinations_per_event = 100000;
+  /// Cooperative cancellation + deadline, polled every control_poll_interval
+  /// pops (one relaxed load; the deadline adds a clock read). Must outlive
+  /// the exploration. A control that is cancelled or expired stops the run
+  /// at a pop count that depends only on the poll interval and the flag
+  /// state at each poll — for a pre-cancelled/pre-expired control the stop
+  /// point is fully deterministic, which is what the differential suite
+  /// pins flat ≡ reference on. nullptr = uncontrolled.
+  const serve::QueryControl* control = nullptr;
+  /// Pops between control polls. Small enough that a cancel lands within
+  /// microseconds of work, large enough that the poll (and its clock read)
+  /// stays invisible next to a pop's graph traffic.
+  std::uint32_t control_poll_interval = 32;
 };
 
 /// Counters exposed for benchmarks and tests.
@@ -67,6 +81,15 @@ struct ExplorationStats {
   bool early_terminated = false;  ///< the top-k bound fired (Alg. 2 line 11)
   bool exhausted = false;         ///< all queues drained
   bool budget_exceeded = false;   ///< a safety valve fired
+  bool cancelled = false;         ///< the QueryControl cancel flag stopped it
+  bool deadline_expired = false;  ///< the QueryControl deadline stopped it
+  /// True when the run stopped before either natural end state — on budget,
+  /// cancel, or deadline — so the returned ranking is the verified prefix
+  /// of the full one (possibly empty), not the complete top-k.
+  bool stopped_early() const {
+    return cancelled || deadline_expired ||
+           (budget_exceeded && !early_terminated && !exhausted);
+  }
 };
 
 /// Cursor-based top-k exploration of the augmented summary graph: the
@@ -145,12 +168,20 @@ class SubgraphExplorer {
   double RemainingLowerBound() const;
   /// Cost of the current k-th best candidate (+inf while fewer than k).
   double KthCandidateCost() const;
+  /// Lower bound on any candidate the continued run could still produce,
+  /// given that `pending_cost` is the cheapest unprocessed cursor (the one
+  /// whose pop the stop interrupted). Ranked candidates strictly below this
+  /// bound are provably final — the verified prefix returned on a stop.
+  double StopBound(double pending_cost) const;
 
   const summary::AugmentedGraph* graph_;
   ExplorationOptions options_;
   CostFunction cost_fn_;
   ExplorationStats stats_;
   std::size_t num_keywords_ = 0;
+  /// +inf on a complete run; set by early-stop paths (budget / cancel /
+  /// deadline) to truncate the returned ranking to its verified prefix.
+  double stop_bound_ = std::numeric_limits<double>::infinity();
 
   /// Self-owned scratch for callers that did not pass one.
   std::unique_ptr<ExplorationScratch> owned_scratch_;

@@ -108,6 +108,20 @@ double ReferenceExplorer::RemainingLowerBound() const {
   return min_cursor + (sum - worst);
 }
 
+double ReferenceExplorer::StopBound(double pending_cost) const {
+  // Same reasoning as RemainingLowerBound, anchored on the popped-but-
+  // unprocessed cursor (at least as cheap as every queued one): any
+  // candidate the continued run could still produce costs at least this
+  // much, so ranked candidates strictly below it are final.
+  if (!options_.tightened_bound) return pending_cost;
+  double sum = 0.0, worst = 0.0;
+  for (double r : min_root_cost_) {
+    sum += r;
+    worst = std::max(worst, r);
+  }
+  return pending_cost + (sum - worst);
+}
+
 std::size_t ReferenceExplorer::CandidateCap() const {
   // k-best(LG') of Alg. 2, line 8, with a slack factor so that structures
   // evicted here can still reappear with a cheaper decomposition.
@@ -359,7 +373,24 @@ std::vector<MatchingSubgraph> ReferenceExplorer::FindTopK() {
     if (options_.max_cursor_pops > 0 &&
         stats_.cursors_popped > options_.max_cursor_pops) {
       stats_.budget_exceeded = true;
+      stop_bound_ = StopBound(cursor.cost);
       break;
+    }
+    // Cooperative cancel/deadline poll — identical placement, order, and
+    // interval arithmetic to SubgraphExplorer so controlled stops land on
+    // the same pop in both explorers.
+    if (options_.control != nullptr && options_.control_poll_interval != 0 &&
+        stats_.cursors_popped % options_.control_poll_interval == 0) {
+      if (options_.control->cancel_requested()) {
+        stats_.cancelled = true;
+        stop_bound_ = StopBound(cursor.cost);
+        break;
+      }
+      if (options_.control->Expired()) {
+        stats_.deadline_expired = true;
+        stop_bound_ = StopBound(cursor.cost);
+        break;
+      }
     }
 
     const summary::ElementId n = cursor.element;
@@ -405,6 +436,11 @@ std::vector<MatchingSubgraph> ReferenceExplorer::FindTopK() {
     }
   }
 
+  // Early stop: keep only the verified prefix (see SubgraphExplorer).
+  // Complete runs leave stop_bound_ at +inf, dropping nothing.
+  while (!candidates_.empty() && candidates_.back().cost >= stop_bound_) {
+    candidates_.pop_back();
+  }
   if (candidates_.size() > options_.k) candidates_.resize(options_.k);
   return std::move(candidates_);
 }

@@ -2,6 +2,7 @@
 #define GRASP_CORE_EXPLORATION_REFERENCE_H_
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -57,11 +58,15 @@ class ReferenceExplorer {
   double CandidatePruneCost() const;
   double RemainingLowerBound() const;
   double KthCandidateCost() const;
+  /// Verified-prefix bound for early stops; same formula, same semantics as
+  /// SubgraphExplorer::StopBound — the differential suite pins both.
+  double StopBound(double pending_cost) const;
 
   const summary::AugmentedGraph* graph_;
   ExplorationOptions options_;
   CostFunction cost_fn_;
   ExplorationStats stats_;
+  double stop_bound_ = std::numeric_limits<double>::infinity();
 
   std::vector<Cursor> cursors_;
   std::vector<std::vector<std::pair<double, std::uint32_t>>> queues_;

@@ -1,0 +1,252 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+namespace grasp::serve {
+namespace {
+
+double MillisBetween(QueryControl::Clock::time_point a,
+                     QueryControl::Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+void DeadlineCalibrator::Observe(std::size_t pops, double millis) {
+  if (pops == 0 || millis < 0.01) return;  // below timer noise
+  const double rate = static_cast<double>(pops) / millis;
+  std::lock_guard<std::mutex> lock(mutex_);
+  pops_per_ms_ = alpha_ * rate + (1.0 - alpha_) * pops_per_ms_;
+}
+
+double DeadlineCalibrator::pops_per_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pops_per_ms_;
+}
+
+std::size_t DeadlineCalibrator::BudgetForDeadline(double deadline_millis,
+                                                 double safety) const {
+  if (deadline_millis <= 0.0) return 1;
+  const double budget = pops_per_ms() * deadline_millis * safety;
+  if (budget < 1.0) return 1;
+  return static_cast<std::size_t>(budget);
+}
+
+QueryServer::QueryServer(const core::KeywordSearchEngine& engine,
+                         Options options)
+    : engine_(&engine),
+      options_(options),
+      calibrator_(options.ewma_alpha, options.initial_pops_per_ms) {
+  fast_lane_.workers.reserve(options_.fast_workers);
+  for (std::size_t i = 0; i < options_.fast_workers; ++i) {
+    fast_lane_.workers.emplace_back([this] { WorkerLoop(&fast_lane_); });
+  }
+  deep_lane_.workers.reserve(options_.deep_workers);
+  for (std::size_t i = 0; i < options_.deep_workers; ++i) {
+    deep_lane_.workers.emplace_back([this] { WorkerLoop(&deep_lane_); });
+  }
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+double QueryServer::RetryAfterMillis(std::size_t queue_len,
+                                     std::size_t workers) const {
+  double service;
+  {
+    std::lock_guard<std::mutex> lock(service_mutex_);
+    service = ewma_service_millis_;
+  }
+  const double lanes = static_cast<double>(std::max<std::size_t>(1, workers));
+  return static_cast<double>(queue_len + 1) * service / lanes;
+}
+
+std::future<QueryServer::Response> QueryServer::Submit(Request request) {
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+
+  if (request.control == nullptr) {
+    request.control = std::make_shared<QueryControl>();
+  }
+  const auto now = QueryControl::Clock::now();
+  if (request.deadline_millis > 0.0) {
+    // Set the absolute deadline here, at admission: queue time counts
+    // against it, so a request that rots in the queue expires there
+    // instead of consuming a worker.
+    request.control->SetDeadlineAfterMillis(request.deadline_millis);
+  }
+
+  Lane& lane =
+      request.query.predicate_scope.empty() ? deep_lane_ : fast_lane_;
+  const std::size_t workers = lane.workers.size();
+  {
+    std::lock_guard<std::mutex> lock(lane.mutex);
+    if (!stopping_.load(std::memory_order_relaxed) &&
+        lane.queue.size() < options_.queue_capacity) {
+      stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+      lane.queue.push_back(Pending{std::move(request), std::move(promise), now});
+      lane.ready.notify_one();
+      return future;
+    }
+  }
+
+  // Load shedding: deliberate, explicit, and cheap — the caller gets an
+  // immediate kOverloaded with an estimated drain time instead of an
+  // unbounded queue (or a timeout it cannot distinguish from a hang).
+  stats_.shed.fetch_add(1, std::memory_order_relaxed);
+  Response shed;
+  shed.retry_after_millis = RetryAfterMillis(options_.queue_capacity, workers);
+  shed.status = Status::Overloaded(
+      stopping_.load(std::memory_order_relaxed)
+          ? "server shutting down"
+          : "admission queue full; retry after " +
+                std::to_string(shed.retry_after_millis) + " ms");
+  promise.set_value(std::move(shed));
+  return future;
+}
+
+QueryServer::Response QueryServer::ServeSync(Request request) {
+  return Submit(std::move(request)).get();
+}
+
+void QueryServer::WorkerLoop(Lane* lane) {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(lane->mutex);
+      lane->ready.wait(lock, [this, lane] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               !lane->queue.empty();
+      });
+      if (lane->queue.empty()) return;  // stopping; Shutdown drains the rest
+      pending = std::move(lane->queue.front());
+      lane->queue.pop_front();
+    }
+    // The promise must be moved aside first: RunQuery consumes `pending`,
+    // and the argument is evaluated before set_value runs on its object.
+    std::promise<Response> promise = std::move(pending.promise);
+    promise.set_value(RunQuery(std::move(pending)));
+  }
+}
+
+QueryServer::Response QueryServer::RunQuery(Pending pending) {
+  Response response;
+  const auto start = QueryControl::Clock::now();
+  response.queue_millis = MillisBetween(pending.enqueue_time, start);
+  const QueryControl& control = *pending.request.control;
+
+  // Dead on arrival: cancelled or expired while queued. Fail fast without
+  // touching the engine — the worker's time belongs to requests that can
+  // still make their deadline.
+  if (control.cancel_requested()) {
+    stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+    response.status = Status::Cancelled("cancelled while queued");
+    response.total_millis = MillisBetween(pending.enqueue_time,
+                                          QueryControl::Clock::now());
+    return response;
+  }
+  const double remaining = control.remaining_millis();
+  if (remaining <= 0.0) {
+    stats_.expired_in_queue.fetch_add(1, std::memory_order_relaxed);
+    response.status = Status::DeadlineExceeded(
+        "deadline expired after " + std::to_string(response.queue_millis) +
+        " ms in queue");
+    response.total_millis = MillisBetween(pending.enqueue_time,
+                                          QueryControl::Clock::now());
+    return response;
+  }
+
+  // Deadline → budget: the EWMA-calibrated pop budget is the primary stop
+  // (deterministic, no clock in the hot loop); the polled deadline backstops
+  // it when the calibration was optimistic.
+  core::ExplorationOptions exploration = engine_->options().exploration;
+  exploration.control = &control;
+  exploration.control_poll_interval = options_.control_poll_interval;
+  if (control.has_deadline() && std::isfinite(remaining)) {
+    const std::size_t budget =
+        calibrator_.BudgetForDeadline(remaining, options_.budget_safety);
+    if (exploration.max_cursor_pops == 0 ||
+        budget < exploration.max_cursor_pops) {
+      exploration.max_cursor_pops = budget;
+    }
+  }
+  const std::size_t k = pending.request.query.k > 0
+                            ? pending.request.query.k
+                            : engine_->options().exploration.k;
+  response.result = engine_->Search(pending.request.query.keywords, k,
+                                    exploration,
+                                    pending.request.query.predicate_scope);
+  response.status = response.result.status;
+  response.degraded = response.result.degraded;
+  response.total_millis =
+      MillisBetween(pending.enqueue_time, QueryControl::Clock::now());
+
+  calibrator_.Observe(response.result.exploration_stats.cursors_popped,
+                      response.result.exploration_millis);
+  {
+    std::lock_guard<std::mutex> lock(service_mutex_);
+    ewma_service_millis_ = options_.ewma_alpha * response.result.total_millis +
+                           (1.0 - options_.ewma_alpha) * ewma_service_millis_;
+  }
+
+  stats_.completed.fetch_add(1, std::memory_order_relaxed);
+  if (response.degraded) {
+    stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (pending.request.deadline_millis > 0.0 &&
+      response.total_millis <= pending.request.deadline_millis) {
+    stats_.deadline_hit.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+void QueryServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  for (Lane* lane : {&fast_lane_, &deep_lane_}) {
+    {
+      std::lock_guard<std::mutex> lock(lane->mutex);
+      lane->ready.notify_all();
+    }
+    for (std::thread& t : lane->workers) t.join();
+    // Workers are gone; whatever is still queued (0-worker lanes, a burst
+    // that outpaced the join) fails explicitly instead of dropping its
+    // promise (which would surface as broken_promise exceptions far away).
+    std::deque<Pending> rest;
+    {
+      std::lock_guard<std::mutex> lock(lane->mutex);
+      rest.swap(lane->queue);
+    }
+    for (Pending& p : rest) {
+      stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      Response response;
+      response.status = Status::Cancelled("server shut down before the query ran");
+      response.queue_millis = MillisBetween(p.enqueue_time,
+                                            QueryControl::Clock::now());
+      response.total_millis = response.queue_millis;
+      p.promise.set_value(std::move(response));
+    }
+  }
+}
+
+QueryServer::Stats QueryServer::stats() const {
+  Stats s;
+  s.submitted = stats_.submitted.load(std::memory_order_relaxed);
+  s.admitted = stats_.admitted.load(std::memory_order_relaxed);
+  s.shed = stats_.shed.load(std::memory_order_relaxed);
+  s.completed = stats_.completed.load(std::memory_order_relaxed);
+  s.degraded = stats_.degraded.load(std::memory_order_relaxed);
+  s.deadline_hit = stats_.deadline_hit.load(std::memory_order_relaxed);
+  s.expired_in_queue = stats_.expired_in_queue.load(std::memory_order_relaxed);
+  s.cancelled = stats_.cancelled.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace grasp::serve

@@ -1,0 +1,87 @@
+#ifndef GRASP_SERVE_QUERY_CONTROL_H_
+#define GRASP_SERVE_QUERY_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace grasp::serve {
+
+/// Cooperative per-query control block: a wall-clock deadline plus a
+/// cancellation flag, polled by the exploration hot loops every N cursor
+/// pops (ExplorationOptions::control_poll_interval). Deliberately
+/// dependency-free — the serve layer owns the concept, but core's explorers
+/// poll it, so this header must sit below both.
+///
+/// Concurrency contract: RequestCancel() may be called from any thread at
+/// any time (one relaxed store; the poll is one relaxed load — a query
+/// observes the cancel at its next poll point, not instantaneously). The
+/// deadline is stored in an atomic too, so a serving worker may set it
+/// while a caller thread concurrently polls remaining_millis(); setting a
+/// deadline does not retroactively re-time checks already made.
+///
+/// Time base: std::chrono::steady_clock, stored as raw nanosecond ticks.
+/// kNoDeadline (the default) never expires.
+class QueryControl {
+ public:
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  QueryControl() = default;
+  QueryControl(const QueryControl&) = delete;
+  QueryControl& operator=(const QueryControl&) = delete;
+
+  /// Asks the query to stop at its next poll point. Idempotent.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Absolute deadline; work polls Expired() and stops past it.
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Deadline `millis` from now (negative or zero = already expired).
+  void SetDeadlineAfterMillis(double millis) {
+    SetDeadline(Clock::now() +
+                std::chrono::nanoseconds(
+                    static_cast<std::int64_t>(millis * 1e6)));
+  }
+
+  /// Removes any deadline (cancellation is unaffected).
+  void ClearDeadline() {
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  bool Expired() const { return Expired(Clock::now()); }
+  bool Expired(Clock::time_point now) const {
+    return now.time_since_epoch().count() >=
+           deadline_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Milliseconds until the deadline (negative when past it; +inf without
+  /// one). Used to derive pop budgets for work about to start.
+  double remaining_millis() const {
+    const std::int64_t ns = deadline_ns_.load(std::memory_order_relaxed);
+    if (ns == kNoDeadline) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(ns - Clock::now().time_since_epoch().count()) /
+           1e6;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace grasp::serve
+
+#endif  // GRASP_SERVE_QUERY_CONTROL_H_

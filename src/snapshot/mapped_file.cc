@@ -8,9 +8,17 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/failpoint.h"
+
 namespace grasp::snapshot {
 
 Result<MappedFile> MappedFile::Open(const std::string& path) {
+  // Failpoint: a forced transient mmap failure, for the snapshot-open
+  // retry/backoff tests (kIoError is the one retryable open outcome).
+  if (failpoint::ShouldFail("snapshot.mmap")) {
+    return Status::IoError("failpoint snapshot.mmap: injected mmap failure for " +
+                           path);
+  }
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::IoError("cannot open " + path + ": " +

@@ -2,9 +2,17 @@
 
 #include <cstring>
 
+#include "common/failpoint.h"
+
 namespace grasp::snapshot {
 
 Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
+  // Failpoint: a transient open failure above the mmap layer, so the
+  // engine's retry loop can be exercised with the real file intact.
+  if (failpoint::ShouldFail("snapshot.open")) {
+    return Status::IoError("failpoint snapshot.open: injected open failure for " +
+                           path);
+  }
   SnapshotReader reader;
   GRASP_ASSIGN_OR_RETURN(reader.mapping_, MappedFile::Open(path));
   const unsigned char* base = reader.mapping_.data();

@@ -1,0 +1,252 @@
+// Closed-form load generator for the deadline-aware serving layer: replays
+// the DBLP performance workload against a QueryServer at a target QPS with
+// open-loop arrivals (requests fire on schedule whether or not earlier ones
+// finished — the arrival process does not secretly back off under overload,
+// which is exactly the regime admission control exists for).
+//
+//   grasp_loadgen --qps=200 --requests=400 --deadline-ms=20
+//   grasp_loadgen --qps=5000 --queue-capacity=8 --deep-workers=1 \
+//       --assert-shed-min=0.01 --assert-p99-max-ms=500 --json=loadgen.json
+//
+// Reports p50/p95/p99 end-to-end latency, shed rate, deadline-hit rate and
+// degraded rate; --json writes them as google-benchmark-shaped entries so
+// scripts/bench_merge.py can fold them into BENCH_exploration.json and the
+// trend checker tracks them like any other benchmark. The --assert-* flags
+// turn the binary into a CI overload smoke test: nonzero exit when the
+// server collapses (p99 blows up) instead of shedding.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "datagen/workload.h"
+#include "serve/admission.h"
+
+namespace {
+
+using grasp::core::KeywordSearchEngine;
+using grasp::serve::QueryServer;
+
+struct Args {
+  double qps = 100.0;
+  std::size_t requests = 200;
+  double deadline_ms = 50.0;
+  std::size_t k = 5;
+  std::size_t fast_workers = 1;
+  std::size_t deep_workers = 2;
+  std::size_t queue_capacity = 32;
+  std::string json_path;
+  double assert_shed_min = -1.0;    // < 0: no assertion
+  double assert_p99_max_ms = -1.0;  // < 0: no assertion
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--qps=")) {
+      args->qps = std::atof(v);
+    } else if (const char* v = value("--requests=")) {
+      args->requests = static_cast<std::size_t>(std::atol(v));
+    } else if (const char* v = value("--deadline-ms=")) {
+      args->deadline_ms = std::atof(v);
+    } else if (const char* v = value("--k=")) {
+      args->k = static_cast<std::size_t>(std::atol(v));
+    } else if (const char* v = value("--fast-workers=")) {
+      args->fast_workers = static_cast<std::size_t>(std::atol(v));
+    } else if (const char* v = value("--deep-workers=")) {
+      args->deep_workers = static_cast<std::size_t>(std::atol(v));
+    } else if (const char* v = value("--queue-capacity=")) {
+      args->queue_capacity = static_cast<std::size_t>(std::atol(v));
+    } else if (const char* v = value("--json=")) {
+      args->json_path = v;
+    } else if (const char* v = value("--assert-shed-min=")) {
+      args->assert_shed_min = std::atof(v);
+    } else if (const char* v = value("--assert-p99-max-ms=")) {
+      args->assert_p99_max_ms = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return args->qps > 0.0 && args->requests > 0;
+}
+
+/// Nearest-rank percentile of a sorted sample (p in [0, 100]).
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t idx =
+      std::min(sorted.size() - 1,
+               static_cast<std::size_t>(std::max(1.0, rank)) - 1);
+  return sorted[idx];
+}
+
+/// One google-benchmark-shaped entry; `unit` is "ms" for latencies and "ns"
+/// for dimensionless rates (the trend checker only needs consistency with
+/// itself run-over-run).
+void JsonEntry(std::FILE* f, const char* name, double value, const char* unit,
+               bool last) {
+  std::fprintf(f,
+               "    {\n"
+               "      \"name\": \"%s\",\n"
+               "      \"run_type\": \"iteration\",\n"
+               "      \"iterations\": 1,\n"
+               "      \"real_time\": %.6f,\n"
+               "      \"cpu_time\": %.6f,\n"
+               "      \"time_unit\": \"%s\"\n"
+               "    }%s\n",
+               name, value, value, unit, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(
+        stderr,
+        "usage: grasp_loadgen [--qps=N] [--requests=N] [--deadline-ms=MS]\n"
+        "    [--k=N] [--fast-workers=N] [--deep-workers=N] "
+        "[--queue-capacity=N]\n"
+        "    [--json=PATH] [--assert-shed-min=RATE] "
+        "[--assert-p99-max-ms=MS]\n");
+    return 2;
+  }
+
+  grasp::bench::Dataset dblp = grasp::bench::MakeDblp();
+  KeywordSearchEngine engine(dblp.store, dblp.dictionary);
+  const auto workload = grasp::datagen::DblpPerformanceWorkload();
+  if (workload.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  QueryServer::Options server_options;
+  server_options.fast_workers = args.fast_workers;
+  server_options.deep_workers = args.deep_workers;
+  server_options.queue_capacity = args.queue_capacity;
+  QueryServer server(engine, server_options);
+
+  // Open-loop arrivals: request i is due at start + i/qps, regardless of
+  // how the previous ones fared. The submitting loop itself must never be
+  // the bottleneck, so responses are only collected afterwards.
+  const auto start = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> interval(1.0 / args.qps);
+  std::vector<std::future<QueryServer::Response>> futures;
+  futures.reserve(args.requests);
+  for (std::size_t i = 0; i < args.requests; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    interval * static_cast<double>(i)));
+    QueryServer::Request request;
+    request.query.keywords = workload[i % workload.size()].keywords;
+    request.query.k = args.k;
+    request.deadline_millis = args.deadline_ms;
+    futures.push_back(server.Submit(std::move(request)));
+  }
+
+  std::vector<double> latencies;  // completed requests, end-to-end ms
+  latencies.reserve(futures.size());
+  std::size_t empty_degraded = 0;
+  for (auto& f : futures) {
+    const QueryServer::Response response = f.get();
+    if (response.status.ok()) {
+      latencies.push_back(response.total_millis);
+      if (response.degraded && response.result.queries.empty()) {
+        ++empty_degraded;
+      }
+    }
+  }
+  server.Shutdown();
+
+  const QueryServer::Stats stats = server.stats();
+  const double submitted = static_cast<double>(stats.submitted);
+  const double shed_rate =
+      submitted > 0 ? static_cast<double>(stats.shed) / submitted : 0.0;
+  const double deadline_hit_rate =
+      stats.completed > 0
+          ? static_cast<double>(stats.deadline_hit) /
+                static_cast<double>(stats.completed)
+          : 0.0;
+  const double degraded_rate =
+      stats.completed > 0 ? static_cast<double>(stats.degraded) /
+                                static_cast<double>(stats.completed)
+                          : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(latencies, 50.0);
+  const double p95 = Percentile(latencies, 95.0);
+  const double p99 = Percentile(latencies, 99.0);
+
+  std::printf("requests          %llu\n",
+              static_cast<unsigned long long>(stats.submitted));
+  std::printf("admitted          %llu\n",
+              static_cast<unsigned long long>(stats.admitted));
+  std::printf("shed              %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(stats.shed), shed_rate * 100.0);
+  std::printf("completed         %llu\n",
+              static_cast<unsigned long long>(stats.completed));
+  std::printf("degraded          %llu (%.1f%% of completed)\n",
+              static_cast<unsigned long long>(stats.degraded),
+              degraded_rate * 100.0);
+  std::printf("empty degraded    %zu\n", empty_degraded);
+  std::printf("expired in queue  %llu\n",
+              static_cast<unsigned long long>(stats.expired_in_queue));
+  std::printf("deadline-hit rate %.1f%%\n", deadline_hit_rate * 100.0);
+  std::printf("latency p50       %.2f ms\n", p50);
+  std::printf("latency p95       %.2f ms\n", p95);
+  std::printf("latency p99       %.2f ms\n", p99);
+  std::printf("pops/ms estimate  %.1f\n", server.calibrator().pops_per_ms());
+
+  if (!args.json_path.empty()) {
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"context\": {\n"
+                 "    \"executable\": \"grasp_loadgen\",\n"
+                 "    \"qps\": %.1f,\n"
+                 "    \"requests\": %zu,\n"
+                 "    \"deadline_ms\": %.1f\n"
+                 "  },\n"
+                 "  \"benchmarks\": [\n",
+                 args.qps, args.requests, args.deadline_ms);
+    JsonEntry(f, "LG_ServeLatency/p50", p50, "ms", false);
+    JsonEntry(f, "LG_ServeLatency/p95", p95, "ms", false);
+    JsonEntry(f, "LG_ServeLatency/p99", p99, "ms", false);
+    JsonEntry(f, "LG_ShedRate", shed_rate, "ns", false);
+    JsonEntry(f, "LG_DeadlineHitRate", deadline_hit_rate, "ns", false);
+    JsonEntry(f, "LG_DegradedRate", degraded_rate, "ns", true);
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+  // Overload smoke assertions: under deliberate overload the server must
+  // shed (not collapse) and completed requests must stay bounded.
+  int rc = 0;
+  if (args.assert_shed_min >= 0.0 && shed_rate < args.assert_shed_min) {
+    std::fprintf(stderr, "ASSERT FAILED: shed rate %.4f < %.4f\n", shed_rate,
+                 args.assert_shed_min);
+    rc = 1;
+  }
+  if (args.assert_p99_max_ms >= 0.0 && p99 > args.assert_p99_max_ms) {
+    std::fprintf(stderr, "ASSERT FAILED: p99 %.2f ms > %.2f ms\n", p99,
+                 args.assert_p99_max_ms);
+    rc = 1;
+  }
+  return rc;
+}

@@ -23,6 +23,8 @@
 #include "common/timer.h"
 #include "core/engine.h"
 #include "rdf/ntriples.h"
+#include "serve/admission.h"
+#include "serve/query_control.h"
 
 namespace {
 
@@ -36,6 +38,7 @@ struct Args {
   std::string out_path;
   bool cold = false;
   std::size_t k = 5;
+  double deadline_ms = 0.0;  // <= 0: no deadline
   std::vector<std::string> keywords;
 };
 
@@ -58,6 +61,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->out_path = v;
     } else if (const char* v = value("--k=")) {
       args->k = static_cast<std::size_t>(std::atol(v));
+    } else if (const char* v = value("--deadline-ms=")) {
+      args->deadline_ms = std::atof(v);
     } else if (arg == "--cold") {
       args->cold = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -76,11 +81,15 @@ int Usage() {
       "usage:\n"
       "  grasp_snapshot build (--dataset=dblp|lubm|tap | --nt=FILE) "
       "--out=PATH\n"
-      "  grasp_snapshot query --snapshot=PATH [--k=N] KEYWORD...\n"
+      "  grasp_snapshot query --snapshot=PATH [--k=N] [--deadline-ms=MS] "
+      "KEYWORD...\n"
       "  grasp_snapshot query (--dataset=... | --nt=FILE) --cold [--k=N] "
       "KEYWORD...\n"
       "  grasp_snapshot info --snapshot=PATH\n"
-      "\nGRASP_BENCH_SCALE scales the generated datasets (default 1.0).\n");
+      "\n--deadline-ms bounds the query: results may be a degraded (but "
+      "verified)\nprefix of the full ranking; the stop reason goes to "
+      "stderr.\nGRASP_BENCH_SCALE scales the generated datasets (default "
+      "1.0).\n");
   return 2;
 }
 
@@ -173,7 +182,42 @@ int RunQuery(const Args& args) {
   } else {
     return Usage();
   }
-  PrintResult(engine->Search(args.keywords, args.k));
+  if (args.deadline_ms <= 0.0) {
+    PrintResult(engine->Search(args.keywords, args.k));
+    return 0;
+  }
+
+  // Deadline-aware single query: the serving layer's deadline→budget
+  // calibration at its (conservative) defaults, plus the polled wall-clock
+  // deadline as backstop. Degradation is reported, not hidden; a non-OK
+  // status (cancellation cannot happen here, but the contract is shared)
+  // exits nonzero with the status message.
+  grasp::serve::QueryControl control;
+  control.SetDeadlineAfterMillis(args.deadline_ms);
+  grasp::serve::DeadlineCalibrator calibrator(0.2, 50.0);
+  grasp::core::ExplorationOptions exploration = engine->options().exploration;
+  exploration.control = &control;
+  const std::size_t budget = calibrator.BudgetForDeadline(args.deadline_ms, 0.5);
+  if (exploration.max_cursor_pops == 0 || budget < exploration.max_cursor_pops) {
+    exploration.max_cursor_pops = budget;
+  }
+  const KeywordSearchEngine::SearchResult result =
+      engine->Search(args.keywords, args.k, exploration);
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status.ToString().c_str());
+    return 1;
+  }
+  if (result.degraded) {
+    std::fprintf(stderr,
+                 "degraded: stopped after %zu pops (%s); %zu verified "
+                 "results in %.1f ms\n",
+                 result.exploration_stats.cursors_popped,
+                 result.exploration_stats.deadline_expired ? "deadline"
+                                                           : "pop budget",
+                 result.queries.size(), result.total_millis);
+  }
+  PrintResult(result);
   return 0;
 }
 
