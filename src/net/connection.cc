@@ -1,0 +1,80 @@
+#include "net/connection.h"
+
+#include <cerrno>
+
+#include "common/failpoint.h"
+
+namespace grasp::net {
+
+Connection::IoResult Connection::ReadIntoParser() {
+  // Carry-over first: bytes of a previous read that belonged to this (next)
+  // request were parked in carry_ and must be consumed in order.
+  if (!carry_.empty()) {
+    const std::size_t used = parser_.Feed(carry_);
+    carry_.erase(0, used);
+    if (parser_.done() || parser_.error()) return IoResult::kOk;
+  }
+  char buf[8192];
+  for (;;) {
+    if (failpoint::ShouldFail("net.read")) {
+      // Injected transient read fault: indistinguishable from ECONNRESET
+      // to everything above this line, which is the point.
+      return IoResult::kError;
+    }
+    const std::ptrdiff_t n = ReadRetry(fd_.get(), buf, sizeof(buf));
+    if (n == 0) return IoResult::kPeerClosed;
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+      return IoResult::kError;
+    }
+    const std::size_t used =
+        parser_.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    if (used < static_cast<std::size_t>(n)) {
+      // Request complete with bytes to spare (pipelining): park the tail.
+      carry_.append(buf + used, static_cast<std::size_t>(n) - used);
+    }
+    if (parser_.done() || parser_.error()) return IoResult::kOk;
+  }
+}
+
+void Connection::QueueResponse(const HttpResponse& response, bool keep_alive) {
+  if (!keep_alive) close_after_write_ = true;
+  // Compact the consumed prefix before growing; the buffer never holds more
+  // than the responses still owed to this client.
+  if (write_off_ > 0) {
+    write_buf_.erase(0, write_off_);
+    write_off_ = 0;
+  }
+  write_buf_ += SerializeResponse(response, keep_alive);
+  state_ = State::kWriting;
+}
+
+Connection::IoResult Connection::FlushWrites() {
+  while (write_pending()) {
+    if (failpoint::ShouldFail("net.write")) return IoResult::kError;
+    const std::ptrdiff_t n = WriteRetry(fd_.get(), write_buf_.data() + write_off_,
+                                        write_buf_.size() - write_off_);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+      return IoResult::kError;  // EPIPE/ECONNRESET: the peer is gone
+    }
+    write_off_ += static_cast<std::size_t>(n);
+  }
+  write_buf_.clear();
+  write_off_ = 0;
+  return IoResult::kOk;
+}
+
+void Connection::ResetForNextRequest() {
+  parser_.Reset();
+  state_ = State::kReading;
+  inflight_seq_ = 0;
+  control_.reset();
+  read_deadline = Clock::time_point();
+  write_deadline = Clock::time_point();
+  // carry_ may already hold the next pipelined request; the server feeds it
+  // on the next read pass (and the level-triggered EPOLLIN re-arm means the
+  // loop comes back even if the socket itself is quiet).
+}
+
+}  // namespace grasp::net

@@ -1,0 +1,116 @@
+#ifndef GRASP_NET_CONNECTION_H_
+#define GRASP_NET_CONNECTION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/http.h"
+#include "net/socket.h"
+#include "serve/query_control.h"
+
+namespace grasp::net {
+
+/// One client connection's state machine. The connection is a passive
+/// object owned and driven single-threaded by the HttpServer's event loop;
+/// the only cross-thread touch point is the QueryControl, which is shared
+/// with the serving workers and is internally atomic.
+///
+/// States and the transitions the server drives:
+///
+///   kReading   --request parsed-->  kAwaiting  --completion-->  kWriting
+///      ^  \--parse error/408--------------------------------------^  |
+///      |                                                             |
+///      +------------------- response flushed, keep-alive ------------+
+///
+/// Reads are suspended while kAwaiting/kWriting (EPOLLIN off): a client
+/// that pipelines ahead waits in its socket buffer — backpressure instead
+/// of unbounded server-side buffering. EPOLLRDHUP stays armed throughout,
+/// so a vanishing client is detected mid-query and cancels it.
+class Connection {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class State { kReading, kAwaiting, kWriting };
+
+  /// Outcome of a socket IO step.
+  enum class IoResult {
+    kOk,          // made progress (possibly zero bytes; EAGAIN)
+    kPeerClosed,  // orderly EOF from the peer
+    kError,       // read/write error (ECONNRESET, EPIPE, injected fault)
+  };
+
+  Connection(OwnedFd fd, std::uint64_t id, ParseLimits limits)
+      : fd_(std::move(fd)), id_(id), parser_(limits) {}
+
+  int fd() const { return fd_.get(); }
+  std::uint64_t id() const { return id_; }
+  State state() const { return state_; }
+  RequestParser& parser() { return parser_; }
+
+  /// Reads available bytes and feeds the parser (buffering any bytes past
+  /// the current request for the next one). Stops early once the parser is
+  /// done or errored. Fires the `net.read` failpoint.
+  IoResult ReadIntoParser();
+
+  /// Appends a serialized response to the write buffer.
+  void QueueResponse(const HttpResponse& response, bool keep_alive);
+
+  /// Writes buffered bytes until EAGAIN or empty. Fires `net.write`.
+  IoResult FlushWrites();
+  bool write_pending() const { return write_off_ < write_buf_.size(); }
+
+  /// Re-arms for the next request on this connection (keep-alive).
+  void ResetForNextRequest();
+
+  /// True when bytes of the next request are already buffered user-side —
+  /// epoll cannot see those, so the server must run a read pass eagerly
+  /// after ResetForNextRequest() instead of waiting for EPOLLIN.
+  bool has_carry() const { return !carry_.empty(); }
+
+  bool close_after_write() const { return close_after_write_; }
+
+  /// In-flight query bookkeeping (set by the server when it submits).
+  void BeginAwait(std::uint64_t seq,
+                  std::shared_ptr<serve::QueryControl> control,
+                  bool keep_alive) {
+    state_ = State::kAwaiting;
+    inflight_seq_ = seq;
+    control_ = std::move(control);
+    request_keep_alive_ = keep_alive;
+  }
+  std::uint64_t inflight_seq() const { return inflight_seq_; }
+  bool request_keep_alive() const { return request_keep_alive_; }
+  /// Cancels the in-flight query, if any (client disconnect propagation).
+  void CancelInflight() {
+    if (control_ != nullptr) control_->RequestCancel();
+  }
+
+  void set_state(State state) { state_ = state; }
+
+  // Deadline slots swept by the server's timer pass. A default-constructed
+  // time_point (epoch) means "not armed".
+  Clock::time_point read_deadline;   // first request byte -> complete head+body
+  Clock::time_point idle_deadline;   // keep-alive idle limit
+  Clock::time_point write_deadline;  // response flush limit (slow readers)
+
+ private:
+  OwnedFd fd_;
+  const std::uint64_t id_;
+  RequestParser parser_;
+  /// Bytes read off the socket but not yet consumed by the parser (the tail
+  /// of a read that completed a request; fed first on the next request).
+  std::string carry_;
+  std::string write_buf_;
+  std::size_t write_off_ = 0;
+  State state_ = State::kReading;
+  bool close_after_write_ = false;
+  bool request_keep_alive_ = true;
+  std::uint64_t inflight_seq_ = 0;
+  std::shared_ptr<serve::QueryControl> control_;
+};
+
+}  // namespace grasp::net
+
+#endif  // GRASP_NET_CONNECTION_H_

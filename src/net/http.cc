@@ -1,0 +1,410 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace grasp::net {
+namespace {
+
+bool IsTokenChar(unsigned char c) {
+  // RFC 7230 token characters: the set every method and header name must
+  // stay inside. Anything else in those positions is a smuggling attempt or
+  // corruption; both get the same 400.
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string PercentDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size() && HexValue(s[i + 1]) >= 0 &&
+               HexValue(s[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(HexValue(s[i + 1]) * 16 +
+                                      HexValue(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+void RequestParser::Fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+}
+
+std::size_t RequestParser::Feed(std::string_view data) {
+  if (state_ == State::kDone || state_ == State::kError || data.empty()) {
+    return 0;
+  }
+  started_ = true;
+  std::size_t consumed = 0;
+
+  if (state_ == State::kHead) {
+    // Accumulate until the blank line ends the head, never past the cap:
+    // take only what could still fit, and if the terminator is not inside
+    // the limit the request is oversized regardless of what follows.
+    const std::size_t room = limits_.max_head_bytes - head_.size();
+    const std::size_t take = std::min(room, data.size());
+    head_.append(data.substr(0, take));
+    consumed += take;
+
+    // Scan for "\n\r\n" / "\n\n" from where the last scan stopped.
+    std::size_t head_end = std::string::npos;  // offset one past terminator
+    for (std::size_t i = head_scanned_; i < head_.size(); ++i) {
+      if (head_[i] != '\n') continue;
+      if (i + 1 < head_.size() && head_[i + 1] == '\n') {
+        head_end = i + 2;
+        break;
+      }
+      if (i + 2 < head_.size() && head_[i + 1] == '\r' &&
+          head_[i + 2] == '\n') {
+        head_end = i + 3;
+        break;
+      }
+      // A trailing "\n" or "\n\r" may complete on the next Feed; rescan
+      // from this newline then.
+      if (i + 2 >= head_.size()) {
+        head_scanned_ = i;
+        break;
+      }
+      head_scanned_ = i + 1;
+    }
+    if (head_end == std::string::npos) {
+      if (head_.size() >= limits_.max_head_bytes) {
+        Fail(400, "header section exceeds " +
+                      std::to_string(limits_.max_head_bytes) + " bytes");
+      }
+      return consumed;
+    }
+
+    // Bytes past the head belong to the body (or the next request); give
+    // back what we over-buffered so the body path below sees them in order.
+    const std::size_t extra = head_.size() - head_end;
+    consumed -= extra;
+    data.remove_prefix(take - extra);
+    head_.resize(head_end);
+    ParseHead();
+    if (state_ == State::kError) return consumed;
+    if (state_ == State::kDone) return consumed;
+  }
+
+  if (state_ == State::kBody) {
+    const std::size_t need = content_length_ - request_.body.size();
+    const std::size_t take = std::min(need, data.size());
+    request_.body.append(data.substr(0, take));
+    consumed += take;
+    if (request_.body.size() == content_length_) state_ = State::kDone;
+  }
+  return consumed;
+}
+
+void RequestParser::ParseHead() {
+  // Split the head into lines (terminators stripped) and parse each.
+  std::string_view head(head_);
+  bool first_line = true;
+  std::size_t line_count = 0;
+  while (!head.empty()) {
+    const std::size_t nl = head.find('\n');
+    std::string_view line = head.substr(0, nl);
+    head.remove_prefix(nl == std::string_view::npos ? head.size() : nl + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) break;  // blank line: end of head
+    if (first_line) {
+      if (!ParseRequestLine(line)) return;
+      first_line = false;
+      continue;
+    }
+    if (++line_count > limits_.max_headers) {
+      Fail(400, "more than " + std::to_string(limits_.max_headers) +
+                    " header fields");
+      return;
+    }
+    if (!ParseHeaderLine(line)) return;
+  }
+  if (first_line) {
+    Fail(400, "empty request");
+    return;
+  }
+
+  // Framing and connection semantics resolved once, after all headers.
+  if (request_.FindHeader("transfer-encoding") != nullptr) {
+    // No chunked support: a Transfer-Encoding this server ignored would
+    // desynchronize framing (the classic smuggling bug), so refuse loudly.
+    Fail(501, "transfer-encoding is not supported");
+    return;
+  }
+  request_.keep_alive = request_.minor_version >= 1;
+  if (const std::string* conn = request_.FindHeader("connection")) {
+    if (EqualsIgnoreCase(*conn, "close")) request_.keep_alive = false;
+    if (EqualsIgnoreCase(*conn, "keep-alive")) request_.keep_alive = true;
+  }
+  if (saw_content_length_ && content_length_ > 0) {
+    request_.body.reserve(content_length_);
+    state_ = State::kBody;
+  } else {
+    state_ = State::kDone;
+  }
+}
+
+bool RequestParser::ParseRequestLine(std::string_view line) {
+  if (line.size() > limits_.max_request_line_bytes) {
+    Fail(400, "request line exceeds " +
+                  std::to_string(limits_.max_request_line_bytes) + " bytes");
+    return false;
+  }
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() ||
+      !std::all_of(method.begin(), method.end(),
+                   [](char c) { return IsTokenChar(static_cast<unsigned char>(c)); })) {
+    Fail(400, "malformed method token");
+    return false;
+  }
+  if (target.empty() ||
+      std::any_of(target.begin(), target.end(), [](char c) {
+        const auto u = static_cast<unsigned char>(c);
+        return u <= 0x20 || u == 0x7f;
+      })) {
+    Fail(400, "malformed request target");
+    return false;
+  }
+  if (version == "HTTP/1.1") {
+    request_.minor_version = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.minor_version = 0;
+  } else if (version.rfind("HTTP/", 0) == 0) {
+    Fail(505, "unsupported HTTP version");
+    return false;
+  } else {
+    Fail(400, "malformed HTTP version");
+    return false;
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  return true;
+}
+
+bool RequestParser::ParseHeaderLine(std::string_view line) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    Fail(400, "malformed header field");
+    return false;
+  }
+  const std::string_view raw_name = line.substr(0, colon);
+  if (!std::all_of(raw_name.begin(), raw_name.end(), [](char c) {
+        return IsTokenChar(static_cast<unsigned char>(c));
+      })) {
+    // Covers the "Header : v" obs-fold smuggling shape too: a trailing
+    // space fails the token check.
+    Fail(400, "malformed header name");
+    return false;
+  }
+  const std::string_view value = TrimOws(line.substr(colon + 1));
+  if (std::any_of(value.begin(), value.end(), [](char c) {
+        const auto u = static_cast<unsigned char>(c);
+        return (u < 0x20 && u != '\t') || u == 0x7f;
+      })) {
+    Fail(400, "control byte in header value");
+    return false;
+  }
+  std::string name = ToLower(raw_name);
+
+  if (name == "content-length") {
+    if (value.empty() || value.size() > 18 ||
+        !std::all_of(value.begin(), value.end(), [](char c) {
+          return c >= '0' && c <= '9';
+        })) {
+      Fail(400, "malformed content-length");
+      return false;
+    }
+    std::size_t length = 0;
+    for (char c : value) length = length * 10 + static_cast<std::size_t>(c - '0');
+    if (saw_content_length_ && length != content_length_) {
+      Fail(400, "conflicting content-length fields");
+      return false;
+    }
+    if (length > limits_.max_body_bytes) {
+      Fail(413, "body of " + std::string(value) + " bytes exceeds limit of " +
+                    std::to_string(limits_.max_body_bytes));
+      return false;
+    }
+    saw_content_length_ = true;
+    content_length_ = length;
+  }
+  request_.headers.emplace_back(std::move(name), std::string(value));
+  return true;
+}
+
+void RequestParser::Reset() {
+  state_ = State::kHead;
+  started_ = false;
+  head_.clear();
+  head_scanned_ = 0;
+  content_length_ = 0;
+  saw_content_length_ = false;
+  error_status_ = 0;
+  error_reason_.clear();
+  request_ = HttpRequest();
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(response.status));
+  out.push_back(' ');
+  out.append(ReasonPhrase(response.status));
+  out.append("\r\n");
+  for (const auto& [name, value] : response.headers) {
+    out.append(name);
+    out.append(": ");
+    out.append(value);
+    out.append("\r\n");
+  }
+  out.append("Content-Length: ");
+  out.append(std::to_string(response.body.size()));
+  out.append("\r\nConnection: ");
+  out.append(keep_alive ? "keep-alive" : "close");
+  out.append("\r\n\r\n");
+  out.append(response.body);
+  return out;
+}
+
+const std::string* ParsedTarget::FindParam(std::string_view name) const {
+  for (const auto& [key, value] : params) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+ParsedTarget ParseTarget(std::string_view target) {
+  ParsedTarget parsed;
+  const std::size_t q = target.find('?');
+  parsed.path = PercentDecode(target.substr(0, q));
+  if (q == std::string_view::npos) return parsed;
+  std::string_view query = target.substr(q + 1);
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    query.remove_prefix(amp == std::string_view::npos ? query.size() : amp + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      parsed.params.emplace_back(PercentDecode(pair), "");
+    } else {
+      parsed.params.emplace_back(PercentDecode(pair.substr(0, eq)),
+                                 PercentDecode(pair.substr(eq + 1)));
+    }
+  }
+  return parsed;
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (u < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out->append("\\u00");
+          out->push_back(kHex[u >> 4]);
+          out->push_back(kHex[u & 0xf]);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace grasp::net

@@ -1,0 +1,132 @@
+#ifndef GRASP_NET_HTTP_H_
+#define GRASP_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace grasp::net {
+
+/// Hard input limits enforced by RequestParser. Every limit rejects with a
+/// definite HTTP status *before* buffering past the cap — a hostile client
+/// cannot make the parser allocate more than max_head_bytes +
+/// max_body_bytes no matter what it sends.
+struct ParseLimits {
+  /// Request line + header block, terminator included.
+  std::size_t max_head_bytes = 16 * 1024;
+  /// Request line alone (method + target + version).
+  std::size_t max_request_line_bytes = 4 * 1024;
+  std::size_t max_headers = 64;
+  /// Declared Content-Length above this rejects with 413 immediately —
+  /// the body is never buffered.
+  std::size_t max_body_bytes = 64 * 1024;
+};
+
+/// One parsed request. Header names are lowercased at parse time; values
+/// keep their bytes with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;
+  std::string target;  // origin-form, as sent (undecoded)
+  int minor_version = 1;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Resolved from the version + Connection header.
+  bool keep_alive = true;
+
+  /// First header named `name` (lowercase), nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Incremental HTTP/1.0/1.1 request parser: feed it bytes as they arrive
+/// off the socket, in any fragmentation, and it consumes up to one request.
+/// Lenient on line endings (CRLF or bare LF), strict on everything that has
+/// ever been a request-smuggling vector: exactly one Content-Length of pure
+/// digits, no Transfer-Encoding (501 — this server never speaks chunked),
+/// token-validated method and header names, no control bytes in values.
+class RequestParser {
+ public:
+  explicit RequestParser(ParseLimits limits) : limits_(limits) {}
+  RequestParser() : RequestParser(ParseLimits{}) {}
+
+  /// Consumes bytes from `data`. Returns how many were consumed; bytes past
+  /// a completed request are left for the caller (pipelining). Once done()
+  /// or error(), consumes nothing further until Reset().
+  std::size_t Feed(std::string_view data);
+
+  bool done() const { return state_ == State::kDone; }
+  bool error() const { return state_ == State::kError; }
+  /// HTTP status to reject with when error() (400/413/501/505).
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// The parsed request; valid once done().
+  HttpRequest& request() { return request_; }
+  const HttpRequest& request() const { return request_; }
+
+  /// True once any byte of the current request has been consumed — an idle
+  /// keep-alive connection and a mid-request stall (slow-loris) time out on
+  /// different clocks and with different responses (close vs 408).
+  bool started() const { return started_; }
+
+  /// Bytes currently buffered; bounded by the limits (asserted in tests).
+  std::size_t buffered_bytes() const { return head_.size() + request_.body.size(); }
+
+  /// Ready for the next request on the same connection.
+  void Reset();
+
+ private:
+  enum class State { kHead, kBody, kDone, kError };
+
+  void Fail(int status, std::string reason);
+  /// Parses the accumulated head (request line + headers). On success
+  /// transitions to kBody/kDone; on failure to kError.
+  void ParseHead();
+  bool ParseRequestLine(std::string_view line);
+  bool ParseHeaderLine(std::string_view line);
+
+  ParseLimits limits_;
+  State state_ = State::kHead;
+  bool started_ = false;
+  std::string head_;
+  std::size_t head_scanned_ = 0;  // resume point for the terminator scan
+  std::size_t content_length_ = 0;
+  bool saw_content_length_ = false;
+  int error_status_ = 0;
+  std::string error_reason_;
+  HttpRequest request_;
+};
+
+/// One response to serialize. Content-Length and Connection are emitted
+/// automatically from `body` and `keep_alive`.
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+};
+
+/// Stable reason phrase for the status codes this server emits.
+const char* ReasonPhrase(int status);
+
+/// Serializes status line + headers + body into wire bytes.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// Splits an origin-form target into its path and decoded query parameters
+/// ('+' and %XX decoded in values, key order preserved). Malformed %-escapes
+/// are passed through literally rather than rejected — query strings carry
+/// keywords, not protocol structure.
+struct ParsedTarget {
+  std::string path;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  const std::string* FindParam(std::string_view name) const;
+};
+ParsedTarget ParseTarget(std::string_view target);
+
+/// Appends `text` JSON-escaped (quotes, backslash, control bytes) to `out`.
+void AppendJsonEscaped(std::string* out, std::string_view text);
+
+}  // namespace grasp::net
+
+#endif  // GRASP_NET_HTTP_H_

@@ -64,9 +64,19 @@ double QueryServer::RetryAfterMillis(std::size_t queue_len,
 }
 
 std::future<QueryServer::Response> QueryServer::Submit(Request request) {
+  // The future API is a thin veneer over the callback one, so both resolve
+  // through exactly the same admission/shed/shutdown paths.
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  SubmitAsync(std::move(request), [promise](Response response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+void QueryServer::SubmitAsync(Request request,
+                              std::function<void(Response)> done) {
   stats_.submitted.fetch_add(1, std::memory_order_relaxed);
-  std::promise<Response> promise;
-  std::future<Response> future = promise.get_future();
 
   if (request.control == nullptr) {
     request.control = std::make_shared<QueryControl>();
@@ -87,9 +97,9 @@ std::future<QueryServer::Response> QueryServer::Submit(Request request) {
     if (!stopping_.load(std::memory_order_relaxed) &&
         lane.queue.size() < options_.queue_capacity) {
       stats_.admitted.fetch_add(1, std::memory_order_relaxed);
-      lane.queue.push_back(Pending{std::move(request), std::move(promise), now});
+      lane.queue.push_back(Pending{std::move(request), std::move(done), now});
       lane.ready.notify_one();
-      return future;
+      return;
     }
   }
 
@@ -104,8 +114,7 @@ std::future<QueryServer::Response> QueryServer::Submit(Request request) {
           ? "server shutting down"
           : "admission queue full; retry after " +
                 std::to_string(shed.retry_after_millis) + " ms");
-  promise.set_value(std::move(shed));
-  return future;
+  done(std::move(shed));
 }
 
 QueryServer::Response QueryServer::ServeSync(Request request) {
@@ -125,10 +134,10 @@ void QueryServer::WorkerLoop(Lane* lane) {
       pending = std::move(lane->queue.front());
       lane->queue.pop_front();
     }
-    // The promise must be moved aside first: RunQuery consumes `pending`,
-    // and the argument is evaluated before set_value runs on its object.
-    std::promise<Response> promise = std::move(pending.promise);
-    promise.set_value(RunQuery(std::move(pending)));
+    // The callback must be moved aside first: RunQuery consumes `pending`,
+    // and the argument is evaluated before the call runs on its object.
+    std::function<void(Response)> done = std::move(pending.done);
+    done(RunQuery(std::move(pending)));
   }
 }
 
@@ -231,7 +240,7 @@ void QueryServer::Shutdown() {
       response.queue_millis = MillisBetween(p.enqueue_time,
                                             QueryControl::Clock::now());
       response.total_millis = response.queue_millis;
-      p.promise.set_value(std::move(response));
+      p.done(std::move(response));
     }
   }
 }

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -128,6 +129,15 @@ class QueryServer {
   /// returns a valid future; shed requests resolve immediately.
   std::future<Response> Submit(Request request);
 
+  /// Callback-completion admission point for event-driven front-ends (the
+  /// HTTP server's epoll loop cannot block on a future). `done` is invoked
+  /// exactly once, with the same Response a future would carry, from
+  /// whichever thread finishes the request: the submitting thread for shed
+  /// requests, a lane worker for served ones, and the Shutdown() caller for
+  /// work still queued at shutdown. It must not block and must not call
+  /// back into the QueryServer.
+  void SubmitAsync(Request request, std::function<void(Response)> done);
+
   /// Submit + wait. Intended for tools and tests.
   Response ServeSync(Request request);
 
@@ -142,7 +152,7 @@ class QueryServer {
  private:
   struct Pending {
     Request request;
-    std::promise<Response> promise;
+    std::function<void(Response)> done;
     QueryControl::Clock::time_point enqueue_time;
   };
 

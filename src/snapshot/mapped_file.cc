@@ -19,7 +19,12 @@ Result<MappedFile> MappedFile::Open(const std::string& path) {
     return Status::IoError("failpoint snapshot.mmap: injected mmap failure for " +
                            path);
   }
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  // EINTR retry: a signal landing mid-open (a SIGTERM starting a graceful
+  // drain is the routine case) must not surface as a spurious open failure.
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     return Status::IoError("cannot open " + path + ": " +
                            std::strerror(errno));

@@ -272,5 +272,48 @@ TEST_F(QueryServerTest, ConcurrentSubmittersStayRaceClean) {
   EXPECT_EQ(shed, stats.shed);
 }
 
+TEST_F(QueryServerTest, ShutdownRacingSubmitResolvesEveryFuture) {
+  // The hard invariant of the admission layer, and the one the HTTP
+  // front-end's drain leans on: no matter how Submit races Shutdown, every
+  // submitted request resolves with a definite status — admitted-and-served
+  // (kOk), shed (kOverloaded), failed at shutdown (kCancelled), or expired
+  // (kDeadlineExceeded). A dropped callback would hang a client forever.
+  // (The interesting interleavings run under TSan in CI.)
+  for (int round = 0; round < 8; ++round) {
+    QueryServer::Options options;
+    options.deep_workers = 1;
+    options.queue_capacity = 4;
+    QueryServer server(engine_, options);
+
+    constexpr std::size_t kThreads = 4;
+    constexpr std::size_t kPerThread = 8;
+    std::vector<std::future<QueryServer::Response>> futures(kThreads *
+                                                            kPerThread);
+    std::mutex mutex;
+    std::vector<std::thread> submitters;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([this, t, &server, &futures, &mutex] {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          auto f = server.Submit(MakeRequest({"publication", "aifb"}));
+          std::lock_guard<std::mutex> lock(mutex);
+          futures[t * kPerThread + i] = std::move(f);
+        }
+      });
+    }
+    std::thread stopper([&server] { server.Shutdown(); });
+    for (auto& t : submitters) t.join();
+    stopper.join();
+
+    for (auto& f : futures) {
+      const QueryServer::Response r = f.get();  // throws if the promise broke
+      const StatusCode code = r.status.code();
+      EXPECT_TRUE(code == StatusCode::kOk || code == StatusCode::kOverloaded ||
+                  code == StatusCode::kCancelled ||
+                  code == StatusCode::kDeadlineExceeded)
+          << r.status.ToString();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace grasp::serve

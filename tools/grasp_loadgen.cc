@@ -1,19 +1,35 @@
-// Closed-form load generator for the deadline-aware serving layer: replays
-// the DBLP performance workload against a QueryServer at a target QPS with
-// open-loop arrivals (requests fire on schedule whether or not earlier ones
-// finished — the arrival process does not secretly back off under overload,
-// which is exactly the regime admission control exists for).
+// Load generator for the serving stack, in two modes sharing one workload
+// and one report format:
+//
+//  - In-process (default): replays the DBLP performance workload straight
+//    into a QueryServer at a target QPS with open-loop arrivals (requests
+//    fire on schedule whether or not earlier ones finished — the arrival
+//    process does not secretly back off under overload, which is exactly
+//    the regime admission control exists for).
+//
+//  - Network (--server=HOST:PORT): the same open-loop arrivals over real
+//    TCP against a running grasp_serve, one connection per request
+//    (connection churn is part of the test). Chaos flags turn it into a
+//    hostile client: --chaos-disconnect kills connections mid-request or
+//    between request and response, --chaos-slow-read drains responses a
+//    few bytes at a time. A correct server sheds/cancels/disconnects
+//    around all of it without crashing or leaking.
 //
 //   grasp_loadgen --qps=200 --requests=400 --deadline-ms=20
-//   grasp_loadgen --qps=5000 --queue-capacity=8 --deep-workers=1 \
-//       --assert-shed-min=0.01 --assert-p99-max-ms=500 --json=loadgen.json
+//   grasp_loadgen --server=127.0.0.1:8080 --qps=500 --requests=1000 \
+//       --chaos-disconnect=0.2 --chaos-slow-read=0.1 --assert-shed-min=0.01
+//   grasp_loadgen --server=... --ramp=100:2000:5 --requests=200
 //
-// Reports p50/p95/p99 end-to-end latency, shed rate, deadline-hit rate and
-// degraded rate; --json writes them as google-benchmark-shaped entries so
-// scripts/bench_merge.py can fold them into BENCH_exploration.json and the
-// trend checker tracks them like any other benchmark. The --assert-* flags
-// turn the binary into a CI overload smoke test: nonzero exit when the
-// server collapses (p99 blows up) instead of shedding.
+// Both modes report per-status counts (network: real HTTP codes;
+// in-process: the HTTP-equivalent mapping 200/429/504/499) and p50/p95/p99
+// end-to-end latency. "unanswered" counts requests that were fully sent,
+// not chaos-killed, and got zero response bytes — after a graceful drain
+// it must be zero, which the CI smoke job asserts. --json writes
+// google-benchmark-shaped entries; the --assert-* flags turn the binary
+// into a nonzero-exit smoke test.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
 
 #include <algorithm>
 #include <chrono>
@@ -21,6 +37,7 @@
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +45,7 @@
 #include "bench_util.h"
 #include "core/engine.h"
 #include "datagen/workload.h"
+#include "net/socket.h"
 #include "serve/admission.h"
 
 namespace {
@@ -46,6 +64,15 @@ struct Args {
   std::string json_path;
   double assert_shed_min = -1.0;    // < 0: no assertion
   double assert_p99_max_ms = -1.0;  // < 0: no assertion
+  bool assert_no_unanswered = false;
+
+  // Network mode.
+  std::string server;  // HOST:PORT; empty = in-process
+  double chaos_disconnect = 0.0;  // P(kill the connection mid-exchange)
+  double chaos_slow_read = 0.0;   // P(read the response a trickle at a time)
+  double slow_read_delay_ms = 20.0;
+  double ramp_start = 0.0, ramp_end = 0.0;  // --ramp=START:END:STEPS
+  std::size_t ramp_steps = 0;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -75,10 +102,32 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->assert_shed_min = std::atof(v);
     } else if (const char* v = value("--assert-p99-max-ms=")) {
       args->assert_p99_max_ms = std::atof(v);
+    } else if (arg == "--assert-no-unanswered") {
+      args->assert_no_unanswered = true;
+    } else if (const char* v = value("--server=")) {
+      args->server = v;
+    } else if (const char* v = value("--chaos-disconnect=")) {
+      args->chaos_disconnect = std::atof(v);
+    } else if (const char* v = value("--chaos-slow-read=")) {
+      args->chaos_slow_read = std::atof(v);
+    } else if (const char* v = value("--slow-read-delay-ms=")) {
+      args->slow_read_delay_ms = std::atof(v);
+    } else if (const char* v = value("--ramp=")) {
+      if (std::sscanf(v, "%lf:%lf:%zu", &args->ramp_start, &args->ramp_end,
+                      &args->ramp_steps) != 3 ||
+          args->ramp_start <= 0.0 || args->ramp_end <= 0.0 ||
+          args->ramp_steps < 2) {
+        std::fprintf(stderr, "bad --ramp (want START:END:STEPS, STEPS>=2)\n");
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
     }
+  }
+  if (args->ramp_steps > 0 && args->server.empty()) {
+    std::fprintf(stderr, "--ramp requires --server\n");
+    return false;
   }
   return args->qps > 0.0 && args->requests > 0;
 }
@@ -110,38 +159,228 @@ void JsonEntry(std::FILE* f, const char* name, double value, const char* unit,
                name, value, value, unit, last ? "" : ",");
 }
 
-}  // namespace
+// -------------------------------------------------------------- results --
 
-int main(int argc, char** argv) {
-  Args args;
-  if (!ParseArgs(argc, argv, &args)) {
-    std::fprintf(
-        stderr,
-        "usage: grasp_loadgen [--qps=N] [--requests=N] [--deadline-ms=MS]\n"
-        "    [--k=N] [--fast-workers=N] [--deep-workers=N] "
-        "[--queue-capacity=N]\n"
-        "    [--json=PATH] [--assert-shed-min=RATE] "
-        "[--assert-p99-max-ms=MS]\n");
-    return 2;
+/// One request's outcome, identical across modes. In-process responses are
+/// mapped to their HTTP equivalents (OK->200, kOverloaded->429,
+/// kDeadlineExceeded->504, kCancelled->499 "client closed request") so the
+/// two modes print comparable tables.
+struct Outcome {
+  enum class Kind {
+    kAnswered,       // got an HTTP status line (any code)
+    kConnectFailed,  // connect() refused/failed (server down or draining)
+    kChaosKilled,    // this client killed the connection on purpose
+    kUnanswered,     // full request sent, zero response bytes — the bad one
+  };
+  Kind kind = Kind::kUnanswered;
+  int status = 0;        // HTTP code when kAnswered
+  double latency_ms = 0.0;
+  bool degraded = false;
+};
+
+struct Summary {
+  std::vector<std::pair<int, std::size_t>> status_counts;  // sorted by code
+  std::size_t answered = 0, connect_failed = 0, chaos_killed = 0,
+              unanswered = 0, degraded = 0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double rate(int status) const {
+    for (const auto& [code, n] : status_counts) {
+      if (code == status) {
+        return answered > 0 ? static_cast<double>(n) /
+                                  static_cast<double>(answered)
+                            : 0.0;
+      }
+    }
+    return 0.0;
+  }
+};
+
+Summary Summarize(const std::vector<Outcome>& outcomes) {
+  Summary s;
+  std::vector<double> ok_latencies;
+  for (const Outcome& o : outcomes) {
+    switch (o.kind) {
+      case Outcome::Kind::kAnswered: {
+        ++s.answered;
+        if (o.degraded) ++s.degraded;
+        auto it = std::find_if(
+            s.status_counts.begin(), s.status_counts.end(),
+            [&o](const auto& p) { return p.first == o.status; });
+        if (it == s.status_counts.end()) {
+          s.status_counts.emplace_back(o.status, 1);
+        } else {
+          ++it->second;
+        }
+        if (o.status >= 200 && o.status < 300) {
+          ok_latencies.push_back(o.latency_ms);
+        }
+        break;
+      }
+      case Outcome::Kind::kConnectFailed: ++s.connect_failed; break;
+      case Outcome::Kind::kChaosKilled: ++s.chaos_killed; break;
+      case Outcome::Kind::kUnanswered: ++s.unanswered; break;
+    }
+  }
+  std::sort(s.status_counts.begin(), s.status_counts.end());
+  std::sort(ok_latencies.begin(), ok_latencies.end());
+  s.p50 = Percentile(ok_latencies, 50.0);
+  s.p95 = Percentile(ok_latencies, 95.0);
+  s.p99 = Percentile(ok_latencies, 99.0);
+  return s;
+}
+
+void PrintSummary(const Summary& s) {
+  std::printf("answered          %zu\n", s.answered);
+  for (const auto& [code, n] : s.status_counts) {
+    std::printf("  status %d      %zu (%.1f%%)\n", code, n,
+                s.answered > 0
+                    ? 100.0 * static_cast<double>(n) /
+                          static_cast<double>(s.answered)
+                    : 0.0);
+  }
+  std::printf("connect failed    %zu\n", s.connect_failed);
+  std::printf("chaos killed      %zu\n", s.chaos_killed);
+  std::printf("unanswered        %zu\n", s.unanswered);
+  std::printf("degraded          %zu\n", s.degraded);
+  std::printf("latency(2xx) p50  %.2f ms\n", s.p50);
+  std::printf("latency(2xx) p95  %.2f ms\n", s.p95);
+  std::printf("latency(2xx) p99  %.2f ms\n", s.p99);
+}
+
+// --------------------------------------------------------- network mode --
+
+bool SplitHostPort(const std::string& server, std::string* host,
+                   std::uint16_t* port) {
+  const std::size_t colon = server.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= server.size()) return false;
+  *host = server.substr(0, colon);
+  *port = static_cast<std::uint16_t>(std::atoi(server.c_str() + colon + 1));
+  return *port != 0;
+}
+
+/// Sends `len` bytes, looping over short writes. False on error (the chaos
+/// target may have closed on us; that is its prerogative).
+bool SendAll(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const std::ptrdiff_t n = grasp::net::WriteRetry(fd, data + off, len - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string BuildRequest(const Args& args,
+                         const std::vector<std::string>& keywords) {
+  std::string q;
+  for (const std::string& kw : keywords) {
+    if (!q.empty()) q += '+';
+    q += kw;
+  }
+  std::string request = "GET /search?q=" + q +
+                        "&k=" + std::to_string(args.k) + " HTTP/1.1\r\n";
+  if (args.deadline_ms > 0.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "X-Deadline-Ms: %.1f\r\n",
+                  args.deadline_ms);
+    request += buf;
+  }
+  request += "Connection: close\r\n\r\n";
+  return request;
+}
+
+/// One request over one fresh connection; the worker thread's whole life.
+Outcome RunNetRequest(const Args& args, const std::string& host,
+                      std::uint16_t port, const std::string& request,
+                      std::uint64_t seed) {
+  Outcome outcome;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto fd_result = grasp::net::ConnectTcp(host, port);
+  if (!fd_result.ok()) {
+    outcome.kind = Outcome::Kind::kConnectFailed;
+    return outcome;
+  }
+  grasp::net::OwnedFd fd = std::move(fd_result).value();
+
+  // Chaos: mid-request disconnect (half the request, then gone) or
+  // post-request disconnect (full request, never reads the answer — the
+  // server must detect EPOLLRDHUP and cancel the in-flight query).
+  const double roll = coin(rng);
+  if (roll < args.chaos_disconnect) {
+    const bool mid_request = roll < args.chaos_disconnect / 2.0;
+    const std::size_t n = mid_request ? request.size() / 2 : request.size();
+    SendAll(fd.get(), request.data(), n);
+    outcome.kind = Outcome::Kind::kChaosKilled;
+    return outcome;  // OwnedFd closes abruptly here
   }
 
-  grasp::bench::Dataset dblp = grasp::bench::MakeDblp();
-  KeywordSearchEngine engine(dblp.store, dblp.dictionary);
+  if (!SendAll(fd.get(), request.data(), request.size())) {
+    outcome.kind = Outcome::Kind::kUnanswered;
+    return outcome;
+  }
+
+  // Bound every read so a buggy server hangs the request, not the loadgen.
+  timeval timeout{30, 0};
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  const bool slow_read = coin(rng) < args.chaos_slow_read;
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const std::size_t want = slow_read ? 16 : sizeof(buf);
+    const std::ptrdiff_t n = grasp::net::ReadRetry(fd.get(), buf, want);
+    if (n <= 0) break;  // EOF, reset, or receive timeout
+    response.append(buf, static_cast<std::size_t>(n));
+    if (slow_read) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          args.slow_read_delay_ms));
+    }
+  }
+  if (response.size() < 12 || response.compare(0, 5, "HTTP/") != 0) {
+    outcome.kind = Outcome::Kind::kUnanswered;
+    return outcome;
+  }
+  outcome.kind = Outcome::Kind::kAnswered;
+  outcome.status = std::atoi(response.c_str() + 9);
+  outcome.latency_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  outcome.degraded =
+      response.find("\"degraded\":true") != std::string::npos;
+  return outcome;
+}
+
+std::vector<Outcome> RunNetworkWave(const Args& args, const std::string& host,
+                                    std::uint16_t port, double qps,
+                                    std::uint64_t seed_base) {
   const auto workload = grasp::datagen::DblpPerformanceWorkload();
-  if (workload.empty()) {
-    std::fprintf(stderr, "empty workload\n");
-    return 1;
+  std::vector<Outcome> outcomes(args.requests);
+  std::vector<std::thread> workers;
+  workers.reserve(args.requests);
+  const auto start = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> interval(1.0 / qps);
+  for (std::size_t i = 0; i < args.requests; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    interval * static_cast<double>(i)));
+    workers.emplace_back([&args, &host, port, &outcomes, &workload, i,
+                          seed_base] {
+      const std::string request =
+          BuildRequest(args, workload[i % workload.size()].keywords);
+      outcomes[i] = RunNetRequest(args, host, port, request, seed_base + i);
+    });
   }
+  for (std::thread& t : workers) t.join();
+  return outcomes;
+}
 
-  QueryServer::Options server_options;
-  server_options.fast_workers = args.fast_workers;
-  server_options.deep_workers = args.deep_workers;
-  server_options.queue_capacity = args.queue_capacity;
-  QueryServer server(engine, server_options);
+// ------------------------------------------------------ in-process mode --
 
-  // Open-loop arrivals: request i is due at start + i/qps, regardless of
-  // how the previous ones fared. The submitting loop itself must never be
-  // the bottleneck, so responses are only collected afterwards.
+std::vector<Outcome> RunInProcess(const Args& args, QueryServer* server) {
+  const auto workload = grasp::datagen::DblpPerformanceWorkload();
   const auto start = std::chrono::steady_clock::now();
   const std::chrono::duration<double> interval(1.0 / args.qps);
   std::vector<std::future<QueryServer::Response>> futures;
@@ -154,61 +393,127 @@ int main(int argc, char** argv) {
     request.query.keywords = workload[i % workload.size()].keywords;
     request.query.k = args.k;
     request.deadline_millis = args.deadline_ms;
-    futures.push_back(server.Submit(std::move(request)));
+    futures.push_back(server->Submit(std::move(request)));
   }
 
-  std::vector<double> latencies;  // completed requests, end-to-end ms
-  latencies.reserve(futures.size());
-  std::size_t empty_degraded = 0;
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(futures.size());
   for (auto& f : futures) {
     const QueryServer::Response response = f.get();
-    if (response.status.ok()) {
-      latencies.push_back(response.total_millis);
-      if (response.degraded && response.result.queries.empty()) {
-        ++empty_degraded;
-      }
+    Outcome o;
+    o.kind = Outcome::Kind::kAnswered;
+    o.latency_ms = response.total_millis;
+    o.degraded = response.degraded;
+    switch (response.status.code()) {
+      case grasp::StatusCode::kOk: o.status = 200; break;
+      case grasp::StatusCode::kOverloaded: o.status = 429; break;
+      case grasp::StatusCode::kDeadlineExceeded: o.status = 504; break;
+      case grasp::StatusCode::kCancelled: o.status = 499; break;
+      default: o.status = 500; break;
     }
+    outcomes.push_back(o);
   }
-  server.Shutdown();
+  return outcomes;
+}
 
-  const QueryServer::Stats stats = server.stats();
-  const double submitted = static_cast<double>(stats.submitted);
-  const double shed_rate =
-      submitted > 0 ? static_cast<double>(stats.shed) / submitted : 0.0;
-  const double deadline_hit_rate =
-      stats.completed > 0
-          ? static_cast<double>(stats.deadline_hit) /
-                static_cast<double>(stats.completed)
-          : 0.0;
-  const double degraded_rate =
-      stats.completed > 0 ? static_cast<double>(stats.degraded) /
-                                static_cast<double>(stats.completed)
-                          : 0.0;
-  std::sort(latencies.begin(), latencies.end());
-  const double p50 = Percentile(latencies, 50.0);
-  const double p95 = Percentile(latencies, 95.0);
-  const double p99 = Percentile(latencies, 99.0);
+}  // namespace
 
-  std::printf("requests          %llu\n",
-              static_cast<unsigned long long>(stats.submitted));
-  std::printf("admitted          %llu\n",
-              static_cast<unsigned long long>(stats.admitted));
-  std::printf("shed              %llu (%.1f%%)\n",
-              static_cast<unsigned long long>(stats.shed), shed_rate * 100.0);
-  std::printf("completed         %llu\n",
-              static_cast<unsigned long long>(stats.completed));
-  std::printf("degraded          %llu (%.1f%% of completed)\n",
-              static_cast<unsigned long long>(stats.degraded),
-              degraded_rate * 100.0);
-  std::printf("empty degraded    %zu\n", empty_degraded);
-  std::printf("expired in queue  %llu\n",
-              static_cast<unsigned long long>(stats.expired_in_queue));
-  std::printf("deadline-hit rate %.1f%%\n", deadline_hit_rate * 100.0);
-  std::printf("latency p50       %.2f ms\n", p50);
-  std::printf("latency p95       %.2f ms\n", p95);
-  std::printf("latency p99       %.2f ms\n", p99);
-  std::printf("pops/ms estimate  %.1f\n", server.calibrator().pops_per_ms());
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(
+        stderr,
+        "usage: grasp_loadgen [--qps=N] [--requests=N] [--deadline-ms=MS]\n"
+        "    [--k=N] [--fast-workers=N] [--deep-workers=N] "
+        "[--queue-capacity=N]\n"
+        "    [--json=PATH] [--assert-shed-min=RATE] "
+        "[--assert-p99-max-ms=MS]\n"
+        "    [--assert-no-unanswered]\n"
+        "  network mode:\n"
+        "    --server=HOST:PORT [--chaos-disconnect=P] "
+        "[--chaos-slow-read=P]\n"
+        "    [--slow-read-delay-ms=MS] [--ramp=START_QPS:END_QPS:STEPS]\n");
+    return 2;
+  }
 
+  // A chaos-killed connection means the server may close first; the
+  // resulting EPIPE must stay an errno, not a process-killing signal.
+  grasp::net::IgnoreSigpipe();
+
+  std::vector<Outcome> outcomes;
+  double shed_rate = 0.0;  // 429-equivalent rate over answered requests
+  double deadline_hit_rate = 0.0, degraded_rate = 0.0;
+
+  if (!args.server.empty()) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!SplitHostPort(args.server, &host, &port)) {
+      std::fprintf(stderr, "bad --server (want HOST:PORT)\n");
+      return 2;
+    }
+    if (args.ramp_steps > 0) {
+      // QPS sweep: where does shedding start, and does p99 stay bounded
+      // past that point? One wave per step, one summary line per wave.
+      std::printf("%10s %8s %8s %8s %8s %10s %10s\n", "qps", "answered",
+                  "s200", "s429", "unansw", "p50_ms", "p99_ms");
+      for (std::size_t step = 0; step < args.ramp_steps; ++step) {
+        const double qps =
+            args.ramp_start + (args.ramp_end - args.ramp_start) *
+                                  static_cast<double>(step) /
+                                  static_cast<double>(args.ramp_steps - 1);
+        std::vector<Outcome> wave =
+            RunNetworkWave(args, host, port, qps, step * 1'000'000);
+        const Summary s = Summarize(wave);
+        std::printf("%10.0f %8zu %8zu %8zu %8zu %10.2f %10.2f\n", qps,
+                    s.answered,
+                    static_cast<std::size_t>(s.rate(200) *
+                                             static_cast<double>(s.answered)),
+                    static_cast<std::size_t>(s.rate(429) *
+                                             static_cast<double>(s.answered)),
+                    s.unanswered, s.p50, s.p99);
+        outcomes.insert(outcomes.end(), wave.begin(), wave.end());
+      }
+    } else {
+      outcomes = RunNetworkWave(args, host, port, args.qps, 1);
+    }
+    const Summary s = Summarize(outcomes);
+    if (args.ramp_steps == 0) PrintSummary(s);
+    shed_rate = s.rate(429);
+    degraded_rate =
+        s.answered > 0 ? static_cast<double>(s.degraded) /
+                             static_cast<double>(s.answered)
+                       : 0.0;
+  } else {
+    grasp::bench::Dataset dblp = grasp::bench::MakeDblp();
+    KeywordSearchEngine engine(dblp.store, dblp.dictionary);
+    QueryServer::Options server_options;
+    server_options.fast_workers = args.fast_workers;
+    server_options.deep_workers = args.deep_workers;
+    server_options.queue_capacity = args.queue_capacity;
+    QueryServer server(engine, server_options);
+    outcomes = RunInProcess(args, &server);
+    server.Shutdown();
+
+    const Summary s = Summarize(outcomes);
+    PrintSummary(s);
+    const QueryServer::Stats stats = server.stats();
+    shed_rate = stats.submitted > 0
+                    ? static_cast<double>(stats.shed) /
+                          static_cast<double>(stats.submitted)
+                    : 0.0;
+    deadline_hit_rate =
+        stats.completed > 0 ? static_cast<double>(stats.deadline_hit) /
+                                  static_cast<double>(stats.completed)
+                            : 0.0;
+    degraded_rate =
+        stats.completed > 0 ? static_cast<double>(stats.degraded) /
+                                  static_cast<double>(stats.completed)
+                            : 0.0;
+    std::printf("deadline-hit rate %.1f%%\n", deadline_hit_rate * 100.0);
+    std::printf("pops/ms estimate  %.1f\n", server.calibrator().pops_per_ms());
+  }
+
+  const Summary summary = Summarize(outcomes);
   if (!args.json_path.empty()) {
     std::FILE* f = std::fopen(args.json_path.c_str(), "w");
     if (f == nullptr) {
@@ -219,15 +524,17 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"context\": {\n"
                  "    \"executable\": \"grasp_loadgen\",\n"
+                 "    \"mode\": \"%s\",\n"
                  "    \"qps\": %.1f,\n"
                  "    \"requests\": %zu,\n"
                  "    \"deadline_ms\": %.1f\n"
                  "  },\n"
                  "  \"benchmarks\": [\n",
-                 args.qps, args.requests, args.deadline_ms);
-    JsonEntry(f, "LG_ServeLatency/p50", p50, "ms", false);
-    JsonEntry(f, "LG_ServeLatency/p95", p95, "ms", false);
-    JsonEntry(f, "LG_ServeLatency/p99", p99, "ms", false);
+                 args.server.empty() ? "inprocess" : "network", args.qps,
+                 args.requests, args.deadline_ms);
+    JsonEntry(f, "LG_ServeLatency/p50", summary.p50, "ms", false);
+    JsonEntry(f, "LG_ServeLatency/p95", summary.p95, "ms", false);
+    JsonEntry(f, "LG_ServeLatency/p99", summary.p99, "ms", false);
     JsonEntry(f, "LG_ShedRate", shed_rate, "ns", false);
     JsonEntry(f, "LG_DeadlineHitRate", deadline_hit_rate, "ns", false);
     JsonEntry(f, "LG_DegradedRate", degraded_rate, "ns", true);
@@ -235,17 +542,23 @@ int main(int argc, char** argv) {
     std::fclose(f);
   }
 
-  // Overload smoke assertions: under deliberate overload the server must
-  // shed (not collapse) and completed requests must stay bounded.
+  // Smoke assertions: under deliberate overload the server must shed (not
+  // collapse), completed latency must stay bounded, and — the drain
+  // invariant — every fully-sent request must get an answer.
   int rc = 0;
   if (args.assert_shed_min >= 0.0 && shed_rate < args.assert_shed_min) {
     std::fprintf(stderr, "ASSERT FAILED: shed rate %.4f < %.4f\n", shed_rate,
                  args.assert_shed_min);
     rc = 1;
   }
-  if (args.assert_p99_max_ms >= 0.0 && p99 > args.assert_p99_max_ms) {
-    std::fprintf(stderr, "ASSERT FAILED: p99 %.2f ms > %.2f ms\n", p99,
+  if (args.assert_p99_max_ms >= 0.0 && summary.p99 > args.assert_p99_max_ms) {
+    std::fprintf(stderr, "ASSERT FAILED: p99 %.2f ms > %.2f ms\n", summary.p99,
                  args.assert_p99_max_ms);
+    rc = 1;
+  }
+  if (args.assert_no_unanswered && summary.unanswered > 0) {
+    std::fprintf(stderr, "ASSERT FAILED: %zu unanswered requests\n",
+                 summary.unanswered);
     rc = 1;
   }
   return rc;
