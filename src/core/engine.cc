@@ -73,6 +73,56 @@ KeywordSearchEngine::KeywordSearchEngine(const rdf::TripleStore& store,
   // query and serial searches land on a created slot immediately.
   scratch_pool_.Release(
       scratch_pool_.Acquire([] { return std::make_unique<ExplorationScratch>(); }));
+  InitMetrics();
+}
+
+void KeywordSearchEngine::InitMetrics() {
+  metrics::Registry* reg = options_.metrics;
+  if (reg == nullptr) return;
+  constexpr double kMicros = 1e-6;  // recorded in µs, exposed in seconds
+  const char* stage_help =
+      "Search pipeline stage latency (keyword lookup, summary "
+      "augmentation, top-k exploration, query mapping/ranking)";
+  metrics_.stage_keyword = reg->GetHistogram(
+      "grasp_engine_stage_duration_seconds", stage_help,
+      {{"stage", "keyword"}}, kMicros);
+  metrics_.stage_augmentation = reg->GetHistogram(
+      "grasp_engine_stage_duration_seconds", stage_help,
+      {{"stage", "augmentation"}}, kMicros);
+  metrics_.stage_exploration = reg->GetHistogram(
+      "grasp_engine_stage_duration_seconds", stage_help,
+      {{"stage", "exploration"}}, kMicros);
+  metrics_.stage_mapping = reg->GetHistogram(
+      "grasp_engine_stage_duration_seconds", stage_help,
+      {{"stage", "mapping"}}, kMicros);
+  metrics_.search_duration = reg->GetHistogram(
+      "grasp_engine_search_duration_seconds",
+      "End-to-end Search() latency, all stages included", {}, kMicros);
+  metrics_.searches = reg->GetCounter("grasp_engine_searches_total",
+                                      "Search() calls completed");
+  metrics_.degraded = reg->GetCounter(
+      "grasp_engine_degraded_total",
+      "Searches that stopped early (deadline, budget, or cancellation) and "
+      "returned a verified prefix");
+  metrics_.cache_hits = reg->GetCounter(
+      "grasp_engine_augmentation_cache_hits_total",
+      "Searches that reused a cached augmented graph");
+  metrics_.cache_misses = reg->GetCounter(
+      "grasp_engine_augmentation_cache_misses_total",
+      "Searches that built their augmented graph");
+}
+
+void KeywordSearchEngine::RecordSearchMetrics(const SearchResult& result) const {
+  if (metrics_.searches == nullptr) return;
+  metrics_.stage_keyword->RecordMicros(result.keyword_millis * 1e3);
+  metrics_.stage_augmentation->RecordMicros(result.augmentation_millis * 1e3);
+  metrics_.stage_exploration->RecordMicros(result.exploration_millis * 1e3);
+  metrics_.stage_mapping->RecordMicros(result.mapping_millis * 1e3);
+  metrics_.search_duration->RecordMicros(result.total_millis * 1e3);
+  metrics_.searches->Increment();
+  if (result.degraded) metrics_.degraded->Increment();
+  (result.augmentation_cache_hit ? metrics_.cache_hits : metrics_.cache_misses)
+      ->Increment();
 }
 
 Status KeywordSearchEngine::SaveIndex(const std::string& path) const {
@@ -452,6 +502,7 @@ KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
   if (result.queries.size() > k) result.queries.resize(k);
   result.mapping_millis = step.ElapsedMillis();
   result.total_millis = total.ElapsedMillis();
+  RecordSearchMetrics(result);
   return result;
 }
 

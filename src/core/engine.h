@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/free_list_pool.h"
+#include "common/metrics.h"
 #include "core/exploration.h"
 #include "graph/edge_filter.h"
 #include "core/exploration_scratch.h"
@@ -74,6 +75,11 @@ class KeywordSearchEngine {
     int snapshot_open_attempts = 3;
     /// Backoff before the first retry; doubles per subsequent attempt.
     double snapshot_open_backoff_millis = 1.0;
+    /// Optional metrics registry (not owned; must outlive the engine).
+    /// When set, every Search() records its per-stage timing breakdown
+    /// into `grasp_engine_*` histograms/counters. nullptr = no-op: the
+    /// query path pays nothing beyond one branch.
+    metrics::Registry* metrics = nullptr;
   };
 
   /// One computed interpretation: a conjunctive query with its subgraph.
@@ -292,6 +298,28 @@ class KeywordSearchEngine {
                       const rdf::Dictionary& dictionary, Options options,
                       Prebuilt prebuilt);
 
+  /// Registers the `grasp_engine_*` instruments when options_.metrics is
+  /// set; called once at construction so Search() only loads cached
+  /// pointers.
+  void InitMetrics();
+  /// Folds one finished search into the histograms/counters; no-op
+  /// without a registry.
+  void RecordSearchMetrics(const SearchResult& result) const;
+
+  /// Cached instrument handles (stable for the registry's lifetime); all
+  /// nullptr when no registry is configured.
+  struct EngineMetrics {
+    metrics::Histogram* stage_keyword = nullptr;
+    metrics::Histogram* stage_augmentation = nullptr;
+    metrics::Histogram* stage_exploration = nullptr;
+    metrics::Histogram* stage_mapping = nullptr;
+    metrics::Histogram* search_duration = nullptr;
+    metrics::Counter* searches = nullptr;
+    metrics::Counter* degraded = nullptr;
+    metrics::Counter* cache_hits = nullptr;
+    metrics::Counter* cache_misses = nullptr;
+  };
+
   /// The augmented graph for `matches`: a cache hit when enabled and seen
   /// before, otherwise a build into a pooled overlay shell. The shared_ptr
   /// keeps the graph alive across concurrent users; its deleter returns the
@@ -345,6 +373,7 @@ class KeywordSearchEngine {
   /// Declaration order doubles as destruction order: the cache holds
   /// shared_ptrs whose deleters return overlays to overlay_pool_, so the
   /// pools must outlive (be declared before) the cache.
+  EngineMetrics metrics_;
   mutable FreeListPool<ExplorationScratch> scratch_pool_{kPoolCapacity};
   mutable FreeListPool<summary::AugmentedGraph> overlay_pool_{kPoolCapacity};
   std::unique_ptr<summary::AugmentationCache> augmentation_cache_;

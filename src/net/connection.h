@@ -94,6 +94,12 @@ class Connection {
   Clock::time_point read_deadline;   // first request byte -> complete head+body
   Clock::time_point idle_deadline;   // keep-alive idle limit
   Clock::time_point write_deadline;  // response flush limit (slow readers)
+  /// First byte of the current request, stamped by the server's read pass;
+  /// the base of the per-request wire-latency histogram. Epoch = no
+  /// request in progress (the stamp is consumed when the response is
+  /// counted, so per-connection artifacts like idle closes record
+  /// nothing).
+  Clock::time_point request_start;
 
  private:
   OwnedFd fd_;

@@ -85,7 +85,83 @@ std::string ErrorBody(std::string_view status_name, std::string_view message,
 }  // namespace
 
 HttpServer::HttpServer(serve::QueryServer* query_server, Options options)
-    : query_server_(query_server), options_(std::move(options)) {}
+    : query_server_(query_server), options_(std::move(options)) {
+  metrics_ = options_.metrics != nullptr ? options_.metrics
+                                         : query_server_->metrics_registry();
+  InitMetrics();
+}
+
+void HttpServer::InitMetrics() {
+  constexpr double kMicros = 1e-6;  // recorded in µs, exposed in seconds
+  m_.accepted = metrics_->GetCounter("grasp_http_accepted_total",
+                                     "Connections accepted");
+  m_.accept_transient_errors =
+      metrics_->GetCounter("grasp_http_accept_transient_errors_total",
+                           "Connections dead between SYN and accept");
+  m_.accept_pauses = metrics_->GetCounter(
+      "grasp_http_accept_pauses_total",
+      "Accept-path backoff episodes on fd/memory exhaustion");
+  m_.rejected_at_capacity =
+      metrics_->GetCounter("grasp_http_rejected_at_capacity_total",
+                           "Connections 503ed at the connection cap");
+  m_.requests = metrics_->GetCounter("grasp_http_requests_total",
+                                     "Complete requests parsed");
+  const char* responses_help = "Responses written, by status class";
+  m_.responses_2xx = metrics_->GetCounter("grasp_http_responses_total",
+                                          responses_help, {{"class", "2xx"}});
+  m_.responses_4xx = metrics_->GetCounter("grasp_http_responses_total",
+                                          responses_help, {{"class", "4xx"}});
+  m_.responses_408 = metrics_->GetCounter("grasp_http_responses_total",
+                                          responses_help, {{"class", "408"}});
+  m_.responses_429 = metrics_->GetCounter("grasp_http_responses_total",
+                                          responses_help, {{"class", "429"}});
+  m_.responses_5xx = metrics_->GetCounter("grasp_http_responses_total",
+                                          responses_help, {{"class", "5xx"}});
+  m_.disconnect_cancels = metrics_->GetCounter(
+      "grasp_http_disconnect_cancels_total",
+      "Clients that vanished mid-query (query cancelled)");
+  m_.dropped_completions = metrics_->GetCounter(
+      "grasp_http_dropped_completions_total",
+      "Completed queries whose connection was already gone");
+  const char* closes_help = "Connections closed by the server, by reason";
+  m_.slow_reader_closes = metrics_->GetCounter(
+      "grasp_http_closes_total", closes_help, {{"reason", "slow_reader"}});
+  m_.idle_closes = metrics_->GetCounter("grasp_http_closes_total", closes_help,
+                                        {{"reason", "idle"}});
+  m_.io_error_closes = metrics_->GetCounter(
+      "grasp_http_closes_total", closes_help, {{"reason", "io_error"}});
+  m_.drain_force_closed = metrics_->GetCounter(
+      "grasp_http_closes_total", closes_help, {{"reason", "drain_forced"}});
+  m_.active_connections = metrics_->GetGauge(
+      "grasp_http_active_connections",
+      "Open connections (updated by the event loop only)");
+  const char* latency_help =
+      "Wire latency from first request byte to response queued, by status "
+      "class";
+  m_.latency_2xx =
+      metrics_->GetHistogram("grasp_http_request_duration_seconds",
+                             latency_help, {{"class", "2xx"}}, kMicros);
+  m_.latency_4xx =
+      metrics_->GetHistogram("grasp_http_request_duration_seconds",
+                             latency_help, {{"class", "4xx"}}, kMicros);
+  m_.latency_408 =
+      metrics_->GetHistogram("grasp_http_request_duration_seconds",
+                             latency_help, {{"class", "408"}}, kMicros);
+  m_.latency_429 =
+      metrics_->GetHistogram("grasp_http_request_duration_seconds",
+                             latency_help, {{"class", "429"}}, kMicros);
+  m_.latency_5xx =
+      metrics_->GetHistogram("grasp_http_request_duration_seconds",
+                             latency_help, {{"class", "5xx"}}, kMicros);
+}
+
+std::vector<const metrics::Registry*> HttpServer::MetricRegistries() const {
+  std::vector<const metrics::Registry*> registries{metrics_};
+  if (query_server_->metrics_registry() != metrics_) {
+    registries.push_back(query_server_->metrics_registry());
+  }
+  return registries;
+}
 
 HttpServer::~HttpServer() {
   if (loop_thread_.joinable()) {
@@ -166,8 +242,7 @@ void HttpServer::Run() {
         // reader, a stuck client) is cut off rather than holding the
         // process hostage. Counted — a nonzero figure in the exit stats
         // means the drain was not fully graceful.
-        stats_.drain_force_closed.fetch_add(connections_.size(),
-                                            std::memory_order_relaxed);
+        m_.drain_force_closed->Increment(connections_.size());
         while (!connections_.empty()) {
           CloseConnection(connections_.begin()->first,
                           /*cancel_inflight=*/true);
@@ -284,7 +359,7 @@ void HttpServer::BeginDrain() {
     }
   }
   for (std::uint64_t id : idle) {
-    stats_.idle_closes.fetch_add(1, std::memory_order_relaxed);
+    m_.idle_closes->Increment();
     CloseConnection(id, /*cancel_inflight=*/false);
   }
 
@@ -304,7 +379,7 @@ void HttpServer::HandleAccept() {
     if (failpoint::ShouldFail("net.accept")) {
       // Injected transient accept fault: handled exactly like ECONNABORTED
       // (count it, keep serving; the client retries).
-      stats_.accept_transient_errors.fetch_add(1, std::memory_order_relaxed);
+      m_.accept_transient_errors->Increment();
       return;
     }
     if (!listen_fd_.valid()) return;  // draining closed it under our feet
@@ -314,7 +389,7 @@ void HttpServer::HandleAccept() {
       if (errno == ECONNABORTED || errno == EPROTO || errno == ENETDOWN ||
           errno == EHOSTUNREACH || errno == ENONET || errno == ENETUNREACH) {
         // The connection died between SYN and accept; nothing to serve.
-        stats_.accept_transient_errors.fetch_add(1, std::memory_order_relaxed);
+        m_.accept_transient_errors->Increment();
         continue;
       }
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
@@ -322,23 +397,23 @@ void HttpServer::HandleAccept() {
         // Resource exhaustion: accepting harder cannot help. Pause the
         // accept path briefly so existing connections can finish and
         // release fds, instead of spinning on the same error.
-        stats_.accept_pauses.fetch_add(1, std::memory_order_relaxed);
+        m_.accept_pauses->Increment();
         accept_paused_ = true;
         accept_resume_ = After(Clock::now(), 100.0);
         ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
         return;
       }
       GRASP_LOG(Error) << "accept: " << std::strerror(errno);
-      stats_.accept_transient_errors.fetch_add(1, std::memory_order_relaxed);
+      m_.accept_transient_errors->Increment();
       return;
     }
     OwnedFd fd(raw);
-    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    m_.accepted->Increment();
 
     if (connections_.size() >= options_.max_connections) {
       // Explicit, bounded rejection: one best-effort 503 and a close beats
       // letting the backlog rot or the fd table overflow.
-      stats_.rejected_at_capacity.fetch_add(1, std::memory_order_relaxed);
+      m_.rejected_at_capacity->Increment();
       static const char kBusy[] =
           "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n"
           "Connection: close\r\n\r\n";
@@ -354,10 +429,11 @@ void HttpServer::HandleAccept() {
     event.events = EPOLLIN | EPOLLRDHUP;
     event.data.u64 = id;
     if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn->fd(), &event) != 0) {
-      stats_.io_error_closes.fetch_add(1, std::memory_order_relaxed);
+      m_.io_error_closes->Increment();
       continue;  // conn destroyed; fd closed
     }
     connections_.emplace(id, std::move(conn));
+    m_.active_connections->Set(static_cast<double>(connections_.size()));
   }
 }
 
@@ -375,9 +451,9 @@ void HttpServer::HandleConnectionEvent(std::uint64_t id, std::uint32_t events) {
 
   if (events & (EPOLLHUP | EPOLLERR)) {
     if (conn->state() == Connection::State::kAwaiting) {
-      stats_.disconnect_cancels.fetch_add(1, std::memory_order_relaxed);
+      m_.disconnect_cancels->Increment();
     }
-    stats_.io_error_closes.fetch_add(1, std::memory_order_relaxed);
+    m_.io_error_closes->Increment();
     CloseConnection(id, /*cancel_inflight=*/true);
     return;
   }
@@ -386,7 +462,7 @@ void HttpServer::HandleConnectionEvent(std::uint64_t id, std::uint32_t events) {
     // The client hung up while its query runs: propagate the disconnect as
     // a cancellation so the abandoned query stops consuming pops at its
     // next poll point. There is no one left to answer.
-    stats_.disconnect_cancels.fetch_add(1, std::memory_order_relaxed);
+    m_.disconnect_cancels->Increment();
     CloseConnection(id, /*cancel_inflight=*/true);
     return;
   }
@@ -407,12 +483,15 @@ void HttpServer::ReadPass(Connection* conn) {
   const Connection::IoResult result = conn->ReadIntoParser();
   if (result != Connection::IoResult::kOk) {
     if (result == Connection::IoResult::kError) {
-      stats_.io_error_closes.fetch_add(1, std::memory_order_relaxed);
+      m_.io_error_closes->Increment();
     }
     CloseConnection(conn->id(), /*cancel_inflight=*/true);
     return;
   }
   RequestParser& parser = conn->parser();
+  if (parser.started() && !Armed(conn->request_start)) {
+    conn->request_start = Clock::now();
+  }
   if (parser.error()) {
     // Malformed input gets a definite status and a close — the framing is
     // unknown past the error, so the connection cannot be reused.
@@ -425,7 +504,7 @@ void HttpServer::ReadPass(Connection* conn) {
     return;
   }
   if (parser.done()) {
-    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    m_.requests->Increment();
     conn->read_deadline = Clock::time_point();
     HandleParsedRequest(conn);
     return;
@@ -464,6 +543,22 @@ void HttpServer::HandleParsedRequest(Connection* conn) {
     HttpResponse response;
     response.headers.emplace_back("Content-Type", "application/json");
     response.body = BuildStatszBody();
+    StartWriting(conn, response, keep_alive);
+    return;
+  }
+  if (target.path == "/metrics") {
+    HttpResponse response;
+    response.headers.emplace_back("Content-Type",
+                                  "text/plain; version=0.0.4");
+    response.body = BuildMetricsBody();
+    StartWriting(conn, response, keep_alive);
+    return;
+  }
+  if (target.path == "/debug/slowz") {
+    HttpResponse response;
+    response.headers.emplace_back("Content-Type", "application/json");
+    response.body = query_server_->slow_queries().RenderJson();
+    response.body += "\n";
     StartWriting(conn, response, keep_alive);
     return;
   }
@@ -557,7 +652,7 @@ void HttpServer::DeliverCompletion(Completion completion) {
       it->second->inflight_seq() != completion.seq) {
     // The client is gone (disconnect propagated as a cancel) or the
     // connection moved on; the computed answer has no addressee.
-    stats_.dropped_completions.fetch_add(1, std::memory_order_relaxed);
+    m_.dropped_completions->Increment();
     return;
   }
   Connection* conn = it->second.get();
@@ -573,7 +668,10 @@ void HttpServer::DeliverCompletion(Completion completion) {
       response.body = BuildSearchBody(result);
       break;
     case StatusCode::kOverloaded: {
-      if (draining) {
+      if (draining || result.retry_after_millis <= 0.0) {
+        // No retry hint means the shed is terminal (the QueryServer is
+        // shutting down), not backlog pressure: a 429 would invite retries
+        // against a server that is not coming back, so this is a 503.
         response.status = 503;
         response.body = ErrorBody("UNAVAILABLE", "server is draining");
         keep_alive = false;
@@ -614,7 +712,7 @@ void HttpServer::DeliverCompletion(Completion completion) {
 
 void HttpServer::StartWriting(Connection* conn, const HttpResponse& response,
                               bool keep_alive) {
-  CountResponse(response.status);
+  CountResponse(conn, response.status);
   conn->QueueResponse(response, keep_alive);
   conn->write_deadline = After(Clock::now(), options_.write_timeout_millis);
   conn->read_deadline = Clock::time_point();
@@ -625,7 +723,7 @@ void HttpServer::StartWriting(Connection* conn, const HttpResponse& response,
 void HttpServer::FlushPass(Connection* conn) {
   const Connection::IoResult result = conn->FlushWrites();
   if (result != Connection::IoResult::kOk) {
-    stats_.io_error_closes.fetch_add(1, std::memory_order_relaxed);
+    m_.io_error_closes->Increment();
     CloseConnection(conn->id(), /*cancel_inflight=*/true);
     return;
   }
@@ -674,7 +772,7 @@ void HttpServer::SweepTimeouts() {
   }
   for (std::uint64_t id : expired_write) {
     // The response exists but the client will not take it: cut the cord.
-    stats_.slow_reader_closes.fetch_add(1, std::memory_order_relaxed);
+    m_.slow_reader_closes->Increment();
     CloseConnection(id, /*cancel_inflight=*/true);
   }
   for (std::uint64_t id : expired_read) {
@@ -688,7 +786,7 @@ void HttpServer::SweepTimeouts() {
     StartWriting(it->second.get(), response, /*keep_alive=*/false);
   }
   for (std::uint64_t id : expired_idle) {
-    stats_.idle_closes.fetch_add(1, std::memory_order_relaxed);
+    m_.idle_closes->Increment();
     CloseConnection(id, /*cancel_inflight=*/false);
   }
 }
@@ -700,19 +798,37 @@ void HttpServer::CloseConnection(std::uint64_t id, bool cancel_inflight) {
   if (cancel_inflight) conn->CancelInflight();
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, conn->fd(), nullptr);
   connections_.erase(it);
+  m_.active_connections->Set(static_cast<double>(connections_.size()));
 }
 
-void HttpServer::CountResponse(int status) {
+void HttpServer::CountResponse(Connection* conn, int status) {
+  metrics::Counter* counter;
+  metrics::Histogram* latency;
   if (status == 408) {
-    stats_.responses_408.fetch_add(1, std::memory_order_relaxed);
+    counter = m_.responses_408;
+    latency = m_.latency_408;
   } else if (status == 429) {
-    stats_.responses_429.fetch_add(1, std::memory_order_relaxed);
+    counter = m_.responses_429;
+    latency = m_.latency_429;
   } else if (status < 300) {
-    stats_.responses_2xx.fetch_add(1, std::memory_order_relaxed);
+    counter = m_.responses_2xx;
+    latency = m_.latency_2xx;
   } else if (status < 500) {
-    stats_.responses_4xx.fetch_add(1, std::memory_order_relaxed);
+    counter = m_.responses_4xx;
+    latency = m_.latency_4xx;
   } else {
-    stats_.responses_5xx.fetch_add(1, std::memory_order_relaxed);
+    counter = m_.responses_5xx;
+    latency = m_.latency_5xx;
+  }
+  counter->Increment();
+  if (Armed(conn->request_start)) {
+    // First request byte -> response queued. The stamp is consumed so a
+    // later close artifact on the same connection records nothing.
+    const double micros = std::chrono::duration<double, std::micro>(
+                              Clock::now() - conn->request_start)
+                              .count();
+    latency->RecordMicros(micros);
+    conn->request_start = Clock::time_point();
   }
 }
 
@@ -751,69 +867,49 @@ std::string HttpServer::BuildSearchBody(
 }
 
 std::string HttpServer::BuildStatszBody() {
-  const Stats http = stats();
-  const serve::QueryServer::Stats qs = query_server_->stats();
-  char buf[1024];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"http\":{\"accepted\":%llu,\"active\":%llu,\"requests\":%llu,"
-      "\"r2xx\":%llu,\"r4xx\":%llu,\"r408\":%llu,\"r429\":%llu,"
-      "\"r5xx\":%llu,\"disconnect_cancels\":%llu,\"dropped_completions\":%llu,"
-      "\"slow_reader_closes\":%llu,\"idle_closes\":%llu,"
-      "\"accept_pauses\":%llu,\"rejected_at_capacity\":%llu},"
-      "\"serve\":{\"submitted\":%llu,\"admitted\":%llu,\"shed\":%llu,"
-      "\"completed\":%llu,\"degraded\":%llu,\"expired_in_queue\":%llu,"
-      "\"cancelled\":%llu,\"pops_per_ms\":%.2f}}\n",
-      static_cast<unsigned long long>(http.accepted),
-      static_cast<unsigned long long>(http.active_connections),
-      static_cast<unsigned long long>(http.requests),
-      static_cast<unsigned long long>(http.responses_2xx),
-      static_cast<unsigned long long>(http.responses_4xx),
-      static_cast<unsigned long long>(http.responses_408),
-      static_cast<unsigned long long>(http.responses_429),
-      static_cast<unsigned long long>(http.responses_5xx),
-      static_cast<unsigned long long>(http.disconnect_cancels),
-      static_cast<unsigned long long>(http.dropped_completions),
-      static_cast<unsigned long long>(http.slow_reader_closes),
-      static_cast<unsigned long long>(http.idle_closes),
-      static_cast<unsigned long long>(http.accept_pauses),
-      static_cast<unsigned long long>(http.rejected_at_capacity),
-      static_cast<unsigned long long>(qs.submitted),
-      static_cast<unsigned long long>(qs.admitted),
-      static_cast<unsigned long long>(qs.shed),
-      static_cast<unsigned long long>(qs.completed),
-      static_cast<unsigned long long>(qs.degraded),
-      static_cast<unsigned long long>(qs.expired_in_queue),
-      static_cast<unsigned long long>(qs.cancelled),
-      query_server_->calibrator().pops_per_ms());
-  return buf;
+  // Every registered instrument, rendered into one unbounded JSON object —
+  // no fixed buffer to truncate mid-object, and a counter added anywhere in
+  // the stack shows up here without this function changing.
+  std::string body = "{";
+  bool first = true;
+  for (const metrics::Registry* registry : MetricRegistries()) {
+    registry->AppendJsonEntries(&body, &first);
+  }
+  body += "}\n";
+  return body;
+}
+
+std::string HttpServer::BuildMetricsBody() {
+  std::string body;
+  for (const metrics::Registry* registry : MetricRegistries()) {
+    body += registry->RenderPrometheus();
+  }
+  return body;
 }
 
 HttpServer::Stats HttpServer::stats() const {
   Stats s;
-  s.accepted = stats_.accepted.load(std::memory_order_relaxed);
-  s.accept_transient_errors =
-      stats_.accept_transient_errors.load(std::memory_order_relaxed);
-  s.accept_pauses = stats_.accept_pauses.load(std::memory_order_relaxed);
-  s.rejected_at_capacity =
-      stats_.rejected_at_capacity.load(std::memory_order_relaxed);
-  s.requests = stats_.requests.load(std::memory_order_relaxed);
-  s.responses_2xx = stats_.responses_2xx.load(std::memory_order_relaxed);
-  s.responses_4xx = stats_.responses_4xx.load(std::memory_order_relaxed);
-  s.responses_408 = stats_.responses_408.load(std::memory_order_relaxed);
-  s.responses_429 = stats_.responses_429.load(std::memory_order_relaxed);
-  s.responses_5xx = stats_.responses_5xx.load(std::memory_order_relaxed);
-  s.disconnect_cancels =
-      stats_.disconnect_cancels.load(std::memory_order_relaxed);
-  s.dropped_completions =
-      stats_.dropped_completions.load(std::memory_order_relaxed);
-  s.slow_reader_closes =
-      stats_.slow_reader_closes.load(std::memory_order_relaxed);
-  s.idle_closes = stats_.idle_closes.load(std::memory_order_relaxed);
-  s.io_error_closes = stats_.io_error_closes.load(std::memory_order_relaxed);
-  s.drain_force_closed =
-      stats_.drain_force_closed.load(std::memory_order_relaxed);
-  s.active_connections = connections_.size();
+  s.accepted = m_.accepted->value();
+  s.accept_transient_errors = m_.accept_transient_errors->value();
+  s.accept_pauses = m_.accept_pauses->value();
+  s.rejected_at_capacity = m_.rejected_at_capacity->value();
+  s.requests = m_.requests->value();
+  s.responses_2xx = m_.responses_2xx->value();
+  s.responses_4xx = m_.responses_4xx->value();
+  s.responses_408 = m_.responses_408->value();
+  s.responses_429 = m_.responses_429->value();
+  s.responses_5xx = m_.responses_5xx->value();
+  s.disconnect_cancels = m_.disconnect_cancels->value();
+  s.dropped_completions = m_.dropped_completions->value();
+  s.slow_reader_closes = m_.slow_reader_closes->value();
+  s.idle_closes = m_.idle_closes->value();
+  s.io_error_closes = m_.io_error_closes->value();
+  s.drain_force_closed = m_.drain_force_closed->value();
+  // The gauge is maintained by the loop thread on every open/close; reading
+  // it here is one relaxed atomic load — stats() no longer races the loop's
+  // mutations of connections_ itself.
+  s.active_connections =
+      static_cast<std::uint64_t>(m_.active_connections->value());
   return s;
 }
 

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "net/connection.h"
 #include "net/http.h"
@@ -23,13 +24,16 @@ namespace grasp::net {
 /// Wire protocol:
 ///   GET  /healthz                          -> 200 "ok"
 ///   GET  /statsz                           -> 200 JSON counters
+///   GET  /metrics                          -> 200 Prometheus text format
+///   GET  /debug/slowz                      -> 200 JSON N-slowest queries
 ///   GET  /search?q=kw+kw[&k=N][&scope=p,p] -> 200 JSON ranked queries
 ///   POST /search  (body = whitespace-separated keywords; same params)
 ///
 /// Status mapping (every engine/serving failure mode is an explicit wire
 /// outcome, never a hang):
 ///   engine OK (complete or degraded)  -> 200 (body carries "degraded")
-///   kOverloaded (admission shed)      -> 429 + Retry-After (EWMA drain est.)
+///   kOverloaded (backlog shed)        -> 429 + Retry-After (EWMA drain est.)
+///   kOverloaded w/o retry hint        -> 503 (shutdown shed: don't retry)
 ///   kOverloaded while draining        -> 503
 ///   kDeadlineExceeded (queue expiry)  -> 504
 ///   kCancelled (drain shutdown)       -> 503
@@ -73,9 +77,14 @@ class HttpServer {
     /// Deadline applied to requests without X-Deadline-Ms (0 = none). A
     /// drainable server wants this > 0: unbounded queries stall drains.
     double default_deadline_millis = 0.0;
+    /// Registry for the `grasp_http_*` instruments (not owned; must
+    /// outlive the server). Falls back to the QueryServer's registry, so
+    /// one registry spans the tiers unless deliberately split.
+    metrics::Registry* metrics = nullptr;
   };
 
-  /// Monotonic counters (relaxed atomics, readable any time, any thread).
+  /// Monotonic counters (registry-backed relaxed atomics, readable any
+  /// time, any thread).
   struct Stats {
     std::uint64_t accepted = 0;
     std::uint64_t accept_transient_errors = 0;  ///< ECONNABORTED etc.
@@ -148,9 +157,20 @@ class HttpServer {
   void BeginDrain();
   void CloseConnection(std::uint64_t id, bool cancel_inflight);
   void UpdateEpoll(Connection* conn, std::uint32_t events);
-  void CountResponse(int status);
+  /// Counts the response under its status class and, when `conn` carries a
+  /// request start stamp, records wire latency into the per-class
+  /// histogram.
+  void CountResponse(Connection* conn, int status);
+  /// Registers every `grasp_http_*` instrument; called from the
+  /// constructor.
+  void InitMetrics();
+  /// The distinct registries feeding /metrics and /statsz: this server's
+  /// and the QueryServer's (one element when the tiers share, which is the
+  /// wired-up default).
+  std::vector<const metrics::Registry*> MetricRegistries() const;
   std::string BuildSearchBody(const serve::QueryServer::Response& response);
   std::string BuildStatszBody();
+  std::string BuildMetricsBody();
 
   serve::QueryServer* query_server_;
   Options options_;
@@ -177,25 +197,36 @@ class HttpServer {
   std::mutex completion_mutex_;
   std::vector<Completion> completions_;
 
-  struct AtomicStats {
-    std::atomic<std::uint64_t> accepted{0};
-    std::atomic<std::uint64_t> accept_transient_errors{0};
-    std::atomic<std::uint64_t> accept_pauses{0};
-    std::atomic<std::uint64_t> rejected_at_capacity{0};
-    std::atomic<std::uint64_t> requests{0};
-    std::atomic<std::uint64_t> responses_2xx{0};
-    std::atomic<std::uint64_t> responses_4xx{0};
-    std::atomic<std::uint64_t> responses_408{0};
-    std::atomic<std::uint64_t> responses_429{0};
-    std::atomic<std::uint64_t> responses_5xx{0};
-    std::atomic<std::uint64_t> disconnect_cancels{0};
-    std::atomic<std::uint64_t> dropped_completions{0};
-    std::atomic<std::uint64_t> slow_reader_closes{0};
-    std::atomic<std::uint64_t> idle_closes{0};
-    std::atomic<std::uint64_t> io_error_closes{0};
-    std::atomic<std::uint64_t> drain_force_closed{0};
+  /// Registry-backed instruments (the sole backing store for Stats — no
+  /// parallel counter set to drift). `active_connections` is a gauge
+  /// written only by the loop thread and read via its relaxed atomic, so
+  /// stats() never touches `connections_` from a foreign thread.
+  struct HttpMetrics {
+    metrics::Counter* accepted = nullptr;
+    metrics::Counter* accept_transient_errors = nullptr;
+    metrics::Counter* accept_pauses = nullptr;
+    metrics::Counter* rejected_at_capacity = nullptr;
+    metrics::Counter* requests = nullptr;
+    metrics::Counter* responses_2xx = nullptr;
+    metrics::Counter* responses_4xx = nullptr;
+    metrics::Counter* responses_408 = nullptr;
+    metrics::Counter* responses_429 = nullptr;
+    metrics::Counter* responses_5xx = nullptr;
+    metrics::Counter* disconnect_cancels = nullptr;
+    metrics::Counter* dropped_completions = nullptr;
+    metrics::Counter* slow_reader_closes = nullptr;
+    metrics::Counter* idle_closes = nullptr;
+    metrics::Counter* io_error_closes = nullptr;
+    metrics::Counter* drain_force_closed = nullptr;
+    metrics::Gauge* active_connections = nullptr;
+    metrics::Histogram* latency_2xx = nullptr;
+    metrics::Histogram* latency_4xx = nullptr;
+    metrics::Histogram* latency_408 = nullptr;
+    metrics::Histogram* latency_429 = nullptr;
+    metrics::Histogram* latency_5xx = nullptr;
   };
-  mutable AtomicStats stats_;
+  metrics::Registry* metrics_ = nullptr;  ///< never nullptr post-construction
+  HttpMetrics m_;
 };
 
 }  // namespace grasp::net

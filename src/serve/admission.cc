@@ -13,6 +13,22 @@ double MillisBetween(QueryControl::Clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+const char* StopReason(const core::ExplorationStats& stats) {
+  if (stats.cancelled) return "cancelled";
+  if (stats.deadline_expired) return "deadline";
+  if (stats.budget_exceeded) return "budget";
+  return "completed";
+}
+
+std::string JoinKeywords(const std::vector<std::string>& keywords) {
+  std::string out;
+  for (const auto& k : keywords) {
+    if (!out.empty()) out += ' ';
+    out += k;
+  }
+  return out;
+}
+
 }  // namespace
 
 void DeadlineCalibrator::Observe(std::size_t pops, double millis) {
@@ -39,7 +55,16 @@ QueryServer::QueryServer(const core::KeywordSearchEngine& engine,
                          Options options)
     : engine_(&engine),
       options_(options),
-      calibrator_(options.ewma_alpha, options.initial_pops_per_ms) {
+      calibrator_(options.ewma_alpha, options.initial_pops_per_ms),
+      slow_log_(options.slow_query_log_capacity) {
+  // Registry fallback: the caller's, else the engine's (so one registry
+  // spans the tiers when grasp_serve wired it through), else our own.
+  metrics_ = options_.metrics != nullptr ? options_.metrics
+             : engine.options().metrics != nullptr
+                 ? engine.options().metrics
+                 : (owned_metrics_ = std::make_unique<metrics::Registry>())
+                       .get();
+  InitMetrics();
   fast_lane_.workers.reserve(options_.fast_workers);
   for (std::size_t i = 0; i < options_.fast_workers; ++i) {
     fast_lane_.workers.emplace_back([this] { WorkerLoop(&fast_lane_); });
@@ -51,6 +76,57 @@ QueryServer::QueryServer(const core::KeywordSearchEngine& engine,
 }
 
 QueryServer::~QueryServer() { Shutdown(); }
+
+void QueryServer::InitMetrics() {
+  constexpr double kMicros = 1e-6;  // recorded in µs, exposed in seconds
+  const char* queue_help =
+      "Time between admission and a lane worker picking the query up";
+  m_.queue_wait_fast = metrics_->GetHistogram(
+      "grasp_serve_queue_wait_seconds", queue_help, {{"lane", "fast"}},
+      kMicros);
+  m_.queue_wait_deep = metrics_->GetHistogram(
+      "grasp_serve_queue_wait_seconds", queue_help, {{"lane", "deep"}},
+      kMicros);
+  const char* service_help =
+      "Worker service time per query (engine run, queue wait excluded)";
+  m_.service_fast = metrics_->GetHistogram("grasp_serve_service_seconds",
+                                           service_help, {{"lane", "fast"}},
+                                           kMicros);
+  m_.service_deep = metrics_->GetHistogram("grasp_serve_service_seconds",
+                                           service_help, {{"lane", "deep"}},
+                                           kMicros);
+  m_.deadline_slack = metrics_->GetHistogram(
+      "grasp_serve_deadline_slack_seconds",
+      "Deadline budget left when a deadlined query completed (0 = finished "
+      "at or past its deadline)",
+      {}, kMicros);
+  m_.pops_per_ms = metrics_->GetGauge(
+      "grasp_serve_calibrated_pops_per_ms",
+      "EWMA exploration rate the deadline calibrator converts budgets with");
+  m_.submitted =
+      metrics_->GetCounter("grasp_serve_submitted_total", "Submit() calls");
+  m_.admitted = metrics_->GetCounter("grasp_serve_admitted_total",
+                                     "Queries accepted into a lane queue");
+  const char* shed_help = "Queries refused at admission, by reason";
+  m_.shed_backlog = metrics_->GetCounter("grasp_serve_shed_total", shed_help,
+                                         {{"reason", "backlog"}});
+  m_.shed_shutdown = metrics_->GetCounter("grasp_serve_shed_total", shed_help,
+                                          {{"reason", "shutdown"}});
+  m_.completed = metrics_->GetCounter("grasp_serve_completed_total",
+                                      "Queries that ran to a result");
+  m_.degraded = metrics_->GetCounter(
+      "grasp_serve_degraded_total",
+      "Completed queries whose exploration stopped early");
+  m_.deadline_hit = metrics_->GetCounter(
+      "grasp_serve_deadline_hit_total",
+      "Deadlined queries that completed within their deadline");
+  m_.expired_in_queue = metrics_->GetCounter(
+      "grasp_serve_expired_in_queue_total",
+      "Queries whose deadline passed before a worker picked them up");
+  m_.cancelled = metrics_->GetCounter(
+      "grasp_serve_cancelled_total",
+      "Queries cancelled while queued or failed at shutdown");
+}
 
 double QueryServer::RetryAfterMillis(std::size_t queue_len,
                                      std::size_t workers) const {
@@ -76,7 +152,9 @@ std::future<QueryServer::Response> QueryServer::Submit(Request request) {
 
 void QueryServer::SubmitAsync(Request request,
                               std::function<void(Response)> done) {
-  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t sequence =
+      stats_.submitted.fetch_add(1, std::memory_order_relaxed) + 1;
+  m_.submitted->Increment();
 
   if (request.control == nullptr) {
     request.control = std::make_shared<QueryControl>();
@@ -89,31 +167,42 @@ void QueryServer::SubmitAsync(Request request,
     request.control->SetDeadlineAfterMillis(request.deadline_millis);
   }
 
-  Lane& lane =
-      request.query.predicate_scope.empty() ? deep_lane_ : fast_lane_;
+  const bool fast = !request.query.predicate_scope.empty();
+  Lane& lane = fast ? fast_lane_ : deep_lane_;
   const std::size_t workers = lane.workers.size();
   {
     std::lock_guard<std::mutex> lock(lane.mutex);
     if (!stopping_.load(std::memory_order_relaxed) &&
         lane.queue.size() < options_.queue_capacity) {
       stats_.admitted.fetch_add(1, std::memory_order_relaxed);
-      lane.queue.push_back(Pending{std::move(request), std::move(done), now});
+      m_.admitted->Increment();
+      lane.queue.push_back(Pending{std::move(request), std::move(done), now,
+                                   sequence, fast ? "fast" : "deep"});
       lane.ready.notify_one();
       return;
     }
   }
 
   // Load shedding: deliberate, explicit, and cheap — the caller gets an
-  // immediate kOverloaded with an estimated drain time instead of an
-  // unbounded queue (or a timeout it cannot distinguish from a hang).
+  // immediate kOverloaded instead of an unbounded queue (or a timeout it
+  // cannot distinguish from a hang). The two shed reasons carry different
+  // advice: a full queue drains, so it estimates when to retry; a draining
+  // server does not come back, so no retry hint is attached and front-ends
+  // map it to a terminal 503 rather than a retryable 429.
   stats_.shed.fetch_add(1, std::memory_order_relaxed);
   Response shed;
-  shed.retry_after_millis = RetryAfterMillis(options_.queue_capacity, workers);
-  shed.status = Status::Overloaded(
-      stopping_.load(std::memory_order_relaxed)
-          ? "server shutting down"
-          : "admission queue full; retry after " +
-                std::to_string(shed.retry_after_millis) + " ms");
+  if (stopping_.load(std::memory_order_relaxed)) {
+    m_.shed_shutdown->Increment();
+    shed.retry_after_millis = 0.0;
+    shed.status = Status::Overloaded("server shutting down");
+  } else {
+    m_.shed_backlog->Increment();
+    shed.retry_after_millis =
+        RetryAfterMillis(options_.queue_capacity, workers);
+    shed.status = Status::Overloaded(
+        "admission queue full; retry after " +
+        std::to_string(shed.retry_after_millis) + " ms");
+  }
   done(std::move(shed));
 }
 
@@ -146,12 +235,16 @@ QueryServer::Response QueryServer::RunQuery(Pending pending) {
   const auto start = QueryControl::Clock::now();
   response.queue_millis = MillisBetween(pending.enqueue_time, start);
   const QueryControl& control = *pending.request.control;
+  const bool fast = pending.lane_name[0] == 'f';
+  (fast ? m_.queue_wait_fast : m_.queue_wait_deep)
+      ->RecordMicros(response.queue_millis * 1e3);
 
   // Dead on arrival: cancelled or expired while queued. Fail fast without
   // touching the engine — the worker's time belongs to requests that can
   // still make their deadline.
   if (control.cancel_requested()) {
     stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+    m_.cancelled->Increment();
     response.status = Status::Cancelled("cancelled while queued");
     response.total_millis = MillisBetween(pending.enqueue_time,
                                           QueryControl::Clock::now());
@@ -160,6 +253,7 @@ QueryServer::Response QueryServer::RunQuery(Pending pending) {
   const double remaining = control.remaining_millis();
   if (remaining <= 0.0) {
     stats_.expired_in_queue.fetch_add(1, std::memory_order_relaxed);
+    m_.expired_in_queue->Increment();
     response.status = Status::DeadlineExceeded(
         "deadline expired after " + std::to_string(response.queue_millis) +
         " ms in queue");
@@ -195,20 +289,52 @@ QueryServer::Response QueryServer::RunQuery(Pending pending) {
 
   calibrator_.Observe(response.result.exploration_stats.cursors_popped,
                       response.result.exploration_millis);
+  m_.pops_per_ms->Set(calibrator_.pops_per_ms());
   {
     std::lock_guard<std::mutex> lock(service_mutex_);
     ewma_service_millis_ = options_.ewma_alpha * response.result.total_millis +
                            (1.0 - options_.ewma_alpha) * ewma_service_millis_;
   }
 
+  const double service_millis = response.total_millis - response.queue_millis;
+  (fast ? m_.service_fast : m_.service_deep)
+      ->RecordMicros(service_millis * 1e3);
+  if (pending.request.deadline_millis > 0.0) {
+    // Slack left on the wall-clock deadline; 0 means the query finished at
+    // or past it (a large spike at 0 is the "deadlines too tight or budgets
+    // too optimistic" signal).
+    const double slack =
+        pending.request.deadline_millis - response.total_millis;
+    m_.deadline_slack->RecordMicros(std::max(0.0, slack) * 1e3);
+  }
+
   stats_.completed.fetch_add(1, std::memory_order_relaxed);
+  m_.completed->Increment();
   if (response.degraded) {
     stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+    m_.degraded->Increment();
   }
   if (pending.request.deadline_millis > 0.0 &&
       response.total_millis <= pending.request.deadline_millis) {
     stats_.deadline_hit.fetch_add(1, std::memory_order_relaxed);
+    m_.deadline_hit->Increment();
   }
+
+  SlowQueryLog::Entry slow;
+  slow.sequence = pending.sequence;
+  slow.keywords = JoinKeywords(pending.request.query.keywords);
+  slow.lane = pending.lane_name;
+  slow.cursor_pops = response.result.exploration_stats.cursors_popped;
+  slow.stop_reason = StopReason(response.result.exploration_stats);
+  slow.degraded = response.degraded;
+  slow.queue_millis = response.queue_millis;
+  slow.keyword_millis = response.result.keyword_millis;
+  slow.augmentation_millis = response.result.augmentation_millis;
+  slow.exploration_millis = response.result.exploration_millis;
+  slow.mapping_millis = response.result.mapping_millis;
+  slow.total_millis = service_millis;
+  slow_log_.Record(std::move(slow));
+
   return response;
 }
 
@@ -235,6 +361,7 @@ void QueryServer::Shutdown() {
     }
     for (Pending& p : rest) {
       stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      m_.cancelled->Increment();
       Response response;
       response.status = Status::Cancelled("server shut down before the query ran");
       response.queue_millis = MillisBetween(p.enqueue_time,

@@ -13,9 +13,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/engine.h"
 #include "serve/query_control.h"
+#include "serve/slow_query_log.h"
 
 namespace grasp::serve {
 
@@ -77,6 +79,15 @@ class QueryServer {
     double budget_safety = 0.5;
     /// Forwarded to ExplorationOptions::control_poll_interval.
     std::uint32_t control_poll_interval = 32;
+    /// Metrics registry for the `grasp_serve_*` instruments (not owned;
+    /// must outlive the server). Fallback order: this pointer, then the
+    /// engine's `Options::metrics`, then a registry the server owns — so
+    /// per-lane queue-wait/service-time/deadline-slack histograms always
+    /// exist, and one shared registry is used when the tiers are wired
+    /// together (see tools/grasp_serve).
+    metrics::Registry* metrics = nullptr;
+    /// Keep this many slowest queries for /debug/slowz; 0 disables.
+    std::size_t slow_query_log_capacity = 32;
   };
 
   struct Request {
@@ -149,11 +160,20 @@ class QueryServer {
 
   const DeadlineCalibrator& calibrator() const { return calibrator_; }
 
+  /// The registry this server records into (after fallback resolution);
+  /// never nullptr. Front-ends expose it at /metrics and /statsz.
+  metrics::Registry* metrics_registry() const { return metrics_; }
+
+  /// The N slowest queries served so far (the /debug/slowz source).
+  const SlowQueryLog& slow_queries() const { return slow_log_; }
+
  private:
   struct Pending {
     Request request;
     std::function<void(Response)> done;
     QueryControl::Clock::time_point enqueue_time;
+    std::uint64_t sequence = 0;     ///< admission order
+    const char* lane_name = "deep";  ///< "fast" | "deep"
   };
 
   /// One bounded priority lane: mutex + condvar queue and its workers.
@@ -166,6 +186,9 @@ class QueryServer {
 
   void WorkerLoop(Lane* lane);
   Response RunQuery(Pending pending);
+  /// Registers the `grasp_serve_*` instruments on metrics_; called once
+  /// from the constructor.
+  void InitMetrics();
   /// Estimated millis until `queue_len` queued requests drain (retry-after
   /// hint); infinite backlog (0 workers) reports the full queue's worth at
   /// the current service estimate rather than infinity.
@@ -197,6 +220,29 @@ class QueryServer {
     std::atomic<std::uint64_t> cancelled{0};
   };
   mutable AtomicStats stats_;
+
+  /// Cached instrument handles on metrics_; populated by InitMetrics().
+  struct ServeMetrics {
+    metrics::Histogram* queue_wait_fast = nullptr;
+    metrics::Histogram* queue_wait_deep = nullptr;
+    metrics::Histogram* service_fast = nullptr;
+    metrics::Histogram* service_deep = nullptr;
+    metrics::Histogram* deadline_slack = nullptr;
+    metrics::Gauge* pops_per_ms = nullptr;
+    metrics::Counter* submitted = nullptr;
+    metrics::Counter* admitted = nullptr;
+    metrics::Counter* shed_backlog = nullptr;
+    metrics::Counter* shed_shutdown = nullptr;
+    metrics::Counter* completed = nullptr;
+    metrics::Counter* degraded = nullptr;
+    metrics::Counter* deadline_hit = nullptr;
+    metrics::Counter* expired_in_queue = nullptr;
+    metrics::Counter* cancelled = nullptr;
+  };
+  std::unique_ptr<metrics::Registry> owned_metrics_;
+  metrics::Registry* metrics_ = nullptr;  ///< never nullptr post-construction
+  ServeMetrics m_;
+  SlowQueryLog slow_log_;
 };
 
 }  // namespace grasp::serve

@@ -11,6 +11,7 @@
 
 #include <sys/socket.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -35,8 +36,19 @@ class NetServerTest : public ::testing::Test {
  protected:
   NetServerTest()
       : dataset_(grasp::testing::MakeFigure1Dataset()),
-        engine_(dataset_.store, dataset_.dictionary) {
+        engine_(dataset_.store, dataset_.dictionary,
+                EngineOptions(&registry_)) {
     IgnoreSigpipe();
+  }
+
+  /// The engine carries the shared registry; the QueryServer and HttpServer
+  /// fall back to it, so every tier lands in one /metrics exposition —
+  /// mirroring how grasp_serve wires production.
+  static KeywordSearchEngine::Options EngineOptions(
+      grasp::metrics::Registry* registry) {
+    KeywordSearchEngine::Options options;
+    options.metrics = registry;
+    return options;
   }
 
   ~NetServerTest() override {
@@ -129,6 +141,7 @@ class NetServerTest : public ::testing::Test {
     return predicate();
   }
 
+  grasp::metrics::Registry registry_;  // must outlive engine_
   grasp::testing::Dataset dataset_;
   KeywordSearchEngine engine_;
   std::unique_ptr<QueryServer> query_server_;
@@ -331,6 +344,159 @@ TEST_F(NetServerTest, GracefulDrainAnswersInflightAndRefusesNew) {
   EXPECT_FALSE(ConnectTcp("127.0.0.1", server_->port()).ok());
   EXPECT_EQ(server_->stats().drain_force_closed, 0u);
   EXPECT_EQ(server_->stats().active_connections, 0u);
+}
+
+TEST_F(NetServerTest, MetricsEndpointExposesEveryTierWellFormed) {
+  StartServer();
+  // Generate one real search so the engine/serve/http histograms all have
+  // samples, then scrape.
+  ASSERT_EQ(StatusOf(Exchange(
+                "GET /search?q=publication HTTP/1.1\r\nConnection: close\r\n"
+                "\r\n")),
+            200);
+
+  const std::string response =
+      Exchange("GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_EQ(StatusOf(response), 200);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string body = response.substr(response.find("\r\n\r\n") + 4);
+
+  // One registry spans the tiers: engine, serve, and http families all
+  // present, with HELP/TYPE and samples.
+  for (const char* needle :
+       {"# TYPE grasp_engine_search_duration_seconds histogram",
+        "grasp_engine_stage_duration_seconds_bucket{stage=\"exploration\",",
+        "# TYPE grasp_serve_queue_wait_seconds histogram",
+        "grasp_serve_service_seconds_count{lane=\"deep\"}",
+        "# TYPE grasp_http_requests_total counter",
+        "grasp_http_request_duration_seconds_bucket{class=\"2xx\","}) {
+    EXPECT_NE(body.find(needle), std::string::npos) << needle;
+  }
+
+  // Every line is exposition-grammar shaped: a comment or "name[{labels}]
+  // SP value".
+  std::size_t start = 0;
+  while (start < body.size()) {
+    std::size_t end = body.find('\n', start);
+    if (end == std::string::npos) end = body.size();
+    const std::string line = body.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    ASSERT_GT(sp, 0u) << line;
+    char* parse_end = nullptr;
+    std::strtod(line.c_str() + sp + 1, &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << "unparsable value: " << line;
+  }
+}
+
+TEST_F(NetServerTest, StatszIsCompleteJsonWithDeadlineHitAndNoTruncation) {
+  StartServer();
+  // The old renderer dropped `deadline_hit` (never serialized) and chopped
+  // the body at 1024 bytes; the registry renderer must do neither.
+  ASSERT_EQ(StatusOf(Exchange(
+                "GET /search?q=publication HTTP/1.1\r\nX-Deadline-Ms: 5000\r\n"
+                "Connection: close\r\n\r\n")),
+            200);
+
+  const std::string response =
+      Exchange("GET /statsz HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_EQ(StatusOf(response), 200);
+  const std::string body = response.substr(response.find("\r\n\r\n") + 4);
+
+  EXPECT_GT(body.size(), 1024u) << "registry render should dwarf the old cap";
+  EXPECT_NE(body.find("grasp_serve_deadline_hit_total"), std::string::npos);
+  EXPECT_NE(body.find("grasp_http_requests_total"), std::string::npos);
+
+  // Structurally complete JSON: brace-balanced with no dangling string —
+  // exactly what truncation used to break.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char ch = body[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST_F(NetServerTest, SlowQueryLogCapturesServedQueries) {
+  StartServer();
+  ASSERT_EQ(StatusOf(Exchange(
+                "GET /search?q=publication+aifb HTTP/1.1\r\n"
+                "Connection: close\r\n\r\n")),
+            200);
+
+  const std::string response =
+      Exchange("GET /debug/slowz HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_EQ(StatusOf(response), 200);
+  const std::string body = response.substr(response.find("\r\n\r\n") + 4);
+  EXPECT_EQ(body.front(), '[');
+  EXPECT_NE(body.find("\"keywords\":\"publication aifb\""), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"total_millis\":"), std::string::npos);
+  EXPECT_NE(body.find("\"stop_reason\":\"completed\""), std::string::npos);
+}
+
+TEST_F(NetServerTest, ConcurrentScrapesUnderLiveTrafficStayRaceClean) {
+  // Satellite regression: stats() used to read connections_.size() (loop-
+  // thread-owned) from the caller's thread. Scrape /statsz + /metrics and
+  // call stats() from several threads while searches flow; TSan runs this.
+  QueryServer::Options serve_options;
+  serve_options.deep_workers = 2;
+  StartServer(serve_options);
+
+  std::atomic<bool> stop{false};
+  std::thread stats_poller([this, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const HttpServer::Stats stats = server_->stats();
+      ASSERT_LE(stats.active_connections, 1024u);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::thread scraper([this, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      Exchange("GET /statsz HTTP/1.1\r\nConnection: close\r\n\r\n");
+      Exchange("GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    }
+  });
+
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(StatusOf(Exchange(
+                  "GET /search?q=publication HTTP/1.1\r\n"
+                  "Connection: close\r\n\r\n")),
+              200);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  stats_poller.join();
+  scraper.join();
+
+  const HttpServer::Stats stats = server_->stats();
+  EXPECT_GE(stats.responses_2xx, 20u);
+}
+
+TEST_F(NetServerTest, QueryServerShutdownMapsTo503NotRetryable429) {
+  // A shed with no retry hint means "stop asking", and the wire status must
+  // say so: 503 without Retry-After, not a 429 inviting a retry storm
+  // against a server that is going away.
+  StartServer();
+  query_server_->Shutdown();
+
+  const std::string response = Exchange(
+      "GET /search?q=publication HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(StatusOf(response), 503) << response;
+  EXPECT_EQ(response.find("Retry-After:"), std::string::npos) << response;
+  EXPECT_NE(response.find("UNAVAILABLE"), std::string::npos);
 }
 
 TEST_F(NetServerTest, ConnectionCapRejectsWithImmediate503) {

@@ -231,6 +231,33 @@ TEST_F(QueryServerTest, ShutdownIsIdempotentAndSubmitAfterItSheds) {
   const QueryServer::Response response =
       server.ServeSync(MakeRequest({"publication"}));
   EXPECT_EQ(response.status.code(), StatusCode::kOverloaded);
+  // A shutdown shed is not a backlog shed: there is no queue that will
+  // drain, so no retry hint — the HTTP tier turns this into a 503 rather
+  // than a 429 + Retry-After that would tell clients to hammer a corpse.
+  EXPECT_EQ(response.retry_after_millis, 0.0);
+}
+
+TEST_F(QueryServerTest, BacklogShedCarriesARetryHintButShutdownShedDoesNot) {
+  QueryServer::Options options;
+  options.fast_workers = 0;
+  options.deep_workers = 0;
+  options.queue_capacity = 1;
+  QueryServer server(engine_, options);
+
+  auto parked = server.Submit(MakeRequest({"publication"}));
+  auto over = server.Submit(MakeRequest({"publication"}));
+  const QueryServer::Response backlog = over.get();
+  EXPECT_EQ(backlog.status.code(), StatusCode::kOverloaded);
+  EXPECT_GT(backlog.retry_after_millis, 0.0);  // queue drains: retry helps
+
+  server.Shutdown();
+  EXPECT_EQ(parked.get().status.code(), StatusCode::kCancelled);
+  const QueryServer::Response after = server.ServeSync(MakeRequest({"aifb"}));
+  EXPECT_EQ(after.status.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(after.retry_after_millis, 0.0);  // shutting down: retry is futile
+
+  const QueryServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.shed, 2u);
 }
 
 TEST_F(QueryServerTest, ConcurrentSubmittersStayRaceClean) {

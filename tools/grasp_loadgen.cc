@@ -35,14 +35,17 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
+#include <limits>
 #include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/metrics.h"
 #include "core/engine.h"
 #include "datagen/workload.h"
 #include "net/socket.h"
@@ -65,6 +68,12 @@ struct Args {
   double assert_shed_min = -1.0;    // < 0: no assertion
   double assert_p99_max_ms = -1.0;  // < 0: no assertion
   bool assert_no_unanswered = false;
+  /// Network mode: after the run, scrape the server's /metrics and require
+  /// server-observed 2xx p99 <= FACTOR * client-observed p99. The server
+  /// measures less than the client (no connect, no wire), so any generous
+  /// factor catches a histogram wired to the wrong clock without flaking
+  /// on scheduler noise. < 0: scrape still happens, no assertion.
+  double assert_server_p99_factor = -1.0;
 
   // Network mode.
   std::string server;  // HOST:PORT; empty = in-process
@@ -104,6 +113,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->assert_p99_max_ms = std::atof(v);
     } else if (arg == "--assert-no-unanswered") {
       args->assert_no_unanswered = true;
+    } else if (const char* v = value("--assert-server-p99-factor=")) {
+      args->assert_server_p99_factor = std::atof(v);
     } else if (const char* v = value("--server=")) {
       args->server = v;
     } else if (const char* v = value("--chaos-disconnect=")) {
@@ -129,17 +140,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::fprintf(stderr, "--ramp requires --server\n");
     return false;
   }
+  if (args->assert_server_p99_factor >= 0.0 && args->server.empty()) {
+    std::fprintf(stderr, "--assert-server-p99-factor requires --server\n");
+    return false;
+  }
   return args->qps > 0.0 && args->requests > 0;
 }
 
-/// Nearest-rank percentile of a sorted sample (p in [0, 100]).
+/// Nearest-rank percentile of a sorted sample (p in [0, 100]). The math
+/// lives in metrics::PercentileOfSorted so the unit tests can pin the
+/// p=0 / p=100 / single-sample edge cases once for every caller.
 double Percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
-  const std::size_t idx =
-      std::min(sorted.size() - 1,
-               static_cast<std::size_t>(std::max(1.0, rank)) - 1);
-  return sorted[idx];
+  return grasp::metrics::PercentileOfSorted(sorted, p);
 }
 
 /// One google-benchmark-shaped entry; `unit` is "ms" for latencies and "ns"
@@ -377,6 +389,83 @@ std::vector<Outcome> RunNetworkWave(const Args& args, const std::string& host,
   return outcomes;
 }
 
+// ----------------------------------------------------- /metrics scrape --
+
+/// Fetches PATH over a fresh connection and returns the response body
+/// (empty on any failure — the caller decides whether that is fatal).
+std::string FetchBody(const std::string& host, std::uint16_t port,
+                      const std::string& path) {
+  auto fd_result = grasp::net::ConnectTcp(host, port);
+  if (!fd_result.ok()) return "";
+  grasp::net::OwnedFd fd = std::move(fd_result).value();
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nConnection: close\r\n\r\n";
+  if (!SendAll(fd.get(), request.data(), request.size())) return "";
+  timeval timeout{10, 0};
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const std::ptrdiff_t n = grasp::net::ReadRetry(fd.get(), buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t blank = response.find("\r\n\r\n");
+  if (response.compare(0, 5, "HTTP/") != 0 || blank == std::string::npos) {
+    return "";
+  }
+  return response.substr(blank + 4);
+}
+
+/// Nearest-rank percentile, in milliseconds, from a Prometheus cumulative
+/// histogram in `body`: walks `NAME_bucket{...le="X"}  COUNT` lines for the
+/// series whose label block contains `label_match`, in exposition order
+/// (our renderer emits ascending `le`). Returns the upper edge of the rank
+/// bucket; < 0 when the series is absent or empty.
+double ServerPercentileMs(const std::string& body, const std::string& name,
+                          const std::string& label_match, double p) {
+  std::vector<std::pair<double, std::uint64_t>> buckets;  // (le_sec, cum)
+  const std::string prefix = name + "_bucket{";
+  std::size_t pos = 0;
+  while ((pos = body.find(prefix, pos)) != std::string::npos) {
+    if (pos != 0 && body[pos - 1] != '\n') {  // mid-line (e.g. HELP text)
+      pos += prefix.size();
+      continue;
+    }
+    const std::size_t eol = body.find('\n', pos);
+    const std::string line =
+        body.substr(pos, eol == std::string::npos ? eol : eol - pos);
+    pos += prefix.size();
+    if (label_match.empty() || line.find(label_match) != std::string::npos) {
+      const std::size_t le = line.find("le=\"");
+      const std::size_t brace = line.find('}');
+      if (le == std::string::npos || brace == std::string::npos) continue;
+      const std::string le_text = line.substr(le + 4);
+      const double edge = le_text.compare(0, 4, "+Inf") == 0
+                              ? std::numeric_limits<double>::infinity()
+                              : std::atof(le_text.c_str());
+      buckets.emplace_back(
+          edge, static_cast<std::uint64_t>(std::atoll(
+                    line.c_str() + brace + 1)));
+    }
+  }
+  if (buckets.empty() || buckets.back().second == 0) return -1.0;
+  const std::uint64_t count = buckets.back().second;
+  const auto rank = static_cast<std::uint64_t>(std::min(
+      static_cast<double>(count),
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(count)))));
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].second >= rank) {
+      // +Inf bucket: report the widest finite edge instead of infinity.
+      if (std::isinf(buckets[i].first)) {
+        return i > 0 ? buckets[i - 1].first * 1'000.0 : -1.0;
+      }
+      return buckets[i].first * 1'000.0;
+    }
+  }
+  return -1.0;
+}
+
 // ------------------------------------------------------ in-process mode --
 
 std::vector<Outcome> RunInProcess(const Args& args, QueryServer* server) {
@@ -428,7 +517,7 @@ int main(int argc, char** argv) {
         "[--queue-capacity=N]\n"
         "    [--json=PATH] [--assert-shed-min=RATE] "
         "[--assert-p99-max-ms=MS]\n"
-        "    [--assert-no-unanswered]\n"
+        "    [--assert-no-unanswered] [--assert-server-p99-factor=F]\n"
         "  network mode:\n"
         "    --server=HOST:PORT [--chaos-disconnect=P] "
         "[--chaos-slow-read=P]\n"
@@ -443,6 +532,7 @@ int main(int argc, char** argv) {
   std::vector<Outcome> outcomes;
   double shed_rate = 0.0;  // 429-equivalent rate over answered requests
   double deadline_hit_rate = 0.0, degraded_rate = 0.0;
+  double server_p99_ms = -1.0;  // from /metrics; network mode only
 
   if (!args.server.empty()) {
     std::string host;
@@ -483,6 +573,22 @@ int main(int argc, char** argv) {
         s.answered > 0 ? static_cast<double>(s.degraded) /
                              static_cast<double>(s.answered)
                        : 0.0;
+
+    // Scrape the server's own view of the run. The histogram reports the
+    // upper edge of the rank bucket (<= 25% wide), so the comparison below
+    // is conservative in the server's favor.
+    const std::string metrics_body = FetchBody(host, port, "/metrics");
+    if (metrics_body.empty()) {
+      std::fprintf(stderr, "note: /metrics scrape failed\n");
+    } else {
+      server_p99_ms =
+          ServerPercentileMs(metrics_body, "grasp_http_request_duration_seconds",
+                             "class=\"2xx\"", 99.0);
+      if (server_p99_ms >= 0.0) {
+        std::printf("server   2xx p99  %.2f ms (from /metrics)\n",
+                    server_p99_ms);
+      }
+    }
   } else {
     grasp::bench::Dataset dblp = grasp::bench::MakeDblp();
     KeywordSearchEngine engine(dblp.store, dblp.dictionary);
@@ -537,7 +643,8 @@ int main(int argc, char** argv) {
     JsonEntry(f, "LG_ServeLatency/p99", summary.p99, "ms", false);
     JsonEntry(f, "LG_ShedRate", shed_rate, "ns", false);
     JsonEntry(f, "LG_DeadlineHitRate", deadline_hit_rate, "ns", false);
-    JsonEntry(f, "LG_DegradedRate", degraded_rate, "ns", true);
+    JsonEntry(f, "LG_DegradedRate", degraded_rate, "ns", false);
+    JsonEntry(f, "LG_ServerP99", std::max(server_p99_ms, 0.0), "ms", true);
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
   }
@@ -560,6 +667,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ASSERT FAILED: %zu unanswered requests\n",
                  summary.unanswered);
     rc = 1;
+  }
+  if (args.assert_server_p99_factor >= 0.0) {
+    if (server_p99_ms < 0.0) {
+      if (summary.rate(200) > 0.0) {
+        std::fprintf(stderr,
+                     "ASSERT FAILED: no server-side 2xx latency histogram "
+                     "despite 2xx responses\n");
+        rc = 1;
+      }
+    } else {
+      // The 1 ms floor keeps sub-millisecond runs (where one histogram
+      // bucket dwarfs the client-side spread) from flaking the check.
+      const double bound =
+          args.assert_server_p99_factor * std::max(summary.p99, 1.0);
+      if (server_p99_ms > bound) {
+        std::fprintf(stderr,
+                     "ASSERT FAILED: server p99 %.2f ms > %.2f (= %.1f x "
+                     "client p99 %.2f ms)\n",
+                     server_p99_ms, bound, args.assert_server_p99_factor,
+                     summary.p99);
+        rc = 1;
+      }
+    }
   }
   return rc;
 }

@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "common/metrics.h"
 #include "core/engine.h"
 #include "net/http_server.h"
 #include "net/socket.h"
@@ -178,15 +179,26 @@ int main(int argc, char** argv) {
 
   grasp::bench::Dataset dataset;
   if (!LoadDataset(args, &dataset)) return 1;
-  KeywordSearchEngine engine(dataset.store, dataset.dictionary);
+
+  // One registry spans every tier, so /metrics and /statsz expose the
+  // engine's per-stage histograms, the QueryServer's queue/service/slack
+  // histograms, and the HTTP front-end's wire counters side by side.
+  grasp::metrics::Registry registry;
+
+  KeywordSearchEngine::Options engine_options;
+  engine_options.metrics = &registry;
+  KeywordSearchEngine engine(dataset.store, dataset.dictionary,
+                             engine_options);
 
   QueryServer::Options serve_options;
   serve_options.fast_workers = args.fast_workers;
   serve_options.deep_workers = args.deep_workers;
   serve_options.queue_capacity = args.queue_capacity;
+  serve_options.metrics = &registry;
   QueryServer query_server(engine, serve_options);
 
   HttpServer::Options http_options;
+  http_options.metrics = &registry;
   http_options.host = args.host;
   http_options.port = args.port;
   http_options.max_connections = args.max_connections;
