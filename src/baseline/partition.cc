@@ -16,6 +16,18 @@ std::size_t Partition::CutSize(const rdf::DataGraph& graph) const {
   return cut;
 }
 
+std::size_t Partition::CutSize(const rdf::DataGraph& graph,
+                               unsigned kind_mask) const {
+  std::size_t cut = 0;
+  for (const rdf::Edge& e : graph.edges()) {
+    if ((rdf::EdgeKindBit(e.kind) & kind_mask) != 0 &&
+        block_of[e.from] != block_of[e.to]) {
+      ++cut;
+    }
+  }
+  return cut;
+}
+
 namespace {
 
 Partition BfsSeed(const rdf::DataGraph& graph, std::size_t num_blocks) {
@@ -47,9 +59,15 @@ Partition BfsSeed(const rdf::DataGraph& graph, std::size_t num_blocks) {
       p.block_of[v] = current;
       if (++current_size >= target) {
         // Block full: flush the frontier into the next block's seed pool.
+        // The linear seed scan may already be past a flushed vertex, so pull
+        // it back — otherwise vertices unassigned here would never be
+        // revisited and silently keep the default block 0 (over-filling it
+        // and breaking the "every block non-empty" invariant downstream).
         while (!frontier.empty()) {
-          assigned[frontier.front()] = false;
+          const rdf::VertexId u = frontier.front();
           frontier.pop();
+          assigned[u] = false;
+          scan = std::min(scan, static_cast<std::size_t>(u));
         }
         ++current;
         current_size = 0;
@@ -75,8 +93,14 @@ void RefineGreedy(const rdf::DataGraph& graph, Partition* p) {
   if (p->num_blocks <= 1) return;
   std::vector<std::size_t> block_size(p->num_blocks, 0);
   for (BlockId b : p->block_of) ++block_size[b];
-  const std::size_t target = std::max<std::size_t>(1, n / p->num_blocks);
-  const std::size_t max_size = target + target / 5 + 2;  // +-20% balance
+  // Ceil target, and cap at 20% over it (rounded up, but at least +1 so
+  // target-sized blocks can still trade members). The old floor target with
+  // a flat `+ target / 5 + 2` slack drifted far past the advertised ±20%
+  // on small blocks — at target 1 it allowed triple-sized blocks.
+  const std::size_t target =
+      std::max<std::size_t>(1, (n + p->num_blocks - 1) / p->num_blocks);
+  const std::size_t max_size =
+      std::max<std::size_t>(target + 1, (target * 6 + 4) / 5);
 
   for (int pass = 0; pass < 2; ++pass) {
     for (rdf::VertexId v = 0; v < n; ++v) {
@@ -90,7 +114,14 @@ void RefineGreedy(const rdf::DataGraph& graph, Partition* p) {
       std::size_t best_links = neighbor_blocks[home];
       for (const auto& [b, links] : neighbor_blocks) {
         if (b == home) continue;
-        if (links > best_links && block_size[b] < max_size) {
+        if (block_size[b] >= max_size) continue;
+        // A move must strictly beat the home block; among equally good
+        // destinations prefer the smallest id. The old `links > best_links`
+        // alone left equal-link winners to the unordered_map's iteration
+        // order, which is hash- and libc++-dependent — partitions must be
+        // deterministic (they are persisted in snapshots and diffed in CI).
+        if (links > best_links ||
+            (links == best_links && best != home && b < best)) {
           best = b;
           best_links = links;
         }

@@ -21,8 +21,17 @@ struct Partition {
   std::vector<BlockId> block_of;  ///< per vertex
   std::size_t num_blocks = 0;
 
-  /// Number of edges whose endpoints lie in different blocks.
+  /// Number of edges whose endpoints lie in different blocks, all edge
+  /// kinds counted.
   std::size_t CutSize(const rdf::DataGraph& graph) const;
+
+  /// Cut restricted to the edge kinds whose EdgeKindBit is set in
+  /// `kind_mask`. The all-kinds overload over-reports the cut a sharded
+  /// deployment pays: attribute/type/subclass edges end at value or class
+  /// vertices that are replicated (or derived) everywhere, so only
+  /// entity-entity relation edges — EdgeKindBit(EdgeKind::kRelation) —
+  /// cross shard boundaries at query time.
+  std::size_t CutSize(const rdf::DataGraph& graph, unsigned kind_mask) const;
 };
 
 /// Splits the vertices of `graph` (viewed as undirected) into at most

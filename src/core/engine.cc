@@ -125,14 +125,21 @@ void KeywordSearchEngine::RecordSearchMetrics(const SearchResult& result) const 
       ->Increment();
 }
 
-Status KeywordSearchEngine::SaveIndex(const std::string& path) const {
+Status KeywordSearchEngine::SaveIndex(
+    const std::string& path, std::span<const std::uint32_t> shard_plan) const {
   snapshot::EngineParts parts;
   parts.dictionary = dictionary_;
   parts.store = store_;
   parts.data_graph = &data_graph_;
   parts.summary = &summary_;
   parts.keyword_index = &keyword_index_;
+  parts.shard_plan = shard_plan;
   return snapshot::WriteEngineSnapshot(parts, path);
+}
+
+std::span<const std::uint32_t> KeywordSearchEngine::loaded_shard_plan() const {
+  return loaded_ != nullptr ? loaded_->shard_plan
+                            : std::span<const std::uint32_t>{};
 }
 
 Result<std::unique_ptr<KeywordSearchEngine>> KeywordSearchEngine::Open(
@@ -296,10 +303,10 @@ KeywordSearchEngine::AcquireAugmentation(
       summary::AugmentationCacheKey(matches), build_pooled, cache_hit);
 }
 
-KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
+KeywordSearchEngine::SearchResult KeywordSearchEngine::SearchImpl(
     const std::vector<std::string>& keywords, std::size_t k,
     const ExplorationOptions& exploration,
-    std::span<const std::string> predicate_scope) const {
+    std::span<const std::string> predicate_scope, bool shard_payload) const {
   SearchResult result;
   WallTimer total;
 
@@ -401,6 +408,7 @@ KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
   explore.k = std::max<std::size_t>(
       k, static_cast<std::size_t>(
              std::ceil(static_cast<double>(k) * options_.subgraph_overfetch)));
+  result.explored_k = explore.k;
   struct ScratchLease {  // returns the scratch to the pool on every exit path
     FreeListPool<ExplorationScratch>& pool;
     FreeListPool<ExplorationScratch>::Lease lease;
@@ -442,30 +450,12 @@ KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
   step.Reset();
   QueryMappingContext context;
   context.type_term = data_graph_.type_term();
-  std::map<std::string, std::size_t> seen;  // canonical form -> queries index
-  for (MatchingSubgraph& subgraph : subgraphs) {
-    query::ConjunctiveQuery q = MapToQuery(augmented, subgraph, context);
-    if (q.empty()) continue;
-    const std::string canonical = q.CanonicalString();
-    auto it = seen.find(canonical);
-    if (it != seen.end()) {
-      // Keep the cheaper representative.
-      if (q.cost() < result.queries[it->second].cost) {
-        result.queries[it->second] =
-            RankedQuery{std::move(q), subgraph.cost, std::move(subgraph)};
-      }
-      continue;
-    }
-    seen.emplace(canonical, result.queries.size());
-    result.queries.push_back(
-        RankedQuery{std::move(q), subgraph.cost, std::move(subgraph)});
-  }
-  // Primary order: subgraph cost. Path costs ignore structure elements that
-  // no path visits (e.g. the class endpoint of a matched attribute edge), so
-  // interpretations differing only in such elements tie; the popularity of
-  // the whole structure breaks those ties in favour of the more common
-  // classes. The tie-break chain is part of the engine and identical for
-  // all cost models — the models differ only in the path costs themselves.
+  // Tie-break keys (structural popularity cost, constant count, canonical
+  // serialization) are computed once per kept candidate here — the final
+  // sort used to recompute all three inside its comparator, paying
+  // O(n log n) canonical-string rebuilds on tie-heavy rankings. They also
+  // ride along in the shard payload so the gather merges on exactly the
+  // keys the unsharded sort would have used.
   const CostFunction popularity(CostModel::kPopularity, augmented);
   auto structure_cost = [&popularity](const MatchingSubgraph& sg) {
     double cost = 0.0;
@@ -481,25 +471,70 @@ KeywordSearchEngine::SearchResult KeywordSearchEngine::Search(
   // one pinning fewer constants): name(x, ?v) should precede the otherwise
   // identically-priced name(x, 'some value') guesses.
   auto constant_count = [](const query::ConjunctiveQuery& q) {
-    int constants = 0;
+    std::size_t constants = 0;
     for (const query::Atom& atom : q.atoms()) {
       if (!atom.subject.is_variable) ++constants;
       if (!atom.object.is_variable) ++constants;
     }
     return constants;
   };
-  std::sort(result.queries.begin(), result.queries.end(),
-            [&](const RankedQuery& a, const RankedQuery& b) {
-              if (a.cost != b.cost) return a.cost < b.cost;
-              const double sa = structure_cost(a.subgraph);
-              const double sb = structure_cost(b.subgraph);
-              if (sa != sb) return sa < sb;
-              const int ca = constant_count(a.query);
-              const int cb = constant_count(b.query);
-              if (ca != cb) return ca < cb;
-              return a.query.CanonicalString() < b.query.CanonicalString();
-            });
-  if (result.queries.size() > k) result.queries.resize(k);
+  auto make_ranked = [&](query::ConjunctiveQuery q, std::string canonical,
+                         MatchingSubgraph subgraph) {
+    RankedQuery rq;
+    rq.cost = subgraph.cost;
+    rq.structure_cost = structure_cost(subgraph);
+    rq.constant_count = constant_count(q);
+    rq.canonical = std::move(canonical);
+    rq.query = std::move(q);
+    rq.subgraph = std::move(subgraph);
+    return rq;
+  };
+  std::map<std::string, std::size_t> seen;  // canonical form -> queries index
+  for (MatchingSubgraph& subgraph : subgraphs) {
+    query::ConjunctiveQuery q = MapToQuery(augmented, subgraph, context);
+    if (q.empty()) continue;
+    std::string canonical = q.CanonicalString();
+    if (shard_payload) {
+      // Raw payload for the sharded gather: every mapped candidate, in
+      // explorer ranked order; canonical dedup, final sort, and truncation
+      // are replayed by the merge over all shards' payloads.
+      result.queries.push_back(make_ranked(std::move(q), std::move(canonical),
+                                           std::move(subgraph)));
+      continue;
+    }
+    auto it = seen.find(canonical);
+    if (it != seen.end()) {
+      // Keep the cheaper representative.
+      if (q.cost() < result.queries[it->second].cost) {
+        result.queries[it->second] = make_ranked(
+            std::move(q), std::move(canonical), std::move(subgraph));
+      }
+      continue;
+    }
+    seen.emplace(canonical, result.queries.size());
+    result.queries.push_back(
+        make_ranked(std::move(q), std::move(canonical), std::move(subgraph)));
+  }
+  // Primary order: subgraph cost. Path costs ignore structure elements that
+  // no path visits (e.g. the class endpoint of a matched attribute edge), so
+  // interpretations differing only in such elements tie; the popularity of
+  // the whole structure breaks those ties in favour of the more common
+  // classes. The tie-break chain is part of the engine and identical for
+  // all cost models — the models differ only in the path costs themselves.
+  if (!shard_payload) {
+    std::sort(result.queries.begin(), result.queries.end(),
+              [](const RankedQuery& a, const RankedQuery& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                if (a.structure_cost != b.structure_cost) {
+                  return a.structure_cost < b.structure_cost;
+                }
+                if (a.constant_count != b.constant_count) {
+                  return a.constant_count < b.constant_count;
+                }
+                return a.canonical < b.canonical;
+              });
+    if (result.queries.size() > k) result.queries.resize(k);
+  }
   result.mapping_millis = step.ElapsedMillis();
   result.total_millis = total.ElapsedMillis();
   RecordSearchMetrics(result);

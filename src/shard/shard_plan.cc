@@ -1,0 +1,118 @@
+#include "shard/shard_plan.h"
+
+#include <limits>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace grasp::shard {
+
+namespace {
+
+/// Deterministic fallback owner for elements with no data-graph anchor.
+/// Seeded so node and term hashes occupy different streams.
+std::uint32_t HashOwner(std::uint64_t key, std::uint32_t num_shards) {
+  return static_cast<std::uint32_t>(Mix64(key ^ 0x5ca1ab1e5ca1ab1eULL) %
+                                    num_shards);
+}
+
+}  // namespace
+
+void ShardPlan::DeriveSummaryOwners(const rdf::DataGraph& graph,
+                                    const summary::SummaryGraph& summary) {
+  const std::size_t n = summary.NumNodes();
+  shard_of_base_node_.resize(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    const summary::SummaryNode& node = summary.nodes()[id];
+    // A class node anchors at its class vertex in the data graph; Thing and
+    // other vertex-less terms (nothing to anchor at) hash instead.
+    const rdf::VertexId v = node.term != rdf::kInvalidTermId
+                                ? graph.VertexOf(node.term)
+                                : rdf::kInvalidVertexId;
+    shard_of_base_node_[id] =
+        v != rdf::kInvalidVertexId
+            ? shard_of_vertex_[v]
+            : HashOwner(node.term != rdf::kInvalidTermId ? node.term : id,
+                        num_shards_);
+  }
+}
+
+ShardPlan ShardPlan::Build(const rdf::DataGraph& graph,
+                           const summary::SummaryGraph& summary,
+                           std::size_t num_shards) {
+  GRASP_CHECK_GT(num_shards, 0u);
+  GRASP_CHECK_LT(num_shards, std::numeric_limits<std::uint32_t>::max());
+  ShardPlan plan;
+  plan.num_shards_ = static_cast<std::uint32_t>(num_shards);
+  if (num_shards == 1) {
+    // Degenerate plan: everything on shard 0, no partitioner run. The
+    // sharded pipeline then reduces exactly to the unsharded one.
+    plan.shard_of_vertex_.assign(graph.NumVertices(), 0);
+  } else {
+    const baseline::Partition partition = baseline::PartitionGraph(
+        graph, num_shards, baseline::PartitionMethod::kGreedy);
+    plan.shard_of_vertex_.assign(partition.block_of.begin(),
+                                 partition.block_of.end());
+  }
+  plan.DeriveSummaryOwners(graph, summary);
+  return plan;
+}
+
+Result<ShardPlan> ShardPlan::Deserialize(
+    std::span<const std::uint32_t> serialized, const rdf::DataGraph& graph,
+    const summary::SummaryGraph& summary) {
+  if (serialized.size() != graph.NumVertices() + 1) {
+    return Status::InvalidArgument(StrFormat(
+        "shard plan covers %zu vertices, graph has %zu",
+        serialized.empty() ? 0 : serialized.size() - 1, graph.NumVertices()));
+  }
+  const std::uint32_t num_shards = serialized[0];
+  if (num_shards == 0) {
+    return Status::InvalidArgument("shard plan has zero shards");
+  }
+  ShardPlan plan;
+  plan.num_shards_ = num_shards;
+  plan.shard_of_vertex_.reserve(serialized.size() - 1);
+  for (std::size_t i = 1; i < serialized.size(); ++i) {
+    if (serialized[i] >= num_shards) {
+      return Status::InvalidArgument(
+          StrFormat("shard plan assigns vertex %zu to shard %u of %u", i - 1,
+                    serialized[i], num_shards));
+    }
+    plan.shard_of_vertex_.push_back(serialized[i]);
+  }
+  plan.DeriveSummaryOwners(graph, summary);
+  return plan;
+}
+
+std::vector<std::uint32_t> ShardPlan::Serialize() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(shard_of_vertex_.size() + 1);
+  out.push_back(num_shards_);
+  out.insert(out.end(), shard_of_vertex_.begin(), shard_of_vertex_.end());
+  return out;
+}
+
+std::uint32_t ShardPlan::OwnerOfNode(const summary::AugmentedGraph& graph,
+                                     summary::NodeId node) const {
+  if (node < graph.base_nodes()) return shard_of_base_node_[node];
+  // Overlay (per-query) node: value nodes hash by their literal term so the
+  // same value owns consistently across queries; artificial nodes (no term)
+  // hash by id. Replicas build identical overlays, so they agree either way.
+  const summary::SummaryNode& n = graph.node(node);
+  return HashOwner(n.term != rdf::kInvalidTermId
+                       ? n.term
+                       : static_cast<std::uint64_t>(node) | (1ULL << 40),
+                   num_shards_);
+}
+
+std::uint32_t ShardPlan::OwnerOfElement(const summary::AugmentedGraph& graph,
+                                        summary::ElementId element) const {
+  if (element.is_edge()) {
+    return OwnerOfNode(graph, graph.edge(element.index()).from);
+  }
+  return OwnerOfNode(graph, element.index());
+}
+
+}  // namespace grasp::shard

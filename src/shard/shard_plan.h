@@ -1,0 +1,101 @@
+#ifndef GRASP_SHARD_SHARD_PLAN_H_
+#define GRASP_SHARD_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baseline/partition.h"
+#include "common/status.h"
+#include "core/exploration.h"
+#include "rdf/data_graph.h"
+#include "summary/augmented_graph.h"
+#include "summary/summary_graph.h"
+
+namespace grasp::shard {
+
+/// Assigns every element of the (augmented) summary graph to exactly one of
+/// S shards. In the sharded engine each shard is a full replica running the
+/// complete exploration; the plan partitions *candidate generation*: a shard
+/// only emits candidates at connecting elements it owns, so every global
+/// candidate is produced by exactly one shard and the gather's union is
+/// lossless (see sharded_engine.h for the merge argument).
+///
+/// Ownership derives from a graph partition of the *data* graph (the
+/// BLINKS-style partitioner, kGreedy): a base summary node follows the data
+/// vertex of its term, so classes that share relation edges — and therefore
+/// co-occur in candidate structures — tend to land on one shard, keeping the
+/// per-shard candidate streams coherent. Elements with no data vertex
+/// (Thing, per-query overlay nodes) hash deterministically instead; edges
+/// follow their `from` endpoint. Every rule is a pure function of immutable
+/// inputs that are identical across replicas, so all shards agree on every
+/// owner without communication.
+class ShardPlan {
+ public:
+  /// Partitions `graph` into `num_shards` blocks (kGreedy) and derives the
+  /// per-summary-node owner table from `summary`. num_shards >= 1; the
+  /// partitioner may produce fewer non-empty blocks than shards on tiny
+  /// graphs (the extra shards then own only hash-assigned elements).
+  static ShardPlan Build(const rdf::DataGraph& graph,
+                         const summary::SummaryGraph& summary,
+                         std::size_t num_shards);
+
+  /// Rebuilds a plan from its Serialize() form ([num_shards,
+  /// shard_of_vertex...]) against the graph/summary of the opening engine.
+  /// Rejects size or range mismatches (a plan from a different image).
+  static Result<ShardPlan> Deserialize(
+      std::span<const std::uint32_t> serialized, const rdf::DataGraph& graph,
+      const summary::SummaryGraph& summary);
+
+  /// Snapshot form: element 0 = num_shards, elements 1..NumVertices =
+  /// per-vertex shard ids (the kSectionShardPlan payload).
+  std::vector<std::uint32_t> Serialize() const;
+
+  std::uint32_t num_shards() const { return num_shards_; }
+
+  /// Owner of a data-graph vertex (the partitioner's block).
+  std::uint32_t OwnerOfVertex(rdf::VertexId v) const {
+    return shard_of_vertex_[v];
+  }
+
+  /// Owner of an augmented-summary node: the precomputed table for base
+  /// nodes, a deterministic hash for per-query overlay nodes (identical
+  /// augmentation on every replica yields identical overlay ids, so all
+  /// shards agree).
+  std::uint32_t OwnerOfNode(const summary::AugmentedGraph& graph,
+                            summary::NodeId node) const;
+
+  /// Owner of any augmented-summary element; edges follow their `from`
+  /// node, so an edge and its source always co-locate.
+  std::uint32_t OwnerOfElement(const summary::AugmentedGraph& graph,
+                               summary::ElementId element) const;
+
+ private:
+  ShardPlan() = default;
+  void DeriveSummaryOwners(const rdf::DataGraph& graph,
+                           const summary::SummaryGraph& summary);
+
+  std::uint32_t num_shards_ = 1;
+  std::vector<std::uint32_t> shard_of_vertex_;      ///< per data vertex
+  std::vector<std::uint32_t> shard_of_base_node_;   ///< per base summary node
+};
+
+/// CandidateScope of one shard: owns exactly the connecting elements the
+/// plan maps to `shard`. The plan must outlive the scope.
+class ShardCandidateScope final : public core::CandidateScope {
+ public:
+  ShardCandidateScope(const ShardPlan* plan, std::uint32_t shard)
+      : plan_(plan), shard_(shard) {}
+  bool OwnsConnector(const summary::AugmentedGraph& graph,
+                     summary::ElementId element) const override {
+    return plan_->OwnerOfElement(graph, element) == shard_;
+  }
+
+ private:
+  const ShardPlan* plan_;
+  std::uint32_t shard_;
+};
+
+}  // namespace grasp::shard
+
+#endif  // GRASP_SHARD_SHARD_PLAN_H_

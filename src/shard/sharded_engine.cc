@@ -1,0 +1,299 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace grasp::shard {
+
+using RankedQuery = core::KeywordSearchEngine::RankedQuery;
+
+ShardedEngine::ShardedEngine(const rdf::TripleStore& store,
+                             const rdf::Dictionary& dictionary,
+                             Options options)
+    : options_(std::move(options)) {
+  GRASP_CHECK_GT(options_.num_shards, 0u);
+  metrics_ = options_.metrics != nullptr ? options_.metrics
+                                         : options_.engine.metrics;
+  // Replicas keep their per-engine registry off: S copies of the unlabeled
+  // `grasp_engine_*` families would silently sum into one series. The
+  // sharded layer owns observability via the labeled `grasp_shard_*` set.
+  core::KeywordSearchEngine::Options engine_options = options_.engine;
+  engine_options.metrics = nullptr;
+  engines_.reserve(options_.num_shards);
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    engines_.push_back(std::make_unique<core::KeywordSearchEngine>(
+        store, dictionary, engine_options));
+  }
+  plan_ = std::make_shared<const ShardPlan>(
+      ShardPlan::Build(engines_.front()->data_graph(),
+                       engines_.front()->summary_graph(), options_.num_shards));
+  scopes_.reserve(engines_.size());
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    scopes_.emplace_back(plan_.get(), static_cast<std::uint32_t>(i));
+  }
+  InitMetrics();
+}
+
+ShardedEngine::ShardedEngine(
+    Options options,
+    std::vector<std::unique_ptr<core::KeywordSearchEngine>> engines,
+    std::shared_ptr<const ShardPlan> plan)
+    : options_(std::move(options)),
+      engines_(std::move(engines)),
+      plan_(std::move(plan)) {
+  metrics_ = options_.metrics != nullptr ? options_.metrics
+                                         : options_.engine.metrics;
+  scopes_.reserve(engines_.size());
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    scopes_.emplace_back(plan_.get(), static_cast<std::uint32_t>(i));
+  }
+  InitMetrics();
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
+    const std::string& path, Options options) {
+  core::KeywordSearchEngine::Options engine_options = options.engine;
+  engine_options.metrics = nullptr;
+
+  // Shard 0 opens first and supplies the plan the image was built with.
+  std::vector<std::unique_ptr<core::KeywordSearchEngine>> engines;
+  GRASP_ASSIGN_OR_RETURN(std::unique_ptr<core::KeywordSearchEngine> first,
+                         core::KeywordSearchEngine::Open(path, engine_options));
+  const std::span<const std::uint32_t> serialized =
+      first->loaded_shard_plan();
+  if (serialized.empty()) {
+    return Status::InvalidArgument(
+        "snapshot carries no shard plan (build it with --shards=N)");
+  }
+  GRASP_ASSIGN_OR_RETURN(
+      ShardPlan plan,
+      ShardPlan::Deserialize(serialized, first->data_graph(),
+                             first->summary_graph()));
+  if (options.num_shards != 0 && options.num_shards != plan.num_shards()) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot plan has %u shards, %zu requested",
+                  plan.num_shards(), options.num_shards));
+  }
+  options.num_shards = plan.num_shards();
+
+  engines.reserve(plan.num_shards());
+  engines.push_back(std::move(first));
+  // Every further shard maps the image independently (its own mmap) — full
+  // replicas by design; the plan partitions candidate-generation ownership,
+  // not index data.
+  for (std::uint32_t i = 1; i < plan.num_shards(); ++i) {
+    GRASP_ASSIGN_OR_RETURN(
+        std::unique_ptr<core::KeywordSearchEngine> engine,
+        core::KeywordSearchEngine::Open(path, engine_options));
+    engines.push_back(std::move(engine));
+  }
+  return std::unique_ptr<ShardedEngine>(new ShardedEngine(
+      std::move(options), std::move(engines),
+      std::make_shared<const ShardPlan>(std::move(plan))));
+}
+
+void ShardedEngine::InitMetrics() {
+  shard_metrics_.assign(engines_.size(), ShardInstruments{});
+  if (metrics_ == nullptr) return;
+  constexpr double kMicros = 1e-6;
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    const metrics::Labels labels = {{"shard", std::to_string(i)}};
+    shard_metrics_[i].searches = metrics_->GetCounter(
+        "grasp_shard_searches_total", "Scatter legs served, per shard",
+        labels);
+    shard_metrics_[i].duration = metrics_->GetHistogram(
+        "grasp_shard_search_duration_seconds",
+        "Per-shard end-to-end search time within a scatter", labels, kMicros);
+    shard_metrics_[i].degraded = metrics_->GetCounter(
+        "grasp_shard_degraded_total",
+        "Scatter legs whose exploration stopped early, per shard", labels);
+  }
+  merge_duration_ = metrics_->GetHistogram(
+      "grasp_shard_merge_duration_seconds",
+      "Gather time: structure dedup, ranked merge, completeness cut", {},
+      kMicros);
+  merge_truncated_ = metrics_->GetCounter(
+      "grasp_shard_merge_truncated_total",
+      "Merged candidates dropped by the completeness cut (degraded runs)");
+}
+
+ShardedEngine::SearchResult ShardedEngine::Search(
+    const std::vector<std::string>& keywords, std::size_t k,
+    const core::ExplorationOptions& exploration,
+    std::span<const std::string> predicate_scope) const {
+  WallTimer total_timer;
+  const std::size_t s = engines_.size();
+  std::vector<SearchResult> shard_results(s);
+
+  // Scatter: every shard runs the full exploration with the same options
+  // and budget (identical pop streams, so early stops land on the same
+  // pop), differing only in its candidate-generation scope.
+  WallTimer scatter_timer;
+  auto run_shard = [&](std::size_t i) {
+    core::ExplorationOptions shard_exploration = exploration;
+    shard_exploration.candidate_scope = &scopes_[i];
+    shard_results[i] = engines_[i]->SearchShardPayload(
+        keywords, k, shard_exploration, predicate_scope);
+    if (shard_metrics_[i].searches != nullptr) {
+      shard_metrics_[i].searches->Increment();
+      shard_metrics_[i].duration->RecordMicros(
+          shard_results[i].total_millis * 1e3);
+      if (shard_results[i].exploration_stats.stopped_early()) {
+        shard_metrics_[i].degraded->Increment();
+      }
+    }
+  };
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(s > 0 ? s - 1 : 0);
+    for (std::size_t i = 1; i < s; ++i) {
+      workers.emplace_back(run_shard, i);
+    }
+    run_shard(0);
+    for (std::thread& t : workers) t.join();
+  }
+  const double scatter_millis = scatter_timer.ElapsedMillis();
+
+  // Gather: replay the unsharded pipeline's final steps on the union of
+  // the shards' raw candidate payloads (see the class comment for why each
+  // step reproduces the single-engine result).
+  WallTimer merge_timer;
+  SearchResult merged;
+  merged.explored_k = shard_results[0].explored_k;
+  merged.matches_per_keyword = shard_results[0].matches_per_keyword;
+  merged.augmentation_cache_hit = shard_results[0].augmentation_cache_hit;
+  merged.status = Status::Ok();
+  for (const SearchResult& r : shard_results) {
+    if (!r.status.ok() && merged.status.ok()) merged.status = r.status;
+  }
+
+  // 1+2. Structure-level dedup across shards, keeping the entry the
+  // unsharded explorer would have kept: min (cost, discovery) — the first
+  // decomposition to reach the structure's final cost.
+  std::vector<RankedQuery> pool;
+  std::unordered_map<std::uint64_t, std::size_t> best_of_structure;
+  for (SearchResult& r : shard_results) {
+    for (RankedQuery& rq : r.queries) {
+      const std::uint64_t hash = rq.subgraph.StructureHash();
+      auto [it, inserted] = best_of_structure.emplace(hash, pool.size());
+      if (inserted) {
+        pool.push_back(std::move(rq));
+        continue;
+      }
+      RankedQuery& held = pool[it->second];
+      if (rq.cost < held.cost ||
+          (rq.cost == held.cost &&
+           rq.subgraph.discovery < held.subgraph.discovery)) {
+        held = std::move(rq);
+      }
+    }
+  }
+
+  // 3. The explorer's ranked order: ascending cost, generation order among
+  // ties. The canonical key only decides when discovery saturates its
+  // combination field (>2^20 combinations in one event) — and then
+  // deterministically.
+  std::sort(pool.begin(), pool.end(),
+            [](const RankedQuery& a, const RankedQuery& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              if (a.subgraph.discovery != b.subgraph.discovery) {
+                return a.subgraph.discovery < b.subgraph.discovery;
+              }
+              return a.canonical < b.canonical;
+            });
+
+  // 4. The explorers returned at most explored_k structures each; the
+  // merged ranking is read at the same depth.
+  if (merged.explored_k > 0 && pool.size() > merged.explored_k) {
+    pool.resize(merged.explored_k);
+  }
+
+  // 5. Completeness cut: every structure of the full graph cheaper than
+  // the weakest shard certificate is present (its owner generated it), so
+  // the prefix strictly below it is exactly the unsharded prefix. +inf on
+  // complete runs — no cut.
+  double complete_below = shard_results[0].exploration_stats.complete_below;
+  for (const SearchResult& r : shard_results) {
+    complete_below =
+        std::min(complete_below, r.exploration_stats.complete_below);
+  }
+  std::size_t cut = pool.size();
+  while (cut > 0 && pool[cut - 1].cost >= complete_below) --cut;
+  if (cut < pool.size()) {
+    if (merge_truncated_ != nullptr) {
+      merge_truncated_->Increment(pool.size() - cut);
+    }
+    pool.resize(cut);
+  }
+
+  // 6. Isomorphism-level dedup, keep-first: the list is in ranked order,
+  // so the first representative is the one the engine's keep-cheaper map
+  // retains (a later strictly-cheaper replacement cannot exist on a
+  // cost-sorted list).
+  std::unordered_set<std::string> seen_canonical;
+  seen_canonical.reserve(pool.size());
+  merged.queries.reserve(std::min(pool.size(), k));
+  for (RankedQuery& rq : pool) {
+    if (seen_canonical.insert(rq.canonical).second) {
+      merged.queries.push_back(std::move(rq));
+    }
+  }
+
+  // 7+8. The engine's final comparator over precomputed keys, then top k.
+  std::sort(merged.queries.begin(), merged.queries.end(),
+            [](const RankedQuery& a, const RankedQuery& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              if (a.structure_cost != b.structure_cost) {
+                return a.structure_cost < b.structure_cost;
+              }
+              if (a.constant_count != b.constant_count) {
+                return a.constant_count < b.constant_count;
+              }
+              return a.canonical < b.canonical;
+            });
+  if (merged.queries.size() > k) merged.queries.resize(k);
+
+  // Merged stats: shard 0's exploration as the base (replicated traversal,
+  // so the shared counters agree), flags OR'd, candidate work summed, and
+  // the weakest certificate as the merged bound.
+  merged.exploration_stats = shard_results[0].exploration_stats;
+  merged.exploration_stats.complete_below = complete_below;
+  merged.exploration_stats.subgraphs_generated = 0;
+  merged.exploration_stats.subgraphs_deduplicated = 0;
+  for (const SearchResult& r : shard_results) {
+    const core::ExplorationStats& st = r.exploration_stats;
+    merged.exploration_stats.cursors_popped =
+        std::max(merged.exploration_stats.cursors_popped, st.cursors_popped);
+    merged.exploration_stats.cursors_created =
+        std::max(merged.exploration_stats.cursors_created, st.cursors_created);
+    merged.exploration_stats.subgraphs_generated += st.subgraphs_generated;
+    merged.exploration_stats.subgraphs_deduplicated +=
+        st.subgraphs_deduplicated;
+    merged.exploration_stats.early_terminated |= st.early_terminated;
+    merged.exploration_stats.exhausted |= st.exhausted;
+    merged.exploration_stats.budget_exceeded |= st.budget_exceeded;
+    merged.exploration_stats.cancelled |= st.cancelled;
+    merged.exploration_stats.deadline_expired |= st.deadline_expired;
+    merged.degraded |= r.degraded;
+    merged.keyword_millis = std::max(merged.keyword_millis, r.keyword_millis);
+    merged.augmentation_millis =
+        std::max(merged.augmentation_millis, r.augmentation_millis);
+  }
+  merged.exploration_millis = scatter_millis;
+  merged.mapping_millis = merge_timer.ElapsedMillis();
+  if (merge_duration_ != nullptr) {
+    merge_duration_->RecordMicros(merged.mapping_millis * 1e3);
+  }
+  merged.total_millis = total_timer.ElapsedMillis();
+  return merged;
+}
+
+}  // namespace grasp::shard

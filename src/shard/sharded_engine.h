@@ -1,0 +1,128 @@
+#ifndef GRASP_SHARD_SHARDED_ENGINE_H_
+#define GRASP_SHARD_SHARDED_ENGINE_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "shard/shard_plan.h"
+
+namespace grasp::shard {
+
+/// Scatter-gather serving over S full engine replicas with partitioned
+/// candidate generation — a core::SearchBackend, so it slots behind the
+/// admission layer and HTTP front end unchanged.
+///
+/// Every shard runs the complete exploration (same root cursors, same pop
+/// stream, same path recording) but only generates candidates at connecting
+/// elements its ShardPlan entry owns; candidate enumeration, deduplication,
+/// materialization and ranking — the per-structure work — partition across
+/// shards. The gather concatenates the shards' raw candidate payloads and
+/// replays the unsharded pipeline's final steps on the union:
+///
+///   1. structure-level dedup keeping the min (cost, discovery) entry — the
+///      decomposition the unsharded InsertCandidate would have kept;
+///   2. sort by (cost, discovery) — the explorer's ranked order, including
+///      its arrival-time tie-break among equal costs;
+///   3. truncate to the explorers' candidate depth (explored_k);
+///   4. cut at the completeness bound B = min over shards of
+///      ExplorationStats::complete_below — every structure of the full
+///      graph cheaper than B is in the merged list (its owner generated
+///      it), so the prefix below B equals the unsharded ranking's prefix;
+///   5. canonical (isomorphism-level) dedup in order, then the final
+///      (cost, structure_cost, constant_count, canonical) sort and resize
+///      to k — byte-identical replays of the unsharded mapping stage.
+///
+/// On a run to completion every shard certifies complete_below above its
+/// returned costs and the merge reproduces the unsharded top-k exactly; on
+/// deadline/budget stops the result is the same verified prefix contract
+/// the single engine honours (degraded = true, every returned entry exact).
+class ShardedEngine final : public core::SearchBackend {
+ public:
+  struct Options {
+    std::size_t num_shards = 2;
+    /// Per-shard engine configuration (every replica gets the same one).
+    core::KeywordSearchEngine::Options engine;
+    /// Registry for the `grasp_shard_*` instruments (per-shard labeled
+    /// families + merge timings). Falls back to engine.metrics; may be
+    /// nullptr (no-op). Not owned; must outlive the engine.
+    metrics::Registry* metrics = nullptr;
+  };
+
+  using SearchResult = core::KeywordSearchEngine::SearchResult;
+
+  /// In-memory deployment: partitions `store`'s data graph into
+  /// options.num_shards blocks and builds S engines over the same store.
+  /// `store` and `dictionary` must outlive the engine.
+  ShardedEngine(const rdf::TripleStore& store,
+                const rdf::Dictionary& dictionary, Options options);
+
+  /// Snapshot deployment: every shard opens `path` with its own mapping (a
+  /// full replica each — sharding partitions candidate-generation work, not
+  /// index data), and the plan comes from the image's kSectionShardPlan
+  /// (written by `grasp_snapshot build --shards=N`). Fails if the image
+  /// carries no plan or its shard count differs from options.num_shards
+  /// (pass num_shards = 0 to accept the image's count).
+  static Result<std::unique_ptr<ShardedEngine>> Open(const std::string& path,
+                                                     Options options);
+
+  // --- core::SearchBackend -------------------------------------------------
+  const core::ExplorationOptions& default_exploration() const override {
+    return options_.engine.exploration;
+  }
+  metrics::Registry* metrics_registry() const override { return metrics_; }
+  /// Scatters the query to all shards in parallel and gathers the merged
+  /// ranking (see class comment). Thread-safe.
+  SearchResult Search(const std::vector<std::string>& keywords, std::size_t k,
+                      const core::ExplorationOptions& exploration,
+                      std::span<const std::string> predicate_scope
+                      = {}) const override;
+
+  /// Evaluates a computed query against the store. Every shard holds the
+  /// full data, so any replica can answer; shard 0 serves.
+  Result<query::EvalResult> Answers(const query::ConjunctiveQuery& query,
+                                    std::size_t limit = 0) const {
+    return engines_.front()->Answers(query, limit);
+  }
+
+  std::size_t num_shards() const { return engines_.size(); }
+  const core::KeywordSearchEngine& shard(std::size_t i) const {
+    return *engines_[i];
+  }
+  const ShardPlan& plan() const { return *plan_; }
+
+ private:
+  ShardedEngine(Options options,
+                std::vector<std::unique_ptr<core::KeywordSearchEngine>> engines,
+                std::shared_ptr<const ShardPlan> plan);
+  void InitMetrics();
+
+  /// Per-shard instrument handles ({"shard", "<i>"}-labeled families).
+  struct ShardInstruments {
+    metrics::Counter* searches = nullptr;
+    metrics::Histogram* duration = nullptr;
+    metrics::Counter* degraded = nullptr;
+  };
+
+  Options options_;
+  std::vector<std::unique_ptr<core::KeywordSearchEngine>> engines_;
+  std::shared_ptr<const ShardPlan> plan_;
+  std::vector<ShardCandidateScope> scopes_;  ///< one per shard, plan-backed
+
+  metrics::Registry* metrics_ = nullptr;
+  std::vector<ShardInstruments> shard_metrics_;
+  metrics::Histogram* merge_duration_ = nullptr;
+  /// Merged candidates dropped by the completeness cut (step 4) — nonzero
+  /// only on degraded runs, where it measures how much of the merged tail
+  /// the per-shard bounds could not certify.
+  metrics::Counter* merge_truncated_ = nullptr;
+};
+
+}  // namespace grasp::shard
+
+#endif  // GRASP_SHARD_SHARDED_ENGINE_H_

@@ -1,7 +1,9 @@
 #ifndef GRASP_SNAPSHOT_ENGINE_SNAPSHOT_H_
 #define GRASP_SNAPSHOT_ENGINE_SNAPSHOT_H_
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/status.h"
@@ -23,6 +25,9 @@ struct EngineParts {
   const rdf::DataGraph* data_graph = nullptr;
   const summary::SummaryGraph* summary = nullptr;
   const keyword::KeywordIndex* keyword_index = nullptr;
+  /// Optional shard plan (kSectionShardPlan layout: [num_shards,
+  /// shard_of_vertex...]); empty = unsharded build, no section written.
+  std::span<const std::uint32_t> shard_plan;
 };
 
 /// Serializes the full immutable engine state into one page-aligned,
@@ -48,6 +53,9 @@ struct LoadedEngineParts {
   /// The lexical configuration the index was built with; querying with a
   /// different one would mis-tokenize keywords against the stored postings.
   text::AnalyzerOptions analyzer_options;
+  /// Zero-copy view of the kSectionShardPlan payload (same [num_shards,
+  /// shard_of_vertex...] layout); empty when the image carries no plan.
+  std::span<const std::uint32_t> shard_plan;
   double load_millis = 0.0;
 };
 

@@ -85,6 +85,11 @@ enum SectionId : std::uint32_t {
   /// indexes; bucket = term length). Added in format version 2.
   kSectionIiBucketOffsets = 32,
   kSectionIiBucketTerms = 33,
+  /// shard::ShardPlan: element 0 = shard count, elements 1..NumVertices =
+  /// per-vertex shard ids. Optional — absent on unsharded builds, and
+  /// readers tolerate absence (no version bump; an old reader skips the
+  /// unknown id, an old image simply has no plan).
+  kSectionShardPlan = 34,
 };
 
 struct FileHeader {

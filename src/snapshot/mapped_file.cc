@@ -9,10 +9,26 @@
 #include <cstring>
 
 #include "common/failpoint.h"
+#include "common/logging.h"
 
 namespace grasp::snapshot {
 
-Result<MappedFile> MappedFile::Open(const std::string& path) {
+namespace {
+
+/// Applies one madvise hint, honouring the "snapshot.madvise" failpoint.
+/// Advisory by contract: the return value only feeds the caller's logging
+/// decision — mapping correctness never depends on the kernel taking it.
+bool Advise(const unsigned char* data, std::size_t size, int advice) {
+  if (failpoint::ShouldFail("snapshot.madvise")) {
+    errno = EINVAL;
+    return false;
+  }
+  return ::madvise(const_cast<unsigned char*>(data), size, advice) == 0;
+}
+
+}  // namespace
+
+Result<MappedFile> MappedFile::Open(const std::string& path, Options options) {
   // Failpoint: a forced transient mmap failure, for the snapshot-open
   // retry/backoff tests (kIoError is the one retryable open outcome).
   if (failpoint::ShouldFail("snapshot.mmap")) {
@@ -46,6 +62,18 @@ Result<MappedFile> MappedFile::Open(const std::string& path) {
                              std::strerror(err));
     }
     file.data_ = static_cast<const unsigned char*>(addr);
+    if (options.willneed && !Advise(file.data_, file.size_, MADV_WILLNEED)) {
+      GRASP_LOG(Warning) << "madvise(MADV_WILLNEED) on " << path
+                         << " failed: " << std::strerror(errno)
+                         << " (continuing without readahead hint)";
+    }
+#ifdef MADV_HUGEPAGE
+    if (options.hugepages && !Advise(file.data_, file.size_, MADV_HUGEPAGE)) {
+      GRASP_LOG(Warning) << "madvise(MADV_HUGEPAGE) on " << path
+                         << " failed: " << std::strerror(errno)
+                         << " (continuing with base pages)";
+    }
+#endif
   }
   // The mapping keeps its own reference to the file; the descriptor is no
   // longer needed.

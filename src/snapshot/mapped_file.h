@@ -32,9 +32,25 @@ class MappedFile {
   MappedFile(const MappedFile&) = delete;
   MappedFile& operator=(const MappedFile&) = delete;
 
+  struct Options {
+    /// madvise(MADV_WILLNEED) the whole mapping right after mmap, so the
+    /// kernel starts readahead before the first checksum pass touches the
+    /// pages. Cuts the cold-start fault storm on spinning/remote storage;
+    /// a no-op cost on an already-warm page cache.
+    bool willneed = false;
+    /// Additionally hint MADV_HUGEPAGE (where the kernel supports it) so
+    /// large snapshot sections map with fewer TLB entries. Advisory only.
+    bool hugepages = false;
+  };
+
   /// Maps `path` read-only. An empty file yields an empty mapping (data()
   /// == nullptr, size() == 0), which header validation then rejects.
-  static Result<MappedFile> Open(const std::string& path);
+  /// madvise hints are best-effort: the kernel refusing one (test-forced
+  /// via the "snapshot.madvise" failpoint) never fails the open.
+  static Result<MappedFile> Open(const std::string& path, Options options);
+  static Result<MappedFile> Open(const std::string& path) {
+    return Open(path, Options{});
+  }
 
   const unsigned char* data() const { return data_; }
   std::size_t size() const { return size_; }

@@ -6,7 +6,8 @@
 
 namespace grasp::snapshot {
 
-Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
+                                            MappedFile::Options mapping_options) {
   // Failpoint: a transient open failure above the mmap layer, so the
   // engine's retry loop can be exercised with the real file intact.
   if (failpoint::ShouldFail("snapshot.open")) {
@@ -14,7 +15,7 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
                            path);
   }
   SnapshotReader reader;
-  GRASP_ASSIGN_OR_RETURN(reader.mapping_, MappedFile::Open(path));
+  GRASP_ASSIGN_OR_RETURN(reader.mapping_, MappedFile::Open(path, mapping_options));
   const unsigned char* base = reader.mapping_.data();
   const std::uint64_t size = reader.mapping_.size();
 

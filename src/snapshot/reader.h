@@ -27,7 +27,11 @@ namespace grasp::snapshot {
 /// ranges) is the caller's job — see engine_snapshot.cc.
 class SnapshotReader {
  public:
-  static Result<SnapshotReader> Open(const std::string& path);
+  static Result<SnapshotReader> Open(const std::string& path,
+                                     MappedFile::Options mapping_options);
+  static Result<SnapshotReader> Open(const std::string& path) {
+    return Open(path, MappedFile::Options{});
+  }
 
   bool HasSection(std::uint32_t id) const { return Find(id) != nullptr; }
 

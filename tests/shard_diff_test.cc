@@ -1,0 +1,298 @@
+// Differential suite pinning the sharded scatter-gather engine to the
+// single-engine ranking, the PR's central claim: for any shard count the
+// merged top-k is byte-identical to the unsharded top-k — same costs, same
+// canonical queries, same order — and under budget/deadline pressure it is
+// the same *verified prefix* the single engine returns (degraded flagged,
+// every entry exact). Covered here:
+//
+//  - S ∈ {1, 2, 4} over the Fig. 1 dataset and seeded random graphs, for
+//    the full keyword-set corpora (filters, fuzzy matches, dead keywords);
+//  - pop-budget and pre-expired-deadline stops: sharded and unsharded runs
+//    with the same budget agree byte for byte (all shards replay the same
+//    pop stream, so they stop at the same pop), and each degraded result
+//    is a position-exact prefix of the unbounded ranking;
+//  - snapshot-warm shards: a plan-carrying image opened by ShardedEngine
+//    (every shard its own mapping) matches the cold in-memory run; opening
+//    without a plan or with a mismatched shard count fails loudly;
+//  - the madvise failpoint: prefetch advice is advisory, so a failing
+//    madvise must not fail the open (PR-4 carry-over);
+//  - grasp_shard_* metrics: per-shard labeled families and merge timings
+//    are registered and recorded.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "core/engine.h"
+#include "core/exploration.h"
+#include "serve/query_control.h"
+#include "shard/shard_plan.h"
+#include "shard/sharded_engine.h"
+#include "test_util.h"
+
+namespace grasp::shard {
+namespace {
+
+using core::KeywordSearchEngine;
+using grasp::testing::Dataset;
+using grasp::testing::LoadKeywordCorpus;
+
+using SearchResult = KeywordSearchEngine::SearchResult;
+
+/// Byte-level ranking equality: size, per-position cost, canonical query,
+/// and the degradation verdict.
+void ExpectSameRanking(const SearchResult& expected, const SearchResult& actual,
+                       const std::string& trace) {
+  ASSERT_EQ(expected.queries.size(), actual.queries.size()) << trace;
+  for (std::size_t i = 0; i < expected.queries.size(); ++i) {
+    EXPECT_EQ(expected.queries[i].cost, actual.queries[i].cost)
+        << trace << " rank " << i;
+    EXPECT_EQ(expected.queries[i].query.CanonicalString(),
+              actual.queries[i].query.CanonicalString())
+        << trace << " rank " << i;
+  }
+  EXPECT_EQ(expected.degraded, actual.degraded) << trace;
+  EXPECT_EQ(expected.status.code(), actual.status.code()) << trace;
+}
+
+/// The degraded contract: every returned entry equals the unbounded
+/// ranking's entry at the same position (a verified prefix, never a hole).
+void ExpectVerifiedPrefix(const SearchResult& unbounded,
+                          const SearchResult& partial,
+                          const std::string& trace) {
+  ASSERT_LE(partial.queries.size(), unbounded.queries.size()) << trace;
+  for (std::size_t i = 0; i < partial.queries.size(); ++i) {
+    EXPECT_EQ(unbounded.queries[i].cost, partial.queries[i].cost)
+        << trace << " rank " << i;
+    EXPECT_EQ(unbounded.queries[i].query.CanonicalString(),
+              partial.queries[i].query.CanonicalString())
+        << trace << " rank " << i;
+  }
+}
+
+std::unique_ptr<ShardedEngine> MakeSharded(const Dataset& d,
+                                           std::size_t num_shards,
+                                           metrics::Registry* registry
+                                           = nullptr) {
+  ShardedEngine::Options options;
+  options.num_shards = num_shards;
+  options.metrics = registry;
+  return std::make_unique<ShardedEngine>(d.store, d.dictionary, options);
+}
+
+TEST(ShardDiffTest, Figure1ByteIdenticalAcrossShardCounts) {
+  const Dataset d = grasp::testing::MakeFigure1Dataset();
+  const KeywordSearchEngine single(d.store, d.dictionary);
+  const auto corpus = LoadKeywordCorpus("fig1_keyword_sets.txt");
+  for (std::size_t shards : {1u, 2u, 4u}) {
+    const auto sharded = MakeSharded(d, shards);
+    EXPECT_EQ(sharded->num_shards(), shards);
+    for (const auto& keywords : corpus) {
+      for (std::size_t k : {1u, 3u, 5u, 10u}) {
+        const std::string trace = grasp::StrFormat(
+            "S=%zu k=%zu kw=%s", shards, k, keywords.front().c_str());
+        ExpectSameRanking(single.Search(keywords, k),
+                          sharded->Search(keywords, k,
+                                          sharded->default_exploration()),
+                          trace);
+      }
+    }
+  }
+}
+
+TEST(ShardDiffTest, RandomGraphsByteIdentical) {
+  const auto corpus = LoadKeywordCorpus("generic_keyword_sets.txt");
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Dataset d = grasp::testing::MakeRandomDataset(
+        seed, /*num_classes=*/4, /*num_entities=*/40, /*num_relations=*/80,
+        /*num_predicates=*/4, /*num_attributes=*/40, /*value_pool=*/8);
+    const KeywordSearchEngine single(d.store, d.dictionary);
+    for (std::size_t shards : {2u, 4u}) {
+      const auto sharded = MakeSharded(d, shards);
+      for (const auto& keywords : corpus) {
+        const std::string trace = grasp::StrFormat(
+            "seed=%llu S=%zu kw=%s", static_cast<unsigned long long>(seed),
+            shards, keywords.front().c_str());
+        ExpectSameRanking(single.Search(keywords, 5),
+                          sharded->Search(keywords, 5,
+                                          sharded->default_exploration()),
+                          trace);
+      }
+    }
+  }
+}
+
+TEST(ShardDiffTest, PopBudgetStopsStayByteIdenticalAndPrefix) {
+  // Same pop budget on both sides: every shard replays the unsharded pop
+  // stream, so the sharded run stops at the same pop and must return the
+  // same (possibly degraded) verified prefix, byte for byte.
+  const Dataset d = grasp::testing::MakeFigure1Dataset();
+  const KeywordSearchEngine single(d.store, d.dictionary);
+  const auto corpus = LoadKeywordCorpus("fig1_keyword_sets.txt");
+  const auto sharded = MakeSharded(d, 3);
+  for (const auto& keywords : corpus) {
+    const SearchResult unbounded = single.Search(keywords, 5);
+    for (std::size_t budget : {1u, 2u, 5u, 10u, 25u}) {
+      core::ExplorationOptions exploration =
+          single.options().exploration;
+      exploration.max_cursor_pops = budget;
+      const SearchResult want = single.Search(keywords, 5, exploration);
+      const SearchResult got = sharded->Search(keywords, 5, exploration);
+      const std::string trace = grasp::StrFormat(
+          "budget=%zu kw=%s", budget, keywords.front().c_str());
+      ExpectSameRanking(want, got, trace);
+      ExpectVerifiedPrefix(unbounded, got, trace);
+    }
+  }
+}
+
+TEST(ShardDiffTest, PreExpiredDeadlineByteIdentical) {
+  // A control that is already past its deadline stops every explorer at a
+  // deterministic pop; the sharded and single runs must agree on the
+  // (empty or tiny) verified prefix and on the degraded verdict.
+  const Dataset d = grasp::testing::MakeFigure1Dataset();
+  const KeywordSearchEngine single(d.store, d.dictionary);
+  const auto sharded = MakeSharded(d, 2);
+  serve::QueryControl control;
+  control.SetDeadlineAfterMillis(-1.0);
+  core::ExplorationOptions exploration = single.options().exploration;
+  exploration.control = &control;
+  const std::vector<std::string> keywords = {"publication", "author"};
+  const SearchResult want = single.Search(keywords, 5, exploration);
+  const SearchResult got = sharded->Search(keywords, 5, exploration);
+  ExpectSameRanking(want, got, "pre-expired deadline");
+  ExpectVerifiedPrefix(single.Search(keywords, 5), got,
+                       "pre-expired deadline");
+}
+
+TEST(ShardDiffTest, SnapshotWarmShardsMatchCold) {
+  const Dataset d = grasp::testing::MakeFigure1Dataset();
+  const KeywordSearchEngine cold(d.store, d.dictionary);
+  const ShardPlan plan =
+      ShardPlan::Build(cold.data_graph(), cold.summary_graph(), 2);
+  const std::string path = ::testing::TempDir() + "/shard_diff_test.grdf";
+  ASSERT_TRUE(cold.SaveIndex(path, plan.Serialize()).ok());
+
+  ShardedEngine::Options options;
+  options.num_shards = 0;  // accept the image's count
+  auto opened = ShardedEngine::Open(path, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const auto& warm = **opened;
+  EXPECT_EQ(warm.num_shards(), 2u);
+  for (const auto& keywords : LoadKeywordCorpus("fig1_keyword_sets.txt")) {
+    ExpectSameRanking(cold.Search(keywords, 5),
+                      warm.Search(keywords, 5, warm.default_exploration()),
+                      "warm kw=" + keywords.front());
+  }
+
+  // Mismatched shard count: refuse rather than silently repartition.
+  options.num_shards = 3;
+  EXPECT_FALSE(ShardedEngine::Open(path, options).ok());
+
+  std::remove(path.c_str());
+}
+
+TEST(ShardDiffTest, OpenWithoutPlanFails) {
+  const Dataset d = grasp::testing::MakeFigure1Dataset();
+  const KeywordSearchEngine cold(d.store, d.dictionary);
+  const std::string path = ::testing::TempDir() + "/shard_diff_planless.grdf";
+  ASSERT_TRUE(cold.SaveIndex(path).ok());
+  ShardedEngine::Options options;
+  options.num_shards = 2;
+  const auto opened = ShardedEngine::Open(path, options);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_NE(opened.status().ToString().find("shard plan"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ShardDiffTest, MadviseFailpointDoesNotFailOpen) {
+  // Prefetch advice is an optimization, never a correctness dependency: an
+  // armed snapshot.madvise failpoint must leave the open (and the
+  // differential) intact.
+  const Dataset d = grasp::testing::MakeFigure1Dataset();
+  const KeywordSearchEngine cold(d.store, d.dictionary);
+  const ShardPlan plan =
+      ShardPlan::Build(cold.data_graph(), cold.summary_graph(), 2);
+  const std::string path = ::testing::TempDir() + "/shard_diff_madvise.grdf";
+  ASSERT_TRUE(cold.SaveIndex(path, plan.Serialize()).ok());
+
+  failpoint::Arm("snapshot.madvise", failpoint::kAlways);
+  ShardedEngine::Options options;
+  options.num_shards = 2;
+  auto opened = ShardedEngine::Open(path, options);
+  EXPECT_GT(failpoint::HitCount("snapshot.madvise"), 0u);
+  failpoint::DisarmAll();  // resets hit counters too
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const std::vector<std::string> keywords = {"publication", "author"};
+  ExpectSameRanking(cold.Search(keywords, 5),
+                    (*opened)->Search(keywords, 5,
+                                      (*opened)->default_exploration()),
+                    "madvise failpoint");
+  std::remove(path.c_str());
+}
+
+TEST(ShardDiffTest, PlanRoundTripAndOwnership) {
+  const Dataset d = grasp::testing::MakeFigure1Dataset();
+  const KeywordSearchEngine engine(d.store, d.dictionary);
+  const ShardPlan plan =
+      ShardPlan::Build(engine.data_graph(), engine.summary_graph(), 4);
+  EXPECT_EQ(plan.num_shards(), 4u);
+  const auto serialized = plan.Serialize();
+  ASSERT_EQ(serialized.size(), engine.data_graph().NumVertices() + 1);
+  const auto round =
+      ShardPlan::Deserialize(serialized, engine.data_graph(),
+                             engine.summary_graph());
+  ASSERT_TRUE(round.ok());
+  for (std::size_t v = 0; v < engine.data_graph().NumVertices(); ++v) {
+    EXPECT_EQ(plan.OwnerOfVertex(v), round->OwnerOfVertex(v));
+    EXPECT_LT(plan.OwnerOfVertex(v), 4u);
+  }
+  // A single-shard plan owns everything on shard 0.
+  const ShardPlan one =
+      ShardPlan::Build(engine.data_graph(), engine.summary_graph(), 1);
+  for (std::size_t v = 0; v < engine.data_graph().NumVertices(); ++v) {
+    EXPECT_EQ(one.OwnerOfVertex(v), 0u);
+  }
+  // Tampered payloads are rejected.
+  auto bad = serialized;
+  bad[0] = 0;
+  EXPECT_FALSE(ShardPlan::Deserialize(bad, engine.data_graph(),
+                                      engine.summary_graph())
+                   .ok());
+  bad = serialized;
+  bad[1] = 4;  // >= num_shards
+  EXPECT_FALSE(ShardPlan::Deserialize(bad, engine.data_graph(),
+                                      engine.summary_graph())
+                   .ok());
+  bad = serialized;
+  bad.pop_back();
+  EXPECT_FALSE(ShardPlan::Deserialize(bad, engine.data_graph(),
+                                      engine.summary_graph())
+                   .ok());
+}
+
+TEST(ShardDiffTest, PerShardMetricsRecorded) {
+  const Dataset d = grasp::testing::MakeFigure1Dataset();
+  metrics::Registry registry;
+  const auto sharded = MakeSharded(d, 2, &registry);
+  (void)sharded->Search({"publication", "author"}, 5,
+                        sharded->default_exploration());
+  const std::string body = registry.RenderPrometheus();
+  EXPECT_NE(body.find("grasp_shard_searches_total{shard=\"0\"} 1"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("grasp_shard_searches_total{shard=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("grasp_shard_search_duration_seconds"),
+            std::string::npos);
+  EXPECT_NE(body.find("grasp_shard_merge_duration_seconds"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace grasp::shard

@@ -32,6 +32,7 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -188,12 +189,21 @@ struct Outcome {
   int status = 0;        // HTTP code when kAnswered
   double latency_ms = 0.0;
   bool degraded = false;
+  /// Retry hint on a 429, in milliseconds (X-Retry-After-Ms preferred,
+  /// whole-second Retry-After otherwise; in-process: retry_after_millis).
+  /// < 0 = absent or unparsable — a protocol bug under --assert-no-unanswered,
+  /// since an open-loop client shed without a usable hint can only guess.
+  double retry_hint_ms = -1.0;
 };
 
 struct Summary {
   std::vector<std::pair<int, std::size_t>> status_counts;  // sorted by code
   std::size_t answered = 0, connect_failed = 0, chaos_killed = 0,
               unanswered = 0, degraded = 0;
+  /// 429 retry-hint coverage and distribution (hint values in ms).
+  std::size_t hint_missing = 0;  // 429s without a parsable hint
+  double hint_min = 0.0, hint_p50 = 0.0, hint_max = 0.0;
+  std::size_t hint_count = 0;
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;
   double rate(int status) const {
     for (const auto& [code, n] : status_counts) {
@@ -210,11 +220,19 @@ struct Summary {
 Summary Summarize(const std::vector<Outcome>& outcomes) {
   Summary s;
   std::vector<double> ok_latencies;
+  std::vector<double> hints;
   for (const Outcome& o : outcomes) {
     switch (o.kind) {
       case Outcome::Kind::kAnswered: {
         ++s.answered;
         if (o.degraded) ++s.degraded;
+        if (o.status == 429) {
+          if (o.retry_hint_ms >= 0.0) {
+            hints.push_back(o.retry_hint_ms);
+          } else {
+            ++s.hint_missing;
+          }
+        }
         auto it = std::find_if(
             s.status_counts.begin(), s.status_counts.end(),
             [&o](const auto& p) { return p.first == o.status; });
@@ -238,6 +256,13 @@ Summary Summarize(const std::vector<Outcome>& outcomes) {
   s.p50 = Percentile(ok_latencies, 50.0);
   s.p95 = Percentile(ok_latencies, 95.0);
   s.p99 = Percentile(ok_latencies, 99.0);
+  std::sort(hints.begin(), hints.end());
+  s.hint_count = hints.size();
+  if (!hints.empty()) {
+    s.hint_min = hints.front();
+    s.hint_p50 = Percentile(hints, 50.0);
+    s.hint_max = hints.back();
+  }
   return s;
 }
 
@@ -254,6 +279,14 @@ void PrintSummary(const Summary& s) {
   std::printf("chaos killed      %zu\n", s.chaos_killed);
   std::printf("unanswered        %zu\n", s.unanswered);
   std::printf("degraded          %zu\n", s.degraded);
+  if (s.hint_count > 0 || s.hint_missing > 0) {
+    std::printf("429 retry hints   %zu parsed, %zu missing\n", s.hint_count,
+                s.hint_missing);
+    if (s.hint_count > 0) {
+      std::printf("  hint ms min/p50/max  %.1f / %.1f / %.1f\n", s.hint_min,
+                  s.hint_p50, s.hint_max);
+    }
+  }
   std::printf("latency(2xx) p50  %.2f ms\n", s.p50);
   std::printf("latency(2xx) p95  %.2f ms\n", s.p95);
   std::printf("latency(2xx) p99  %.2f ms\n", s.p99);
@@ -299,6 +332,37 @@ std::string BuildRequest(const Args& args,
   }
   request += "Connection: close\r\n\r\n";
   return request;
+}
+
+/// Parses the 429 retry hint from a response head: X-Retry-After-Ms
+/// (fractional milliseconds) wins over the standard whole-second
+/// Retry-After. Returns the hint in ms, or -1 when neither header parses —
+/// an empty value, a non-numeric value, or a missing header all count as
+/// "no hint".
+double ParseRetryHintMs(const std::string& head) {
+  std::string lower(head.size(), '\0');
+  std::transform(head.begin(), head.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  auto header_value = [&](const char* name, double scale) -> double {
+    const std::size_t len = std::strlen(name);
+    std::size_t pos = 0;
+    while ((pos = lower.find(name, pos)) != std::string::npos) {
+      if (pos != 0 && lower[pos - 1] != '\n') {  // mid-line, e.g. body text
+        pos += len;
+        continue;
+      }
+      const char* start = head.c_str() + pos + len;
+      char* end = nullptr;
+      const double v = std::strtod(start, &end);
+      if (end == start || v < 0.0) return -1.0;  // present but unparsable
+      return v * scale;
+    }
+    return -1.0;
+  };
+  const double ms = header_value("x-retry-after-ms:", 1.0);
+  if (ms >= 0.0) return ms;
+  return header_value("retry-after:", 1'000.0);
 }
 
 /// One request over one fresh connection; the worker thread's whole life.
@@ -362,6 +426,13 @@ Outcome RunNetRequest(const Args& args, const std::string& host,
                            .count();
   outcome.degraded =
       response.find("\"degraded\":true") != std::string::npos;
+  if (outcome.status == 429) {
+    // Hint headers only; never scan the body (its retry_after_ms echo would
+    // mask a server that forgot the real headers).
+    const std::size_t blank = response.find("\r\n\r\n");
+    outcome.retry_hint_ms = ParseRetryHintMs(
+        blank == std::string::npos ? response : response.substr(0, blank));
+  }
   return outcome;
 }
 
@@ -495,7 +566,14 @@ std::vector<Outcome> RunInProcess(const Args& args, QueryServer* server) {
     o.degraded = response.degraded;
     switch (response.status.code()) {
       case grasp::StatusCode::kOk: o.status = 200; break;
-      case grasp::StatusCode::kOverloaded: o.status = 429; break;
+      case grasp::StatusCode::kOverloaded:
+        o.status = 429;
+        // The in-process equivalent of the Retry-After headers; 0 marks a
+        // terminal (draining) shed, which the HTTP layer would map to 503.
+        if (response.retry_after_millis > 0.0) {
+          o.retry_hint_ms = response.retry_after_millis;
+        }
+        break;
       case grasp::StatusCode::kDeadlineExceeded: o.status = 504; break;
       case grasp::StatusCode::kCancelled: o.status = 499; break;
       default: o.status = 500; break;
@@ -666,6 +744,16 @@ int main(int argc, char** argv) {
   if (args.assert_no_unanswered && summary.unanswered > 0) {
     std::fprintf(stderr, "ASSERT FAILED: %zu unanswered requests\n",
                  summary.unanswered);
+    rc = 1;
+  }
+  // A 429 without a parsable retry hint is a protocol bug under the same
+  // flag: the whole point of shedding is telling the client when to come
+  // back. (Draining sheds are 503s, so they never trip this.)
+  if (args.assert_no_unanswered && summary.hint_missing > 0) {
+    std::fprintf(stderr,
+                 "ASSERT FAILED: %zu 429 responses without a parsable "
+                 "Retry-After/X-Retry-After-Ms hint\n",
+                 summary.hint_missing);
     rc = 1;
   }
   if (args.assert_server_p99_factor >= 0.0) {

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -26,18 +27,21 @@
 #include "net/socket.h"
 #include "rdf/ntriples.h"
 #include "serve/admission.h"
+#include "shard/sharded_engine.h"
 
 namespace {
 
 using grasp::core::KeywordSearchEngine;
 using grasp::net::HttpServer;
 using grasp::serve::QueryServer;
+using grasp::shard::ShardedEngine;
 
 struct Args {
   std::string dataset = "dblp";
   std::string nt_path;
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  std::size_t shards = 0;  ///< 0/1 = single engine; N > 1 = scatter-gather
   std::size_t fast_workers = 2;
   std::size_t deep_workers = 2;
   std::size_t queue_capacity = 32;
@@ -64,6 +68,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->host = v;
     } else if (const char* v = value("--port=")) {
       args->port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (const char* v = value("--shards=")) {
+      args->shards = static_cast<std::size_t>(std::atol(v));
     } else if (const char* v = value("--fast-workers=")) {
       args->fast_workers = static_cast<std::size_t>(std::atol(v));
     } else if (const char* v = value("--deep-workers=")) {
@@ -154,7 +160,8 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: grasp_serve [--dataset=dblp|lubm|tap | --nt=FILE]\n"
-        "    [--host=H] [--port=N] [--fast-workers=N] [--deep-workers=N]\n"
+        "    [--host=H] [--port=N] [--shards=N]\n"
+        "    [--fast-workers=N] [--deep-workers=N]\n"
         "    [--queue-capacity=N] [--max-connections=N]\n"
         "    [--read-timeout-ms=MS] [--write-timeout-ms=MS]\n"
         "    [--idle-timeout-ms=MS] [--drain-timeout-ms=MS]\n"
@@ -185,17 +192,35 @@ int main(int argc, char** argv) {
   // histograms, and the HTTP front-end's wire counters side by side.
   grasp::metrics::Registry registry;
 
-  KeywordSearchEngine::Options engine_options;
-  engine_options.metrics = &registry;
-  KeywordSearchEngine engine(dataset.store, dataset.dictionary,
-                             engine_options);
+  // Single engine or sharded scatter-gather backend, both behind the same
+  // core::SearchBackend interface — the serving layers don't know which.
+  std::unique_ptr<KeywordSearchEngine> engine;
+  std::unique_ptr<ShardedEngine> sharded;
+  if (args.shards > 1) {
+    ShardedEngine::Options shard_options;
+    shard_options.num_shards = args.shards;
+    shard_options.metrics = &registry;
+    sharded = std::make_unique<ShardedEngine>(dataset.store,
+                                              dataset.dictionary,
+                                              shard_options);
+    std::fprintf(stderr, "sharded backend: %zu shards\n",
+                 sharded->num_shards());
+  } else {
+    KeywordSearchEngine::Options engine_options;
+    engine_options.metrics = &registry;
+    engine = std::make_unique<KeywordSearchEngine>(dataset.store,
+                                                   dataset.dictionary,
+                                                   engine_options);
+  }
 
   QueryServer::Options serve_options;
   serve_options.fast_workers = args.fast_workers;
   serve_options.deep_workers = args.deep_workers;
   serve_options.queue_capacity = args.queue_capacity;
   serve_options.metrics = &registry;
-  QueryServer query_server(engine, serve_options);
+  std::unique_ptr<QueryServer> query_server =
+      sharded ? std::make_unique<QueryServer>(*sharded, serve_options)
+              : std::make_unique<QueryServer>(*engine, serve_options);
 
   HttpServer::Options http_options;
   http_options.metrics = &registry;
@@ -207,7 +232,7 @@ int main(int argc, char** argv) {
   http_options.idle_timeout_millis = args.idle_timeout_ms;
   http_options.drain_timeout_millis = args.drain_timeout_ms;
   http_options.default_deadline_millis = args.default_deadline_ms;
-  HttpServer server(&query_server, http_options);
+  HttpServer server(query_server.get(), http_options);
 
   const grasp::Status status = server.Start();
   if (!status.ok()) {
@@ -232,6 +257,6 @@ int main(int argc, char** argv) {
   }).detach();
 
   server.Join();  // returns when the drain (or stop) completes
-  PrintStats(server, query_server);
+  PrintStats(server, *query_server);
   return 0;
 }

@@ -13,9 +13,11 @@
 // The two query modes print identical output for the same data (the
 // warm-start differential suite pins this; CI diffs them across processes).
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,10 +27,13 @@
 #include "rdf/ntriples.h"
 #include "serve/admission.h"
 #include "serve/query_control.h"
+#include "shard/shard_plan.h"
+#include "shard/sharded_engine.h"
 
 namespace {
 
 using grasp::core::KeywordSearchEngine;
+using grasp::shard::ShardedEngine;
 
 struct Args {
   std::string command;
@@ -39,6 +44,9 @@ struct Args {
   bool cold = false;
   std::size_t k = 5;
   double deadline_ms = 0.0;  // <= 0: no deadline
+  /// build: 0 writes no plan; N >= 1 partitions and embeds a plan.
+  /// query: 0 serves unsharded; N >= 1 opens/builds a sharded engine.
+  std::size_t shards = 0;
   std::vector<std::string> keywords;
 };
 
@@ -63,6 +71,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->k = static_cast<std::size_t>(std::atol(v));
     } else if (const char* v = value("--deadline-ms=")) {
       args->deadline_ms = std::atof(v);
+    } else if (const char* v = value("--shards=")) {
+      args->shards = static_cast<std::size_t>(std::atol(v));
     } else if (arg == "--cold") {
       args->cold = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -80,16 +90,18 @@ int Usage() {
       stderr,
       "usage:\n"
       "  grasp_snapshot build (--dataset=dblp|lubm|tap | --nt=FILE) "
-      "--out=PATH\n"
+      "--out=PATH [--shards=N]\n"
       "  grasp_snapshot query --snapshot=PATH [--k=N] [--deadline-ms=MS] "
-      "KEYWORD...\n"
+      "[--shards=N] KEYWORD...\n"
       "  grasp_snapshot query (--dataset=... | --nt=FILE) --cold [--k=N] "
-      "KEYWORD...\n"
+      "[--shards=N] KEYWORD...\n"
       "  grasp_snapshot info --snapshot=PATH\n"
       "\n--deadline-ms bounds the query: results may be a degraded (but "
       "verified)\nprefix of the full ranking; the stop reason goes to "
-      "stderr.\nGRASP_BENCH_SCALE scales the generated datasets (default "
-      "1.0).\n");
+      "stderr.\n--shards=N builds a partition plan into the snapshot / "
+      "serves the query\nthrough the sharded scatter-gather engine "
+      "(results are identical to\nunsharded).\nGRASP_BENCH_SCALE scales "
+      "the generated datasets (default 1.0).\n");
   return 2;
 }
 
@@ -136,8 +148,14 @@ int RunBuild(const Args& args) {
   if (!LoadDataset(args, &dataset)) return 1;
   grasp::WallTimer timer;
   KeywordSearchEngine engine(dataset.store, dataset.dictionary);
+  std::vector<std::uint32_t> plan_payload;
+  if (args.shards >= 1) {
+    const grasp::shard::ShardPlan plan = grasp::shard::ShardPlan::Build(
+        engine.data_graph(), engine.summary_graph(), args.shards);
+    plan_payload = plan.Serialize();
+  }
   const double build_millis = timer.ElapsedMillis();
-  const grasp::Status status = engine.SaveIndex(args.out_path);
+  const grasp::Status status = engine.SaveIndex(args.out_path, plan_payload);
   if (!status.ok()) {
     std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
     return 1;
@@ -145,45 +163,78 @@ int RunBuild(const Args& args) {
   const auto stats = engine.index_stats();
   std::fprintf(stderr,
                "built %s (%zu triples, %zu summary nodes) in %.1f ms; "
-               "snapshot -> %s\n",
+               "snapshot -> %s%s\n",
                dataset.name.c_str(), dataset.store.size(),
-               stats.summary_nodes, build_millis, args.out_path.c_str());
+               stats.summary_nodes, build_millis, args.out_path.c_str(),
+               plan_payload.empty() ? "" : " (with shard plan)");
   return 0;
 }
 
 int RunQuery(const Args& args) {
   if (args.keywords.empty()) return Usage();
-  // Declared before the engine: a cold-built engine keeps raw pointers
+  // Declared before the engines: a cold-built engine keeps raw pointers
   // into the dataset, which therefore must be destroyed after it.
   std::unique_ptr<grasp::bench::Dataset> dataset;
   std::unique_ptr<KeywordSearchEngine> warm;
-  const KeywordSearchEngine* engine = nullptr;
+  std::unique_ptr<ShardedEngine> sharded;
+  std::unique_ptr<grasp::core::EngineBackend> single;
+  const grasp::core::SearchBackend* backend = nullptr;
   grasp::WallTimer timer;
   if (!args.snapshot_path.empty()) {
-    auto opened = KeywordSearchEngine::Open(args.snapshot_path);
-    if (!opened.ok()) {
-      std::fprintf(stderr, "open failed: %s\n",
-                   opened.status().ToString().c_str());
-      return 1;
+    if (args.shards >= 1) {
+      ShardedEngine::Options options;
+      options.num_shards = args.shards;
+      auto opened = ShardedEngine::Open(args.snapshot_path, options);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "open failed: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      sharded = std::move(opened).value();
+      backend = sharded.get();
+      std::fprintf(stderr, "warm open: %.1f ms (%zu shards, %zu mapped bytes "
+                   "each)\n",
+                   timer.ElapsedMillis(), sharded->num_shards(),
+                   sharded->shard(0).index_stats().mapped_snapshot_bytes);
+    } else {
+      auto opened = KeywordSearchEngine::Open(args.snapshot_path);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "open failed: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      warm = std::move(opened).value();
+      single = std::make_unique<grasp::core::EngineBackend>(*warm);
+      backend = single.get();
+      std::fprintf(stderr, "warm open: %.1f ms (%zu mapped bytes)\n",
+                   timer.ElapsedMillis(),
+                   warm->index_stats().mapped_snapshot_bytes);
     }
-    warm = std::move(opened).value();
-    engine = warm.get();
-    std::fprintf(stderr, "warm open: %.1f ms (%zu mapped bytes)\n",
-                 timer.ElapsedMillis(),
-                 engine->index_stats().mapped_snapshot_bytes);
   } else if (args.cold) {
     dataset = std::make_unique<grasp::bench::Dataset>();
     if (!LoadDataset(args, dataset.get())) return 1;
     timer.Reset();  // time the engine build, not dataset generation/parsing
-    warm = std::make_unique<KeywordSearchEngine>(dataset->store,
-                                                 dataset->dictionary);
-    engine = warm.get();
-    std::fprintf(stderr, "cold build: %.1f ms\n", timer.ElapsedMillis());
+    if (args.shards >= 1) {
+      ShardedEngine::Options options;
+      options.num_shards = args.shards;
+      sharded = std::make_unique<ShardedEngine>(dataset->store,
+                                                dataset->dictionary, options);
+      backend = sharded.get();
+      std::fprintf(stderr, "cold build: %.1f ms (%zu shards)\n",
+                   timer.ElapsedMillis(), sharded->num_shards());
+    } else {
+      warm = std::make_unique<KeywordSearchEngine>(dataset->store,
+                                                   dataset->dictionary);
+      single = std::make_unique<grasp::core::EngineBackend>(*warm);
+      backend = single.get();
+      std::fprintf(stderr, "cold build: %.1f ms\n", timer.ElapsedMillis());
+    }
   } else {
     return Usage();
   }
   if (args.deadline_ms <= 0.0) {
-    PrintResult(engine->Search(args.keywords, args.k));
+    PrintResult(backend->Search(args.keywords, args.k,
+                                backend->default_exploration(), {}));
     return 0;
   }
 
@@ -195,14 +246,14 @@ int RunQuery(const Args& args) {
   grasp::serve::QueryControl control;
   control.SetDeadlineAfterMillis(args.deadline_ms);
   grasp::serve::DeadlineCalibrator calibrator(0.2, 50.0);
-  grasp::core::ExplorationOptions exploration = engine->options().exploration;
+  grasp::core::ExplorationOptions exploration = backend->default_exploration();
   exploration.control = &control;
   const std::size_t budget = calibrator.BudgetForDeadline(args.deadline_ms, 0.5);
   if (exploration.max_cursor_pops == 0 || budget < exploration.max_cursor_pops) {
     exploration.max_cursor_pops = budget;
   }
   const KeywordSearchEngine::SearchResult result =
-      engine->Search(args.keywords, args.k, exploration);
+      backend->Search(args.keywords, args.k, exploration, {});
   if (!result.status.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status.ToString().c_str());
@@ -236,6 +287,10 @@ int RunInfo(const Args& args) {
   std::printf("snapshot          %s\n", args.snapshot_path.c_str());
   std::printf("open time         %.1f ms\n", open_millis);
   std::printf("mapped bytes      %zu\n", stats.mapped_snapshot_bytes);
+  const std::span<const std::uint32_t> plan = engine.loaded_shard_plan();
+  if (!plan.empty()) {
+    std::printf("shard plan        %u shards\n", plan[0]);
+  }
   std::printf("terms             %zu\n", engine.dictionary().size());
   std::printf("data vertices     %zu\n", engine.data_graph().NumVertices());
   std::printf("data edges        %zu\n", engine.data_graph().NumEdges());
